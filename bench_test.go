@@ -1,0 +1,318 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation
+// (DESIGN.md maps every artifact to its bench). Benchmarks run at the tiny
+// profile so `go test -bench=.` finishes in minutes; cmd/dvmrepro
+// regenerates the same artifacts at the larger profiles.
+package dvm_test
+
+import (
+	"sync"
+	"testing"
+
+	dvm "github.com/dvm-sim/dvm"
+)
+
+// prepared caches the benchmark workload across benchmarks.
+var (
+	prepOnce sync.Once
+	prepWL   *dvm.Prepared
+	prepCF   *dvm.Prepared
+	prepErr  error
+)
+
+func benchWorkload(b *testing.B) *dvm.Prepared {
+	b.Helper()
+	prepOnce.Do(func() {
+		d, err := dvm.DatasetByName("Wiki")
+		if err != nil {
+			prepErr = err
+			return
+		}
+		prepWL, prepErr = dvm.Prepare(dvm.Workload{
+			Algorithm: "PageRank", Dataset: d,
+			Scale: dvm.ProfileTiny.Scale, PageRankIters: 2, Seed: 42,
+		})
+		if prepErr != nil {
+			return
+		}
+		nf, err := dvm.DatasetByName("NF")
+		if err != nil {
+			prepErr = err
+			return
+		}
+		prepCF, prepErr = dvm.Prepare(dvm.Workload{
+			Algorithm: "CF", Dataset: nf, Scale: dvm.ProfileTiny.Scale, Seed: 42,
+		})
+	})
+	if prepErr != nil {
+		b.Fatal(prepErr)
+	}
+	return prepWL
+}
+
+// BenchmarkFigure2TLBMissRates regenerates one Figure 2 bar pair (4 KB and
+// 2 MB TLB miss rates) per iteration.
+func BenchmarkFigure2TLBMissRates(b *testing.B) {
+	p := benchWorkload(b)
+	cfg := dvm.ProfileTiny.SystemConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row, err := dvm.Figure2(p, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if row.MissRate4K <= 0 {
+			b.Fatal("no misses measured")
+		}
+	}
+}
+
+// BenchmarkTable1PageTableSizes regenerates one Table 1 row (standard vs
+// Permission Entry page-table footprint) per iteration.
+func BenchmarkTable1PageTableSizes(b *testing.B) {
+	p := benchWorkload(b)
+	cfg := dvm.ProfileTiny.SystemConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row, err := dvm.Table1(p, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if row.PEBytes >= row.StdBytes {
+			b.Fatalf("PEs did not shrink the table: %d vs %d", row.PEBytes, row.StdBytes)
+		}
+	}
+}
+
+// BenchmarkTable3DatasetGeneration regenerates the scaled Table 3 inputs.
+func BenchmarkTable3DatasetGeneration(b *testing.B) {
+	d, err := dvm.DatasetByName("FR")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := d.Generate(dvm.ProfileTiny.Scale, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8ExecutionTime regenerates one Figure 8 cell (all seven
+// modes, normalized to Ideal) per iteration.
+func BenchmarkFigure8ExecutionTime(b *testing.B) {
+	p := benchWorkload(b)
+	cfg := dvm.ProfileTiny.SystemConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cell, err := dvm.Figure8(p, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cell.Normalized[dvm.ModeConv4K] <= cell.Normalized[dvm.ModeDVMPEPlus] {
+			b.Fatal("figure 8 ordering violated")
+		}
+	}
+}
+
+// BenchmarkFigure9Energy regenerates one Figure 9 cell (MMU dynamic energy
+// normalized to the 4K baseline) per iteration.
+func BenchmarkFigure9Energy(b *testing.B) {
+	p := benchWorkload(b)
+	cfg := dvm.ProfileTiny.SystemConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cell, err := dvm.Figure8(p, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig9, err := dvm.Figure9(cell)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fig9.Normalized[dvm.ModeDVMPE] >= 1 {
+			b.Fatal("DVM-PE did not save MMU energy")
+		}
+	}
+}
+
+// BenchmarkFigure8CF runs the collaborative-filtering column of Figure 8.
+func BenchmarkFigure8CF(b *testing.B) {
+	benchWorkload(b)
+	cfg := dvm.ProfileTiny.SystemConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dvm.Figure8(prepCF, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4IdentityMapping runs one shbench cell (experiment 2 at
+// 1 GB) per iteration.
+func BenchmarkTable4IdentityMapping(b *testing.B) {
+	exp := dvm.ShbenchExperiments[1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := dvm.ShbenchRun(exp, 1<<30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Percent < 80 {
+			b.Fatalf("identity fraction %.1f%% implausibly low", r.Percent)
+		}
+	}
+}
+
+// BenchmarkFigure10CDVM runs one Figure 10 workload (mcf, shortened trace)
+// per iteration.
+func BenchmarkFigure10CDVM(b *testing.B) {
+	spec, err := dvm.CPUWorkloadByName("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Accesses = 300_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := dvm.CPURun(spec, dvm.CPUConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Overhead[dvm.SchemeCDVM] >= r.Overhead[dvm.Scheme4K] {
+			b.Fatal("cDVM did not beat 4K")
+		}
+	}
+}
+
+// BenchmarkModes runs the benchmark workload under each mode separately so
+// per-mode simulation cost is visible.
+func BenchmarkModes(b *testing.B) {
+	p := benchWorkload(b)
+	cfg := dvm.ProfileTiny.SystemConfig()
+	for _, mode := range dvm.AllModes {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Run(mode, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPEFanout sweeps the Permission Entry field count
+// (DESIGN.md ablation 1).
+func BenchmarkAblationPEFanout(b *testing.B) {
+	p := benchWorkload(b)
+	for _, fields := range []int{4, 16, 64} {
+		b.Run(map[int]string{4: "4-fields", 16: "16-fields", 64: "64-fields"}[fields], func(b *testing.B) {
+			cfg := dvm.ProfileTiny.SystemConfig()
+			cfg.PEFields = fields
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Run(dvm.ModeDVMPE, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAVCSize sweeps the AVC capacity (DESIGN.md ablation 5).
+func BenchmarkAblationAVCSize(b *testing.B) {
+	p := benchWorkload(b)
+	for _, capBytes := range []int{256, 1024, 4096} {
+		b.Run(map[int]string{256: "256B", 1024: "1KB", 4096: "4KB"}[capBytes], func(b *testing.B) {
+			cfg := dvm.ProfileTiny.SystemConfig()
+			cfg.AVC.CapacityBytes = capBytes
+			cfg.AVC.MinLevel = 1
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Run(dvm.ModeDVMPE, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAVCCachesL1 toggles whether the walker cache may hold
+// leaf lines — the AVC-vs-PWC distinction (DESIGN.md ablation 2).
+func BenchmarkAblationAVCCachesL1(b *testing.B) {
+	p := benchWorkload(b)
+	for minLevel, name := range map[int]string{1: "avc-all-levels", 2: "pwc-skips-leaves"} {
+		b.Run(name, func(b *testing.B) {
+			cfg := dvm.ProfileTiny.SystemConfig()
+			cfg.AVC.MinLevel = minLevel
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Run(dvm.ModeDVMPE, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPreload contrasts DVM-PE and DVM-PE+ (DESIGN.md
+// ablation 3).
+func BenchmarkAblationPreload(b *testing.B) {
+	p := benchWorkload(b)
+	cfg := dvm.ProfileTiny.SystemConfig()
+	for _, mode := range []dvm.Mode{dvm.ModeDVMPE, dvm.ModeDVMPEPlus} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Run(mode, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVirtualization measures the §5 extension: one scheme sweep
+// (nested-2D through full DVM) per iteration.
+func BenchmarkVirtualization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var prev float64 = -1
+		for j := len(dvm.VirtSchemes) - 1; j >= 0; j-- {
+			r, err := dvm.VirtMeasure(dvm.VirtSchemes[j], dvm.VirtConfig{HeapBytes: 8 << 20}, 20_000, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.AvgCycles < prev {
+				b.Fatal("virtualization ordering violated")
+			}
+			prev = r.AvgCycles
+		}
+	}
+}
+
+// BenchmarkIdentityReestablish measures the §4.3.1 reclaim path: break an
+// identity mapping, swap it out, fault back in and re-establish identity.
+func BenchmarkIdentityReestablish(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := dvm.NewSystem(256 << 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		proc := sys.NewProcess(dvm.Policy{IdentityMapHeap: true})
+		r, _, err := proc.Mmap(16<<20, dvm.ReadWrite)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := proc.BreakIdentity(r); err != nil {
+			b.Fatal(err)
+		}
+		if err := proc.SwapOut(r); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := proc.Touch(r.Start, dvm.Write); err != nil {
+			b.Fatal(err)
+		}
+		ok, err := proc.ReestablishIdentity(r)
+		if err != nil || !ok {
+			b.Fatalf("reestablish: ok=%v err=%v", ok, err)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command dvminspect builds a workload's address space and dumps its page
+// tables — conventional and Permission Entry forms side by side — making
+// the paper's Table 1 effect visible structurally.
+//
+// Usage:
+//
+//	dvminspect [-alg PageRank] [-dataset FR] [-profile tiny] [-pe-only]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/dvm-sim/dvm/internal/accel"
+	"github.com/dvm-sim/dvm/internal/core"
+	"github.com/dvm-sim/dvm/internal/graph"
+	"github.com/dvm-sim/dvm/internal/osmodel"
+)
+
+func main() {
+	alg := flag.String("alg", "PageRank", "algorithm: BFS|PageRank|SSSP|CF")
+	dataset := flag.String("dataset", "FR", "dataset: FR|Wiki|LJ|S24|NF|Bip1|Bip2")
+	profileName := flag.String("profile", "tiny", "experiment profile: tiny|small|medium|paper")
+	peOnly := flag.Bool("pe-only", false, "dump only the Permission Entry table")
+	flag.Parse()
+
+	prof, err := core.ProfileByName(*profileName)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := graph.DatasetByName(*dataset)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := core.Prepare(core.Workload{
+		Algorithm: *alg, Dataset: d, Scale: prof.Scale,
+		PageRankIters: prof.PageRankIters, Seed: 42,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := osmodel.NewSystem(32 << 30)
+	if err != nil {
+		fatal(err)
+	}
+	proc := sys.NewProcess(osmodel.Policy{IdentityMapHeap: true, Seed: 42})
+	lay, err := accel.BuildLayout(proc, p.G, p.Prog.PropBytes)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s/%s: %d vertices, %d edges, heap %d KB, identity=%v\n",
+		*alg, *dataset, p.G.V, p.G.E(), lay.HeapBytes>>10, lay.IdentityMapped)
+	fmt.Printf("arrays: props=%#x temps=%#x index=%#x edges=%#x frontier=%#x\n\n",
+		uint64(lay.VertexProp), uint64(lay.TempProp), uint64(lay.EdgeIndex), uint64(lay.Edges), uint64(lay.Frontier))
+
+	if !*peOnly {
+		std, err := proc.BuildCanonicalTable(false)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== conventional 4K page table ==")
+		if err := std.Dump(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	pe, err := proc.BuildCanonicalTable(true)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Permission Entry page table ==")
+	if err := pe.Dump(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

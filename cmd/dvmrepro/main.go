@@ -1,0 +1,91 @@
+// Command dvmrepro regenerates the tables and figures of "Devirtualizing
+// Memory in Heterogeneous Systems" (ASPLOS'18) from the simulation in this
+// repository.
+//
+// Usage:
+//
+//	dvmrepro [-profile tiny|small|medium|paper] [-only fig2,table1,table3,fig8,fig9,table4,fig10,table5,ablations] [-quiet]
+//
+// With no -only flag every artifact is regenerated in paper order. Output
+// goes to stdout; progress lines go to stderr unless -quiet is set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/dvm-sim/dvm/internal/core"
+	"github.com/dvm-sim/dvm/internal/report"
+)
+
+func main() {
+	profileName := flag.String("profile", "small", "experiment profile: tiny|small|medium|paper (see DESIGN.md §6)")
+	only := flag.String("only", "", "comma-separated subset: fig2,table1,table3,fig8,fig9,table4,fig10,table5,ablations")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	prof, err := core.ProfileByName(*profileName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var progress report.Progress
+	if !*quiet {
+		progress = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "  ... "+format+"\n", args...)
+		}
+	}
+
+	wanted := map[string]bool{}
+	if *only == "" {
+		for _, k := range []string{"table3", "fig2", "table1", "fig8", "fig9", "table4", "fig10", "table5", "ablations", "virt"} {
+			wanted[k] = true
+		}
+	} else {
+		for _, k := range strings.Split(*only, ",") {
+			wanted[strings.TrimSpace(k)] = true
+		}
+	}
+
+	run := func(name string, fn func() error) {
+		if !wanted[name] {
+			return
+		}
+		start := time.Now()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "== %s (profile %s)\n", name, prof.Name)
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "== %s done in %v\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	out := os.Stdout
+	run("table3", func() error { return report.Table3(prof, out, progress) })
+	run("fig2", func() error { return report.Figure2(prof, out, progress) })
+	run("table1", func() error { return report.Table1(prof, out, progress) })
+	// fig8 and fig9 come from the same runs; requesting either (or both)
+	// renders both tables once.
+	if wanted["fig8"] || wanted["fig9"] {
+		run8 := func() error { return report.Figure8And9(prof, out, progress) }
+		name := "fig8"
+		if !wanted["fig8"] {
+			name = "fig9"
+		}
+		wanted[name] = true
+		run(name, run8)
+	}
+	run("table4", func() error { return report.Table4(out, progress) })
+	run("fig10", func() error { return report.Figure10(out, progress) })
+	run("table5", func() error { return report.Table5(out) })
+	run("ablations", func() error { return report.Ablations(prof, out, progress) })
+	run("virt", func() error { return report.Virtualization(out, progress) })
+}

@@ -1,0 +1,30 @@
+// Command ptsize regenerates Table 1: page-table sizes with and without
+// Permission Entries for the PageRank and CF workloads.
+//
+// Usage:
+//
+//	ptsize [-profile small]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/dvm-sim/dvm/internal/core"
+	"github.com/dvm-sim/dvm/internal/report"
+)
+
+func main() {
+	profileName := flag.String("profile", "small", "experiment profile: tiny|small|medium|paper")
+	flag.Parse()
+	prof, err := core.ProfileByName(*profileName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := report.Table1(prof, os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

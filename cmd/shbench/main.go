@@ -1,0 +1,49 @@
+// Command shbench regenerates Table 4: the percentage of system memory
+// that the shbench allocation workload can allocate before identity
+// mapping (VA==PA) fails to hold.
+//
+// Usage:
+//
+//	shbench              # the full 3x3 table
+//	shbench -expt 2 -mem 32   # one cell (memory in GB)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/dvm-sim/dvm/internal/report"
+	"github.com/dvm-sim/dvm/internal/shbench"
+)
+
+func main() {
+	expt := flag.Int("expt", 0, "run a single experiment (1-3); 0 = full table")
+	memGB := flag.Uint64("mem", 32, "system memory in GB for -expt")
+	flag.Parse()
+
+	if *expt == 0 {
+		if err := report.Table4(os.Stdout, nil); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	for _, e := range shbench.Experiments {
+		if e.ID != *expt {
+			continue
+		}
+		r, err := shbench.Run(e, *memGB<<30)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("experiment %d at %d GB: %.1f%% of memory identity mapped (%d allocations, %d bytes)\n",
+			e.ID, *memGB, r.Percent, r.Allocations, r.AllocatedBytes)
+		return
+	}
+	fatal(fmt.Errorf("no experiment %d (have 1-3)", *expt))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Command tlbstats regenerates Figure 2 (TLB miss rates of the graph
+// workloads with 4 KB and 2 MB pages) and optionally sweeps the TLB size.
+//
+// Usage:
+//
+//	tlbstats [-profile small] [-sweep] [-alg PageRank -dataset Wiki]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/dvm-sim/dvm/internal/core"
+	"github.com/dvm-sim/dvm/internal/graph"
+	"github.com/dvm-sim/dvm/internal/report"
+	"github.com/dvm-sim/dvm/internal/results"
+)
+
+func main() {
+	profileName := flag.String("profile", "small", "experiment profile: tiny|small|medium|paper")
+	sweep := flag.Bool("sweep", false, "sweep TLB sizes for one workload instead of printing Figure 2")
+	alg := flag.String("alg", "PageRank", "algorithm for -sweep")
+	dataset := flag.String("dataset", "Wiki", "dataset for -sweep")
+	flag.Parse()
+
+	prof, err := core.ProfileByName(*profileName)
+	if err != nil {
+		fatal(err)
+	}
+	if !*sweep {
+		if err := report.Figure2(prof, os.Stdout, nil); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	d, err := graph.DatasetByName(*dataset)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := core.Prepare(core.Workload{
+		Algorithm: *alg, Dataset: d, Scale: prof.Scale,
+		PageRankIters: prof.PageRankIters, Seed: 42,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	sizes := []int{2, 4, 8, 16, 32, 64, 128, 256}
+	rates, err := core.TLBMissRateVsSize(p, prof.SystemConfig(), sizes)
+	if err != nil {
+		fatal(err)
+	}
+	t := results.NewTable(fmt.Sprintf("TLB size sweep: %s/%s at 4 KB pages (profile %s)", *alg, *dataset, prof.Name),
+		"TLB entries", "Miss rate")
+	keys := make([]int, 0, len(rates))
+	for k := range rates {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		t.MustAddRow(fmt.Sprintf("%d", k), results.Pct(rates[k]))
+	}
+	if err := t.WriteASCII(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

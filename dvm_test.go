@@ -1,0 +1,125 @@
+package dvm_test
+
+import (
+	"testing"
+
+	dvm "github.com/dvm-sim/dvm"
+)
+
+// TestFacadeQuickstart exercises the README quick-start path through the
+// public API only.
+func TestFacadeQuickstart(t *testing.T) {
+	sys, err := dvm.NewSystem(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := sys.NewProcess(dvm.Policy{IdentityMapHeap: true})
+	r, identity, err := proc.Mmap(4<<20, dvm.ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !identity {
+		t.Fatal("heap not identity mapped")
+	}
+	pa, err := proc.Touch(r.Start+123, dvm.Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(pa) != uint64(r.Start)+123 {
+		t.Fatalf("VA %#x != PA %#x", uint64(r.Start)+123, uint64(pa))
+	}
+	table, err := proc.BuildCanonicalTable(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iommu, err := dvm.NewIOMMU(dvm.IOMMUConfig{Mode: dvm.ModeDVMPEPlus}, table, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := iommu.Translate(r.Start, dvm.Read)
+	if plan.Fault || plan.PA != dvm.PA(r.Start) || !plan.OverlapData {
+		t.Fatalf("DAV plan: %+v", plan)
+	}
+}
+
+// TestFacadeAcceleratorRun drives the accelerator through the facade.
+func TestFacadeAcceleratorRun(t *testing.T) {
+	g, err := dvm.GenerateRMAT(dvm.DefaultRMAT(8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := dvm.NewSystem(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := sys.NewProcess(dvm.Policy{IdentityMapHeap: true})
+	prog := dvm.BFS(0)
+	lay, err := dvm.BuildLayout(proc, g, prog.PropBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := proc.BuildCanonicalTable(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iommu, err := dvm.NewIOMMU(dvm.IOMMUConfig{Mode: dvm.ModeDVMPE}, table, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := dvm.NewMemController(dvm.MemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := dvm.NewEngine(dvm.EngineConfig{}, g, prog, lay, iommu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cycles == 0 || stats.Faults != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if eng.Props()[0] != 0 {
+		t.Fatal("BFS root level wrong")
+	}
+}
+
+// TestFacadeHarness runs one Figure 8 cell end to end at tiny scale.
+func TestFacadeHarness(t *testing.T) {
+	d, err := dvm.DatasetByName("FR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := dvm.Prepare(dvm.Workload{Algorithm: "BFS", Dataset: d, Scale: dvm.ProfileTiny.Scale, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := dvm.Figure8(p, dvm.ProfileTiny.SystemConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Normalized[dvm.ModeIdeal] != 1 {
+		t.Fatalf("normalization broken: %v", cell.Normalized)
+	}
+	if len(cell.Results) != len(dvm.AllModes) {
+		t.Fatalf("missing modes: %d", len(cell.Results))
+	}
+}
+
+// TestFacadeProfiles checks the profile registry via the facade.
+func TestFacadeProfiles(t *testing.T) {
+	for _, name := range []string{"tiny", "small", "medium", "paper"} {
+		p, err := dvm.ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Scale <= 0 || p.Scale > 1 || p.TLBEntries < 1 {
+			t.Fatalf("profile %s malformed: %+v", name, p)
+		}
+	}
+	if dvm.ProfilePaper.Scale != 1 || dvm.ProfilePaper.TLBEntries != 128 {
+		t.Fatalf("paper profile must match Table 2: %+v", dvm.ProfilePaper)
+	}
+}

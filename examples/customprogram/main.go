@@ -1,0 +1,127 @@
+// Customprogram: write a new graph algorithm against the accelerator's
+// vertex-programming API (processEdge / reduce / apply) — here, connected
+// components by label propagation — and run it under DVM-PE+ with a
+// functional cross-check against a plain CPU implementation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	dvm "github.com/dvm-sim/dvm"
+)
+
+// components is the custom vertex program: every vertex starts with its
+// own id as its label; edges propagate the smaller label; a vertex whose
+// label shrinks re-activates. At convergence, vertices share a label iff
+// they are in the same (weakly, via out-edges) connected component.
+func components() dvm.Program {
+	return dvm.Program{
+		Name:           "Components",
+		PropBytes:      8,
+		InitProp:       func(v int, g *dvm.Graph) float64 { return float64(v) },
+		ReduceIdentity: math.MaxFloat64,
+		ProcessEdge:    func(w float32, srcProp float64) float64 { return srcProp },
+		Reduce:         math.Min,
+		Apply: func(old, temp float64, v int, g *dvm.Graph) (float64, bool) {
+			if temp < old {
+				return temp, true
+			}
+			return old, false
+		},
+		InitialFrontier: func(g *dvm.Graph) []int32 {
+			f := make([]int32, g.V)
+			for i := range f {
+				f[i] = int32(i)
+			}
+			return f
+		},
+	}
+}
+
+func main() {
+	g, err := dvm.GenerateRMAT(dvm.DefaultRMAT(12, 99))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Wire the full DVM stack.
+	sys, err := dvm.NewSystem(1 << 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proc := sys.NewProcess(dvm.Policy{IdentityMapHeap: true})
+	prog := components()
+	lay, err := dvm.BuildLayout(proc, g, prog.PropBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := proc.BuildCanonicalTable(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	iommu, err := dvm.NewIOMMU(dvm.IOMMUConfig{Mode: dvm.ModeDVMPEPlus}, table, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mem, err := dvm.NewMemController(dvm.MemConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := dvm.NewEngine(dvm.EngineConfig{}, g, prog, lay, iommu, mem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := eng.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Cross-check against a straightforward CPU label propagation.
+	want := referenceComponents(g)
+	for v, got := range eng.Props() {
+		if got != want[v] {
+			log.Fatalf("vertex %d: label %v, want %v", v, got, want[v])
+		}
+	}
+
+	labels := map[float64]int{}
+	for _, l := range eng.Props() {
+		labels[l]++
+	}
+	largest := 0
+	for _, n := range labels {
+		if n > largest {
+			largest = n
+		}
+	}
+	fmt.Printf("graph: %d vertices, %d edges\n", g.V, g.E())
+	fmt.Printf("components: %d (largest has %d vertices)\n", len(labels), largest)
+	fmt.Printf("accelerator: %d iterations, %d cycles, %d memory accesses, result verified\n",
+		stats.Iterations, stats.Cycles, stats.Accesses)
+	c := iommu.Counters()
+	fmt.Printf("DAV: %d identity validations, %d squashed preloads, %d faults\n",
+		c.DAVIdentity, c.SquashedPreloads, c.Faults)
+}
+
+// referenceComponents runs label propagation to a fixed point on the CPU.
+func referenceComponents(g *dvm.Graph) []float64 {
+	label := make([]float64, g.V)
+	for v := range label {
+		label[v] = float64(v)
+	}
+	for {
+		changed := false
+		g.Edges(func(src, dst int, w float32) bool {
+			if label[src] < label[dst] {
+				label[dst] = label[src]
+				changed = true
+			}
+			return true
+		})
+		if !changed {
+			return label
+		}
+	}
+}

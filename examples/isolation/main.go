@@ -1,0 +1,82 @@
+// Isolation: demonstrate that DVM preserves memory protection even though
+// applications address physical memory directly. Two processes allocate
+// identity-mapped heaps; an accelerator working for process B attempts to
+// read process A's data, and Devirtualized Access Validation rejects it —
+// "just because applications can address all of PM does not give them
+// permissions to access it" (paper Section 5).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dvm "github.com/dvm-sim/dvm"
+)
+
+func main() {
+	sys, err := dvm.NewSystem(1 << 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Process A holds a secret buffer; process B is the accelerator's
+	// client. Both use identity mapping, so both heaps live at their
+	// physical addresses.
+	procA := sys.NewProcess(dvm.Policy{IdentityMapHeap: true, Seed: 1})
+	procB := sys.NewProcess(dvm.Policy{IdentityMapHeap: true, Seed: 2})
+
+	secret, identA, err := procA.Mmap(1<<20, dvm.ReadWrite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mine, identB, err := procB.Mmap(1<<20, dvm.ReadWrite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("process A secret at %v (identity %v)\n", secret, identA)
+	fmt.Printf("process B buffer at %v (identity %v)\n", mine, identB)
+
+	// The IOMMU validates accelerator accesses against the *requesting
+	// process's* page table. B's table has Permission Entries only for
+	// B's allocations.
+	tableB, err := procB.BuildCanonicalTable(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	iommu, err := dvm.NewIOMMU(dvm.IOMMUConfig{Mode: dvm.ModeDVMPEPlus}, tableB, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Legitimate access: B's own buffer validates and proceeds at full
+	// speed (identity preload).
+	ok := iommu.Translate(mine.Start, dvm.Read)
+	fmt.Printf("\nB reads its own buffer:   fault=%v PA=%#x preload=%v\n", ok.Fault, uint64(ok.PA), ok.OverlapData)
+
+	// Malicious access: the secret's address is a perfectly valid
+	// physical address — B can *name* it, but DAV finds no permission
+	// in B's table and raises an exception on the host CPU.
+	evil := iommu.Translate(secret.Start, dvm.Read)
+	fmt.Printf("B reads A's secret:       fault=%v (exception raised on host)\n", evil.Fault)
+
+	// Write-protection within a process is enforced the same way.
+	roBuf, _, err := procB.Mmap(1<<20, dvm.ReadOnly)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tableB2, err := procB.BuildCanonicalTable(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	iommu2, err := dvm.NewIOMMU(dvm.IOMMUConfig{Mode: dvm.ModeDVMPEPlus}, tableB2, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := iommu2.Translate(roBuf.Start, dvm.Write)
+	fmt.Printf("B writes read-only data:  fault=%v\n", w.Fault)
+
+	if c := iommu.Counters(); c.Faults != 1 {
+		log.Fatalf("expected exactly one fault, saw %d", c.Faults)
+	}
+	fmt.Println("\nisolation holds: direct physical addressing, conventional protection")
+}

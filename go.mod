@@ -1,0 +1,3 @@
+module github.com/dvm-sim/dvm
+
+go 1.22

@@ -1,0 +1,421 @@
+package accel
+
+import (
+	"fmt"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+	"github.com/dvm-sim/dvm/internal/graph"
+	"github.com/dvm-sim/dvm/internal/memsys"
+	"github.com/dvm-sim/dvm/internal/mmu"
+)
+
+// Config shapes the accelerator hardware (paper Table 2).
+type Config struct {
+	// PEs is the number of processing engines (default 8).
+	PEs int
+	// MLP is the number of outstanding memory accesses each engine
+	// sustains (the pipelines are deep enough to hide latency when the
+	// memory system keeps up).
+	MLP int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PEs == 0 {
+		c.PEs = 8
+	}
+	if c.MLP == 0 {
+		c.MLP = 8
+	}
+	return c
+}
+
+// RunStats is the outcome of one accelerator run.
+type RunStats struct {
+	// Cycles is the total execution time in accelerator cycles (1 GHz).
+	Cycles uint64
+	// Iterations executed.
+	Iterations int
+	// Accesses, Reads, Writes count accelerator memory requests.
+	Accesses uint64
+	Reads    uint64
+	Writes   uint64
+	// EdgesProcessed counts processEdge invocations.
+	EdgesProcessed uint64
+	// VerticesApplied counts apply invocations.
+	VerticesApplied uint64
+	// Faults counts validation/translation faults (should be zero for
+	// well-formed workloads).
+	Faults uint64
+}
+
+// Engine executes a vertex program on the simulated accelerator, producing
+// both the functional result and the cycle cost of every memory access as
+// validated/translated by the IOMMU and serviced by the memory system.
+type Engine struct {
+	cfg   Config
+	g     *graph.Graph
+	prog  Program
+	lay   Layout
+	iommu *mmu.IOMMU
+	mem   *memsys.Controller
+
+	props []float64
+	temps []float64
+
+	frontier    []int32
+	touched     []int32
+	touchedMark []bool
+
+	stats RunStats
+	plan  mmu.Plan
+	now   uint64 // global barrier time
+
+	// observer receives every priced access during RunRecorded.
+	observer *TraceWriter
+}
+
+// NewEngine assembles an engine. The layout must have been built with the
+// program's PropBytes.
+func NewEngine(cfg Config, g *graph.Graph, prog Program, lay Layout, iommu *mmu.IOMMU, mem *memsys.Controller) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if lay.PropBytes != prog.PropBytes {
+		return nil, fmt.Errorf("accel: layout PropBytes %d != program PropBytes %d", lay.PropBytes, prog.PropBytes)
+	}
+	if g == nil || iommu == nil || mem == nil {
+		return nil, fmt.Errorf("accel: engine needs graph, IOMMU and memory controller")
+	}
+	e := &Engine{cfg: cfg, g: g, prog: prog, lay: lay, iommu: iommu, mem: mem}
+	e.props = make([]float64, g.V)
+	e.temps = make([]float64, g.V)
+	e.touchedMark = make([]bool, g.V)
+	for v := 0; v < g.V; v++ {
+		e.props[v] = prog.InitProp(v, g)
+		e.temps[v] = prog.ReduceIdentity
+	}
+	e.frontier = prog.InitialFrontier(g)
+	return e, nil
+}
+
+// Props returns the vertex properties (the functional result).
+func (e *Engine) Props() []float64 { return e.props }
+
+// Stats returns the statistics accumulated so far.
+func (e *Engine) Stats() RunStats { return e.stats }
+
+// access is one accelerator memory request.
+type access struct {
+	va   addr.VA
+	kind addr.AccessKind
+}
+
+// stream produces a PE's access sequence for one phase.
+type stream interface {
+	next() (access, bool)
+}
+
+// Run executes the program to completion (frontier empty or MaxIters) and
+// returns the statistics.
+func (e *Engine) Run() (RunStats, error) {
+	iter := 0
+	for len(e.frontier) > 0 {
+		if e.prog.MaxIters > 0 && iter >= e.prog.MaxIters {
+			break
+		}
+		e.runIteration(iter)
+		iter++
+		if e.prog.AllActive {
+			if e.prog.MaxIters > 0 && iter >= e.prog.MaxIters {
+				break
+			}
+			continue
+		}
+	}
+	e.stats.Iterations = iter
+	e.stats.Cycles = e.now
+	return e.stats, nil
+}
+
+// runIteration executes one scatter (process/reduce) phase followed by one
+// apply phase, each as a set of concurrently timed PE streams separated by
+// a barrier.
+func (e *Engine) runIteration(iter int) {
+	// Scatter: the frontier is interleaved across PEs, Graphicionado's
+	// vertex-id-interleaved partitioning.
+	scatter := make([]stream, e.cfg.PEs)
+	for pe := 0; pe < e.cfg.PEs; pe++ {
+		scatter[pe] = &scatterStream{e: e, pe: pe, stride: e.cfg.PEs, vi: pe}
+	}
+	e.touched = e.touched[:0]
+	e.runStreams(scatter)
+
+	// Apply: over all vertices (AllActive programs that request it via
+	// ApplyAll semantics — PageRank) or over the touched destinations.
+	var applyList []int32
+	if e.prog.AllActive && !e.g.Bipartite {
+		applyList = allVertices(e.g)
+	} else {
+		applyList = e.touched
+	}
+	var next []int32
+	if !e.prog.AllActive {
+		next = make([]int32, 0, len(applyList))
+	}
+	apply := make([]stream, e.cfg.PEs)
+	chunk := (len(applyList) + e.cfg.PEs - 1) / e.cfg.PEs
+	results := make([][]int32, e.cfg.PEs)
+	for pe := 0; pe < e.cfg.PEs; pe++ {
+		lo := pe * chunk
+		hi := lo + chunk
+		if lo > len(applyList) {
+			lo = len(applyList)
+		}
+		if hi > len(applyList) {
+			hi = len(applyList)
+		}
+		s := &applyStream{e: e, verts: applyList[lo:hi], collect: !e.prog.AllActive}
+		apply[pe] = s
+		results[pe] = nil
+		s.activated = &results[pe]
+	}
+	e.runStreams(apply)
+	// Reset temporaries of touched vertices and clear marks.
+	for _, v := range e.touched {
+		e.temps[v] = e.prog.ReduceIdentity
+		e.touchedMark[v] = false
+	}
+	if e.prog.AllActive {
+		// Frontier repeats (PageRank: all vertices; CF: the users).
+		return
+	}
+	for _, r := range results {
+		next = append(next, r...)
+	}
+	e.frontier = next
+}
+
+// runStreams prices the PEs' access streams against the IOMMU and memory
+// system, merged in global time order so channel contention is causal. Each
+// PE issues at most one access per cycle and keeps at most MLP outstanding.
+func (e *Engine) runStreams(streams []stream) {
+	type peState struct {
+		s       stream
+		clock   uint64   // earliest next issue
+		ring    []uint64 // completion times of the last MLP accesses
+		ringIdx int
+		done    bool
+		pending access
+		hasPend bool
+	}
+	pes := make([]peState, len(streams))
+	for i := range pes {
+		pes[i] = peState{s: streams[i], clock: e.now, ring: make([]uint64, e.cfg.MLP)}
+		for j := range pes[i].ring {
+			pes[i].ring[j] = e.now
+		}
+	}
+	endTime := e.now
+	for {
+		// Pick the PE with the smallest next-issue time.
+		best := -1
+		var bestT uint64
+		for i := range pes {
+			p := &pes[i]
+			if p.done {
+				continue
+			}
+			if !p.hasPend {
+				a, ok := p.s.next()
+				if !ok {
+					p.done = true
+					continue
+				}
+				p.pending = a
+				p.hasPend = true
+			}
+			t := p.clock
+			if slot := p.ring[p.ringIdx]; slot > t {
+				t = slot
+			}
+			if best == -1 || t < bestT {
+				best = i
+				bestT = t
+			}
+		}
+		if best == -1 {
+			break
+		}
+		p := &pes[best]
+		if e.observer != nil {
+			e.observer.Record(TraceRecord{PE: uint8(best), Kind: p.pending.kind, VA: p.pending.va})
+		}
+		completion := e.priceAccess(p.pending, bestT)
+		p.hasPend = false
+		p.ring[p.ringIdx] = completion
+		p.ringIdx = (p.ringIdx + 1) % e.cfg.MLP
+		p.clock = bestT + 1
+		if completion > endTime {
+			endTime = completion
+		}
+	}
+	e.now = endTime
+	if e.observer != nil {
+		e.observer.Barrier()
+	}
+}
+
+// priceAccess runs one access through DAV/translation and the memory
+// system, starting no earlier than start, and returns its completion time.
+func (e *Engine) priceAccess(a access, start uint64) uint64 {
+	e.iommu.TranslateInto(a.va, a.kind, &e.plan)
+	e.stats.Accesses++
+	if a.kind == addr.Read {
+		e.stats.Reads++
+	} else {
+		e.stats.Writes++
+	}
+	transDone := start + e.plan.ProbeCycles
+	for _, ref := range e.plan.MemRefs {
+		// Page-walk references are dependent: each must complete
+		// before the next level can be read.
+		transDone = e.mem.Access(ref, transDone)
+	}
+	if e.plan.Fault {
+		e.stats.Faults++
+		return transDone
+	}
+	if e.plan.SquashedPreload {
+		// The wrongly predicted preload already consumed bandwidth at
+		// the identity address, in parallel with validation.
+		e.mem.Access(addr.PA(a.va), start)
+	}
+	if e.plan.OverlapData {
+		// DVM preload: data fetch proceeds in parallel with DAV; the
+		// access retires when both are done.
+		dataDone := e.mem.Access(e.plan.PA, start)
+		if dataDone < transDone {
+			return transDone
+		}
+		return dataDone
+	}
+	return e.mem.Access(e.plan.PA, transDone)
+}
+
+// scatterStream walks a PE's share of the frontier: per vertex a frontier
+// read, an edge-index read and a source-property read; per edge an
+// edge-tuple read and a read-modify-write of the destination temporary.
+type scatterStream struct {
+	e      *Engine
+	pe     int
+	stride int
+	vi     int // index into frontier
+
+	st         int // 0 = frontier, 1 = edge index, 2 = src prop, 3 = edges
+	src        int32
+	srcProp    float64
+	eIdx, eEnd uint64
+	edgePhase  int // 0 = edge read, 1 = temp read, 2 = temp write
+}
+
+func (s *scatterStream) next() (access, bool) {
+	e := s.e
+	for {
+		switch s.st {
+		case 0:
+			if s.vi >= len(e.frontier) {
+				return access{}, false
+			}
+			s.src = e.frontier[s.vi]
+			s.st = 1
+			return access{e.lay.FrontierAddr(s.vi), addr.Read}, true
+		case 1:
+			s.st = 2
+			return access{e.lay.EdgeIndexAddr(s.src), addr.Read}, true
+		case 2:
+			s.srcProp = e.props[s.src]
+			s.eIdx = e.g.RowPtr[s.src]
+			s.eEnd = e.g.RowPtr[s.src+1]
+			s.st = 3
+			s.edgePhase = 0
+			return access{e.lay.VertexPropAddr(s.src), addr.Read}, true
+		case 3:
+			if s.eIdx >= s.eEnd {
+				s.vi += s.stride
+				s.st = 0
+				continue
+			}
+			switch s.edgePhase {
+			case 0:
+				s.edgePhase = 1
+				return access{e.lay.EdgeAddr(s.eIdx), addr.Read}, true
+			case 1:
+				s.edgePhase = 2
+				dst := int32(e.g.Col[s.eIdx])
+				return access{e.lay.TempPropAddr(dst), addr.Read}, true
+			default:
+				dst := int32(e.g.Col[s.eIdx])
+				w := e.g.Weight[s.eIdx]
+				res := e.prog.ProcessEdge(w, s.srcProp)
+				e.temps[dst] = e.prog.Reduce(e.temps[dst], res)
+				if !e.touchedMark[dst] {
+					e.touchedMark[dst] = true
+					e.touched = append(e.touched, dst)
+				}
+				e.stats.EdgesProcessed++
+				s.eIdx++
+				s.edgePhase = 0
+				return access{e.lay.TempPropAddr(dst), addr.Write}, true
+			}
+		}
+	}
+}
+
+// applyStream folds temporaries into properties for a contiguous chunk of
+// vertices: per vertex a temporary read and a property write; activated
+// vertices additionally write a frontier slot.
+type applyStream struct {
+	e         *Engine
+	verts     []int32
+	collect   bool
+	activated *[]int32
+
+	vi  int
+	st  int // 0 = temp read, 1 = prop write, 2 = frontier write
+	v   int32
+	chg bool
+}
+
+func (s *applyStream) next() (access, bool) {
+	e := s.e
+	for {
+		switch s.st {
+		case 0:
+			if s.vi >= len(s.verts) {
+				return access{}, false
+			}
+			s.v = s.verts[s.vi]
+			s.st = 1
+			return access{e.lay.TempPropAddr(s.v), addr.Read}, true
+		case 1:
+			newProp, chg := e.prog.Apply(e.props[s.v], e.temps[s.v], int(s.v), e.g)
+			e.props[s.v] = newProp
+			s.chg = chg
+			e.stats.VerticesApplied++
+			if chg && s.collect {
+				*s.activated = append(*s.activated, s.v)
+				s.st = 2
+			} else {
+				s.vi++
+				s.st = 0
+			}
+			return access{e.lay.VertexPropAddr(s.v), addr.Write}, true
+		default:
+			idx := len(*s.activated) - 1
+			s.vi++
+			s.st = 0
+			return access{e.lay.FrontierAddr(idx), addr.Write}, true
+		}
+	}
+}

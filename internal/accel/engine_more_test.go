@@ -1,0 +1,173 @@
+package accel
+
+import (
+	"testing"
+
+	"github.com/dvm-sim/dvm/internal/graph"
+	"github.com/dvm-sim/dvm/internal/memsys"
+	"github.com/dvm-sim/dvm/internal/mmu"
+	"github.com/dvm-sim/dvm/internal/osmodel"
+)
+
+// buildWith builds an engine with a custom accelerator config under Ideal
+// (no MMU effects) for microarchitectural assertions.
+func buildWith(t *testing.T, g *graph.Graph, prog Program, cfg Config) *Engine {
+	t.Helper()
+	sys := osmodel.MustNewSystem(1 << 30)
+	proc := sys.NewProcess(osmodel.Policy{IdentityMapHeap: true, Seed: 1})
+	lay, err := BuildLayout(proc, g, prog.PropBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := mmu.MustNew(mmu.Config{Mode: mmu.ModeIdeal}, nil, nil)
+	mem := memsys.MustNewController(memsys.Config{})
+	e, err := NewEngine(cfg, g, prog, lay, u, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestMoreMLPIsFaster(t *testing.T) {
+	g := testGraph(t)
+	var cycles [2]uint64
+	for i, mlp := range []int{1, 16} {
+		e := buildWith(t, g, PageRank(1), Config{MLP: mlp})
+		s, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[i] = s.Cycles
+	}
+	if cycles[1] >= cycles[0] {
+		t.Errorf("MLP 16 (%d cycles) not faster than MLP 1 (%d)", cycles[1], cycles[0])
+	}
+	// With MLP 1 every engine serializes its accesses: even with all 8
+	// engines perfectly balanced, the run cannot beat
+	// accesses/PEs * unloaded latency.
+	e := buildWith(t, g, PageRank(1), Config{MLP: 1})
+	s, _ := e.Run()
+	if s.Cycles < s.Accesses*55/8 {
+		t.Errorf("MLP-1 run too fast: %d cycles for %d accesses", s.Cycles, s.Accesses)
+	}
+}
+
+func TestMorePEsAreFaster(t *testing.T) {
+	g := testGraph(t)
+	var cycles [2]uint64
+	for i, pes := range []int{1, 8} {
+		e := buildWith(t, g, PageRank(1), Config{PEs: pes})
+		s, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[i] = s.Cycles
+	}
+	// The speedup is bounded by load imbalance: vertices are interleaved
+	// across engines (as in Graphicionado), so the engine holding the
+	// R-MAT hubs bounds the phase. Expect clearly faster, not 8x.
+	if float64(cycles[1]) > 0.7*float64(cycles[0]) {
+		t.Errorf("8 PEs (%d cycles) should be well below 1 PE (%d)", cycles[1], cycles[0])
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	g := testGraph(t)
+	var prev RunStats
+	for i := 0; i < 2; i++ {
+		e := buildEngine(t, mmu.ModeDVMPEPlus, g, SSSP(0))
+		s, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && s != prev {
+			t.Fatalf("run %d differs: %+v vs %+v", i, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestEmptyFrontierTerminates(t *testing.T) {
+	// A BFS from an isolated vertex finishes in one iteration with only
+	// that vertex processed.
+	g := &graph.Graph{
+		Name:   "isolated",
+		V:      4,
+		RowPtr: []uint64{0, 0, 0, 0, 0},
+		Col:    nil,
+		Weight: nil,
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e := buildWith(t, g, BFS(2), Config{})
+	s, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1", s.Iterations)
+	}
+	if s.EdgesProcessed != 0 {
+		t.Errorf("edges processed = %d", s.EdgesProcessed)
+	}
+	if e.Props()[2] != 0 || e.Props()[0] != Inf {
+		t.Errorf("props wrong: %v", e.Props()[:4])
+	}
+}
+
+func TestZeroDegreeVerticesInPageRank(t *testing.T) {
+	// Dangling vertices (no out-edges) must not corrupt ranks.
+	g := &graph.Graph{
+		Name:   "dangling",
+		V:      3,
+		RowPtr: []uint64{0, 2, 2, 2}, // only vertex 0 has edges
+		Col:    []uint32{1, 2},
+		Weight: []float32{1, 1},
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e := buildWith(t, g, PageRank(2), Config{})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for v, p := range e.Props() {
+		if p < 0 || p != p { // negative or NaN
+			t.Errorf("vertex %d rank %v", v, p)
+		}
+	}
+}
+
+func TestFaultingWorkloadCountsFaults(t *testing.T) {
+	// Run with an empty page table: every access faults, the run still
+	// terminates, and faults are counted.
+	g := testGraph(t)
+	sys := osmodel.MustNewSystem(1 << 30)
+	proc := sys.NewProcess(osmodel.Policy{IdentityMapHeap: true, Seed: 1})
+	lay, err := BuildLayout(proc, g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := sys.NewProcess(osmodel.Policy{}) // different process: no mappings
+	tbl, err := empty.BuildCanonicalTable(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := mmu.MustNew(mmu.Config{Mode: mmu.ModeDVMPE}, tbl, nil)
+	mem := memsys.MustNewController(memsys.Config{})
+	e, err := NewEngine(Config{}, g, BFS(0), lay, u, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Faults == 0 {
+		t.Error("no faults recorded against an empty table")
+	}
+	if s.Faults != s.Accesses {
+		t.Errorf("faults %d != accesses %d (everything should fault)", s.Faults, s.Accesses)
+	}
+}

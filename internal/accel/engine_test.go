@@ -1,0 +1,396 @@
+package accel
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+	"github.com/dvm-sim/dvm/internal/graph"
+	"github.com/dvm-sim/dvm/internal/memsys"
+	"github.com/dvm-sim/dvm/internal/mmu"
+	"github.com/dvm-sim/dvm/internal/osmodel"
+)
+
+// buildEngineTLB wires a full stack (OS + page table + IOMMU + memory) for
+// one mode with an explicit TLB size (tests at tiny graph scales shrink the
+// TLB proportionally, the scaled-hardware methodology of DESIGN.md §6).
+func buildEngineTLB(t *testing.T, mode mmu.Mode, g *graph.Graph, prog Program, tlbEntries int) *Engine {
+	t.Helper()
+	sys := osmodel.MustNewSystem(1 << 30)
+	proc := sys.NewProcess(osmodel.Policy{IdentityMapHeap: true, Seed: 1})
+	lay, err := BuildLayout(proc, g, prog.PropBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mmu.Config{Mode: mode, TLBEntries: tlbEntries}
+	var u *mmu.IOMMU
+	switch mode {
+	case mmu.ModeIdeal:
+		u = mmu.MustNew(cfg, nil, nil)
+	case mmu.ModeConv2M, mmu.ModeConv1G:
+		table, err := proc.BuildHugeTable(mode.PageSize())
+		if err != nil {
+			t.Fatal(err)
+		}
+		u = mmu.MustNew(cfg, table, nil)
+	case mmu.ModeDVMBM:
+		table, err := proc.BuildCanonicalTable(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm := mmu.NewPermBitmap()
+		proc.ForEachIdentityPage(bm.Set)
+		u = mmu.MustNew(cfg, table, bm)
+	default:
+		table, err := proc.BuildCanonicalTable(mode.UsesPE())
+		if err != nil {
+			t.Fatal(err)
+		}
+		u = mmu.MustNew(cfg, table, nil)
+	}
+	mem := memsys.MustNewController(memsys.Config{})
+	e, err := NewEngine(Config{}, g, prog, lay, u, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// buildEngine uses the paper's 128-entry TLB.
+func buildEngine(t *testing.T, mode mmu.Mode, g *graph.Graph, prog Program) *Engine {
+	t.Helper()
+	return buildEngineTLB(t, mode, g, prog, 128)
+}
+
+// referenceBFS computes BFS levels with a plain queue.
+func referenceBFS(g *graph.Graph, root int) []float64 {
+	level := make([]float64, g.V)
+	for i := range level {
+		level[i] = Inf
+	}
+	level[root] = 0
+	queue := []int{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for i := g.RowPtr[v]; i < g.RowPtr[v+1]; i++ {
+			d := int(g.Col[i])
+			if level[d] == Inf {
+				level[d] = level[v] + 1
+				queue = append(queue, d)
+			}
+		}
+	}
+	return level
+}
+
+// referenceSSSP computes shortest distances by Bellman-Ford.
+func referenceSSSP(g *graph.Graph, root int) []float64 {
+	dist := make([]float64, g.V)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[root] = 0
+	for {
+		changed := false
+		g.Edges(func(src, dst int, w float32) bool {
+			if dist[src] != Inf && dist[src]+float64(w) < dist[dst] {
+				dist[dst] = dist[src] + float64(w)
+				changed = true
+			}
+			return true
+		})
+		if !changed {
+			return dist
+		}
+	}
+}
+
+// referencePageRank runs the same formulation (props store rank/degree).
+func referencePageRank(g *graph.Graph, iters int) []float64 {
+	props := make([]float64, g.V)
+	for v := range props {
+		if d := g.OutDegree(v); d > 0 {
+			props[v] = 1 / float64(g.V) / float64(d)
+		}
+	}
+	for it := 0; it < iters; it++ {
+		temp := make([]float64, g.V)
+		g.Edges(func(src, dst int, w float32) bool {
+			temp[dst] += props[src]
+			return true
+		})
+		for v := range props {
+			rank := (1-PageRankDamping)/float64(g.V) + PageRankDamping*temp[v]
+			if d := g.OutDegree(v); d > 0 {
+				props[v] = rank / float64(d)
+			} else {
+				props[v] = 0
+			}
+		}
+	}
+	return props
+}
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT(9, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	g := testGraph(t)
+	e := buildEngine(t, mmu.ModeDVMPE, g, BFS(0))
+	stats, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceBFS(g, 0)
+	for v, got := range e.Props() {
+		if got != want[v] {
+			t.Fatalf("vertex %d: level %v, want %v", v, got, want[v])
+		}
+	}
+	if stats.Faults != 0 {
+		t.Errorf("faults = %d", stats.Faults)
+	}
+	if stats.EdgesProcessed == 0 || stats.Cycles == 0 {
+		t.Errorf("empty run: %+v", stats)
+	}
+}
+
+func TestSSSPMatchesReference(t *testing.T) {
+	g := testGraph(t)
+	e := buildEngine(t, mmu.ModeDVMPEPlus, g, SSSP(0))
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := referenceSSSP(g, 0)
+	for v, got := range e.Props() {
+		if math.Abs(got-want[v]) > 1e-9 && !(got == Inf && want[v] == Inf) {
+			t.Fatalf("vertex %d: dist %v, want %v", v, got, want[v])
+		}
+	}
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	g := testGraph(t)
+	const iters = 3
+	e := buildEngine(t, mmu.ModeConv4K, g, PageRank(iters))
+	stats, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Iterations != iters {
+		t.Errorf("iterations = %d, want %d", stats.Iterations, iters)
+	}
+	want := referencePageRank(g, iters)
+	for v, got := range e.Props() {
+		if math.Abs(got-want[v]) > 1e-12 {
+			t.Fatalf("vertex %d: prop %v, want %v", v, got, want[v])
+		}
+	}
+	// PageRank processes every edge every iteration.
+	if stats.EdgesProcessed != uint64(g.E())*iters {
+		t.Errorf("edges processed = %d, want %d", stats.EdgesProcessed, g.E()*iters)
+	}
+}
+
+func TestCFRunsOnBipartite(t *testing.T) {
+	g, err := graph.GenerateBipartite(graph.BipartiteConfig{Users: 2000, Items: 100, Edges: 20000, Skew: graph.DefaultRMAT(11, 9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := buildEngine(t, mmu.ModeDVMPE, g, CF(1))
+	stats, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EdgesProcessed != uint64(g.E()) {
+		t.Errorf("edges processed = %d, want %d", stats.EdgesProcessed, g.E())
+	}
+	// Only items should have been applied.
+	if stats.VerticesApplied == 0 || stats.VerticesApplied > uint64(g.Items) {
+		t.Errorf("vertices applied = %d, want <= %d items", stats.VerticesApplied, g.Items)
+	}
+}
+
+func TestFunctionalResultIndependentOfMode(t *testing.T) {
+	// The memory-management scheme must never change the computation.
+	g := testGraph(t)
+	var want []float64
+	for _, mode := range mmu.AllModes {
+		e := buildEngine(t, mode, g, BFS(0))
+		if _, err := e.Run(); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if want == nil {
+			want = append([]float64{}, e.Props()...)
+			continue
+		}
+		for v := range want {
+			if e.Props()[v] != want[v] {
+				t.Fatalf("mode %v changed the result at vertex %d", mode, v)
+			}
+		}
+	}
+}
+
+func TestModeOrderingMatchesPaper(t *testing.T) {
+	// Figure 8's qualitative ordering: Ideal <= DVM-PE+ <= DVM-PE, and
+	// conventional 4K is clearly slower than DVM-PE; 1G is near ideal.
+	// Scaled-hardware run: a scale-12 graph with an 8-entry TLB keeps
+	// the TLB-reach/working-set ratio in the paper's regime.
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT(12, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := map[mmu.Mode]uint64{}
+	for _, mode := range mmu.AllModes {
+		e := buildEngineTLB(t, mode, g, PageRank(2), 8)
+		s, err := e.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		cycles[mode] = s.Cycles
+	}
+	ideal := cycles[mmu.ModeIdeal]
+	if ideal == 0 {
+		t.Fatal("ideal run took zero cycles")
+	}
+	if cycles[mmu.ModeDVMPEPlus] > cycles[mmu.ModeDVMPE] {
+		t.Errorf("preload slowed DVM down: PE+ %d > PE %d", cycles[mmu.ModeDVMPEPlus], cycles[mmu.ModeDVMPE])
+	}
+	if cycles[mmu.ModeDVMPE] < ideal {
+		t.Errorf("DVM-PE %d beat ideal %d", cycles[mmu.ModeDVMPE], ideal)
+	}
+	if float64(cycles[mmu.ModeConv4K]) < 1.1*float64(ideal) {
+		t.Errorf("4K %d suspiciously close to ideal %d", cycles[mmu.ModeConv4K], ideal)
+	}
+	if float64(cycles[mmu.ModeDVMPE]) > 1.5*float64(ideal) {
+		t.Errorf("DVM-PE %d too far from ideal %d", cycles[mmu.ModeDVMPE], ideal)
+	}
+	if cycles[mmu.ModeConv4K] <= cycles[mmu.ModeDVMPE] {
+		t.Errorf("4K %d not slower than DVM-PE %d", cycles[mmu.ModeConv4K], cycles[mmu.ModeDVMPE])
+	}
+}
+
+func TestAccessAccounting(t *testing.T) {
+	g := testGraph(t)
+	e := buildEngine(t, mmu.ModeIdeal, g, PageRank(1))
+	s, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per scatter vertex: frontier + index + prop reads; per edge: edge
+	// read + temp read + temp write; per applied vertex: temp read +
+	// prop write (no frontier writes for all-active programs).
+	wantReads := uint64(g.V)*3 + uint64(g.E())*2 + s.VerticesApplied
+	wantWrites := uint64(g.E()) + s.VerticesApplied
+	if s.Reads != wantReads {
+		t.Errorf("reads = %d, want %d", s.Reads, wantReads)
+	}
+	if s.Writes != wantWrites {
+		t.Errorf("writes = %d, want %d", s.Writes, wantWrites)
+	}
+	if s.Accesses != s.Reads+s.Writes {
+		t.Errorf("accesses = %d != reads+writes", s.Accesses)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	g := testGraph(t)
+	sys := osmodel.MustNewSystem(1 << 30)
+	proc := sys.NewProcess(osmodel.Policy{IdentityMapHeap: true})
+	lay, err := BuildLayout(proc, g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := mmu.MustNew(mmu.Config{Mode: mmu.ModeIdeal}, nil, nil)
+	mem := memsys.MustNewController(memsys.Config{})
+	if _, err := NewEngine(Config{}, g, Program{}, lay, u, mem); err == nil {
+		t.Error("invalid program accepted")
+	}
+	bad := BFS(0)
+	bad.PropBytes = 16 // mismatch with layout
+	if _, err := NewEngine(Config{}, g, bad, lay, u, mem); err == nil {
+		t.Error("PropBytes mismatch accepted")
+	}
+	if _, err := NewEngine(Config{}, nil, BFS(0), lay, u, mem); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	good := BFS(0)
+	if err := good.Validate(); err != nil {
+		t.Errorf("BFS invalid: %v", err)
+	}
+	pr := PageRank(0)
+	if err := pr.Validate(); err == nil {
+		t.Error("all-active program without MaxIters accepted")
+	}
+	var empty Program
+	if err := empty.Validate(); err == nil {
+		t.Error("empty program accepted")
+	}
+}
+
+func TestLayoutAddresses(t *testing.T) {
+	g := testGraph(t)
+	sys := osmodel.MustNewSystem(1 << 30)
+	proc := sys.NewProcess(osmodel.Policy{IdentityMapHeap: true})
+	lay, err := BuildLayout(proc, g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lay.IdentityMapped {
+		t.Error("expected identity-mapped layout")
+	}
+	if lay.VertexPropAddr(2) != lay.VertexProp+16 {
+		t.Error("VertexPropAddr arithmetic wrong")
+	}
+	if lay.EdgeAddr(3) != lay.Edges+3*EdgeBytes {
+		t.Error("EdgeAddr arithmetic wrong")
+	}
+	// All addresses must translate without faults.
+	for _, va := range []addr.VA{
+		lay.VertexPropAddr(int32(g.V - 1)),
+		lay.TempPropAddr(int32(g.V - 1)),
+		lay.EdgeIndexAddr(int32(g.V)),
+		lay.EdgeAddr(uint64(g.E() - 1)),
+		lay.FrontierAddr(g.V - 1),
+	} {
+		if _, err := proc.Touch(va, addr.Read); err != nil {
+			t.Errorf("address %#x not mapped: %v", uint64(va), err)
+		}
+	}
+	if _, err := BuildLayout(proc, g, 0); err == nil {
+		t.Error("zero propBytes accepted")
+	}
+}
+
+func BenchmarkEngineBFSDVMPE(b *testing.B) {
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT(12, 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys := osmodel.MustNewSystem(1 << 30)
+		proc := sys.NewProcess(osmodel.Policy{IdentityMapHeap: true})
+		lay, _ := BuildLayout(proc, g, 8)
+		tbl, _ := proc.BuildCanonicalTable(true)
+		u := mmu.MustNew(mmu.Config{Mode: mmu.ModeDVMPE}, tbl, nil)
+		mem := memsys.MustNewController(memsys.Config{})
+		e, _ := NewEngine(Config{}, g, BFS(0), lay, u, mem)
+		b.StartTimer()
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package accel models the Graphicionado-style graph-processing
+// accelerator the paper evaluates (Section 6.1): eight processing engines
+// executing a vertex program over edge and vertex arrays in shared memory,
+// with no scratchpad, issuing every memory access through the IOMMU.
+//
+// The model splits each run into the standard Graphicionado phases: a
+// scatter/process phase that streams the active vertices' edges
+// (processEdge + reduce into a temporary property array) and an apply phase
+// that folds the temporary properties back into the vertex properties and
+// builds the next frontier. The accelerator's *memory access stream* — the
+// thing the paper's evaluation depends on — is generated exactly: per
+// active vertex an edge-index lookup and a source-property read, per edge
+// an edge-tuple read and a read-modify-write of the destination's temporary
+// property, and per applied vertex a temporary-property read and a property
+// write.
+package accel
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dvm-sim/dvm/internal/graph"
+)
+
+// Program is Graphicionado's vertex-programming abstraction: "most graph
+// algorithms can be specified and executed ... with three custom functions,
+// namely processEdge, reduce and apply".
+type Program struct {
+	// Name of the algorithm.
+	Name string
+	// PropBytes is the size of one vertex property (8 for scalar
+	// properties; 64 for CF's latent-feature vectors).
+	PropBytes uint64
+	// InitProp gives vertex v's initial property.
+	InitProp func(v int, g *graph.Graph) float64
+	// ReduceIdentity initializes temporary properties each iteration.
+	ReduceIdentity float64
+	// ProcessEdge computes the value an edge propagates.
+	ProcessEdge func(w float32, srcProp float64) float64
+	// Reduce combines propagated values (must be commutative and
+	// associative — the engines update temporaries concurrently).
+	Reduce func(a, b float64) float64
+	// Apply folds the reduced temporary into the property and reports
+	// whether the vertex changed (activating it for the next iteration).
+	Apply func(old, temp float64, v int, g *graph.Graph) (float64, bool)
+	// InitialFrontier lists the initially active vertices.
+	InitialFrontier func(g *graph.Graph) []int32
+	// AllActive reprocesses every vertex each iteration (PageRank, CF)
+	// instead of frontier-driven activation (BFS, SSSP).
+	AllActive bool
+	// MaxIters bounds the iteration count (0 = until the frontier
+	// empties).
+	MaxIters int
+}
+
+// Validate rejects incomplete programs.
+func (p *Program) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("accel: program needs a name")
+	}
+	if p.PropBytes == 0 {
+		return fmt.Errorf("accel: program %s needs PropBytes", p.Name)
+	}
+	if p.InitProp == nil || p.ProcessEdge == nil || p.Reduce == nil || p.Apply == nil || p.InitialFrontier == nil {
+		return fmt.Errorf("accel: program %s is missing a stage function", p.Name)
+	}
+	if p.AllActive && p.MaxIters == 0 {
+		return fmt.Errorf("accel: all-active program %s needs MaxIters", p.Name)
+	}
+	return nil
+}
+
+// Inf is the "unreached" property value for BFS/SSSP.
+const Inf = math.MaxFloat64
+
+// BFS returns breadth-first search from root: properties are levels.
+func BFS(root int) Program {
+	return Program{
+		Name:      "BFS",
+		PropBytes: 8,
+		InitProp: func(v int, g *graph.Graph) float64 {
+			if v == root {
+				return 0
+			}
+			return Inf
+		},
+		ReduceIdentity: Inf,
+		ProcessEdge: func(w float32, srcProp float64) float64 {
+			return srcProp + 1
+		},
+		Reduce: math.Min,
+		Apply: func(old, temp float64, v int, g *graph.Graph) (float64, bool) {
+			if temp < old {
+				return temp, true
+			}
+			return old, false
+		},
+		InitialFrontier: func(g *graph.Graph) []int32 { return []int32{int32(root)} },
+	}
+}
+
+// SSSP returns single-source shortest path from root over edge weights.
+func SSSP(root int) Program {
+	p := BFS(root)
+	p.Name = "SSSP"
+	p.ProcessEdge = func(w float32, srcProp float64) float64 {
+		return srcProp + float64(w)
+	}
+	return p
+}
+
+// PageRankDamping is the damping factor of the PageRank programs.
+const PageRankDamping = 0.85
+
+// PageRank returns the PageRank program running iters full iterations.
+// Properties hold each vertex's rank divided by its out-degree (the value
+// processEdge propagates), the standard Graphicionado formulation that
+// keeps processEdge a single property read.
+func PageRank(iters int) Program {
+	return Program{
+		Name:      "PageRank",
+		PropBytes: 8,
+		InitProp: func(v int, g *graph.Graph) float64 {
+			d := g.OutDegree(v)
+			if d == 0 {
+				return 0
+			}
+			return 1 / float64(g.V) / float64(d)
+		},
+		ReduceIdentity: 0,
+		ProcessEdge: func(w float32, srcProp float64) float64 {
+			return srcProp
+		},
+		Reduce: func(a, b float64) float64 { return a + b },
+		Apply: func(old, temp float64, v int, g *graph.Graph) (float64, bool) {
+			rank := (1-PageRankDamping)/float64(g.V) + PageRankDamping*temp
+			d := g.OutDegree(v)
+			var next float64
+			if d > 0 {
+				next = rank / float64(d)
+			}
+			return next, next != old
+		},
+		InitialFrontier: allVertices,
+		AllActive:       true,
+		MaxIters:        iters,
+	}
+}
+
+// CF returns the collaborative-filtering program over a bipartite rating
+// graph: one sweep propagates user features along rating edges and applies
+// a gradient-style update on the items. Properties model Graphicionado's
+// latent-feature vectors (PropBytes = 64: sixteen 32-bit features); the
+// scalar computation is a surrogate that preserves the memory behaviour —
+// the evaluation depends on the access stream, not the recommendations.
+func CF(iters int) Program {
+	return Program{
+		Name:      "CF",
+		PropBytes: 64,
+		InitProp: func(v int, g *graph.Graph) float64 {
+			return 1 / float64(1+v%7)
+		},
+		ReduceIdentity: 0,
+		ProcessEdge: func(w float32, srcProp float64) float64 {
+			return float64(w) * srcProp
+		},
+		Reduce: func(a, b float64) float64 { return a + b },
+		Apply: func(old, temp float64, v int, g *graph.Graph) (float64, bool) {
+			next := old + 0.01*(temp-old)
+			return next, next != old
+		},
+		InitialFrontier: func(g *graph.Graph) []int32 {
+			// Only users emit rating edges.
+			n := g.V
+			if g.Bipartite {
+				n = g.Users
+			}
+			f := make([]int32, n)
+			for i := range f {
+				f[i] = int32(i)
+			}
+			return f
+		},
+		AllActive: true,
+		MaxIters:  iters,
+	}
+}
+
+func allVertices(g *graph.Graph) []int32 {
+	f := make([]int32, g.V)
+	for i := range f {
+		f[i] = int32(i)
+	}
+	return f
+}

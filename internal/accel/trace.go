@@ -1,0 +1,196 @@
+package accel
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+	"github.com/dvm-sim/dvm/internal/memsys"
+	"github.com/dvm-sim/dvm/internal/mmu"
+)
+
+// This file provides record-and-replay for accelerator access streams: the
+// standard architecture-studies methodology of capturing a workload's
+// memory trace once and re-pricing it under many MMU configurations. The
+// functional execution (graph algorithm) runs only at record time; replay
+// is pure timing.
+
+// TraceRecord is one recorded access: which engine issued it, the virtual
+// address and the access kind.
+type TraceRecord struct {
+	PE   uint8
+	Kind addr.AccessKind
+	VA   addr.VA
+}
+
+// traceMagic identifies the binary trace format.
+const traceMagic = uint32(0xD7A7_0001)
+
+// traceBarrier is the PE value marking a phase barrier in the stream.
+const traceBarrier = 0xff
+
+// TraceWriter streams TraceRecords to a compact binary format.
+type TraceWriter struct {
+	w   *bufio.Writer
+	n   uint64
+	err error
+}
+
+// NewTraceWriter writes the header and returns a writer.
+func NewTraceWriter(w io.Writer) (*TraceWriter, error) {
+	tw := &TraceWriter{w: bufio.NewWriter(w)}
+	if err := binary.Write(tw.w, binary.LittleEndian, traceMagic); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+// Record appends one access.
+func (t *TraceWriter) Record(r TraceRecord) {
+	if t.err != nil {
+		return
+	}
+	var buf [10]byte
+	buf[0] = r.PE
+	buf[1] = byte(r.Kind)
+	binary.LittleEndian.PutUint64(buf[2:], uint64(r.VA))
+	_, t.err = t.w.Write(buf[:])
+	t.n++
+}
+
+// Barrier marks a phase boundary (scatter/apply/iteration), preserved so
+// replay reproduces the engine's synchronization.
+func (t *TraceWriter) Barrier() {
+	t.Record(TraceRecord{PE: traceBarrier})
+}
+
+// Close flushes the stream and reports any deferred error.
+func (t *TraceWriter) Close() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Records returns how many records (including barriers) were written.
+func (t *TraceWriter) Records() uint64 { return t.n }
+
+// TraceReader streams records back.
+type TraceReader struct {
+	r *bufio.Reader
+}
+
+// NewTraceReader validates the header.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("accel: reading trace header: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("accel: not a trace stream (magic %#x)", magic)
+	}
+	return &TraceReader{r: br}, nil
+}
+
+// Next returns the next record; io.EOF ends the stream.
+func (t *TraceReader) Next() (TraceRecord, error) {
+	var buf [10]byte
+	if _, err := io.ReadFull(t.r, buf[:]); err != nil {
+		return TraceRecord{}, err
+	}
+	return TraceRecord{
+		PE:   buf[0],
+		Kind: addr.AccessKind(buf[1]),
+		VA:   addr.VA(binary.LittleEndian.Uint64(buf[2:])),
+	}, nil
+}
+
+// IsBarrier reports whether the record is a phase barrier.
+func (r TraceRecord) IsBarrier() bool { return r.PE == traceBarrier }
+
+// RunRecorded executes the engine while streaming every access (with phase
+// barriers) to tw. The run's statistics are identical to a plain Run.
+func (e *Engine) RunRecorded(tw *TraceWriter) (RunStats, error) {
+	if e.observer != nil {
+		return RunStats{}, fmt.Errorf("accel: engine already recording")
+	}
+	e.observer = tw
+	defer func() { e.observer = nil }()
+	stats, err := e.Run()
+	if err != nil {
+		return stats, err
+	}
+	return stats, tw.Close()
+}
+
+// ReplayResult is the outcome of re-pricing a trace.
+type ReplayResult struct {
+	Cycles   uint64
+	Accesses uint64
+	Faults   uint64
+}
+
+// Replay re-prices a recorded trace against an IOMMU and memory controller
+// using the same engine timing model (per-PE in-order issue, MLP
+// outstanding, barriers between phases). The PE count is taken from the
+// trace itself.
+func Replay(tr *TraceReader, cfg Config, iommu *mmu.IOMMU, mem *memsys.Controller) (ReplayResult, error) {
+	cfg = cfg.withDefaults()
+	var res ReplayResult
+	// Stream phase by phase: collect each phase's records, then price
+	// them with the shared scheduler.
+	e := &Engine{cfg: cfg, iommu: iommu, mem: mem}
+	var phase [][]access // per PE
+	reset := func() {
+		phase = make([][]access, cfg.PEs)
+	}
+	reset()
+	flush := func() {
+		streams := make([]stream, cfg.PEs)
+		for i := range streams {
+			streams[i] = &sliceStream{list: phase[i]}
+		}
+		e.runStreams(streams)
+		reset()
+	}
+	for {
+		rec, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return res, err
+		}
+		if rec.IsBarrier() {
+			flush()
+			continue
+		}
+		if int(rec.PE) >= cfg.PEs {
+			return res, fmt.Errorf("accel: trace PE %d exceeds configured %d engines", rec.PE, cfg.PEs)
+		}
+		phase[rec.PE] = append(phase[rec.PE], access{va: rec.VA, kind: rec.Kind})
+	}
+	flush()
+	res.Cycles = e.now
+	res.Accesses = e.stats.Accesses
+	res.Faults = e.stats.Faults
+	return res, nil
+}
+
+// sliceStream replays a pre-collected access list.
+type sliceStream struct {
+	list []access
+	i    int
+}
+
+func (s *sliceStream) next() (access, bool) {
+	if s.i >= len(s.list) {
+		return access{}, false
+	}
+	a := s.list[s.i]
+	s.i++
+	return a, true
+}

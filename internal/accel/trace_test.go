@@ -1,0 +1,177 @@
+package accel
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/dvm-sim/dvm/internal/graph"
+	"github.com/dvm-sim/dvm/internal/memsys"
+	"github.com/dvm-sim/dvm/internal/mmu"
+	"github.com/dvm-sim/dvm/internal/osmodel"
+)
+
+// recordRun records a BFS run and returns the trace bytes plus the live
+// run's stats and the IOMMU mode's table for replay.
+func recordRun(t *testing.T, mode mmu.Mode) ([]byte, RunStats, *mmu.IOMMU) {
+	t.Helper()
+	g, err := graph.GenerateRMAT(graph.DefaultRMAT(8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := osmodel.MustNewSystem(1 << 30)
+	proc := sys.NewProcess(osmodel.Policy{IdentityMapHeap: true, Seed: 1})
+	prog := BFS(0)
+	lay, err := BuildLayout(proc, g, prog.PropBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := proc.BuildCanonicalTable(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := mmu.MustNew(mmu.Config{Mode: mode}, tbl, nil)
+	mem := memsys.MustNewController(memsys.Config{})
+	e, err := NewEngine(Config{}, g, prog, lay, u, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.RunRecorded(tw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh IOMMU of the same mode for replays.
+	u2 := mmu.MustNew(mmu.Config{Mode: mode}, tbl, nil)
+	return buf.Bytes(), stats, u2
+}
+
+func TestReplayReproducesTiming(t *testing.T) {
+	raw, live, u := recordRun(t, mmu.ModeDVMPE)
+	tr, err := NewTraceReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := memsys.MustNewController(memsys.Config{})
+	rep, err := Replay(tr, Config{}, u, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accesses != live.Accesses {
+		t.Errorf("replay accesses %d != live %d", rep.Accesses, live.Accesses)
+	}
+	if rep.Cycles != live.Cycles {
+		t.Errorf("replay cycles %d != live %d", rep.Cycles, live.Cycles)
+	}
+	if rep.Faults != 0 {
+		t.Errorf("replay faults %d", rep.Faults)
+	}
+}
+
+func TestReplayUnderDifferentMode(t *testing.T) {
+	// Record under Ideal, replay under conventional 4K: the trace is the
+	// same, the timing differs — the record-once methodology.
+	raw, _, _ := recordRun(t, mmu.ModeIdeal)
+	price := func(mode mmu.Mode) uint64 {
+		t.Helper()
+		g, _ := graph.GenerateRMAT(graph.DefaultRMAT(8, 3))
+		sys := osmodel.MustNewSystem(1 << 30)
+		proc := sys.NewProcess(osmodel.Policy{IdentityMapHeap: true, Seed: 1})
+		if _, err := BuildLayout(proc, g, 8); err != nil {
+			t.Fatal(err)
+		}
+		var tbl *mmu.IOMMU
+		if mode == mmu.ModeIdeal {
+			tbl = mmu.MustNew(mmu.Config{Mode: mode}, nil, nil)
+		} else {
+			table, err := proc.BuildCanonicalTable(false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl = mmu.MustNew(mmu.Config{Mode: mode, TLBEntries: 8}, table, nil)
+		}
+		tr, err := NewTraceReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem := memsys.MustNewController(memsys.Config{})
+		rep, err := Replay(tr, Config{}, tbl, mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Cycles
+	}
+	ideal := price(mmu.ModeIdeal)
+	conv := price(mmu.ModeConv4K)
+	if conv <= ideal {
+		t.Errorf("4K replay (%d) not slower than ideal replay (%d)", conv, ideal)
+	}
+}
+
+func TestTraceFormatRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TraceRecord{
+		{PE: 0, Kind: 0, VA: 0x1234},
+		{PE: 7, Kind: 1, VA: 0xdeadbeef000},
+	}
+	for _, r := range want {
+		tw.Record(r)
+	}
+	tw.Barrier()
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Records() != 3 {
+		t.Errorf("Records = %d", tw.Records())
+	}
+	tr, err := NewTraceReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		got, err := tr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Errorf("record %d = %+v, want %+v", i, got, w)
+		}
+	}
+	b, err := tr.Next()
+	if err != nil || !b.IsBarrier() {
+		t.Errorf("barrier: %+v %v", b, err)
+	}
+	if _, err := tr.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestTraceReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewTraceReader(bytes.NewReader([]byte{1, 2, 3, 4, 5})); err == nil {
+		t.Error("garbage header accepted")
+	}
+	if _, err := NewTraceReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestReplayRejectsOversizedPE(t *testing.T) {
+	var buf bytes.Buffer
+	tw, _ := NewTraceWriter(&buf)
+	tw.Record(TraceRecord{PE: 12, VA: 0x1000})
+	_ = tw.Close()
+	tr, _ := NewTraceReader(bytes.NewReader(buf.Bytes()))
+	u := mmu.MustNew(mmu.Config{Mode: mmu.ModeIdeal}, nil, nil)
+	mem := memsys.MustNewController(memsys.Config{})
+	if _, err := Replay(tr, Config{PEs: 8}, u, mem); err == nil {
+		t.Error("trace with PE 12 accepted by an 8-engine replay")
+	}
+}

@@ -1,0 +1,295 @@
+// Package core assembles the full DVM simulation stack — OS model, page
+// tables, IOMMU, memory system, accelerator — into the seven
+// memory-management configurations the paper evaluates, and exposes the
+// experiment entry points the reproduction harness (cmd/dvmrepro,
+// bench_test.go and package dvm) is built on.
+package core
+
+import (
+	"fmt"
+
+	"github.com/dvm-sim/dvm/internal/accel"
+	"github.com/dvm-sim/dvm/internal/addr"
+	"github.com/dvm-sim/dvm/internal/energy"
+	"github.com/dvm-sim/dvm/internal/graph"
+	"github.com/dvm-sim/dvm/internal/memsys"
+	"github.com/dvm-sim/dvm/internal/mmu"
+	"github.com/dvm-sim/dvm/internal/osmodel"
+	"github.com/dvm-sim/dvm/internal/pagetable"
+)
+
+// Mode re-exports the configuration enumeration for callers of this
+// package.
+type Mode = mmu.Mode
+
+// The evaluated configurations, in the paper's presentation order.
+const (
+	ModeConv4K    = mmu.ModeConv4K
+	ModeConv2M    = mmu.ModeConv2M
+	ModeConv1G    = mmu.ModeConv1G
+	ModeDVMBM     = mmu.ModeDVMBM
+	ModeDVMPE     = mmu.ModeDVMPE
+	ModeDVMPEPlus = mmu.ModeDVMPEPlus
+	ModeIdeal     = mmu.ModeIdeal
+)
+
+// AllModes lists every mode, Ideal last.
+var AllModes = mmu.AllModes
+
+// SystemConfig sets the simulated machine (defaults = the paper's Table 2).
+type SystemConfig struct {
+	// MemBytes is the physical memory size (default 32 GB).
+	MemBytes uint64
+	// TLBEntries sizes the IOMMU TLB (default 128). Scaled-hardware
+	// experiments shrink it together with the workload (DESIGN.md §6).
+	TLBEntries int
+	// AVC / PWC override the cache geometries (zero = paper defaults).
+	AVC mmu.PTECacheConfig
+	PWC mmu.PTECacheConfig
+	// PEs / MLP shape the accelerator (defaults 8 / 8).
+	PEs int
+	MLP int
+	// PEFields overrides the Permission Entry fan-out (default 16);
+	// the PE-fan-out ablation sweeps it.
+	PEFields int
+	// Memory overrides the DRAM model (zero = 4 channels, 51.2 GB/s).
+	Memory memsys.Config
+	// Seed drives layout randomization.
+	Seed int64
+}
+
+func (c SystemConfig) withDefaults() SystemConfig {
+	if c.MemBytes == 0 {
+		c.MemBytes = 32 << 30
+	}
+	if c.TLBEntries == 0 {
+		c.TLBEntries = 128
+	}
+	return c
+}
+
+// Workload names one cell of the evaluation matrix.
+type Workload struct {
+	// Algorithm is BFS, PageRank, SSSP or CF.
+	Algorithm string
+	// Dataset is the Table 3 input.
+	Dataset graph.DatasetSpec
+	// Scale shrinks the dataset (1 = paper size); see DESIGN.md §6.
+	Scale float64
+	// PageRankIters bounds PageRank's iterations (default 3); CF always
+	// runs one sweep.
+	PageRankIters int
+	// Seed drives graph generation.
+	Seed int64
+}
+
+// ProgramFor returns the accelerator program for the workload.
+func (w Workload) ProgramFor() (accel.Program, error) {
+	switch w.Algorithm {
+	case "BFS":
+		return accel.BFS(0), nil
+	case "SSSP":
+		return accel.SSSP(0), nil
+	case "PageRank":
+		iters := w.PageRankIters
+		if iters == 0 {
+			iters = 3
+		}
+		return accel.PageRank(iters), nil
+	case "CF":
+		return accel.CF(1), nil
+	default:
+		return accel.Program{}, fmt.Errorf("core: unknown algorithm %q", w.Algorithm)
+	}
+}
+
+// Prepared is a generated workload ready to run under any mode.
+type Prepared struct {
+	Workload Workload
+	G        *graph.Graph
+	Prog     accel.Program
+}
+
+// Prepare generates the dataset once; runs under different modes share it.
+func Prepare(w Workload) (*Prepared, error) {
+	if w.Scale == 0 {
+		w.Scale = 1
+	}
+	prog, err := w.ProgramFor()
+	if err != nil {
+		return nil, err
+	}
+	if w.Algorithm == "CF" && !w.Dataset.Bipartite {
+		return nil, fmt.Errorf("core: CF needs a bipartite dataset, got %s", w.Dataset.Name)
+	}
+	if w.Algorithm != "CF" && w.Dataset.Bipartite {
+		return nil, fmt.Errorf("core: %s cannot run on bipartite dataset %s", w.Algorithm, w.Dataset.Name)
+	}
+	g, err := w.Dataset.Generate(w.Scale, w.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{Workload: w, G: g, Prog: prog}, nil
+}
+
+// RunResult is the outcome of one (workload, mode) cell.
+type RunResult struct {
+	Mode Mode
+	// Stats is the accelerator-side outcome (cycles, accesses...).
+	Stats accel.RunStats
+	// IOMMU aggregates validation/translation activity.
+	IOMMU mmu.Counters
+	// TLBMissRate is the IOMMU TLB miss rate (0 for PE/Ideal modes).
+	TLBMissRate float64
+	// TLBLookups counts TLB probes (Figure 2's denominator).
+	TLBLookups uint64
+	// StructHitRate is the AVC (PE modes), bitmap-cache (BM) or PWC
+	// (conventional) hit rate.
+	StructHitRate float64
+	// EnergyEvents and Energy price the MMU activity (Figure 9).
+	EnergyEvents energy.Events
+	Energy       energy.Breakdown
+	// HeapBytes is the workload's allocated footprint.
+	HeapBytes uint64
+	// IdentityMapped reports whether the whole heap was identity mapped.
+	IdentityMapped bool
+	// PageTableBytes is the footprint of the table the IOMMU walked
+	// (0 for Ideal).
+	PageTableBytes uint64
+	// DRAM is the memory-controller activity.
+	DRAM memsys.Stats
+}
+
+// Run executes the prepared workload under one mode.
+func (p *Prepared) Run(mode Mode, cfg SystemConfig) (RunResult, error) {
+	cfg = cfg.withDefaults()
+	res := RunResult{Mode: mode}
+
+	sys, err := osmodel.NewSystem(cfg.MemBytes)
+	if err != nil {
+		return res, err
+	}
+	proc := sys.NewProcess(osmodel.Policy{IdentityMapHeap: true, Seed: cfg.Seed})
+	lay, err := accel.BuildLayout(proc, p.G, p.Prog.PropBytes)
+	if err != nil {
+		return res, err
+	}
+	res.HeapBytes = lay.HeapBytes
+	res.IdentityMapped = lay.IdentityMapped
+
+	var table *pagetable.Table
+	var bm *mmu.PermBitmap
+	switch mode {
+	case mmu.ModeIdeal:
+	case mmu.ModeConv2M, mmu.ModeConv1G:
+		if table, err = proc.BuildHugeTable(mode.PageSize()); err != nil {
+			return res, err
+		}
+	case mmu.ModeDVMBM:
+		if table, err = proc.BuildCanonicalTable(false); err != nil {
+			return res, err
+		}
+		bm = mmu.NewPermBitmap()
+		proc.ForEachIdentityPage(bm.Set)
+	case mmu.ModeDVMPE, mmu.ModeDVMPEPlus:
+		if table, err = buildPETable(proc, cfg.PEFields); err != nil {
+			return res, err
+		}
+	default: // ModeConv4K
+		if table, err = proc.BuildCanonicalTable(false); err != nil {
+			return res, err
+		}
+	}
+	if table != nil {
+		res.PageTableBytes = table.SizeStats().Bytes
+	}
+
+	iommu, err := mmu.New(mmu.Config{
+		Mode:       mode,
+		TLBEntries: cfg.TLBEntries,
+		AVC:        cfg.AVC,
+		PWC:        cfg.PWC,
+	}, table, bm)
+	if err != nil {
+		return res, err
+	}
+	mem, err := memsys.NewController(cfg.Memory)
+	if err != nil {
+		return res, err
+	}
+	eng, err := accel.NewEngine(accel.Config{PEs: cfg.PEs, MLP: cfg.MLP}, p.G, p.Prog, lay, iommu, mem)
+	if err != nil {
+		return res, err
+	}
+	stats, err := eng.Run()
+	if err != nil {
+		return res, err
+	}
+	res.Stats = stats
+	res.IOMMU = iommu.Counters()
+	res.DRAM = mem.Snapshot()
+
+	if tlb := iommu.TLB(); tlb != nil {
+		res.TLBMissRate = tlb.MissRate()
+		res.TLBLookups = tlb.Lookups()
+		res.EnergyEvents.TLBLookupsFA = tlb.Lookups()
+	}
+	if pwc := iommu.PWC(); pwc != nil {
+		res.EnergyEvents.CacheLookups += pwc.Lookups()
+		res.StructHitRate = pwc.HitRate()
+	}
+	if avc := iommu.AVC(); avc != nil {
+		res.EnergyEvents.CacheLookups += avc.Lookups()
+		res.StructHitRate = avc.HitRate()
+	}
+	if bmc := iommu.BMCache(); bmc != nil {
+		res.EnergyEvents.CacheLookups += bmc.Lookups()
+		res.StructHitRate = 1 - bmc.MissRate()
+	}
+	res.EnergyEvents.WalkMemRefs = res.IOMMU.WalkMemRefs
+	res.EnergyEvents.SquashedPreloads = res.IOMMU.SquashedPreloads
+	res.Energy = energy.Compute(energy.DefaultParams(), res.EnergyEvents)
+	return res, nil
+}
+
+// buildPETable builds the canonical table with a custom PE fan-out.
+func buildPETable(proc *osmodel.Process, peFields int) (*pagetable.Table, error) {
+	if peFields == 0 || peFields == pagetable.DefaultPEFields {
+		return proc.BuildCanonicalTable(true)
+	}
+	// Rebuild at the requested fan-out: materialize the canonical state
+	// into a table configured with PEFields, then compact.
+	tbl, err := pagetable.New(pagetable.Config{PEFields: peFields})
+	if err != nil {
+		return nil, err
+	}
+	std, err := proc.BuildCanonicalTable(false)
+	if err != nil {
+		return nil, err
+	}
+	var mapErr error
+	std.ForEachPage(func(va addr.VA, pa addr.PA, perm addr.Perm) {
+		if mapErr != nil {
+			return
+		}
+		mapErr = tbl.Map(va, pa, perm, addr.PageSize4K)
+	})
+	if mapErr != nil {
+		return nil, mapErr
+	}
+	tbl.Compact()
+	return tbl, nil
+}
+
+// RunAll executes the prepared workload under every mode.
+func (p *Prepared) RunAll(cfg SystemConfig) (map[Mode]RunResult, error) {
+	out := make(map[Mode]RunResult, len(AllModes))
+	for _, m := range AllModes {
+		r, err := p.Run(m, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s/%s under %v: %w", p.Workload.Algorithm, p.G.Name, m, err)
+		}
+		out[m] = r
+	}
+	return out, nil
+}

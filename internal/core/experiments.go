@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/dvm-sim/dvm/internal/accel"
+	"github.com/dvm-sim/dvm/internal/graph"
+	"github.com/dvm-sim/dvm/internal/osmodel"
+)
+
+// Profile fixes the workload scale and the matching hardware scale for a
+// whole experiment sweep. Shrinking the workload without shrinking the TLB
+// would leave the TLB covering the entire working set — a regime the
+// paper's GB-scale inputs are never in — so the small/medium profiles
+// shrink TLB reach proportionally (scaled-hardware methodology, DESIGN.md
+// §6). PWC/AVC keep their paper geometry: their efficacy tracks page-table
+// size, which already scales with the workload.
+type Profile struct {
+	// Name labels the profile in reports.
+	Name string
+	// Scale is the linear dataset scale (1 = paper size).
+	Scale float64
+	// TLBEntries is the scaled IOMMU TLB size.
+	TLBEntries int
+	// PageRankIters bounds PageRank.
+	PageRankIters int
+}
+
+// Predefined profiles.
+var (
+	// ProfileTiny is for unit tests: seconds per sweep.
+	ProfileTiny = Profile{Name: "tiny", Scale: 1.0 / 512, TLBEntries: 4, PageRankIters: 2}
+	// ProfileSmall is the default for the reproduction harness: the full
+	// Figure 8/9 matrix runs in a few minutes.
+	ProfileSmall = Profile{Name: "small", Scale: 1.0 / 64, TLBEntries: 8, PageRankIters: 3}
+	// ProfileMedium trades minutes for fidelity.
+	ProfileMedium = Profile{Name: "medium", Scale: 1.0 / 16, TLBEntries: 16, PageRankIters: 3}
+	// ProfilePaper is the paper's full configuration (hours; needs GBs
+	// of host memory).
+	ProfilePaper = Profile{Name: "paper", Scale: 1, TLBEntries: 128, PageRankIters: 3}
+)
+
+// ProfileByName resolves a profile label.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range []Profile{ProfileTiny, ProfileSmall, ProfileMedium, ProfilePaper} {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("core: unknown profile %q (tiny|small|medium|paper)", name)
+}
+
+// SystemConfig returns the machine configuration for the profile.
+func (p Profile) SystemConfig() SystemConfig {
+	return SystemConfig{TLBEntries: p.TLBEntries}
+}
+
+// Workloads returns the evaluation matrix of Figures 2/8/9: BFS, PageRank
+// and SSSP over FR/Wiki/LJ/S24 and CF over NF/Bip1/Bip2 — 15 cells.
+func (p Profile) Workloads() []Workload {
+	var out []Workload
+	for _, alg := range []string{"BFS", "PageRank", "SSSP"} {
+		for _, d := range graph.GraphDatasets() {
+			out = append(out, Workload{
+				Algorithm: alg, Dataset: d, Scale: p.Scale,
+				PageRankIters: p.PageRankIters, Seed: 42,
+			})
+		}
+	}
+	for _, d := range graph.BipartiteDatasets() {
+		out = append(out, Workload{Algorithm: "CF", Dataset: d, Scale: p.Scale, Seed: 42})
+	}
+	return out
+}
+
+// Figure2Row is one bar pair of Figure 2: a workload's TLB miss rate with
+// 4 KB and 2 MB pages.
+type Figure2Row struct {
+	Algorithm  string
+	Dataset    string
+	MissRate4K float64
+	MissRate2M float64
+	Lookups    uint64
+}
+
+// Figure2 measures TLB miss rates for one prepared workload.
+func Figure2(p *Prepared, cfg SystemConfig) (Figure2Row, error) {
+	row := Figure2Row{Algorithm: p.Workload.Algorithm, Dataset: p.G.Name}
+	r4, err := p.Run(ModeConv4K, cfg)
+	if err != nil {
+		return row, err
+	}
+	r2, err := p.Run(ModeConv2M, cfg)
+	if err != nil {
+		return row, err
+	}
+	row.MissRate4K = r4.TLBMissRate
+	row.MissRate2M = r2.TLBMissRate
+	row.Lookups = r4.TLBLookups
+	return row, nil
+}
+
+// Table1Row is one row of Table 1: page-table footprints for a workload.
+type Table1Row struct {
+	Input string
+	// StdBytes is the conventional 4 KB page table size.
+	StdBytes uint64
+	// L1Fraction is the share of StdBytes in leaf (L1) page-table pages.
+	L1Fraction float64
+	// PEBytes is the size after Permission Entry compaction.
+	PEBytes uint64
+}
+
+// Table1 computes page-table footprints for one prepared workload (the
+// paper reports PageRank and CF heaps).
+func Table1(p *Prepared, cfg SystemConfig) (Table1Row, error) {
+	cfg = cfg.withDefaults()
+	row := Table1Row{Input: p.G.Name}
+	sys, err := osmodel.NewSystem(cfg.MemBytes)
+	if err != nil {
+		return row, err
+	}
+	proc := sys.NewProcess(osmodel.Policy{IdentityMapHeap: true, Seed: cfg.Seed})
+	if _, err := accel.BuildLayout(proc, p.G, p.Prog.PropBytes); err != nil {
+		return row, err
+	}
+	std, err := proc.BuildCanonicalTable(false)
+	if err != nil {
+		return row, err
+	}
+	stdStats := std.SizeStats()
+	row.StdBytes = stdStats.Bytes
+	row.L1Fraction = stdStats.L1Fraction
+	pe, err := proc.BuildCanonicalTable(true)
+	if err != nil {
+		return row, err
+	}
+	row.PEBytes = pe.SizeStats().Bytes
+	return row, nil
+}
+
+// Figure8Cell is one workload's execution time under every mode, normalized
+// to Ideal.
+type Figure8Cell struct {
+	Algorithm string
+	Dataset   string
+	// Cycles per mode.
+	Cycles map[Mode]uint64
+	// Normalized holds Cycles[mode]/Cycles[Ideal].
+	Normalized map[Mode]float64
+	// Results keeps the full per-mode results (Figure 9 reuses the
+	// energy numbers).
+	Results map[Mode]RunResult
+}
+
+// Figure8 runs one workload under all modes.
+func Figure8(p *Prepared, cfg SystemConfig) (Figure8Cell, error) {
+	cell := Figure8Cell{
+		Algorithm:  p.Workload.Algorithm,
+		Dataset:    p.G.Name,
+		Cycles:     map[Mode]uint64{},
+		Normalized: map[Mode]float64{},
+	}
+	results, err := p.RunAll(cfg)
+	if err != nil {
+		return cell, err
+	}
+	cell.Results = results
+	ideal := results[ModeIdeal].Stats.Cycles
+	if ideal == 0 {
+		return cell, fmt.Errorf("core: ideal run took zero cycles")
+	}
+	for m, r := range results {
+		cell.Cycles[m] = r.Stats.Cycles
+		cell.Normalized[m] = float64(r.Stats.Cycles) / float64(ideal)
+	}
+	return cell, nil
+}
+
+// Figure9Cell is a workload's MMU dynamic energy per mode, normalized to
+// the 4K baseline.
+type Figure9Cell struct {
+	Algorithm  string
+	Dataset    string
+	EnergyPJ   map[Mode]float64
+	Normalized map[Mode]float64
+}
+
+// Figure9 derives the energy figure from a Figure 8 cell (the same runs
+// provide both, as in the paper).
+func Figure9(cell Figure8Cell) (Figure9Cell, error) {
+	out := Figure9Cell{
+		Algorithm:  cell.Algorithm,
+		Dataset:    cell.Dataset,
+		EnergyPJ:   map[Mode]float64{},
+		Normalized: map[Mode]float64{},
+	}
+	base := cell.Results[ModeConv4K].Energy.Total
+	if base == 0 {
+		return out, fmt.Errorf("core: 4K baseline consumed zero MMU energy")
+	}
+	for _, m := range []Mode{ModeConv2M, ModeConv1G, ModeDVMBM, ModeDVMPE, ModeDVMPEPlus} {
+		e := cell.Results[m].Energy.Total
+		out.EnergyPJ[m] = e
+		out.Normalized[m] = e / base
+	}
+	out.EnergyPJ[ModeConv4K] = base
+	out.Normalized[ModeConv4K] = 1
+	return out, nil
+}
+
+// TLBMissRateVsSize sweeps TLB sizes for one workload at 4 KB pages — the
+// sensitivity study behind Figure 2's "128-entry TLB" choice.
+func TLBMissRateVsSize(p *Prepared, cfg SystemConfig, sizes []int) (map[int]float64, error) {
+	out := make(map[int]float64, len(sizes))
+	for _, n := range sizes {
+		c := cfg
+		c.TLBEntries = n
+		r, err := p.Run(ModeConv4K, c)
+		if err != nil {
+			return nil, err
+		}
+		out[n] = r.TLBMissRate
+	}
+	return out, nil
+}

@@ -1,0 +1,335 @@
+// Package cpu models cDVM — the paper's Section 7 extension of
+// Devirtualized Memory to CPUs — and reproduces Figure 10: VM overheads of
+// memory-intensive CPU workloads under conventional 4 KB paging,
+// transparent huge pages (THP, 2 MB) and cDVM.
+//
+// The paper instruments an Intel Xeon E5-2430 (64-entry L1 DTLB, 512-entry
+// L2 DTLB) with hardware counters and BadgerTrap, then applies "a simple
+// analytical model to conservatively estimate the VM overheads under
+// cDVM, like past work". We do the same over a simulated machine: each
+// workload is a synthetic address trace whose footprint and access mix
+// match the published character of the benchmark (mcf and canneal chase
+// pointers across hundreds of MB, cg and bt stride over large arrays,
+// xsbench performs nearly uniform random lookups over GB-scale
+// cross-section tables); the trace drives a two-level TLB hierarchy plus a
+// hardware walker, and the analytical model converts stall cycles into the
+// figure's overhead percentages.
+package cpu
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+	"github.com/dvm-sim/dvm/internal/mmu"
+	"github.com/dvm-sim/dvm/internal/osmodel"
+	"github.com/dvm-sim/dvm/internal/pagetable"
+)
+
+// WorkloadSpec is one bar group of Figure 10.
+type WorkloadSpec struct {
+	// Name of the benchmark.
+	Name string
+	// Source suite, for documentation.
+	Source string
+	// Footprint is the randomly addressed data footprint in bytes.
+	Footprint uint64
+	// RandFrac is the fraction of accesses drawn uniformly from the
+	// footprint; the rest stream sequentially (high spatial locality).
+	RandFrac float64
+	// HotFrac of the random accesses go to a HotBytes-sized hot set
+	// (pointer-chasing workloads revisit hot structures).
+	HotFrac  float64
+	HotBytes uint64
+	// SeqStride is the byte stride of the sequential stream (default
+	// 16: several touches per cache line, one page crossing per 256
+	// accesses).
+	SeqStride uint64
+	// StoreFrac is the fraction of accesses that are stores (default
+	// 0.3), used by the cDVM store-overlap optimization (§7.1).
+	StoreFrac float64
+	// Accesses is the trace length.
+	Accesses int
+	// CyclesPerAccess is the baseline (ideal-VM) cost of one memory
+	// instruction including cache effects — the analytical model's
+	// denominator.
+	CyclesPerAccess float64
+	// Seed for trace generation.
+	Seed int64
+}
+
+// Workloads is Figure 10's benchmark set. Footprints are the working sets
+// the traces address (scaled to simulate in seconds; the TLB-reach to
+// footprint ratios stay far below 1, the regime the paper measures).
+var Workloads = []WorkloadSpec{
+	{Name: "mcf", Source: "SPEC CPU2006", Footprint: 1700 << 20, RandFrac: 0.017, HotFrac: 0.40, HotBytes: 2 << 20, Accesses: 2_000_000, CyclesPerAccess: 4.5, Seed: 101},
+	{Name: "bt", Source: "NAS Parallel Benchmarks", Footprint: 1300 << 20, RandFrac: 0.006, HotFrac: 0.45, HotBytes: 4 << 20, Accesses: 2_000_000, CyclesPerAccess: 5.5, Seed: 102},
+	{Name: "cg", Source: "NAS Parallel Benchmarks", Footprint: 900 << 20, RandFrac: 0.0095, HotFrac: 0.40, HotBytes: 2 << 20, Accesses: 2_000_000, CyclesPerAccess: 5.0, Seed: 103},
+	{Name: "canneal", Source: "PARSEC", Footprint: 1300 << 20, RandFrac: 0.014, HotFrac: 0.40, HotBytes: 4 << 20, Accesses: 2_000_000, CyclesPerAccess: 6.0, Seed: 104},
+	{Name: "xsbench", Source: "XSBench", Footprint: 5600 << 20, RandFrac: 0.026, HotFrac: 0.05, HotBytes: 1 << 20, Accesses: 2_000_000, CyclesPerAccess: 4.0, Seed: 105},
+}
+
+// WorkloadByName finds a spec.
+func WorkloadByName(name string) (WorkloadSpec, error) {
+	for _, w := range Workloads {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return WorkloadSpec{}, fmt.Errorf("cpu: unknown workload %q", name)
+}
+
+// Config is the CPU MMU configuration (paper: Xeon E5-2430).
+type Config struct {
+	// L1TLBEntries / L1TLBWays: default 64 / 4.
+	L1TLBEntries, L1TLBWays int
+	// L2TLBEntries / L2TLBWays: default 512 / 8.
+	L2TLBEntries, L2TLBWays int
+	// L2TLBHitCycles is the added latency of an L2 TLB hit (default 7).
+	L2TLBHitCycles uint64
+	// ProbeCycles per PWC/AVC probe (default 1).
+	ProbeCycles uint64
+	// MemRefCycles is the cost of one page-walk memory reference that
+	// misses the walker's dedicated cache (default 60 — a DRAM PTE
+	// fetch; GB-scale random data traffic leaves little room for PTE
+	// lines in the shared data caches).
+	MemRefCycles uint64
+	// StoreOverlap enables the paper's §7.1 cDVM store optimization:
+	// under the write-allocate policy the cacheline fetch of a store is
+	// launched in parallel with DAV, hiding the walk latency of store
+	// accesses entirely (loads would need the preload support the
+	// paper's methodology could not measure).
+	StoreOverlap bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.L1TLBEntries == 0 {
+		c.L1TLBEntries = 64
+	}
+	if c.L1TLBWays == 0 {
+		c.L1TLBWays = 4
+	}
+	if c.L2TLBEntries == 0 {
+		c.L2TLBEntries = 512
+	}
+	if c.L2TLBWays == 0 {
+		c.L2TLBWays = 8
+	}
+	if c.L2TLBHitCycles == 0 {
+		c.L2TLBHitCycles = 7
+	}
+	if c.ProbeCycles == 0 {
+		c.ProbeCycles = 1
+	}
+	if c.MemRefCycles == 0 {
+		c.MemRefCycles = 60
+	}
+	return c
+}
+
+// Scheme is a CPU memory-management configuration of Figure 10.
+type Scheme int
+
+// Schemes.
+const (
+	// Scheme4K is conventional VM with 4 KB pages.
+	Scheme4K Scheme = iota
+	// SchemeTHP is transparent huge pages (2 MB).
+	SchemeTHP
+	// SchemeCDVM is cDVM: PE page tables walked through an AVC.
+	SchemeCDVM
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case Scheme4K:
+		return "4K"
+	case SchemeTHP:
+		return "THP"
+	case SchemeCDVM:
+		return "cDVM"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Result is one workload's Figure 10 bar group.
+type Result struct {
+	Name string
+	// Overhead[scheme] = page-walk stall cycles / baseline cycles.
+	Overhead map[Scheme]float64
+	// L2MissRate[scheme] is the combined TLB hierarchy miss rate.
+	L2MissRate map[Scheme]float64
+	// WalkCycles[scheme] is total walker stall cycles.
+	WalkCycles map[Scheme]uint64
+	// BaseCycles is the analytical baseline (ideal VM).
+	BaseCycles float64
+}
+
+// Run measures one workload under all three schemes.
+func Run(spec WorkloadSpec, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	res := Result{
+		Name:       spec.Name,
+		Overhead:   map[Scheme]float64{},
+		L2MissRate: map[Scheme]float64{},
+		WalkCycles: map[Scheme]uint64{},
+	}
+	if spec.Footprint == 0 || spec.Accesses == 0 {
+		return res, fmt.Errorf("cpu: workload %q has empty footprint or trace", spec.Name)
+	}
+
+	// Build the process: cDVM identity maps every segment (§7.2).
+	sys, err := osmodel.NewSystem(nextPow2(spec.Footprint * 2))
+	if err != nil {
+		return res, err
+	}
+	proc := sys.NewProcess(osmodel.Policy{IdentityMapHeap: true, IdentityMapAll: true, Seed: spec.Seed})
+	if _, err := proc.LoadProgram(osmodel.Program{CodeBytes: 2 << 20, DataBytes: 1 << 20, BSSBytes: 1 << 20}); err != nil {
+		return res, err
+	}
+	heap, _, err := proc.Mmap(spec.Footprint, addr.ReadWrite)
+	if err != nil {
+		return res, err
+	}
+
+	std, err := proc.BuildCanonicalTable(false)
+	if err != nil {
+		return res, err
+	}
+	thp, err := proc.BuildHugeTable(addr.PageSize2M)
+	if err != nil {
+		return res, err
+	}
+	pe, err := proc.BuildCanonicalTable(true)
+	if err != nil {
+		return res, err
+	}
+
+	res.BaseCycles = float64(spec.Accesses) * spec.CyclesPerAccess
+	for _, scheme := range []Scheme{Scheme4K, SchemeTHP, SchemeCDVM} {
+		var table *pagetable.Table
+		pageSize := addr.PageSize4K
+		switch scheme {
+		case Scheme4K:
+			table = std
+		case SchemeTHP:
+			table = thp
+			pageSize = addr.PageSize2M
+		case SchemeCDVM:
+			table = pe
+		}
+		walk, missRate := simulate(spec, cfg, table, pageSize, scheme, heap.Start)
+		res.WalkCycles[scheme] = walk
+		res.L2MissRate[scheme] = missRate
+		res.Overhead[scheme] = float64(walk) / res.BaseCycles
+	}
+	return res, nil
+}
+
+// simulate drives the trace through the TLB hierarchy + walker and returns
+// total walk stall cycles and the L2 miss rate.
+func simulate(spec WorkloadSpec, cfg Config, table *pagetable.Table, pageSize uint64, scheme Scheme, heapBase addr.VA) (uint64, float64) {
+	l1 := mmu.MustNewTLB(mmu.TLBConfig{Entries: cfg.L1TLBEntries, Ways: cfg.L1TLBWays, PageSize: pageSize})
+	l2 := mmu.MustNewTLB(mmu.TLBConfig{Entries: cfg.L2TLBEntries, Ways: cfg.L2TLBWays, PageSize: pageSize})
+	var walker *mmu.PTECache
+	if scheme == SchemeCDVM {
+		walker = mmu.MustNewPTECache(mmu.DefaultAVCConfig())
+	} else {
+		walker = mmu.MustNewPTECache(mmu.DefaultPWCConfig())
+	}
+
+	gen := newTraceGen(spec)
+	gen.bind(heapBase)
+	storeFrac := spec.StoreFrac
+	if storeFrac == 0 {
+		storeFrac = 0.3
+	}
+	var walkCycles uint64
+	var walkRes pagetable.WalkResult
+	for i := 0; i < spec.Accesses; i++ {
+		va := gen.next()
+		isStore := gen.rng.Float64() < storeFrac
+		if _, _, hit := l1.Lookup(va); hit {
+			continue
+		}
+		if pa, perm, hit := l2.Lookup(va); hit {
+			// An STLB hit is not a page walk; the hardware counter
+			// the paper reads (walk duration) excludes it, so the
+			// analytical model does too.
+			pageBase := addr.VA(addr.AlignDown(uint64(va), pageSize))
+			l1.Insert(pageBase, pa-addr.PA(uint64(va)-uint64(pageBase)), perm)
+			continue
+		}
+		// Hardware page walk. Under the §7.1 store optimization, a
+		// cDVM store's cacheline fetch overlaps DAV: its walk cycles
+		// vanish from the critical path (the walk still happens and
+		// still warms the AVC).
+		table.WalkInto(va, &walkRes)
+		var thisWalk uint64
+		for _, step := range walkRes.Steps {
+			if walker.Caches(step.Level) {
+				thisWalk += cfg.ProbeCycles
+				if walker.Lookup(step.EntryPA, step.Level) {
+					continue
+				}
+				thisWalk += cfg.MemRefCycles
+				walker.Insert(step.EntryPA, step.Level)
+			} else {
+				thisWalk += cfg.MemRefCycles
+			}
+		}
+		if !(scheme == SchemeCDVM && cfg.StoreOverlap && isStore) {
+			walkCycles += thisWalk
+		}
+		if walkRes.Outcome == pagetable.WalkFault {
+			continue
+		}
+		base := addr.VA(addr.AlignDown(uint64(va), pageSize))
+		paBase := walkRes.PA - addr.PA(uint64(va)-uint64(base))
+		l2.Insert(base, paBase, walkRes.Perm)
+		l1.Insert(base, paBase, walkRes.Perm)
+	}
+	return walkCycles, l2.MissRate()
+}
+
+// traceGen produces the synthetic address stream.
+type traceGen struct {
+	spec   WorkloadSpec
+	rng    *rand.Rand
+	base   addr.VA
+	cursor uint64
+}
+
+func newTraceGen(spec WorkloadSpec) *traceGen {
+	return &traceGen{spec: spec, rng: rand.New(rand.NewSource(spec.Seed)), base: 0}
+}
+
+// bind sets the VA region the trace addresses.
+func (t *traceGen) bind(base addr.VA) { t.base = base }
+
+func (t *traceGen) next() addr.VA {
+	s := &t.spec
+	if t.rng.Float64() < s.RandFrac {
+		if t.rng.Float64() < s.HotFrac {
+			return t.base + addr.VA(t.rng.Uint64()%s.HotBytes)
+		}
+		return t.base + addr.VA(t.rng.Uint64()%s.Footprint)
+	}
+	stride := s.SeqStride
+	if stride == 0 {
+		stride = 16
+	}
+	t.cursor = (t.cursor + stride) % s.Footprint
+	return t.base + addr.VA(t.cursor)
+}
+
+// nextPow2 rounds up to a power of two.
+func nextPow2(n uint64) uint64 {
+	p := uint64(1)
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

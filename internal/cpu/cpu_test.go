@@ -1,0 +1,150 @@
+package cpu
+
+import (
+	"testing"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+)
+
+// fastSpec shrinks a workload for unit-test runtimes.
+func fastSpec(name string, t *testing.T) WorkloadSpec {
+	t.Helper()
+	spec, err := WorkloadByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Accesses = 600_000
+	return spec
+}
+
+func TestRunOrdering(t *testing.T) {
+	// Figure 10's per-workload ordering: 4K > THP > cDVM overheads.
+	for _, name := range []string{"mcf", "xsbench"} {
+		spec := fastSpec(name, t)
+		r, err := Run(spec, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		o4, oT, oC := r.Overhead[Scheme4K], r.Overhead[SchemeTHP], r.Overhead[SchemeCDVM]
+		if !(o4 > oT) {
+			t.Errorf("%s: 4K %.3f not worse than THP %.3f", name, o4, oT)
+		}
+		if !(oT > oC) {
+			t.Errorf("%s: THP %.3f not worse than cDVM %.3f", name, oT, oC)
+		}
+		// Shortened traces amortize cold misses less than the full
+		// runs (which land under 5%), so allow a little headroom.
+		if oC > 0.08 {
+			t.Errorf("%s: cDVM overhead %.3f, paper promises ~5%%", name, oC)
+		}
+		if o4 < 0.05 {
+			t.Errorf("%s: 4K overhead %.3f implausibly low", name, o4)
+		}
+		if r.BaseCycles <= 0 {
+			t.Errorf("%s: BaseCycles %v", name, r.BaseCycles)
+		}
+	}
+}
+
+func TestRunAllWorkloadsDefined(t *testing.T) {
+	if len(Workloads) != 5 {
+		t.Fatalf("Figure 10 needs 5 workloads, have %d", len(Workloads))
+	}
+	names := map[string]bool{}
+	for _, w := range Workloads {
+		names[w.Name] = true
+		if w.Footprint == 0 || w.Accesses == 0 || w.CyclesPerAccess == 0 {
+			t.Errorf("%s: incomplete spec %+v", w.Name, w)
+		}
+	}
+	for _, want := range []string{"mcf", "bt", "cg", "canneal", "xsbench"} {
+		if !names[want] {
+			t.Errorf("missing workload %s", want)
+		}
+	}
+}
+
+func TestWorkloadByName(t *testing.T) {
+	if _, err := WorkloadByName("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	w, err := WorkloadByName("canneal")
+	if err != nil || w.Source != "PARSEC" {
+		t.Errorf("canneal lookup: %+v %v", w, err)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if Scheme4K.String() != "4K" || SchemeTHP.String() != "THP" || SchemeCDVM.String() != "cDVM" {
+		t.Error("scheme strings wrong")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(WorkloadSpec{Name: "empty"}, Config{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+}
+
+func TestTraceGenDeterministicAndBounded(t *testing.T) {
+	spec := WorkloadSpec{Name: "x", Footprint: 1 << 20, RandFrac: 0.5, HotFrac: 0.3, HotBytes: 64 << 10, Accesses: 1000, CyclesPerAccess: 4, Seed: 7}
+	a := newTraceGen(spec)
+	b := newTraceGen(spec)
+	a.bind(0x1000000)
+	b.bind(0x1000000)
+	for i := 0; i < 10000; i++ {
+		va, vb := a.next(), b.next()
+		if va != vb {
+			t.Fatalf("trace not deterministic at %d: %#x vs %#x", i, uint64(va), uint64(vb))
+		}
+		if va < 0x1000000 || va >= 0x1000000+addr.VA(spec.Footprint) {
+			t.Fatalf("address %#x outside footprint", uint64(va))
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.L1TLBEntries != 64 || c.L2TLBEntries != 512 || c.MemRefCycles != 60 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+}
+
+func TestTHPMissesAtScale(t *testing.T) {
+	// xsbench's 5.6 GB footprint exceeds 2M-TLB reach (512 x 2 MB = 1 GB),
+	// so even THP must take real misses — the regime the paper measures.
+	spec := fastSpec("xsbench", t)
+	r, err := Run(spec, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.L2MissRate[SchemeTHP] < 0.2 {
+		t.Errorf("THP miss rate %.3f, want substantial", r.L2MissRate[SchemeTHP])
+	}
+	if r.Overhead[SchemeTHP] < 0.05 {
+		t.Errorf("THP overhead %.3f, want visible for xsbench", r.Overhead[SchemeTHP])
+	}
+}
+
+func TestStoreOverlapReducesCDVM(t *testing.T) {
+	// Paper §7.1: overlapping the write-allocate fetch with DAV hides
+	// store walk latency; cDVM overhead can only shrink.
+	spec := fastSpec("xsbench", t)
+	base, err := Run(spec, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Run(spec, Config{StoreOverlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Overhead[SchemeCDVM] >= base.Overhead[SchemeCDVM] {
+		t.Errorf("store overlap did not reduce cDVM overhead: %.4f vs %.4f",
+			opt.Overhead[SchemeCDVM], base.Overhead[SchemeCDVM])
+	}
+	// Conventional schemes are unaffected (the optimization is cDVM's).
+	if opt.Overhead[Scheme4K] != base.Overhead[Scheme4K] {
+		t.Errorf("store overlap changed 4K overhead: %.4f vs %.4f",
+			opt.Overhead[Scheme4K], base.Overhead[Scheme4K])
+	}
+}

@@ -1,0 +1,52 @@
+package energy
+
+import "testing"
+
+func TestComputeBreakdown(t *testing.T) {
+	p := Params{TLBLookupFA: 5, TLBLookupSA: 2, CacheLookup: 1, DRAMAccess: 30}
+	ev := Events{TLBLookupsFA: 10, TLBLookupsSA: 4, CacheLookups: 100, WalkMemRefs: 3, SquashedPreloads: 2}
+	b := Compute(p, ev)
+	if b.TLB != 10*5+4*2 {
+		t.Errorf("TLB = %v", b.TLB)
+	}
+	if b.Caches != 100 {
+		t.Errorf("Caches = %v", b.Caches)
+	}
+	if b.Walker != 90 {
+		t.Errorf("Walker = %v", b.Walker)
+	}
+	if b.Squashes != 60 {
+		t.Errorf("Squashes = %v", b.Squashes)
+	}
+	if b.Total != b.TLB+b.Caches+b.Walker+b.Squashes {
+		t.Errorf("Total = %v", b.Total)
+	}
+}
+
+func TestEventsAdd(t *testing.T) {
+	a := Events{TLBLookupsFA: 1, CacheLookups: 2, WalkMemRefs: 3}
+	a.Add(Events{TLBLookupsFA: 10, TLBLookupsSA: 5, CacheLookups: 20, WalkMemRefs: 30, SquashedPreloads: 7})
+	want := Events{TLBLookupsFA: 11, TLBLookupsSA: 5, CacheLookups: 22, WalkMemRefs: 33, SquashedPreloads: 7}
+	if a != want {
+		t.Errorf("Add = %+v, want %+v", a, want)
+	}
+}
+
+func TestDefaultRatios(t *testing.T) {
+	p := DefaultParams()
+	if p.TLBLookupFA <= p.CacheLookup {
+		t.Error("an FA TLB lookup must cost more than a 4-way cache probe")
+	}
+	if p.DRAMAccess <= p.TLBLookupFA {
+		t.Error("a DRAM access must dominate structure probes")
+	}
+	if p.TLBLookupSA >= p.TLBLookupFA {
+		t.Error("SA TLB lookup should be cheaper than FA")
+	}
+}
+
+func TestZeroEvents(t *testing.T) {
+	if b := Compute(DefaultParams(), Events{}); b.Total != 0 {
+		t.Errorf("empty events Total = %v", b.Total)
+	}
+}

@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// DatasetSpec describes one input of the paper's Table 3.
+type DatasetSpec struct {
+	// Name is the paper's abbreviation (FR, Wiki, LJ, S24, NF, Bip1, Bip2).
+	Name string
+	// FullName is the dataset's origin.
+	FullName string
+	// Vertices and Edges are the paper-scale sizes.
+	Vertices, Edges int
+	// Bipartite datasets additionally split vertices into Users/Items.
+	Bipartite    bool
+	Users, Items int
+	// HeapBytes is the paper-reported workload heap footprint.
+	HeapBytes uint64
+}
+
+// Datasets is the registry of Table 3, in the paper's order.
+var Datasets = []DatasetSpec{
+	{Name: "FR", FullName: "Flickr (UF sparse collection)", Vertices: 820_000, Edges: 9_840_000, HeapBytes: 288 << 20},
+	{Name: "Wiki", FullName: "Wikipedia (UF sparse collection)", Vertices: 3_560_000, Edges: 84_750_000, HeapBytes: 1293 << 20},
+	{Name: "LJ", FullName: "LiveJournal (UF sparse collection)", Vertices: 4_840_000, Edges: 68_990_000, HeapBytes: 2202 << 20},
+	{Name: "S24", FullName: "RMAT Scale 24 (graph500)", Vertices: 1 << 24, Edges: 16 << 24, HeapBytes: 6953 << 20},
+	{Name: "NF", FullName: "Netflix Prize", Vertices: 498_000, Edges: 99_070_000, Bipartite: true, Users: 480_000, Items: 18_000, HeapBytes: 2447 << 20},
+	{Name: "Bip1", FullName: "Synthetic Bipartite 1 (Satish et al.)", Vertices: 1_069_000, Edges: 53_820_000, Bipartite: true, Users: 969_000, Items: 100_000, HeapBytes: 1362 << 20},
+	{Name: "Bip2", FullName: "Synthetic Bipartite 2 (Satish et al.)", Vertices: 3_000_000, Edges: 232_700_000, Bipartite: true, Users: 2_900_000, Items: 100_000, HeapBytes: 5796 << 20},
+}
+
+// DatasetByName returns the registry entry for the given abbreviation.
+func DatasetByName(name string) (DatasetSpec, error) {
+	for _, d := range Datasets {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return DatasetSpec{}, fmt.Errorf("graph: unknown dataset %q", name)
+}
+
+// GraphDatasets returns the non-bipartite inputs (used by BFS/PR/SSSP).
+func GraphDatasets() []DatasetSpec {
+	var out []DatasetSpec
+	for _, d := range Datasets {
+		if !d.Bipartite {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// BipartiteDatasets returns the CF inputs.
+func BipartiteDatasets() []DatasetSpec {
+	var out []DatasetSpec
+	for _, d := range Datasets {
+		if d.Bipartite {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Generate materializes the dataset at a linear scale factor in (0, 1]:
+// vertex and edge counts shrink proportionally (scale 1 = paper size).
+// Non-bipartite datasets are drawn from R-MAT at the nearest scale with an
+// edge factor matching the dataset's E/V ratio; bipartite datasets shrink
+// users/items/edges together.
+func (d DatasetSpec) Generate(scale float64, seed int64) (*Graph, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("graph: scale %v out of (0,1]", scale)
+	}
+	if d.Bipartite {
+		users := scaleInt(d.Users, scale, 64)
+		items := scaleInt(d.Items, scale, 16)
+		edges := scaleInt(d.Edges, scale, 256)
+		g, err := GenerateBipartite(BipartiteConfig{
+			Users: users, Items: items, Edges: edges,
+			Skew: DefaultRMAT(sizeScale(users), seed),
+		})
+		if err != nil {
+			return nil, err
+		}
+		g.Name = d.Name
+		return g, nil
+	}
+	wantV := float64(d.Vertices) * scale
+	rmatScale := int(math.Round(math.Log2(wantV)))
+	if rmatScale < 4 {
+		rmatScale = 4
+	}
+	v := 1 << rmatScale
+	ef := int(math.Round(float64(d.Edges) / float64(d.Vertices)))
+	if ef < 1 {
+		ef = 1
+	}
+	cfg := DefaultRMAT(rmatScale, seed)
+	cfg.EdgeFactor = ef
+	_ = v
+	g, err := GenerateRMAT(cfg)
+	if err != nil {
+		return nil, err
+	}
+	g.Name = d.Name
+	return g, nil
+}
+
+// scaleInt scales n by f with a floor.
+func scaleInt(n int, f float64, min int) int {
+	s := int(math.Round(float64(n) * f))
+	if s < min {
+		s = min
+	}
+	return s
+}

@@ -1,0 +1,239 @@
+// Package graph provides the graph substrate for the DVM evaluation: CSR
+// graph storage, the graph500 R-MAT generator used for the paper's
+// synthetic inputs, the bipartite-graph synthesis of Satish et al. used for
+// the collaborative-filtering inputs, and a registry of the seven datasets
+// of the paper's Table 3 with both paper-scale and scaled-down sizes.
+//
+// Real datasets (Flickr, Wikipedia, LiveJournal from the UF sparse
+// collection; the Netflix Prize data) are not redistributable, so each is
+// substituted by an R-MAT graph with matched vertex/edge counts — the
+// TLB/AVC behaviour the paper measures depends on footprint and
+// irregularity, both of which R-MAT's skewed degree distribution
+// reproduces. The substitution is recorded in DESIGN.md.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Graph is a directed graph in compressed-sparse-row form, optionally
+// bipartite (users × items) for collaborative filtering.
+type Graph struct {
+	// Name identifies the dataset instance.
+	Name string
+	// V is the number of vertices. For bipartite graphs vertices
+	// [0,Users) are users and [Users, Users+Items) are items.
+	V int
+	// RowPtr has V+1 entries; edges of vertex v are
+	// Col[RowPtr[v]:RowPtr[v+1]].
+	RowPtr []uint64
+	// Col holds destination vertex ids.
+	Col []uint32
+	// Weight holds per-edge weights (SSSP distances, CF ratings).
+	Weight []float32
+	// Bipartite marks user→item graphs.
+	Bipartite bool
+	// Users and Items partition V when Bipartite.
+	Users, Items int
+}
+
+// E returns the edge count.
+func (g *Graph) E() int { return len(g.Col) }
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v int) int {
+	return int(g.RowPtr[v+1] - g.RowPtr[v])
+}
+
+// Edges calls fn for every edge (src, dst, weight); fn returning false
+// stops the iteration.
+func (g *Graph) Edges(fn func(src, dst int, w float32) bool) {
+	for v := 0; v < g.V; v++ {
+		for i := g.RowPtr[v]; i < g.RowPtr[v+1]; i++ {
+			if !fn(v, int(g.Col[i]), g.Weight[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Validate checks structural invariants.
+func (g *Graph) Validate() error {
+	if len(g.RowPtr) != g.V+1 {
+		return fmt.Errorf("graph: RowPtr length %d != V+1 (%d)", len(g.RowPtr), g.V+1)
+	}
+	if g.RowPtr[0] != 0 || g.RowPtr[g.V] != uint64(len(g.Col)) {
+		return fmt.Errorf("graph: RowPtr bounds wrong")
+	}
+	for v := 0; v < g.V; v++ {
+		if g.RowPtr[v] > g.RowPtr[v+1] {
+			return fmt.Errorf("graph: RowPtr not monotone at %d", v)
+		}
+	}
+	if len(g.Weight) != len(g.Col) {
+		return fmt.Errorf("graph: Weight length %d != Col length %d", len(g.Weight), len(g.Col))
+	}
+	for i, c := range g.Col {
+		if int(c) >= g.V {
+			return fmt.Errorf("graph: edge %d targets %d >= V=%d", i, c, g.V)
+		}
+	}
+	if g.Bipartite {
+		if g.Users+g.Items != g.V {
+			return fmt.Errorf("graph: users %d + items %d != V %d", g.Users, g.Items, g.V)
+		}
+		for v := 0; v < g.Users; v++ {
+			for i := g.RowPtr[v]; i < g.RowPtr[v+1]; i++ {
+				if int(g.Col[i]) < g.Users {
+					return fmt.Errorf("graph: bipartite edge %d→%d stays in user partition", v, g.Col[i])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// edgeTuple is the paper's edge representation: (srcid, dstid, weight).
+type edgeTuple struct {
+	src, dst uint32
+	w        float32
+}
+
+// fromEdges builds a CSR graph from an edge list.
+func fromEdges(name string, v int, edges []edgeTuple, bipartite bool, users, items int) *Graph {
+	g := &Graph{
+		Name:      name,
+		V:         v,
+		RowPtr:    make([]uint64, v+1),
+		Col:       make([]uint32, len(edges)),
+		Weight:    make([]float32, len(edges)),
+		Bipartite: bipartite,
+		Users:     users,
+		Items:     items,
+	}
+	for _, e := range edges {
+		g.RowPtr[e.src+1]++
+	}
+	for i := 0; i < v; i++ {
+		g.RowPtr[i+1] += g.RowPtr[i]
+	}
+	cursor := make([]uint64, v)
+	copy(cursor, g.RowPtr[:v])
+	for _, e := range edges {
+		i := cursor[e.src]
+		cursor[e.src]++
+		g.Col[i] = e.dst
+		g.Weight[i] = e.w
+	}
+	return g
+}
+
+// RMATConfig parameterizes the graph500 recursive-matrix generator.
+type RMATConfig struct {
+	// Scale: the graph has 2^Scale vertices.
+	Scale int
+	// EdgeFactor: edges = EdgeFactor * vertices (graph500 default 16).
+	EdgeFactor int
+	// A, B, C are the R-MAT quadrant probabilities (graph500 defaults
+	// 0.57, 0.19, 0.19; D = 1-A-B-C).
+	A, B, C float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// DefaultRMAT returns the graph500 parameters at the given scale.
+func DefaultRMAT(scale int, seed int64) RMATConfig {
+	return RMATConfig{Scale: scale, EdgeFactor: 16, A: 0.57, B: 0.19, C: 0.19, Seed: seed}
+}
+
+// GenerateRMAT builds an R-MAT graph. Self loops are permitted (as in
+// graph500); duplicate edges are kept, matching the generator's behaviour.
+// Edge weights are uniform in [1, 64) for SSSP.
+func GenerateRMAT(cfg RMATConfig) (*Graph, error) {
+	if cfg.Scale < 1 || cfg.Scale > 30 {
+		return nil, fmt.Errorf("graph: RMAT scale %d out of range [1,30]", cfg.Scale)
+	}
+	if cfg.EdgeFactor < 1 {
+		return nil, fmt.Errorf("graph: edge factor %d < 1", cfg.EdgeFactor)
+	}
+	if cfg.A <= 0 || cfg.B < 0 || cfg.C < 0 || cfg.A+cfg.B+cfg.C >= 1 {
+		return nil, fmt.Errorf("graph: bad RMAT probabilities %v/%v/%v", cfg.A, cfg.B, cfg.C)
+	}
+	v := 1 << cfg.Scale
+	e := v * cfg.EdgeFactor
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	edges := make([]edgeTuple, e)
+	for i := range edges {
+		src, dst := rmatEdge(rng, cfg)
+		edges[i] = edgeTuple{src: src, dst: dst, w: 1 + 63*rng.Float32()}
+	}
+	g := fromEdges(fmt.Sprintf("rmat-%d", cfg.Scale), v, edges, false, 0, 0)
+	return g, nil
+}
+
+// rmatEdge draws one edge by recursive quadrant descent.
+func rmatEdge(rng *rand.Rand, cfg RMATConfig) (uint32, uint32) {
+	var src, dst uint32
+	for bit := cfg.Scale - 1; bit >= 0; bit-- {
+		r := rng.Float64()
+		switch {
+		case r < cfg.A:
+			// top-left: neither bit set
+		case r < cfg.A+cfg.B:
+			dst |= 1 << uint(bit)
+		case r < cfg.A+cfg.B+cfg.C:
+			src |= 1 << uint(bit)
+		default:
+			src |= 1 << uint(bit)
+			dst |= 1 << uint(bit)
+		}
+	}
+	return src, dst
+}
+
+// BipartiteConfig parameterizes synthetic user→item rating graphs,
+// following the conversion Satish et al. applied to R-MAT graphs for
+// collaborative-filtering benchmarks.
+type BipartiteConfig struct {
+	Users, Items int
+	// Edges is the number of ratings.
+	Edges int
+	// Skew is the R-MAT scale used to draw the skewed user/item indexes.
+	Skew RMATConfig
+}
+
+// GenerateBipartite builds a user→item graph: each R-MAT edge's endpoints
+// are folded onto the user and item ranges, giving the power-law activity
+// distribution of real rating data. Ratings are uniform in [1,5].
+func GenerateBipartite(cfg BipartiteConfig) (*Graph, error) {
+	if cfg.Users < 1 || cfg.Items < 1 || cfg.Edges < 1 {
+		return nil, fmt.Errorf("graph: bad bipartite shape %d users, %d items, %d edges", cfg.Users, cfg.Items, cfg.Edges)
+	}
+	if cfg.Skew.Scale == 0 {
+		cfg.Skew = DefaultRMAT(sizeScale(cfg.Users), cfg.Skew.Seed)
+	}
+	rng := rand.New(rand.NewSource(cfg.Skew.Seed))
+	edges := make([]edgeTuple, cfg.Edges)
+	for i := range edges {
+		s, d := rmatEdge(rng, cfg.Skew)
+		u := uint32(int(s) % cfg.Users)
+		m := uint32(cfg.Users + int(d)%cfg.Items)
+		edges[i] = edgeTuple{src: u, dst: m, w: float32(1 + rng.Intn(5))}
+	}
+	v := cfg.Users + cfg.Items
+	g := fromEdges(fmt.Sprintf("bipartite-%dx%d", cfg.Users, cfg.Items), v, edges, true, cfg.Users, cfg.Items)
+	return g, nil
+}
+
+// sizeScale returns ceil(log2(n)).
+func sizeScale(n int) int {
+	s := 0
+	for 1<<s < n {
+		s++
+	}
+	if s == 0 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stats summarizes a graph's shape — degree skew drives the TLB behaviour
+// the paper's evaluation measures, so the inspection tools report it.
+type Stats struct {
+	V, E int
+	// MinDegree / MaxDegree / AvgDegree of out-degrees.
+	MinDegree, MaxDegree int
+	AvgDegree            float64
+	// P50 / P90 / P99 out-degree percentiles.
+	P50, P90, P99 int
+	// HeavyEdgeFraction is the fraction of edges owned by vertices with
+	// degree >= 4x the average (skew indicator).
+	HeavyEdgeFraction float64
+	// ZeroDegree counts vertices with no out-edges.
+	ZeroDegree int
+}
+
+// ComputeStats scans the graph once.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{V: g.V, E: g.E(), MinDegree: int(^uint(0) >> 1)}
+	if g.V == 0 {
+		s.MinDegree = 0
+		return s
+	}
+	degrees := make([]int, g.V)
+	heavyThreshold := 4 * float64(s.E) / float64(s.V)
+	heavy := 0
+	for v := 0; v < g.V; v++ {
+		d := g.OutDegree(v)
+		degrees[v] = d
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d == 0 {
+			s.ZeroDegree++
+		}
+		if float64(d) >= heavyThreshold {
+			heavy += d
+		}
+	}
+	s.AvgDegree = float64(s.E) / float64(s.V)
+	if s.E > 0 {
+		s.HeavyEdgeFraction = float64(heavy) / float64(s.E)
+	}
+	sort.Ints(degrees)
+	pct := func(p float64) int { return degrees[int(p*float64(len(degrees)-1))] }
+	s.P50, s.P90, s.P99 = pct(0.50), pct(0.90), pct(0.99)
+	return s
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("V=%d E=%d deg[min=%d p50=%d p90=%d p99=%d max=%d avg=%.1f] heavy=%.1f%% zero=%d",
+		s.V, s.E, s.MinDegree, s.P50, s.P90, s.P99, s.MaxDegree, s.AvgDegree, 100*s.HeavyEdgeFraction, s.ZeroDegree)
+}

@@ -1,0 +1,63 @@
+package mmu
+
+import (
+	"github.com/dvm-sim/dvm/internal/addr"
+)
+
+// PermBitmap is the DVM-BM access-validation structure (paper §6.3, the
+// Border-Control-style variant): a flat in-memory array of 2-bit
+// permissions, one per 4 KB page of the virtual address space, consulted
+// instead of a page walk. A permission of 00 means "not identity mapped
+// here" and forces fallback to full address translation.
+//
+// The bitmap itself lives in simulated physical memory at Base; a lookup
+// that misses the bitmap cache costs one memory reference to the line
+// containing the page's field.
+type PermBitmap struct {
+	// Base is the simulated physical address of the bitmap.
+	Base addr.PA
+	// perms maps VPN -> permission; absent means NoPerm. A map keeps the
+	// simulation sparse while modelling a dense array's addresses.
+	perms map[uint64]addr.Perm
+}
+
+// bitmapRegion is where the bitmap lives in simulated PM: above the
+// page-table node region.
+const bitmapRegion = uint64(1)<<46 + uint64(1)<<45
+
+// PagesPerLine is how many pages' permissions fit in one 64 B memory line
+// (64 B * 8 bits / 2 bits per page = 256 pages, i.e. 1 MB of VA per line).
+const PagesPerLine = 64 * 8 / addr.PermBits
+
+// NewPermBitmap creates an empty bitmap.
+func NewPermBitmap() *PermBitmap {
+	return &PermBitmap{Base: addr.PA(bitmapRegion), perms: make(map[uint64]addr.Perm)}
+}
+
+// Set records the permission for the 4 KB page containing va.
+func (b *PermBitmap) Set(va addr.VA, perm addr.Perm) {
+	vpn := va.PageNumber()
+	if perm == addr.NoPerm {
+		delete(b.perms, vpn)
+		return
+	}
+	b.perms[vpn] = perm
+}
+
+// SetRange records perm for every page of r.
+func (b *PermBitmap) SetRange(r addr.VRange, perm addr.Perm) {
+	for va := r.Start.PageDown(); va < r.End(); va += addr.VA(addr.PageSize4K) {
+		b.Set(va, perm)
+	}
+}
+
+// Lookup returns the permission for va's page (NoPerm if unset) and the
+// simulated physical address of the bitmap line holding it.
+func (b *PermBitmap) Lookup(va addr.VA) (addr.Perm, addr.PA) {
+	vpn := va.PageNumber()
+	linePA := b.Base + addr.PA(vpn/PagesPerLine*64)
+	return b.perms[vpn], linePA
+}
+
+// Entries returns the number of pages with a non-NoPerm permission.
+func (b *PermBitmap) Entries() int { return len(b.perms) }

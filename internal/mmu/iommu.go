@@ -1,0 +1,442 @@
+package mmu
+
+import (
+	"fmt"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+	"github.com/dvm-sim/dvm/internal/pagetable"
+)
+
+// Mode selects the memory-management scheme the IOMMU implements — the
+// seven configurations evaluated in the paper's Section 6.3.
+type Mode int
+
+// Evaluated configurations.
+const (
+	// ModeIdeal: direct physical access, no translation or protection.
+	ModeIdeal Mode = iota
+	// ModeConv4K: conventional VM, 4 KB pages, TLB + PWC.
+	ModeConv4K
+	// ModeConv2M: conventional VM, 2 MB pages, TLB + PWC.
+	ModeConv2M
+	// ModeConv1G: conventional VM, 1 GB pages, TLB + PWC.
+	ModeConv1G
+	// ModeDVMBM: DAV via a flat permission bitmap + bitmap cache, with
+	// TLB+walk fallback for non-identity pages.
+	ModeDVMBM
+	// ModeDVMPE: DAV via Permission Entry page tables + AVC.
+	ModeDVMPE
+	// ModeDVMPEPlus: ModeDVMPE plus preload-on-read (DAV overlapped with
+	// the data fetch).
+	ModeDVMPEPlus
+)
+
+// String returns the paper's name for the configuration.
+func (m Mode) String() string {
+	switch m {
+	case ModeIdeal:
+		return "Ideal"
+	case ModeConv4K:
+		return "4K,TLB+PWC"
+	case ModeConv2M:
+		return "2M,TLB+PWC"
+	case ModeConv1G:
+		return "1G,TLB+PWC"
+	case ModeDVMBM:
+		return "DVM-BM"
+	case ModeDVMPE:
+		return "DVM-PE"
+	case ModeDVMPEPlus:
+		return "DVM-PE+"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// PageSize returns the translation page size the mode's page table is
+// built with.
+func (m Mode) PageSize() uint64 {
+	switch m {
+	case ModeConv2M:
+		return addr.PageSize2M
+	case ModeConv1G:
+		return addr.PageSize1G
+	default:
+		return addr.PageSize4K
+	}
+}
+
+// UsesPE reports whether the mode's page table should be compacted with
+// Permission Entries.
+func (m Mode) UsesPE() bool { return m == ModeDVMPE || m == ModeDVMPEPlus }
+
+// AllModes lists every mode in evaluation order (Figure 8's legend order,
+// with Ideal last as the normalization baseline).
+var AllModes = []Mode{ModeConv4K, ModeConv2M, ModeConv1G, ModeDVMBM, ModeDVMPE, ModeDVMPEPlus, ModeIdeal}
+
+// Config assembles an IOMMU.
+type Config struct {
+	Mode Mode
+	// TLBEntries is the TLB size for conventional modes and the DVM-BM
+	// fallback TLB; default 128.
+	TLBEntries int
+	// TLBWays: 0 = fully associative (the paper's accelerator IOMMU).
+	TLBWays int
+	// PWC overrides the page-walk-cache geometry (conventional + BM
+	// fallback); zero-valued fields default to the paper's 1 KB 4-way.
+	PWC PTECacheConfig
+	// AVC overrides the Access Validation Cache geometry for PE modes.
+	AVC PTECacheConfig
+	// BMCacheEntries sizes the DVM-BM bitmap cache: a 128-entry (by
+	// default) page-granular permission cache. Its page-granularity is
+	// the paper's key contrast with the AVC, whose PE entries each cover
+	// whole regions: "the hit rate of the BM cache is not as high as the
+	// AVC, due to ... use of 4KB pages instead of 128KB or larger
+	// regions".
+	BMCacheEntries int
+	// ProbeCycles is the latency of one structure probe (TLB, PWC, AVC
+	// or bitmap-cache); default 1 cycle (Table 2).
+	ProbeCycles uint64
+}
+
+// Counters aggregates IOMMU activity for performance and energy reporting.
+type Counters struct {
+	// Accesses is the number of memory requests validated/translated.
+	Accesses uint64
+	// WalkMemRefs is the number of page-walk (or bitmap) memory
+	// references issued.
+	WalkMemRefs uint64
+	// DAVIdentity counts accesses validated as identity mapped (PA==VA).
+	DAVIdentity uint64
+	// FallbackTranslations counts DVM accesses that required a real
+	// translation (PA != VA).
+	FallbackTranslations uint64
+	// SquashedPreloads counts preloads launched and discarded (DVM-PE+
+	// reads to non-identity pages).
+	SquashedPreloads uint64
+	// Faults counts permission/validation failures (exceptions raised on
+	// the host CPU).
+	Faults uint64
+	// ContextSwitches counts SwitchContext invocations (accelerator
+	// multiplexing across processes).
+	ContextSwitches uint64
+}
+
+// Plan is the timing-relevant outcome of validating/translating one memory
+// access. The accelerator engine prices it against the memory controller:
+// ProbeCycles are serial structure latencies, MemRefs are *dependent*
+// memory references (each must complete before the next), and then the
+// data access proceeds (overlapped with everything else when OverlapData).
+type Plan struct {
+	// PA is the physical address to access (undefined when Fault).
+	PA addr.PA
+	// Fault means the access is not permitted; the access is dropped and
+	// an exception is raised on the host.
+	Fault bool
+	// ProbeCycles is the total serial latency of structure probes.
+	ProbeCycles uint64
+	// MemRefs are the dependent page-walk/bitmap memory references.
+	MemRefs []addr.PA
+	// OverlapData: the data fetch may be launched in parallel with
+	// validation (DVM preload on reads).
+	OverlapData bool
+	// SquashedPreload: a preload was launched but had to be discarded;
+	// costs an extra (wasted) data memory reference's energy/bandwidth.
+	SquashedPreload bool
+}
+
+// reset clears a plan for reuse.
+func (p *Plan) reset() {
+	p.PA = 0
+	p.Fault = false
+	p.ProbeCycles = 0
+	p.MemRefs = p.MemRefs[:0]
+	p.OverlapData = false
+	p.SquashedPreload = false
+}
+
+// IOMMU validates and translates accelerator memory accesses per its
+// configured Mode. It owns the translation structures (TLB/PWC or AVC or
+// bitmap cache) but not the page table, which belongs to the OS model.
+type IOMMU struct {
+	cfg   Config
+	table *pagetable.Table
+	bm    *PermBitmap
+
+	tlb *TLB
+	pwc *PTECache
+	avc *PTECache
+	// bmCache is the DVM-BM permission cache: page-granular entries
+	// (vpn -> perm), modelled as a TLB whose "translation" is identity.
+	bmCache *TLB
+
+	walk pagetable.WalkResult
+	ctr  Counters
+}
+
+// New creates an IOMMU over the given page table (built by the OS model
+// with the mode's page size / PE layout) and, for ModeDVMBM, the permission
+// bitmap (nil otherwise).
+func New(cfg Config, table *pagetable.Table, bm *PermBitmap) (*IOMMU, error) {
+	if cfg.TLBEntries == 0 {
+		cfg.TLBEntries = 128
+	}
+	if cfg.ProbeCycles == 0 {
+		cfg.ProbeCycles = 1
+	}
+	u := &IOMMU{cfg: cfg, table: table, bm: bm}
+	switch cfg.Mode {
+	case ModeIdeal:
+		// No structures at all.
+	case ModeConv4K, ModeConv2M, ModeConv1G:
+		u.tlb = MustNewTLB(TLBConfig{Entries: cfg.TLBEntries, Ways: cfg.TLBWays, PageSize: cfg.Mode.PageSize()})
+		pwcCfg := cfg.PWC
+		if pwcCfg.MinLevel == 0 {
+			pwcCfg = DefaultPWCConfig()
+		}
+		u.pwc = MustNewPTECache(pwcCfg)
+	case ModeDVMBM:
+		if bm == nil {
+			return nil, fmt.Errorf("mmu: ModeDVMBM requires a permission bitmap")
+		}
+		u.tlb = MustNewTLB(TLBConfig{Entries: cfg.TLBEntries, Ways: cfg.TLBWays, PageSize: addr.PageSize4K})
+		pwcCfg := cfg.PWC
+		if pwcCfg.MinLevel == 0 {
+			pwcCfg = DefaultPWCConfig()
+		}
+		u.pwc = MustNewPTECache(pwcCfg)
+		// The bitmap cache: 128 page-granular permission entries.
+		bmEntries := cfg.BMCacheEntries
+		if bmEntries == 0 {
+			bmEntries = 128
+		}
+		u.bmCache = MustNewTLB(TLBConfig{Entries: bmEntries, Ways: 4, PageSize: addr.PageSize4K})
+	case ModeDVMPE, ModeDVMPEPlus:
+		avcCfg := cfg.AVC
+		if avcCfg.MinLevel == 0 {
+			avcCfg = DefaultAVCConfig()
+		}
+		u.avc = MustNewPTECache(avcCfg)
+	default:
+		return nil, fmt.Errorf("mmu: unknown mode %v", cfg.Mode)
+	}
+	if cfg.Mode != ModeIdeal && table == nil {
+		return nil, fmt.Errorf("mmu: mode %v requires a page table", cfg.Mode)
+	}
+	return u, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config, table *pagetable.Table, bm *PermBitmap) *IOMMU {
+	u, err := New(cfg, table, bm)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Mode returns the configured mode.
+func (u *IOMMU) Mode() Mode { return u.cfg.Mode }
+
+// Counters returns a copy of the activity counters.
+func (u *IOMMU) Counters() Counters { return u.ctr }
+
+// TLB returns the IOMMU's TLB (nil for PE/Ideal modes).
+func (u *IOMMU) TLB() *TLB { return u.tlb }
+
+// PWC returns the page-walk cache (nil for PE/Ideal modes).
+func (u *IOMMU) PWC() *PTECache { return u.pwc }
+
+// AVC returns the Access Validation Cache (nil unless a PE mode).
+func (u *IOMMU) AVC() *PTECache { return u.avc }
+
+// BMCache returns the bitmap cache (nil unless ModeDVMBM).
+func (u *IOMMU) BMCache() *TLB { return u.bmCache }
+
+// SwitchContext retargets the IOMMU at another process's translation state
+// — the accelerator-multiplexing path ("similar protection guarantees are
+// needed when accelerators are multiplexed among multiple processes",
+// §1). The TLB and the bitmap cache hold per-address-space state and are
+// flushed; the PWC/AVC are physically indexed and tagged, so lines of the
+// old table are harmlessly distinct from the new table's and need no
+// invalidation — one of the AVC's quiet advantages on context switches.
+func (u *IOMMU) SwitchContext(table *pagetable.Table, bm *PermBitmap) error {
+	switch u.cfg.Mode {
+	case ModeIdeal:
+		// Nothing to switch: direct physical access has no state (and
+		// no protection — the reason Ideal is not deployable).
+	case ModeDVMBM:
+		if table == nil || bm == nil {
+			return fmt.Errorf("mmu: %v context needs a table and a bitmap", u.cfg.Mode)
+		}
+	default:
+		if table == nil {
+			return fmt.Errorf("mmu: %v context needs a page table", u.cfg.Mode)
+		}
+	}
+	u.table = table
+	u.bm = bm
+	if u.tlb != nil {
+		u.tlb.Invalidate()
+	}
+	if u.bmCache != nil {
+		u.bmCache.Invalidate()
+	}
+	u.ctr.ContextSwitches++
+	return nil
+}
+
+// Translate validates/translates one access, allocating a fresh Plan.
+func (u *IOMMU) Translate(va addr.VA, kind addr.AccessKind) Plan {
+	var p Plan
+	u.TranslateInto(va, kind, &p)
+	return p
+}
+
+// TranslateInto validates/translates one access into p, reusing p.MemRefs.
+// This is the hot path: the accelerator calls it for every memory request.
+func (u *IOMMU) TranslateInto(va addr.VA, kind addr.AccessKind, p *Plan) {
+	p.reset()
+	u.ctr.Accesses++
+	switch u.cfg.Mode {
+	case ModeIdeal:
+		// Direct physical access: unsafe, free.
+		p.PA = addr.PA(va)
+	case ModeConv4K, ModeConv2M, ModeConv1G:
+		u.conventional(va, kind, p)
+	case ModeDVMBM:
+		u.davBitmap(va, kind, p)
+	case ModeDVMPE, ModeDVMPEPlus:
+		u.davPE(va, kind, p)
+	}
+}
+
+// conventional is the TLB + PWC + page-walk path.
+func (u *IOMMU) conventional(va addr.VA, kind addr.AccessKind, p *Plan) {
+	p.ProbeCycles += u.cfg.ProbeCycles
+	if pa, perm, hit := u.tlb.Lookup(va); hit {
+		u.finishTranslated(pa, perm, kind, p)
+		return
+	}
+	u.walkTable(va, p, u.pwc)
+	if u.walk.Outcome == pagetable.WalkFault {
+		u.fault(p)
+		return
+	}
+	u.tlb.Insert(u.walk.MapBase, u.walk.PA-addr.PA(uint64(va)-uint64(u.walk.MapBase)), u.walk.Perm)
+	u.finishTranslated(u.walk.PA, u.walk.Perm, kind, p)
+}
+
+// davPE is Devirtualized Access Validation via PE page tables + AVC.
+func (u *IOMMU) davPE(va addr.VA, kind addr.AccessKind, p *Plan) {
+	u.walkTable(va, p, u.avc)
+	switch u.walk.Outcome {
+	case pagetable.WalkFault:
+		u.fault(p)
+		return
+	case pagetable.WalkPE:
+		u.ctr.DAVIdentity++
+		if u.cfg.Mode == ModeDVMPEPlus && kind == addr.Read {
+			p.OverlapData = true
+		}
+		u.finishTranslated(u.walk.PA, u.walk.Perm, kind, p)
+	case pagetable.WalkLeaf:
+		// Fallback: the page is not identity mapped; the same walk
+		// that validated the access also yields the translation, so
+		// the cost is no worse than conventional VM.
+		if u.walk.Identity {
+			u.ctr.DAVIdentity++
+			if u.cfg.Mode == ModeDVMPEPlus && kind == addr.Read {
+				p.OverlapData = true
+			}
+		} else {
+			u.ctr.FallbackTranslations++
+			if u.cfg.Mode == ModeDVMPEPlus && kind == addr.Read {
+				// The preload predicted PA==VA and was wrong:
+				// squash and retry at the translated address.
+				p.SquashedPreload = true
+				u.ctr.SquashedPreloads++
+			}
+		}
+		u.finishTranslated(u.walk.PA, u.walk.Perm, kind, p)
+	}
+}
+
+// davBitmap is DAV via the flat permission bitmap (DVM-BM).
+func (u *IOMMU) davBitmap(va addr.VA, kind addr.AccessKind, p *Plan) {
+	p.ProbeCycles += u.cfg.ProbeCycles
+	perm, cached := u.lookupBitmap(va, p)
+	_ = cached
+	if perm != addr.NoPerm {
+		// Identity-mapped heap page: validate and go.
+		u.ctr.DAVIdentity++
+		u.finishTranslated(addr.PA(va), perm, kind, p)
+		return
+	}
+	// 00 in the bitmap: not identity mapped — full translation,
+	// expedited by the fallback TLB.
+	u.ctr.FallbackTranslations++
+	p.ProbeCycles += u.cfg.ProbeCycles
+	if pa, tlbPerm, hit := u.tlb.Lookup(va); hit {
+		u.finishTranslated(pa, tlbPerm, kind, p)
+		return
+	}
+	u.walkTable(va, p, u.pwc)
+	if u.walk.Outcome == pagetable.WalkFault {
+		u.fault(p)
+		return
+	}
+	u.tlb.Insert(u.walk.MapBase, u.walk.PA-addr.PA(uint64(va)-uint64(u.walk.MapBase)), u.walk.Perm)
+	u.finishTranslated(u.walk.PA, u.walk.Perm, kind, p)
+}
+
+// lookupBitmap resolves a page's 2-bit permission through the bitmap
+// cache, charging one memory reference for the bitmap line on a miss.
+func (u *IOMMU) lookupBitmap(va addr.VA, p *Plan) (addr.Perm, bool) {
+	base := va.PageDown()
+	if _, perm, hit := u.bmCache.Lookup(va); hit {
+		return perm, true
+	}
+	perm, linePA := u.bm.Lookup(va)
+	p.MemRefs = append(p.MemRefs, linePA)
+	u.ctr.WalkMemRefs++
+	u.bmCache.Insert(base, addr.PA(base), perm)
+	return perm, false
+}
+
+// walkTable performs the hardware page walk, charging structure probes for
+// cacheable levels and memory references for the rest.
+func (u *IOMMU) walkTable(va addr.VA, p *Plan, cache *PTECache) {
+	u.table.WalkInto(va, &u.walk)
+	for _, step := range u.walk.Steps {
+		if cache.Caches(step.Level) {
+			p.ProbeCycles += u.cfg.ProbeCycles
+			if cache.Lookup(step.EntryPA, step.Level) {
+				continue
+			}
+			p.MemRefs = append(p.MemRefs, step.EntryPA)
+			u.ctr.WalkMemRefs++
+			cache.Insert(step.EntryPA, step.Level)
+		} else {
+			// Conventional walkers skip the PWC for L1 lines and go
+			// straight to memory.
+			p.MemRefs = append(p.MemRefs, step.EntryPA)
+			u.ctr.WalkMemRefs++
+		}
+	}
+}
+
+// finishTranslated applies the permission check and fills the plan.
+func (u *IOMMU) finishTranslated(pa addr.PA, perm addr.Perm, kind addr.AccessKind, p *Plan) {
+	if !perm.Allows(kind) {
+		u.fault(p)
+		return
+	}
+	p.PA = pa
+}
+
+func (u *IOMMU) fault(p *Plan) {
+	p.Fault = true
+	p.OverlapData = false
+	u.ctr.Faults++
+}

@@ -1,0 +1,198 @@
+package mmu
+
+import (
+	"fmt"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+)
+
+// PTECacheConfig describes a physically-indexed, physically-tagged cache of
+// page-table lines. Both the conventional page-walk cache (PWC) and the
+// paper's Access Validation Cache (AVC) are instances:
+//
+//   - PWC:  1 KB, 4-way, 64 B blocks, MinLevel = 2 — it refuses to cache
+//     level-1 (leaf) PTE lines "to avoid polluting the PWC" [paper §4.1.2],
+//     which is why conventional 4 KB walks always take ≥1 memory reference.
+//   - AVC:  1 KB, 4-way, 64 B blocks, MinLevel = 1 — it caches all levels,
+//     including L1 PTEs and Permission Entries. Because PEs shrink the page
+//     table so much, L1 lines no longer pollute it.
+type PTECacheConfig struct {
+	// CapacityBytes is the total capacity (default 1 KB).
+	CapacityBytes int
+	// BlockBytes is the line size (default 64).
+	BlockBytes int
+	// Ways is the set associativity (default 4).
+	Ways int
+	// MinLevel is the lowest page-table level whose lines may be cached:
+	// 2 for a conventional PWC, 1 for the AVC.
+	MinLevel int
+}
+
+// DefaultPWCConfig returns the paper's PWC configuration.
+func DefaultPWCConfig() PTECacheConfig {
+	return PTECacheConfig{CapacityBytes: 1 << 10, BlockBytes: 64, Ways: 4, MinLevel: 2}
+}
+
+// DefaultAVCConfig returns the paper's AVC configuration: same geometry as
+// the PWC (so it is "just as energy-efficient"), but caching every level.
+func DefaultAVCConfig() PTECacheConfig {
+	return PTECacheConfig{CapacityBytes: 1 << 10, BlockBytes: 64, Ways: 4, MinLevel: 1}
+}
+
+type pteBlock struct {
+	valid   bool
+	tag     uint64
+	lastUse uint64
+}
+
+// PTECache is an LRU set-associative cache of page-table lines, indexed by
+// the physical address of the line.
+type PTECache struct {
+	cfg    PTECacheConfig
+	sets   [][]pteBlock
+	nsets  int
+	clock  uint64
+	hits   uint64
+	misses uint64
+}
+
+// NewPTECache creates a cache; zero config fields take the PWC defaults
+// except MinLevel, which must be set explicitly (it defines the cache's
+// identity).
+func NewPTECache(cfg PTECacheConfig) (*PTECache, error) {
+	if cfg.CapacityBytes == 0 {
+		cfg.CapacityBytes = 1 << 10
+	}
+	if cfg.BlockBytes == 0 {
+		cfg.BlockBytes = 64
+	}
+	if cfg.Ways == 0 {
+		cfg.Ways = 4
+	}
+	if cfg.MinLevel < 1 {
+		return nil, fmt.Errorf("mmu: PTECache MinLevel must be >= 1, got %d", cfg.MinLevel)
+	}
+	blocks := cfg.CapacityBytes / cfg.BlockBytes
+	if blocks == 0 || cfg.CapacityBytes%cfg.BlockBytes != 0 {
+		return nil, fmt.Errorf("mmu: capacity %d not a multiple of block size %d", cfg.CapacityBytes, cfg.BlockBytes)
+	}
+	if blocks%cfg.Ways != 0 {
+		return nil, fmt.Errorf("mmu: %d blocks not divisible by %d ways", blocks, cfg.Ways)
+	}
+	nsets := blocks / cfg.Ways
+	sets := make([][]pteBlock, nsets)
+	for i := range sets {
+		sets[i] = make([]pteBlock, cfg.Ways)
+	}
+	return &PTECache{cfg: cfg, sets: sets, nsets: nsets}, nil
+}
+
+// MustNewPTECache is NewPTECache that panics on error.
+func MustNewPTECache(cfg PTECacheConfig) *PTECache {
+	c, err := NewPTECache(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *PTECache) Config() PTECacheConfig { return c.cfg }
+
+// blockAddr returns the line-aligned address and its set index. The set
+// index XOR-folds the upper line bits (hash indexing, as hardware walker
+// caches do): page-table pages are 4 KB-aligned, so a plain modulo would
+// drop every node's first lines into the same set and thrash the low
+// set count of a 1 KB cache.
+func (c *PTECache) blockAddr(pa addr.PA) (tag uint64, set int) {
+	line := uint64(pa) / uint64(c.cfg.BlockBytes)
+	h := line
+	h ^= h >> 4
+	h ^= h >> 8
+	h ^= h >> 16
+	h ^= h >> 32
+	return line, int(h % uint64(c.nsets))
+}
+
+// Caches reports whether lines of the given page-table level are cacheable
+// here (the PWC/AVC distinction).
+func (c *PTECache) Caches(level int) bool { return level >= c.cfg.MinLevel }
+
+// Lookup probes for the page-table line containing pa, which holds an entry
+// of the given level. Lines below MinLevel are never resident: the probe
+// records a miss (the hardware still spends the probe).
+func (c *PTECache) Lookup(pa addr.PA, level int) bool {
+	c.clock++
+	if !c.Caches(level) {
+		c.misses++
+		return false
+	}
+	tag, si := c.blockAddr(pa)
+	set := c.sets[si]
+	for i := range set {
+		b := &set[i]
+		if b.valid && b.tag == tag {
+			b.lastUse = c.clock
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Insert caches the line containing pa if its level is cacheable.
+func (c *PTECache) Insert(pa addr.PA, level int) {
+	if !c.Caches(level) {
+		return
+	}
+	c.clock++
+	tag, si := c.blockAddr(pa)
+	set := c.sets[si]
+	victim := 0
+	for i := range set {
+		b := &set[i]
+		if b.valid && b.tag == tag {
+			b.lastUse = c.clock
+			return
+		}
+		if !b.valid {
+			victim = i
+			break
+		}
+		if b.lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	set[victim] = pteBlock{valid: true, tag: tag, lastUse: c.clock}
+}
+
+// Invalidate empties the cache.
+func (c *PTECache) Invalidate() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = pteBlock{}
+		}
+	}
+}
+
+// Hits returns the hit count.
+func (c *PTECache) Hits() uint64 { return c.hits }
+
+// Misses returns the miss count.
+func (c *PTECache) Misses() uint64 { return c.misses }
+
+// Lookups returns hits + misses.
+func (c *PTECache) Lookups() uint64 { return c.hits + c.misses }
+
+// HitRate returns hits/lookups, or 0 with no lookups.
+func (c *PTECache) HitRate() float64 {
+	n := c.Lookups()
+	if n == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(n)
+}
+
+// ResetStats zeroes hit/miss counters.
+func (c *PTECache) ResetStats() { c.hits, c.misses = 0, 0 }

@@ -1,0 +1,160 @@
+// Package mmu models the memory-management hardware of the simulated
+// system: TLBs, page-walk caches, the paper's Access Validation Cache
+// (AVC), the DVM-BM permission bitmap with its cache, and the IOMMU
+// front-end that performs either conventional address translation or
+// Devirtualized Access Validation (DAV) for accelerator memory requests.
+package mmu
+
+import (
+	"fmt"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+)
+
+// TLBConfig describes a translation lookaside buffer.
+type TLBConfig struct {
+	// Entries is the total entry count (e.g. 128).
+	Entries int
+	// Ways is the associativity; 0 means fully associative.
+	Ways int
+	// PageSize is the translation granularity cached by this TLB
+	// (4 KB / 2 MB / 1 GB). All inserted translations must use it.
+	PageSize uint64
+}
+
+// tlbEntry is one cached translation.
+type tlbEntry struct {
+	valid   bool
+	vpn     uint64 // base VA / PageSize
+	pfn     uint64 // base PA / PageSize
+	perm    addr.Perm
+	lastUse uint64
+}
+
+// TLB is an LRU translation lookaside buffer with configurable
+// associativity. It is single-page-size: the evaluated configurations each
+// run with one translation granularity, which is also why the paper calls
+// out that "supporting multiple page sizes is difficult" for set-associative
+// TLBs.
+type TLB struct {
+	cfg    TLBConfig
+	sets   [][]tlbEntry
+	nsets  int
+	clock  uint64
+	hits   uint64
+	misses uint64
+}
+
+// NewTLB creates a TLB.
+func NewTLB(cfg TLBConfig) (*TLB, error) {
+	if cfg.Entries <= 0 {
+		return nil, fmt.Errorf("mmu: TLB needs at least one entry")
+	}
+	if cfg.PageSize != addr.PageSize4K && cfg.PageSize != addr.PageSize2M && cfg.PageSize != addr.PageSize1G {
+		return nil, fmt.Errorf("mmu: unsupported TLB page size %d", cfg.PageSize)
+	}
+	ways := cfg.Ways
+	if ways == 0 {
+		ways = cfg.Entries // fully associative
+	}
+	if cfg.Entries%ways != 0 {
+		return nil, fmt.Errorf("mmu: entries %d not divisible by ways %d", cfg.Entries, ways)
+	}
+	nsets := cfg.Entries / ways
+	sets := make([][]tlbEntry, nsets)
+	for i := range sets {
+		sets[i] = make([]tlbEntry, ways)
+	}
+	return &TLB{cfg: cfg, sets: sets, nsets: nsets}, nil
+}
+
+// MustNewTLB is NewTLB that panics on error.
+func MustNewTLB(cfg TLBConfig) *TLB {
+	t, err := NewTLB(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the TLB configuration.
+func (t *TLB) Config() TLBConfig { return t.cfg }
+
+func (t *TLB) setFor(vpn uint64) []tlbEntry {
+	return t.sets[vpn%uint64(t.nsets)]
+}
+
+// Lookup probes the TLB for va. On a hit it returns the translated PA and
+// the cached permission.
+func (t *TLB) Lookup(va addr.VA) (pa addr.PA, perm addr.Perm, hit bool) {
+	t.clock++
+	vpn := uint64(va) / t.cfg.PageSize
+	set := t.setFor(vpn)
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.vpn == vpn {
+			e.lastUse = t.clock
+			t.hits++
+			off := uint64(va) % t.cfg.PageSize
+			return addr.PA(e.pfn*t.cfg.PageSize + off), e.perm, true
+		}
+	}
+	t.misses++
+	return 0, addr.NoPerm, false
+}
+
+// Insert caches the translation of the page containing va. base/pa must be
+// aligned to the TLB's page size.
+func (t *TLB) Insert(base addr.VA, pa addr.PA, perm addr.Perm) {
+	t.clock++
+	vpn := uint64(base) / t.cfg.PageSize
+	pfn := uint64(pa) / t.cfg.PageSize
+	set := t.setFor(vpn)
+	victim := 0
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.vpn == vpn {
+			e.pfn, e.perm, e.lastUse = pfn, perm, t.clock
+			return
+		}
+		if !e.valid {
+			victim = i
+			break
+		}
+		if e.lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	set[victim] = tlbEntry{valid: true, vpn: vpn, pfn: pfn, perm: perm, lastUse: t.clock}
+}
+
+// Invalidate removes all entries (full TLB shootdown).
+func (t *TLB) Invalidate() {
+	for _, set := range t.sets {
+		for i := range set {
+			set[i] = tlbEntry{}
+		}
+	}
+}
+
+// Hits returns the hit count.
+func (t *TLB) Hits() uint64 { return t.hits }
+
+// Misses returns the miss count.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// Lookups returns hits + misses.
+func (t *TLB) Lookups() uint64 { return t.hits + t.misses }
+
+// MissRate returns misses / lookups, or 0 with no lookups.
+func (t *TLB) MissRate() float64 {
+	n := t.Lookups()
+	if n == 0 {
+		return 0
+	}
+	return float64(t.misses) / float64(n)
+}
+
+// ResetStats zeroes the hit/miss counters without invalidating entries
+// (used to exclude warm-up from measurements).
+func (t *TLB) ResetStats() { t.hits, t.misses = 0, 0 }

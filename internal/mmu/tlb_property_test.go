@@ -1,0 +1,122 @@
+package mmu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+)
+
+// refTLB is an oracle: an unbounded map plus an exact LRU list per set,
+// against which the TLB implementation is checked operation by operation.
+type refTLB struct {
+	nsets, ways int
+	pageSize    uint64
+	sets        [][]refEntry // MRU first
+}
+
+type refEntry struct {
+	vpn  uint64
+	pfn  uint64
+	perm addr.Perm
+}
+
+func newRefTLB(entries, ways int, pageSize uint64) *refTLB {
+	if ways == 0 {
+		ways = entries
+	}
+	return &refTLB{nsets: entries / ways, ways: ways, pageSize: pageSize, sets: make([][]refEntry, entries/ways)}
+}
+
+func (r *refTLB) lookup(va addr.VA) (addr.PA, addr.Perm, bool) {
+	vpn := uint64(va) / r.pageSize
+	set := r.sets[vpn%uint64(r.nsets)]
+	for i, e := range set {
+		if e.vpn == vpn {
+			// Move to MRU.
+			copy(set[1:i+1], set[:i])
+			set[0] = e
+			return addr.PA(e.pfn*r.pageSize + uint64(va)%r.pageSize), e.perm, true
+		}
+	}
+	return 0, addr.NoPerm, false
+}
+
+func (r *refTLB) insert(base addr.VA, pa addr.PA, perm addr.Perm) {
+	vpn := uint64(base) / r.pageSize
+	si := vpn % uint64(r.nsets)
+	set := r.sets[si]
+	for i, e := range set {
+		if e.vpn == vpn {
+			copy(set[1:i+1], set[:i])
+			set[0] = refEntry{vpn: vpn, pfn: uint64(pa) / r.pageSize, perm: perm}
+			return
+		}
+	}
+	e := refEntry{vpn: vpn, pfn: uint64(pa) / r.pageSize, perm: perm}
+	set = append([]refEntry{e}, set...)
+	if len(set) > r.ways {
+		set = set[:r.ways]
+	}
+	r.sets[si] = set
+}
+
+// TestTLBMatchesReferenceLRU drives random lookup/insert sequences against
+// the oracle for several geometries.
+func TestTLBMatchesReferenceLRU(t *testing.T) {
+	f := func(seed int64, geom uint8) bool {
+		geometries := []struct{ entries, ways int }{
+			{4, 0}, {8, 2}, {16, 4}, {32, 8},
+		}
+		g := geometries[int(geom)%len(geometries)]
+		tlb := MustNewTLB(TLBConfig{Entries: g.entries, Ways: g.ways, PageSize: addr.PageSize4K})
+		ref := newRefTLB(g.entries, g.ways, addr.PageSize4K)
+		rng := rand.New(rand.NewSource(seed))
+		for step := 0; step < 400; step++ {
+			va := addr.VA(uint64(rng.Intn(64)) * addr.PageSize4K)
+			if rng.Intn(2) == 0 {
+				pa := addr.PA(uint64(rng.Intn(1<<16)) * addr.PageSize4K)
+				tlb.Insert(va, pa, addr.ReadWrite)
+				ref.insert(va, pa, addr.ReadWrite)
+				continue
+			}
+			probe := va + addr.VA(rng.Intn(4096))
+			gotPA, gotPerm, gotHit := tlb.Lookup(probe)
+			wantPA, wantPerm, wantHit := ref.lookup(probe)
+			if gotHit != wantHit || (gotHit && (gotPA != wantPA || gotPerm != wantPerm)) {
+				t.Logf("seed %d step %d: (%#x,%v,%v) want (%#x,%v,%v)",
+					seed, step, uint64(gotPA), gotPerm, gotHit, uint64(wantPA), wantPerm, wantHit)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTLBStatsConsistency: hits + misses equals lookups, never decreasing.
+func TestTLBStatsConsistency(t *testing.T) {
+	tlb := MustNewTLB(TLBConfig{Entries: 8, PageSize: addr.PageSize4K})
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		va := addr.VA(uint64(rng.Intn(32)) * addr.PageSize4K)
+		if rng.Intn(3) == 0 {
+			tlb.Insert(va, addr.PA(va), addr.ReadOnly)
+		} else {
+			tlb.Lookup(va)
+		}
+		if tlb.Hits()+tlb.Misses() != tlb.Lookups() {
+			t.Fatalf("stats inconsistent at step %d", i)
+		}
+	}
+	if tlb.MissRate() < 0 || tlb.MissRate() > 1 {
+		t.Errorf("MissRate = %v", tlb.MissRate())
+	}
+	tlb.ResetStats()
+	if tlb.Lookups() != 0 {
+		t.Error("ResetStats did not clear counters")
+	}
+}

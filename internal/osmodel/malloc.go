@@ -1,0 +1,138 @@
+package osmodel
+
+import (
+	"fmt"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+)
+
+// MallocPoolBytes is the size of each small-allocation pool the user-level
+// allocator mmaps (paper §4.3.2: "We initially allocate a memory pool to
+// handle small allocations. Another pool is allocated when the first is
+// full. Thus, we turn the heap into noncontiguous memory-mapped
+// segments.").
+const MallocPoolBytes = 1 << 20
+
+// mallocLargeThreshold is the size at and above which an allocation gets
+// its own mmap'd segment instead of pool space (glibc's M_MMAP_THRESHOLD
+// spirit, aligned to the identity granule).
+const mallocLargeThreshold = IdentityGranule
+
+// mallocAlign is the chunk alignment, which doubles as the size-class
+// granularity for free-chunk reuse.
+const mallocAlign = 16
+
+// Malloc is the user-level allocator model: the paper modifies glibc
+// malloc to always obtain memory with mmap, so identity mapping applies to
+// every heap allocation. Small requests are carved from pooled segments
+// with size-class free lists (SmartHeap-style reuse); large requests map
+// their own segment.
+type Malloc struct {
+	p *Process
+	// open is the pool currently being bump-allocated.
+	open *mallocPool
+	// pools maps pool base -> pool, for Free.
+	pools map[addr.VA]*mallocPool
+	// freeByClass holds freed small chunks for reuse, keyed by their
+	// 16-byte size class.
+	freeByClass map[uint64][]addr.VA
+	// chunkPool maps a live or free small chunk to its pool base.
+	chunkPool map[addr.VA]addr.VA
+	// chunkSize maps a live small chunk to its class size.
+	chunkSize map[addr.VA]uint64
+	// large maps each large allocation's address to its VMA range.
+	large map[addr.VA]addr.VRange
+
+	allocated uint64
+	requested uint64
+}
+
+type mallocPool struct {
+	r    addr.VRange
+	off  uint64
+	live int
+}
+
+// NewMalloc creates an allocator over the process.
+func NewMalloc(p *Process) *Malloc {
+	return &Malloc{
+		p:           p,
+		pools:       make(map[addr.VA]*mallocPool),
+		freeByClass: make(map[uint64][]addr.VA),
+		chunkPool:   make(map[addr.VA]addr.VA),
+		chunkSize:   make(map[addr.VA]uint64),
+		large:       make(map[addr.VA]addr.VRange),
+	}
+}
+
+// Alloc returns the address of a new allocation of the given size.
+func (m *Malloc) Alloc(size uint64) (addr.VA, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("osmodel: malloc of zero bytes")
+	}
+	m.requested += size
+	if size >= mallocLargeThreshold {
+		r, _, err := m.p.Mmap(size, addr.ReadWrite)
+		if err != nil {
+			return 0, err
+		}
+		m.large[r.Start] = r
+		m.allocated += r.Size
+		return r.Start, nil
+	}
+	class := addr.AlignUp(size, mallocAlign)
+	// Reuse a freed chunk of the same class when available.
+	if list := m.freeByClass[class]; len(list) > 0 {
+		va := list[len(list)-1]
+		m.freeByClass[class] = list[:len(list)-1]
+		m.chunkSize[va] = class
+		m.pools[m.chunkPool[va]].live++
+		m.allocated += class
+		return va, nil
+	}
+	if m.open == nil || m.open.off+class > m.open.r.Size {
+		r, _, err := m.p.Mmap(MallocPoolBytes, addr.ReadWrite)
+		if err != nil {
+			return 0, err
+		}
+		m.open = &mallocPool{r: r}
+		m.pools[r.Start] = m.open
+	}
+	va := m.open.r.Start + addr.VA(m.open.off)
+	m.open.off += class
+	m.open.live++
+	m.chunkPool[va] = m.open.r.Start
+	m.chunkSize[va] = class
+	m.allocated += class
+	return va, nil
+}
+
+// Free releases an allocation returned by Alloc. Small chunks go to their
+// size class's free list for reuse; a pool whose chunks are all free could
+// be unmapped, but is kept for reuse (as SmartHeap keeps its pools).
+func (m *Malloc) Free(va addr.VA) error {
+	if r, ok := m.large[va]; ok {
+		delete(m.large, va)
+		m.allocated -= r.Size
+		return m.p.Munmap(r)
+	}
+	class, ok := m.chunkSize[va]
+	if !ok {
+		return fmt.Errorf("osmodel: free of unallocated address %#x", uint64(va))
+	}
+	delete(m.chunkSize, va)
+	m.freeByClass[class] = append(m.freeByClass[class], va)
+	m.pools[m.chunkPool[va]].live--
+	m.allocated -= class
+	return nil
+}
+
+// LiveBytes returns the bytes currently handed out to the application
+// (rounded to chunk classes / mapped segment sizes).
+func (m *Malloc) LiveBytes() uint64 { return m.allocated }
+
+// Pools returns the number of pool segments mapped.
+func (m *Malloc) Pools() int { return len(m.pools) }
+
+// LargeAllocs returns the number of live large allocations.
+func (m *Malloc) LargeAllocs() int { return len(m.large) }

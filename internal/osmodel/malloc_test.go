@@ -1,0 +1,168 @@
+package osmodel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+)
+
+func newMallocProc(t *testing.T) (*System, *Process, *Malloc) {
+	t.Helper()
+	sys, p := newProc(t, Policy{IdentityMapHeap: true})
+	return sys, p, NewMalloc(p)
+}
+
+func TestMallocSmallAllocationsPool(t *testing.T) {
+	_, p, m := newMallocProc(t)
+	var addrs []addr.VA
+	for i := 0; i < 100; i++ {
+		va, err := m.Alloc(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, va)
+	}
+	// 100 small allocations fit one pool: exactly one VMA of pool size.
+	if m.Pools() != 1 {
+		t.Errorf("pools = %d, want 1", m.Pools())
+	}
+	if len(p.VMAs()) != 1 {
+		t.Errorf("VMAs = %d, want 1 pool segment", len(p.VMAs()))
+	}
+	// Chunks are 16-byte aligned and disjoint.
+	for i := 1; i < len(addrs); i++ {
+		if uint64(addrs[i])%16 != 0 {
+			t.Fatalf("chunk %d misaligned: %#x", i, uint64(addrs[i]))
+		}
+		if addrs[i]-addrs[i-1] < 112 { // 100 rounded to 112
+			t.Fatalf("chunks overlap: %#x then %#x", uint64(addrs[i-1]), uint64(addrs[i]))
+		}
+	}
+}
+
+func TestMallocLargeAllocationsOwnSegment(t *testing.T) {
+	_, p, m := newMallocProc(t)
+	va, err := m.Alloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LargeAllocs() != 1 {
+		t.Errorf("LargeAllocs = %d", m.LargeAllocs())
+	}
+	v := p.FindVMA(va)
+	if v == nil || !v.Identity {
+		t.Fatal("large allocation not identity mapped")
+	}
+	if err := m.Free(va); err != nil {
+		t.Fatal(err)
+	}
+	if m.LargeAllocs() != 0 {
+		t.Errorf("LargeAllocs after free = %d", m.LargeAllocs())
+	}
+	if p.FindVMA(va) != nil {
+		t.Error("segment still mapped after free")
+	}
+}
+
+func TestMallocReuseWithinClass(t *testing.T) {
+	_, _, m := newMallocProc(t)
+	a, err := m.Alloc(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Alloc(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("freed chunk not reused: %#x then %#x", uint64(a), uint64(b))
+	}
+}
+
+func TestMallocValidation(t *testing.T) {
+	_, _, m := newMallocProc(t)
+	if _, err := m.Alloc(0); err == nil {
+		t.Error("zero-byte malloc accepted")
+	}
+	if err := m.Free(0xdead); err == nil {
+		t.Error("free of bogus address accepted")
+	}
+	va, _ := m.Alloc(64)
+	if err := m.Free(va); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(va); err == nil {
+		t.Error("double free accepted")
+	}
+}
+
+func TestMallocLiveBytesAccounting(t *testing.T) {
+	_, _, m := newMallocProc(t)
+	va1, _ := m.Alloc(100) // class 112
+	va2, _ := m.Alloc(1 << 20)
+	if m.LiveBytes() < 112+1<<20 {
+		t.Errorf("LiveBytes = %d", m.LiveBytes())
+	}
+	_ = m.Free(va1)
+	_ = m.Free(va2)
+	if m.LiveBytes() != 0 {
+		t.Errorf("LiveBytes after frees = %d", m.LiveBytes())
+	}
+}
+
+// TestMallocProperty: random alloc/free sequences never hand out
+// overlapping chunks and always free cleanly.
+func TestMallocProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		sys := MustNewSystem(64 << 20)
+		p := sys.NewProcess(Policy{IdentityMapHeap: true, Seed: seed})
+		m := NewMalloc(p)
+		rng := rand.New(rand.NewSource(seed))
+		type chunk struct {
+			va   addr.VA
+			size uint64
+		}
+		var live []chunk
+		for step := 0; step < 300; step++ {
+			if rng.Intn(3) == 0 && len(live) > 0 {
+				i := rng.Intn(len(live))
+				if err := m.Free(live[i].va); err != nil {
+					t.Logf("free: %v", err)
+					return false
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				continue
+			}
+			size := rng.Uint64()%300_000 + 1
+			va, err := m.Alloc(size)
+			if err != nil {
+				continue // OOM is fine at this memory size
+			}
+			for _, c := range live {
+				aEnd := uint64(va) + size
+				cEnd := uint64(c.va) + c.size
+				if uint64(va) < cEnd && uint64(c.va) < aEnd {
+					t.Logf("overlap: [%#x,%#x) with [%#x,%#x)", uint64(va), aEnd, uint64(c.va), cEnd)
+					return false
+				}
+			}
+			live = append(live, chunk{va, size})
+		}
+		for _, c := range live {
+			if err := m.Free(c.va); err != nil {
+				t.Logf("final free: %v", err)
+				return false
+			}
+		}
+		return m.LiveBytes() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,619 @@
+// Package osmodel implements the operating-system side of DVM: the paper's
+// Linux 4.10 modifications (Section 4.3) recreated as a user-space model.
+//
+// The core mechanism is Identity Mapping with eager contiguous allocation
+// (Figure 7 of the paper): on every heap allocation the OS first obtains a
+// physically contiguous region from the buddy allocator, then places the
+// virtual mapping at the virtual address equal to the physical address
+// (VA==PA). If either step fails the allocation transparently falls back to
+// conventional demand paging, preserving the VM abstraction.
+//
+// The package also models the flexible address space (segments may live
+// anywhere, as identity mapping dictates), fork with copy-on-write (which
+// breaks identity mapping for the copied page, as the paper discusses in
+// Section 5), process exit, and the construction of the page tables the
+// simulated IOMMU/MMU walks — including compacted tables with Permission
+// Entries, and the DVM-BM permission bitmap view.
+package osmodel
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+	"github.com/dvm-sim/dvm/internal/phys"
+)
+
+// KernelReserved is the physical memory reserved below the buddy-managed
+// region for firmware and the kernel image, as on a real machine.
+const KernelReserved = 16 << 20
+
+// DefaultStackSize is the eagerly allocated stack (paper §7.2: "we eagerly
+// allocate an 8MB stack for all threads").
+const DefaultStackSize = 8 << 20
+
+// mmapTopVA is where the demand-paged mmap area starts (grows downward),
+// mirroring the upper end of a Linux user address space.
+const mmapTopVA = addr.VA(0x7f00_0000_0000)
+
+// minUserVA is the lowest VA usable by user mappings (guard against null).
+const minUserVA = addr.VA(64 << 10)
+
+// IdentityGranule is the size multiple identity-mapped allocations are
+// rounded to: 128 KB, the region granularity of an L2 Permission Entry
+// (2 MB / 16 fields). Keeping every identity allocation field-aligned and
+// field-sized preserves permission contiguity, so whole 2 MB regions fold
+// into PEs (paper §4.1.1: gaps are "handled gracefully, if aligned
+// suitably"). Allocations smaller than the granule are expected to come
+// from a pooling allocator (Malloc), matching the paper's
+// malloc-over-mmap design (§4.3.2).
+const IdentityGranule = 128 << 10
+
+// IdentityGranuleLarge is the rounding granule for very large identity
+// allocations: 64 MB, the field granularity of an L3 Permission Entry
+// (1 GB / 16). Rounding a multi-GB allocation to 64 MB (<= a few percent
+// overhead above IdentityGranuleLargeMin) lets whole 1 GB table entries
+// fold into L3 PEs, keeping the page table to a handful of lines — the
+// regime where the paper's 1 KB AVC services every walk.
+const IdentityGranuleLarge = 64 << 20
+
+// IdentityGranuleLargeMin is the allocation size at which the large
+// granule applies (the rounding waste stays below ~12%).
+const IdentityGranuleLargeMin = 512 << 20
+
+// identityGranuleFor picks the rounding granule for an identity
+// allocation.
+func identityGranuleFor(size uint64) uint64 {
+	if size >= IdentityGranuleLargeMin {
+		return IdentityGranuleLarge
+	}
+	return IdentityGranule
+}
+
+// SegmentKind labels a virtual memory area.
+type SegmentKind uint8
+
+// Segment kinds.
+const (
+	SegHeap SegmentKind = iota
+	SegCode
+	SegData
+	SegBSS
+	SegStack
+)
+
+// String implements fmt.Stringer.
+func (k SegmentKind) String() string {
+	switch k {
+	case SegHeap:
+		return "heap"
+	case SegCode:
+		return "code"
+	case SegData:
+		return "data"
+	case SegBSS:
+		return "bss"
+	case SegStack:
+		return "stack"
+	default:
+		return fmt.Sprintf("SegmentKind(%d)", uint8(k))
+	}
+}
+
+// Policy selects the memory-management behaviour of a process.
+type Policy struct {
+	// IdentityMapHeap enables DVM identity mapping for heap (mmap)
+	// allocations — the accelerator-facing DVM of Sections 3–4.
+	IdentityMapHeap bool
+	// IdentityMapAll additionally identity maps code, globals and stack
+	// — the cDVM extension of Section 7.
+	IdentityMapAll bool
+	// Seed randomizes address-space placement (ASLR); processes with
+	// the same seed lay out identically, keeping simulations
+	// reproducible.
+	Seed int64
+}
+
+// VMA is a virtual memory area.
+type VMA struct {
+	Kind SegmentKind
+	R    addr.VRange
+	Perm addr.Perm
+	// Identity is true when the whole VMA is identity mapped (VA==PA)
+	// onto Backing.
+	Identity bool
+	// Backing is the eager physical range (valid when Identity).
+	Backing addr.PRange
+	// pages maps page index within the VMA -> backing frame for
+	// demand-paged VMAs; a page is absent until first touch.
+	pages map[uint64]addr.PA
+	// cow marks the VMA copy-on-write; origPerm is restored on the
+	// first write fault.
+	cow      bool
+	origPerm addr.Perm
+}
+
+// Pages returns how many 4 KB pages of the VMA are currently backed.
+func (v *VMA) Pages() uint64 {
+	if v.Identity {
+		return v.R.Size / addr.PageSize4K
+	}
+	return uint64(len(v.pages))
+}
+
+// System is the machine-wide OS state: physical memory plus processes.
+type System struct {
+	mem      *phys.Memory
+	procs    map[int]*Process
+	nextPID  int
+	frameRef map[addr.PA]int // CoW share counts for individual frames
+}
+
+// NewSystem boots a system with the given physical memory size (bytes,
+// power-of-two). The first KernelReserved bytes are claimed by the kernel
+// at boot; managing the full [0, memBytes) range in one buddy keeps large
+// blocks naturally aligned in physical address space, which identity
+// mapping relies on for 1 GB-scale Permission Entry folding.
+func NewSystem(memBytes uint64) (*System, error) {
+	mem, err := phys.NewMemory(0, memBytes)
+	if err != nil {
+		return nil, err
+	}
+	if memBytes <= KernelReserved {
+		return nil, fmt.Errorf("osmodel: memory %d does not fit the kernel reservation", memBytes)
+	}
+	if _, err := mem.AllocAt(0, KernelReserved); err != nil {
+		return nil, err
+	}
+	return &System{mem: mem, procs: make(map[int]*Process), nextPID: 1, frameRef: make(map[addr.PA]int)}, nil
+}
+
+// MustNewSystem is NewSystem that panics on error.
+func MustNewSystem(memBytes uint64) *System {
+	s, err := NewSystem(memBytes)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Memory exposes the physical allocator (for statistics).
+func (s *System) Memory() *phys.Memory { return s.mem }
+
+// NewProcess creates an empty process.
+func (s *System) NewProcess(pol Policy) *Process {
+	p := &Process{
+		pid:     s.nextPID,
+		sys:     s,
+		policy:  pol,
+		rng:     rand.New(rand.NewSource(pol.Seed ^ int64(s.nextPID)<<32)),
+		mmapTop: mmapTopVA,
+	}
+	// ASLR: randomize the top of the demand-paged mmap area (28 bits of
+	// entropy at page granularity, as in Linux).
+	p.mmapTop -= addr.VA(uint64(p.rng.Int63n(1<<28)) * addr.PageSize4K / 16)
+	s.procs[p.pid] = p
+	s.nextPID++
+	return p
+}
+
+// Process is a simulated process address space.
+type Process struct {
+	pid     int
+	sys     *System
+	policy  Policy
+	vmas    []*VMA // sorted by R.Start
+	rng     *rand.Rand
+	mmapTop addr.VA
+	stats   ProcStats
+	exited  bool
+}
+
+// ProcStats counts identity-mapping outcomes for a process (Table 4's
+// ingredients).
+type ProcStats struct {
+	// IdentityBytes is the total size of live identity-mapped VMAs.
+	IdentityBytes uint64
+	// DemandBytes is the total size of live demand-paged VMAs.
+	DemandBytes uint64
+	// IdentityFailures counts allocations that fell back to demand
+	// paging (no contiguous PM, or VA range collision).
+	IdentityFailures uint64
+	// CowBreaks counts pages whose identity mapping was broken by a
+	// copy-on-write fault.
+	CowBreaks uint64
+}
+
+// PID returns the process id.
+func (p *Process) PID() int { return p.pid }
+
+// Policy returns the process policy.
+func (p *Process) Policy() Policy { return p.policy }
+
+// Stats returns the current statistics.
+func (p *Process) Stats() ProcStats { return p.stats }
+
+// VMAs returns the live areas, sorted by start address. The slice is shared;
+// callers must not mutate it.
+func (p *Process) VMAs() []*VMA { return p.vmas }
+
+// FindVMA returns the VMA containing va, or nil.
+func (p *Process) FindVMA(va addr.VA) *VMA {
+	i := sort.Search(len(p.vmas), func(i int) bool { return p.vmas[i].R.End() > va })
+	if i < len(p.vmas) && p.vmas[i].R.Contains(va) {
+		return p.vmas[i]
+	}
+	return nil
+}
+
+// rangeFree reports whether [start,start+size) overlaps no existing VMA and
+// lies in user space. The VMA slice is sorted and non-overlapping, so a
+// single binary search suffices.
+func (p *Process) rangeFree(start addr.VA, size uint64) bool {
+	if start < minUserVA || uint64(start)+size > uint64(addr.MaxVA)>>1 {
+		return false
+	}
+	probe := addr.VRange{Start: start, Size: size}
+	i := sort.Search(len(p.vmas), func(i int) bool { return p.vmas[i].R.End() > start })
+	return i == len(p.vmas) || !p.vmas[i].R.Overlaps(probe)
+}
+
+// insertVMA adds v keeping the slice sorted.
+func (p *Process) insertVMA(v *VMA) {
+	i := sort.Search(len(p.vmas), func(i int) bool { return p.vmas[i].R.Start >= v.R.Start })
+	p.vmas = append(p.vmas, nil)
+	copy(p.vmas[i+1:], p.vmas[i:])
+	p.vmas[i] = v
+}
+
+// findFreeVA finds space for a demand-paged mapping in the mmap area,
+// scanning downward from the randomized top.
+func (p *Process) findFreeVA(size uint64) (addr.VA, error) {
+	size = addr.AlignUp(size, addr.PageSize4K)
+	cand := addr.VA(addr.AlignDown(uint64(p.mmapTop)-size, addr.PageSize4K))
+	for tries := 0; tries < 1<<20; tries++ {
+		if cand < minUserVA {
+			return 0, fmt.Errorf("osmodel: virtual address space exhausted")
+		}
+		if p.rangeFree(cand, size) {
+			p.mmapTop = cand
+			return cand, nil
+		}
+		// Skip below the blocking VMA.
+		blocker := p.FindVMA(cand)
+		if blocker == nil {
+			blocker = p.FindVMA(cand + addr.VA(size) - 1)
+		}
+		if blocker == nil {
+			cand -= addr.VA(addr.PageSize4K)
+			continue
+		}
+		if uint64(blocker.R.Start) < size {
+			return 0, fmt.Errorf("osmodel: virtual address space exhausted")
+		}
+		cand = addr.VA(addr.AlignDown(uint64(blocker.R.Start)-size, addr.PageSize4K))
+	}
+	return 0, fmt.Errorf("osmodel: no free virtual range for %d bytes", size)
+}
+
+// Mmap allocates size bytes with the given permission, following the
+// paper's Figure 7: try eager contiguous allocation + identity placement,
+// else fall back to demand paging. It returns the mapped range and whether
+// it is identity mapped.
+func (p *Process) Mmap(size uint64, perm addr.Perm) (addr.VRange, bool, error) {
+	return p.mmapSeg(size, perm, SegHeap, p.policy.IdentityMapHeap)
+}
+
+func (p *Process) mmapSeg(size uint64, perm addr.Perm, kind SegmentKind, identity bool) (addr.VRange, bool, error) {
+	if p.exited {
+		return addr.VRange{}, false, fmt.Errorf("osmodel: process %d has exited", p.pid)
+	}
+	if size == 0 {
+		return addr.VRange{}, false, fmt.Errorf("osmodel: zero-size mapping")
+	}
+	size = addr.AlignUp(size, addr.PageSize4K)
+	if identity {
+		granule := identityGranuleFor(size)
+		gsize := addr.AlignUp(size, granule)
+		align := granule
+		if granule == IdentityGranuleLarge {
+			// GB-scale allocations get their own 1 GB-aligned
+			// table entries, so they fold into L3 PEs instead of
+			// sharing (and poisoning) an entry with small
+			// segments.
+			align = addr.PageSize1G
+		}
+		if pr, err := p.sys.mem.AllocContiguousAligned(gsize, align); err == nil {
+			va := addr.VA(pr.Start)
+			if p.rangeFree(va, gsize) {
+				v := &VMA{Kind: kind, R: addr.VRange{Start: va, Size: gsize}, Perm: perm, Identity: true, Backing: pr}
+				p.insertVMA(v)
+				p.stats.IdentityBytes += gsize
+				return v.R, true, nil
+			}
+			// VA collision: give the physical range back and fall
+			// back to demand paging (paper Figure 7's "Move fails"
+			// arm).
+			if err := p.sys.mem.Free(pr); err != nil {
+				return addr.VRange{}, false, err
+			}
+			p.stats.IdentityFailures++
+		} else {
+			p.stats.IdentityFailures++
+		}
+	}
+	va, err := p.findFreeVA(size)
+	if err != nil {
+		return addr.VRange{}, false, err
+	}
+	v := &VMA{Kind: kind, R: addr.VRange{Start: va, Size: size}, Perm: perm, pages: make(map[uint64]addr.PA)}
+	p.insertVMA(v)
+	p.stats.DemandBytes += size
+	return v.R, false, nil
+}
+
+// Munmap removes a mapping previously returned by Mmap (whole-VMA only) and
+// frees its physical backing.
+func (p *Process) Munmap(r addr.VRange) error {
+	i := sort.Search(len(p.vmas), func(i int) bool { return p.vmas[i].R.Start >= r.Start })
+	if i < len(p.vmas) && p.vmas[i].R == r {
+		v := p.vmas[i]
+		p.vmas = append(p.vmas[:i], p.vmas[i+1:]...)
+		if v.Identity {
+			p.stats.IdentityBytes -= v.R.Size
+			return p.sys.releaseIdentityBacking(v)
+		}
+		p.stats.DemandBytes -= v.R.Size
+		return p.sys.releasePages(v)
+	}
+	return fmt.Errorf("osmodel: Munmap(%v): no such mapping", r)
+}
+
+// releaseFrame drops one process's reference to a 4 KB frame. frameRef
+// holds the number of referencing processes for shared frames (always >= 2
+// when present); an absent entry means a single owner, whose release frees
+// the frame.
+func (s *System) releaseFrame(pa addr.PA) error {
+	if n, shared := s.frameRef[pa]; shared {
+		if n > 2 {
+			s.frameRef[pa] = n - 1
+		} else {
+			delete(s.frameRef, pa) // one holder remains; not freed yet
+		}
+		return nil
+	}
+	return s.mem.FreeRange(addr.PRange{Start: pa, Size: addr.PageSize4K})
+}
+
+// releasePages drops the demand-paged frames of v, honouring CoW sharing.
+func (s *System) releasePages(v *VMA) error {
+	for _, pa := range v.pages {
+		if err := s.releaseFrame(pa); err != nil {
+			return err
+		}
+	}
+	v.pages = nil
+	return nil
+}
+
+// releaseIdentityBacking frees the eager contiguous backing of an identity
+// VMA, leaving CoW-shared frames to their remaining holders.
+func (s *System) releaseIdentityBacking(v *VMA) error {
+	if len(s.frameRef) == 0 {
+		// Fast path: no sharing anywhere in the system. FreeRange
+		// rather than Free because segment splitting (LoadProgram) can
+		// leave a VMA backed by a sub-range of its original block.
+		return s.mem.FreeRange(v.Backing)
+	}
+	var runStart addr.PA
+	var runLen uint64
+	flush := func() error {
+		if runLen == 0 {
+			return nil
+		}
+		err := s.mem.FreeRange(addr.PRange{Start: runStart, Size: runLen})
+		runLen = 0
+		return err
+	}
+	for pa := v.Backing.Start; pa < v.Backing.End(); pa += addr.PA(addr.PageSize4K) {
+		if n, shared := s.frameRef[pa]; shared {
+			if err := flush(); err != nil {
+				return err
+			}
+			if n > 2 {
+				s.frameRef[pa] = n - 1
+			} else {
+				delete(s.frameRef, pa)
+			}
+			continue
+		}
+		if runLen == 0 {
+			runStart = pa
+		}
+		runLen += addr.PageSize4K
+	}
+	return flush()
+}
+
+// Mprotect changes the permission of a whole VMA.
+func (p *Process) Mprotect(r addr.VRange, perm addr.Perm) error {
+	for _, v := range p.vmas {
+		if v.R == r {
+			v.Perm = perm
+			return nil
+		}
+	}
+	return fmt.Errorf("osmodel: Mprotect(%v): no such mapping", r)
+}
+
+// Touch simulates an access to va, running the demand-paging fault handler
+// if needed, and returns the backing physical address. A permission
+// violation returns an error (the process would receive SIGSEGV).
+func (p *Process) Touch(va addr.VA, kind addr.AccessKind) (addr.PA, error) {
+	v := p.FindVMA(va)
+	if v == nil {
+		return 0, fmt.Errorf("osmodel: segfault at %#x (no mapping)", uint64(va))
+	}
+	if v.cow && kind == addr.Write {
+		if err := p.cowFault(v, va); err != nil {
+			return 0, err
+		}
+	} else if !v.Perm.Allows(kind) {
+		return 0, fmt.Errorf("osmodel: %v access to %#x denied (%v)", kind, uint64(va), v.Perm)
+	}
+	if v.Identity {
+		return addr.PA(va), nil
+	}
+	idx := uint64(va-v.R.Start) / addr.PageSize4K
+	if pa, ok := v.pages[idx]; ok {
+		return pa + addr.PA(uint64(va)%addr.PageSize4K), nil
+	}
+	pa, err := p.sys.mem.AllocFrame()
+	if err != nil {
+		return 0, fmt.Errorf("osmodel: out of memory demand-paging %#x: %w", uint64(va), err)
+	}
+	v.pages[idx] = pa
+	return pa + addr.PA(uint64(va)%addr.PageSize4K), nil
+}
+
+// TouchRange faults in every page of r (like memset over a new allocation).
+func (p *Process) TouchRange(r addr.VRange, kind addr.AccessKind) error {
+	for va := r.Start.PageDown(); va < r.End(); va += addr.VA(addr.PageSize4K) {
+		if _, err := p.Touch(va, kind); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Translate resolves va to its current backing PA without faulting.
+func (p *Process) Translate(va addr.VA) (addr.PA, bool) {
+	v := p.FindVMA(va)
+	if v == nil {
+		return 0, false
+	}
+	if v.Identity {
+		return addr.PA(va), true
+	}
+	idx := uint64(va-v.R.Start) / addr.PageSize4K
+	pa, ok := v.pages[idx]
+	if !ok {
+		return 0, false
+	}
+	return pa + addr.PA(uint64(va)%addr.PageSize4K), true
+}
+
+// cowFault resolves a write to a CoW page: allocate a private copy. The
+// copy cannot be identity mapped — its VA is fixed and the matching PA
+// belongs to the original data (paper Section 5) — so the VMA degrades to
+// demand paging for that page.
+func (p *Process) cowFault(v *VMA, va addr.VA) error {
+	idx := uint64(va-v.R.Start) / addr.PageSize4K
+	// Determine the currently shared frame.
+	var shared addr.PA
+	if v.Identity {
+		// Writing process was the identity owner: it keeps the frame;
+		// nothing to copy for it. Restore write permission lazily at
+		// page granularity is not supported for identity VMAs — the
+		// owner keeps the whole VMA, so just restore the permission.
+		v.Perm = v.origPerm
+		v.cow = false
+		return nil
+	}
+	shared = v.pages[idx]
+	newPA, err := p.sys.mem.AllocFrame()
+	if err != nil {
+		return fmt.Errorf("osmodel: out of memory for CoW copy: %w", err)
+	}
+	if err := p.sys.releaseFrame(shared); err != nil {
+		return err
+	}
+	v.pages[idx] = newPA
+	p.stats.CowBreaks++
+	// The page is now private: restore the original permission for the
+	// whole VMA once all of it has been copied; for simplicity restore
+	// per-VMA on first write (page-granular CoW bookkeeping is not
+	// needed for the experiments).
+	v.Perm = v.origPerm
+	v.cow = false
+	return nil
+}
+
+// Fork creates a child process whose address space is a copy-on-write copy
+// of p's (paper Section 5). Identity VMAs remain identity in the parent;
+// the child aliases the same frames *without* identity (its pages map
+// records PA==VA aliases that break on first write). Both sides drop to
+// read-only until a write fault.
+func (p *Process) Fork() (*Process, error) {
+	if p.exited {
+		return nil, fmt.Errorf("osmodel: fork from exited process")
+	}
+	child := p.sys.NewProcess(p.policy)
+	for _, v := range p.vmas {
+		cv := &VMA{
+			Kind:     v.Kind,
+			R:        v.R,
+			Perm:     addr.ReadOnly,
+			pages:    make(map[uint64]addr.PA),
+			cow:      true,
+			origPerm: v.Perm,
+		}
+		if v.Perm == addr.ReadExecute {
+			cv.Perm = addr.ReadExecute // code stays executable
+		}
+		share := func(idx uint64, pa addr.PA) {
+			cv.pages[idx] = pa
+			n := p.sys.frameRef[pa]
+			if n == 0 {
+				n = 1 // the existing sole owner
+			}
+			p.sys.frameRef[pa] = n + 1
+		}
+		if v.Identity {
+			for idx := uint64(0); idx < v.R.Size/addr.PageSize4K; idx++ {
+				share(idx, v.Backing.Start+addr.PA(idx*addr.PageSize4K))
+			}
+		} else {
+			for idx, pa := range v.pages {
+				share(idx, pa)
+			}
+		}
+		child.insertVMA(cv)
+		child.stats.DemandBytes += v.R.Size
+		// Parent also becomes CoW (writes must not leak to the child).
+		if v.Perm == addr.ReadWrite {
+			v.cow = true
+			v.origPerm = v.Perm
+			v.Perm = addr.ReadOnly
+		}
+	}
+	return child, nil
+}
+
+// Spawn models posix_spawn (fork+exec without copying): a fresh process
+// with the same policy — the paper's recommended way to create processes
+// after identity-mapped structures exist.
+func (p *Process) Spawn() *Process { return p.sys.NewProcess(p.policy) }
+
+// Exit tears the process down, releasing all backing memory.
+func (p *Process) Exit() error {
+	if p.exited {
+		return nil
+	}
+	p.exited = true
+	for _, v := range p.vmas {
+		if v.Identity {
+			if err := p.sys.releaseIdentityBacking(v); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := p.sys.releasePages(v); err != nil {
+			return err
+		}
+	}
+	p.vmas = nil
+	delete(p.sys.procs, p.pid)
+	return nil
+}

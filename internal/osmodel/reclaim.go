@@ -1,0 +1,138 @@
+package osmodel
+
+import (
+	"fmt"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+)
+
+// This file implements the paper's low-memory escape hatches (§4.3.1):
+// "to reclaim memory, the OS could convert permission entries to standard
+// PTEs and swap out memory", and "once there is sufficient free memory,
+// the OS can reorganize memory to reestablish identity mappings". The
+// paper leaves both unimplemented; they are implemented here because a
+// production DVM system needs them, and they exercise interesting
+// transitions between the identity and demand-paged worlds.
+
+// BreakIdentity converts the identity VMA exactly covering r into a
+// demand-paged VMA backed by the same frames. The mapping is then an
+// ordinary (if coincidentally identity-valued) translation: the OS may
+// subsequently migrate or swap individual pages, at the cost of DVM's fast
+// validation for the region.
+func (p *Process) BreakIdentity(r addr.VRange) error {
+	v := p.findExactVMA(r)
+	if v == nil {
+		return fmt.Errorf("osmodel: BreakIdentity(%v): no such mapping", r)
+	}
+	if !v.Identity {
+		return fmt.Errorf("osmodel: BreakIdentity(%v): not identity mapped", r)
+	}
+	v.Identity = false
+	v.pages = make(map[uint64]addr.PA, v.R.Size/addr.PageSize4K)
+	for idx := uint64(0); idx < v.R.Size/addr.PageSize4K; idx++ {
+		v.pages[idx] = v.Backing.Start + addr.PA(idx*addr.PageSize4K)
+	}
+	v.Backing = addr.PRange{}
+	p.stats.IdentityBytes -= v.R.Size
+	p.stats.DemandBytes += v.R.Size
+	return nil
+}
+
+// SwapOut releases the frames backing the demand-paged VMA covering r
+// (their contents are assumed written to backing store, which the
+// simulation does not model). Identity VMAs must be broken first. Touched
+// again, the pages fault back in with fresh frames.
+func (p *Process) SwapOut(r addr.VRange) error {
+	v := p.findExactVMA(r)
+	if v == nil {
+		return fmt.Errorf("osmodel: SwapOut(%v): no such mapping", r)
+	}
+	if v.Identity {
+		return fmt.Errorf("osmodel: SwapOut(%v): break identity mapping first", r)
+	}
+	if err := p.sys.releasePages(v); err != nil {
+		return err
+	}
+	v.pages = make(map[uint64]addr.PA)
+	return nil
+}
+
+// ReestablishIdentity attempts to return the VMA covering r to identity
+// mapping: it reserves the physical range equal to the virtual range,
+// migrates the VMA's current frames into it (freeing them), and marks the
+// VMA identity again. It reports false (without error) when the target
+// physical range is not free — the caller may retry after reclaiming
+// memory, as the paper suggests.
+func (p *Process) ReestablishIdentity(r addr.VRange) (bool, error) {
+	v := p.findExactVMA(r)
+	if v == nil {
+		return false, fmt.Errorf("osmodel: ReestablishIdentity(%v): no such mapping", r)
+	}
+	if v.Identity {
+		return true, nil
+	}
+	// Shared (CoW) frames cannot be migrated out from under the other
+	// processes referencing them.
+	for _, pa := range v.pages {
+		if _, shared := p.sys.frameRef[pa]; shared {
+			return false, nil
+		}
+	}
+	target := addr.PRange{Start: addr.PA(v.R.Start), Size: v.R.Size}
+	pages := v.R.Size / addr.PageSize4K
+	// Classify every page: a frame already at its identity address is
+	// "in place"; a frame of this VMA sitting *elsewhere inside* the
+	// target range would need a temporary home to migrate, which we
+	// don't attempt — report not-yet-possible.
+	inPlace := make(map[uint64]bool, len(v.pages))
+	ownFrames := make(map[addr.PA]bool, len(v.pages))
+	for idx, pa := range v.pages {
+		if pa == target.Start+addr.PA(idx*addr.PageSize4K) {
+			inPlace[idx] = true
+			continue
+		}
+		ownFrames[pa] = true
+		if target.Contains(pa) {
+			return false, nil
+		}
+	}
+	// Reserve every missing target frame, all-or-nothing.
+	var reserved []addr.PRange
+	rollback := func() {
+		for _, pr := range reserved {
+			_ = p.sys.mem.FreeRange(pr)
+		}
+	}
+	for idx := uint64(0); idx < pages; idx++ {
+		if inPlace[idx] {
+			continue
+		}
+		pa := target.Start + addr.PA(idx*addr.PageSize4K)
+		if _, err := p.sys.mem.AllocAt(pa, addr.PageSize4K); err != nil {
+			rollback()
+			return false, nil
+		}
+		reserved = append(reserved, addr.PRange{Start: pa, Size: addr.PageSize4K})
+	}
+	// Migrate: free the displaced frames and adopt the identity range.
+	for pa := range ownFrames {
+		if err := p.sys.mem.FreeRange(addr.PRange{Start: pa, Size: addr.PageSize4K}); err != nil {
+			return false, err
+		}
+	}
+	v.Identity = true
+	v.Backing = target
+	v.pages = nil
+	p.stats.IdentityBytes += v.R.Size
+	p.stats.DemandBytes -= v.R.Size
+	return true, nil
+}
+
+// findExactVMA returns the VMA whose range equals r.
+func (p *Process) findExactVMA(r addr.VRange) *VMA {
+	v := p.FindVMA(r.Start)
+	if v == nil || v.R != r {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,207 @@
+package osmodel
+
+import (
+	"testing"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+)
+
+func TestBreakIdentity(t *testing.T) {
+	_, p := newProc(t, Policy{IdentityMapHeap: true})
+	r, ident, err := p.Mmap(1<<20, addr.ReadWrite)
+	if err != nil || !ident {
+		t.Fatalf("mmap: %v ident=%v", err, ident)
+	}
+	if err := p.BreakIdentity(r); err != nil {
+		t.Fatal(err)
+	}
+	v := p.FindVMA(r.Start)
+	if v.Identity {
+		t.Fatal("VMA still identity")
+	}
+	// The frames are unchanged (coincidentally identity-valued) until
+	// the OS moves them.
+	pa, err := p.Touch(r.Start+0x3000, addr.Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(pa) != uint64(r.Start)+0x3000 {
+		t.Errorf("frame moved during break: %#x", uint64(pa))
+	}
+	// Stats flipped.
+	if p.Stats().IdentityBytes != 0 || p.Stats().DemandBytes != r.Size {
+		t.Errorf("stats: %+v", p.Stats())
+	}
+	// Double break fails.
+	if err := p.BreakIdentity(r); err == nil {
+		t.Error("double BreakIdentity accepted")
+	}
+	if err := p.BreakIdentity(addr.VRange{Start: 0x1000, Size: 0x1000}); err == nil {
+		t.Error("BreakIdentity of unknown range accepted")
+	}
+}
+
+func TestSwapOutAndBack(t *testing.T) {
+	sys, p := newProc(t, Policy{IdentityMapHeap: true})
+	r, _, err := p.Mmap(1<<20, addr.ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SwapOut(r); err == nil {
+		t.Error("SwapOut of identity VMA accepted")
+	}
+	if err := p.BreakIdentity(r); err != nil {
+		t.Fatal(err)
+	}
+	used := sys.Memory().UsedBytes()
+	if err := p.SwapOut(r); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Memory().UsedBytes(); got != used-r.Size {
+		t.Errorf("swap-out reclaimed %d bytes, want %d", used-got, r.Size)
+	}
+	// Fault back in: fresh frames, still readable.
+	if _, err := p.Touch(r.Start, addr.Write); err != nil {
+		t.Fatalf("fault-in after swap: %v", err)
+	}
+}
+
+func TestReestablishIdentityInPlace(t *testing.T) {
+	// Break and immediately re-establish: all frames are in place, so
+	// the operation must succeed without any allocation churn.
+	sys, p := newProc(t, Policy{IdentityMapHeap: true})
+	r, _, err := p.Mmap(1<<20, addr.ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := sys.Memory().UsedBytes()
+	if err := p.BreakIdentity(r); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := p.ReestablishIdentity(r)
+	if err != nil || !ok {
+		t.Fatalf("reestablish: ok=%v err=%v", ok, err)
+	}
+	if !p.FindVMA(r.Start).Identity {
+		t.Fatal("VMA not identity after reestablish")
+	}
+	if sys.Memory().UsedBytes() != used {
+		t.Errorf("memory use changed: %d -> %d", used, sys.Memory().UsedBytes())
+	}
+	if err := sys.Memory().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent on an identity VMA.
+	ok, err = p.ReestablishIdentity(r)
+	if err != nil || !ok {
+		t.Fatalf("second reestablish: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestReestablishIdentityAfterSwap(t *testing.T) {
+	// Swap the region out (frames freed), touch a few pages (scattered
+	// replacement frames), then re-establish: the OS must migrate the
+	// pages back to PA==VA.
+	sys, p := newProc(t, Policy{IdentityMapHeap: true})
+	r, _, err := p.Mmap(1<<20, addr.ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.BreakIdentity(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SwapOut(r); err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the low identity frames with another allocation so the
+	// faulted-in frames land elsewhere.
+	blocker, _, err := p.Mmap(2<<20, addr.ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Touch(r.Start, addr.Write); err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := p.Translate(r.Start)
+	// Re-establish: only possible if the target range is free. If the
+	// blocker grabbed it, re-establishment reports false; free the
+	// blocker and retry — the paper's "once there is sufficient free
+	// memory" path.
+	ok, err := p.ReestablishIdentity(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		if err := p.Munmap(blocker); err != nil {
+			t.Fatal(err)
+		}
+		ok, err = p.ReestablishIdentity(r)
+		if err != nil || !ok {
+			t.Fatalf("retry after freeing blocker: ok=%v err=%v", ok, err)
+		}
+	}
+	newPA, err := p.Touch(r.Start, addr.Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(newPA) != uint64(r.Start) {
+		t.Errorf("page not migrated to identity: PA %#x (was %#x)", uint64(newPA), uint64(pa))
+	}
+	if err := sys.Memory().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReestablishIdentityBlockedByCoW(t *testing.T) {
+	_, p := newProc(t, Policy{IdentityMapHeap: true})
+	r, _, err := p.Mmap(256<<10, addr.ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.BreakIdentity(r); err != nil {
+		t.Fatal(err)
+	}
+	child, err := p.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = child.Exit() }()
+	ok, err := p.ReestablishIdentity(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("reestablish succeeded despite CoW sharing")
+	}
+}
+
+func TestPageTableReflectsBreak(t *testing.T) {
+	_, p := newProc(t, Policy{IdentityMapHeap: true})
+	r, _, err := p.Mmap(2<<20, addr.ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := p.BuildCanonicalTable(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tbl.SizeStats()
+	if before.PECount == 0 {
+		t.Fatal("identity heap produced no PEs")
+	}
+	if err := p.BreakIdentity(r); err != nil {
+		t.Fatal(err)
+	}
+	tbl2, err := p.BuildCanonicalTable(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := tbl2.SizeStats()
+	// The broken region's pages are still PFN==VPN, so compaction may
+	// still fold them — the *semantics* stay correct either way; what
+	// must hold is that lookups still resolve.
+	if _, _, ok := tbl2.Lookup(r.Start); !ok {
+		t.Error("broken region unmapped in table")
+	}
+	_ = after
+}

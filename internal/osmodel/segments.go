@@ -1,0 +1,104 @@
+package osmodel
+
+import (
+	"fmt"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+)
+
+// Program describes an executable image to load: sizes of the text, data
+// and bss segments. The paper's cDVM prototype treats code+data+bss as one
+// logical entity loaded position-independently (PIE), identity mapped when
+// Policy.IdentityMapAll is set (Section 7.2).
+type Program struct {
+	CodeBytes uint64
+	DataBytes uint64
+	BSSBytes  uint64
+}
+
+// ProgramLayout reports where the loader placed the image.
+type ProgramLayout struct {
+	Code  addr.VRange
+	Data  addr.VRange
+	BSS   addr.VRange
+	Stack addr.VRange
+	// Identity reports whether each segment ended up identity mapped.
+	CodeIdentity  bool
+	StackIdentity bool
+}
+
+// LoadProgram lays out the text/data/bss segments and an eager stack,
+// following Section 7.2:
+//
+//   - With IdentityMapAll, the three image segments are allocated as one
+//     identity-mapped region (PIE makes any base legal), code gets
+//     Read-Execute and data/bss Read-Write.
+//   - The main stack is eagerly allocated (DefaultStackSize) and, under
+//     IdentityMapAll, moved to the VA matching its PA before control
+//     transfers to the application.
+func (p *Process) LoadProgram(prog Program) (ProgramLayout, error) {
+	var lay ProgramLayout
+	code := addr.AlignUp(prog.CodeBytes, addr.PageSize4K)
+	data := addr.AlignUp(prog.DataBytes, addr.PageSize4K)
+	bss := addr.AlignUp(prog.BSSBytes, addr.PageSize4K)
+	if code == 0 {
+		return lay, fmt.Errorf("osmodel: program needs a code segment")
+	}
+	identity := p.policy.IdentityMapAll
+	// One combined allocation so the three segments stay adjacent, as
+	// PIE loaders keep them.
+	total := code + data + bss
+	r, isIdent, err := p.mmapSeg(total, addr.ReadExecute, SegCode, identity)
+	if err != nil {
+		return lay, err
+	}
+	// Split the combined VMA into per-segment VMAs with correct
+	// permissions: find and remove the combined VMA, then reinsert.
+	if err := p.splitSegments(r, code, data, bss, isIdent); err != nil {
+		return lay, err
+	}
+	lay.Code = addr.VRange{Start: r.Start, Size: code}
+	lay.Data = addr.VRange{Start: r.Start + addr.VA(code), Size: data}
+	lay.BSS = addr.VRange{Start: r.Start + addr.VA(code+data), Size: bss}
+	lay.CodeIdentity = isIdent
+
+	stack, stackIdent, err := p.mmapSeg(DefaultStackSize, addr.ReadWrite, SegStack, identity)
+	if err != nil {
+		return lay, err
+	}
+	lay.Stack = stack
+	lay.StackIdentity = stackIdent
+	return lay, nil
+}
+
+// splitSegments rewrites the single loader VMA covering r into code / data
+// / bss VMAs sharing the same backing.
+func (p *Process) splitSegments(r addr.VRange, code, data, bss uint64, identity bool) error {
+	var v *VMA
+	for i, cand := range p.vmas {
+		if cand.R == r {
+			v = cand
+			p.vmas = append(p.vmas[:i], p.vmas[i+1:]...)
+			break
+		}
+	}
+	if v == nil {
+		return fmt.Errorf("osmodel: loader VMA %v vanished", r)
+	}
+	mk := func(kind SegmentKind, start addr.VA, size uint64, perm addr.Perm) {
+		if size == 0 {
+			return
+		}
+		nv := &VMA{Kind: kind, R: addr.VRange{Start: start, Size: size}, Perm: perm, Identity: identity}
+		if identity {
+			nv.Backing = addr.PRange{Start: addr.PA(start), Size: size}
+		} else {
+			nv.pages = make(map[uint64]addr.PA)
+		}
+		p.insertVMA(nv)
+	}
+	mk(SegCode, r.Start, code, addr.ReadExecute)
+	mk(SegData, r.Start+addr.VA(code), data, addr.ReadWrite)
+	mk(SegBSS, r.Start+addr.VA(code+data), bss, addr.ReadWrite)
+	return nil
+}

@@ -1,0 +1,150 @@
+package pagetable
+
+import "github.com/dvm-sim/dvm/internal/addr"
+
+// entrySummary is the bottom-up analysis result for one entry, used by
+// Compact to decide where Permission Entries can replace subtrees.
+type entrySummary struct {
+	// identity: every mapped page under this entry satisfies PA == VA
+	// (empty ranges count as identity).
+	identity bool
+	// uniform: the whole span has a single permission (NoPerm for fully
+	// unmapped spans).
+	uniform bool
+	// perm is the uniform permission (valid only when uniform).
+	perm addr.Perm
+	// empty: nothing mapped under this entry at all.
+	empty bool
+}
+
+// Compact folds identity-mapped, permission-uniform subtrees into
+// Permission Entries (paper Section 4.1.1) and prunes empty subtrees. It
+// returns the number of PEs created. Compact is idempotent: running it
+// twice yields no further change.
+//
+// An interior entry at level L (span S) becomes a PE when every mapped page
+// beneath it is identity mapped and each of the PEFields aligned S/PEFields
+// sub-regions has one uniform permission (fully-unmapped sub-regions encode
+// as NoPerm). This is exactly the paper's rule: a 2 MB L2 entry folds when
+// its sixteen 128 KB sub-regions are uniform; a 1 GB L3 entry folds over
+// sixteen 64 MB sub-regions, and so on.
+func (t *Table) Compact() int {
+	created := 0
+	t.compactNode(t.root, 0, &created)
+	return created
+}
+
+// compactNode post-order compacts the subtrees under n, whose base virtual
+// address is base.
+func (t *Table) compactNode(n *Node, base addr.VA, created *int) {
+	span := entrySpan(n.Level)
+	for i := 0; i < EntriesPerNode; i++ {
+		e := &n.Entries[i]
+		if e.Kind != EntryTable {
+			continue
+		}
+		eBase := base + addr.VA(uint64(i)*span)
+		t.compactNode(e.Next, eBase, created)
+		s := t.nodeSummaryAt(e.Next, eBase)
+		if s.empty {
+			*e = Entry{}
+			continue
+		}
+		if !s.identity || n.Level < 2 {
+			continue
+		}
+		perms, ok := t.groupPerms(e.Next, eBase)
+		if !ok {
+			continue
+		}
+		*e = Entry{Kind: EntryPE, PEPerms: perms}
+		*created++
+	}
+}
+
+// summarize produces the summary for a single entry at the given level.
+func (t *Table) summarize(e *Entry, level int, baseVA addr.VA) entrySummary {
+	switch e.Kind {
+	case EntryEmpty:
+		return entrySummary{identity: true, uniform: true, perm: addr.NoPerm, empty: true}
+	case EntryLeaf:
+		if e.Perm == addr.NoPerm {
+			return entrySummary{identity: true, uniform: true, perm: addr.NoPerm, empty: true}
+		}
+		span := entrySpan(level)
+		ident := e.PFN*span == uint64(baseVA)
+		return entrySummary{identity: ident, uniform: true, perm: e.Perm}
+	case EntryPE:
+		first := e.PEPerms[0]
+		uniform := true
+		empty := first == addr.NoPerm
+		for _, p := range e.PEPerms[1:] {
+			if p != first {
+				uniform = false
+			}
+			if p != addr.NoPerm {
+				empty = false
+			}
+		}
+		return entrySummary{identity: true, uniform: uniform, perm: first, empty: empty}
+	case EntryTable:
+		return t.nodeSummaryAt(e.Next, baseVA)
+	default:
+		return entrySummary{}
+	}
+}
+
+// nodeSummaryAt aggregates the summaries of all entries of n, whose base
+// virtual address is base.
+func (t *Table) nodeSummaryAt(n *Node, base addr.VA) entrySummary {
+	span := entrySpan(n.Level)
+	agg := entrySummary{identity: true, uniform: true, perm: addr.NoPerm, empty: true}
+	first := true
+	for i := 0; i < EntriesPerNode; i++ {
+		s := t.summarize(&n.Entries[i], n.Level, base+addr.VA(uint64(i)*span))
+		if !s.identity {
+			agg.identity = false
+		}
+		if !s.empty {
+			agg.empty = false
+		}
+		if !s.uniform {
+			agg.uniform = false
+		}
+		if first {
+			agg.perm = s.perm
+			first = false
+		} else if s.perm != agg.perm {
+			agg.uniform = false
+		}
+	}
+	return agg
+}
+
+// groupPerms computes the PEFields per-group permissions for replacing the
+// parent entry of node n (at base VA base) with a PE. It returns ok=false
+// if any group is non-uniform or any content is non-identity.
+func (t *Table) groupPerms(n *Node, base addr.VA) ([]addr.Perm, bool) {
+	span := entrySpan(n.Level)
+	group := EntriesPerNode / t.cfg.PEFields
+	perms := make([]addr.Perm, t.cfg.PEFields)
+	for g := 0; g < t.cfg.PEFields; g++ {
+		var gp addr.Perm
+		firstSet := false
+		for k := 0; k < group; k++ {
+			i := g*group + k
+			s := t.summarize(&n.Entries[i], n.Level, base+addr.VA(uint64(i)*span))
+			if !s.identity || !s.uniform {
+				return nil, false
+			}
+			if !firstSet {
+				gp = s.perm
+				firstSet = true
+			} else if s.perm != gp {
+				return nil, false
+			}
+		}
+		perms[g] = gp
+	}
+	return perms, true
+}

@@ -1,0 +1,484 @@
+// Package pagetable implements the x86-64 radix page table used by the DVM
+// simulation, extended with the paper's Permission Entry (PE) format
+// (Section 4.1.1).
+//
+// A PE is a leaf page-table entry that may appear at any level. Instead of
+// a physical frame number it stores sixteen 2-bit permission fields, one
+// per aligned 1/16th sub-region of the VA range the entry maps, and it
+// implicitly guarantees that all allocated memory in that range is identity
+// mapped (VA==PA). Replacing an interior entry with a PE deletes the whole
+// subtree beneath it, which is where the paper's dramatic page-table size
+// reductions (Table 1) come from: leaf (L1) page-table pages are ~98% of a
+// conventional table's footprint.
+//
+// The package also provides the page walker used by the simulated IOMMU and
+// CPU MMUs. The walker reports the full trace of entry accesses (with the
+// simulated physical addresses of the page-table lines touched) so the MMU
+// models can charge PWC/AVC hits and memory references accurately.
+package pagetable
+
+import (
+	"fmt"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+)
+
+// EntriesPerNode is the number of entries in one page-table page.
+const EntriesPerNode = 512
+
+// EntryBytes is the architectural size of one page-table entry.
+const EntryBytes = 8
+
+// NodeBytes is the size of one page-table page.
+const NodeBytes = EntriesPerNode * EntryBytes // 4 KB
+
+// DefaultPEFields is the paper's PE fan-out: sixteen permission fields per
+// entry. The ablation benchmarks sweep this.
+const DefaultPEFields = 16
+
+// ptNodeRegion is the base simulated physical address from which page-table
+// pages themselves are allocated. It sits high in the 48-bit physical space
+// so it never collides with identity-mapped application data.
+const ptNodeRegion = uint64(1) << 46
+
+// EntryKind classifies a page-table entry.
+type EntryKind uint8
+
+// Entry kinds.
+const (
+	// EntryEmpty is a non-present entry.
+	EntryEmpty EntryKind = iota
+	// EntryTable points to a next-level page-table page.
+	EntryTable
+	// EntryLeaf maps a page (4 KB at L1, 2 MB at L2, 1 GB at L3).
+	EntryLeaf
+	// EntryPE is a Permission Entry: identity-mapped, permissions per
+	// aligned sub-region, no subtree.
+	EntryPE
+)
+
+// String implements fmt.Stringer.
+func (k EntryKind) String() string {
+	switch k {
+	case EntryEmpty:
+		return "empty"
+	case EntryTable:
+		return "table"
+	case EntryLeaf:
+		return "leaf"
+	case EntryPE:
+		return "pe"
+	default:
+		return fmt.Sprintf("EntryKind(%d)", uint8(k))
+	}
+}
+
+// Entry is one slot of a page-table node. Architecturally it occupies
+// EntryBytes; the struct form is a simulation convenience.
+type Entry struct {
+	Kind EntryKind
+	// Next is the child node for EntryTable entries.
+	Next *Node
+	// PFN is the physical page number, in units of the page size mapped
+	// at this level, for EntryLeaf entries.
+	PFN uint64
+	// Perm is the page permission for EntryLeaf entries.
+	Perm addr.Perm
+	// PEPerms holds the per-sub-region permissions for EntryPE entries;
+	// its length equals the table's PEFields setting.
+	PEPerms []addr.Perm
+}
+
+// Node is one page-table page: 512 entries.
+type Node struct {
+	Entries [EntriesPerNode]Entry
+	// Level of this node's entries: 1 (leaf page table, 4 KB per entry)
+	// through the table's root level.
+	Level int
+	// PA is the simulated physical address of this page-table page; the
+	// PWC and AVC are physically indexed, so walker steps carry entry
+	// addresses derived from it.
+	PA addr.PA
+}
+
+// EntryPA returns the simulated physical address of entry i, i.e. the
+// memory word the hardware walker fetches.
+func (n *Node) EntryPA(i int) addr.PA {
+	return n.PA + addr.PA(i*EntryBytes)
+}
+
+// Config controls page-table shape.
+type Config struct {
+	// Levels is the radix depth: 4 (x86-64) or 5 (la57). Zero means 4.
+	Levels int
+	// PEFields is the number of permission fields per Permission Entry.
+	// Zero means DefaultPEFields. Must divide EntriesPerNode.
+	PEFields int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Levels == 0 {
+		c.Levels = 4
+	}
+	if c.PEFields == 0 {
+		c.PEFields = DefaultPEFields
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Levels != 4 && c.Levels != 5 {
+		return fmt.Errorf("pagetable: Levels must be 4 or 5, got %d", c.Levels)
+	}
+	if c.PEFields < 1 || c.PEFields > EntriesPerNode || EntriesPerNode%c.PEFields != 0 {
+		return fmt.Errorf("pagetable: PEFields must divide %d, got %d", EntriesPerNode, c.PEFields)
+	}
+	return nil
+}
+
+// Table is a radix page table with Permission Entry support.
+type Table struct {
+	cfg    Config
+	root   *Node
+	nextPA uint64
+}
+
+// New creates an empty page table.
+func New(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{cfg: cfg, nextPA: ptNodeRegion}
+	t.root = t.newNode(cfg.Levels)
+	return t, nil
+}
+
+// MustNew is New that panics on error, for constant-valid configurations.
+func MustNew(cfg Config) *Table {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the table's configuration (with defaults applied).
+func (t *Table) Config() Config { return t.cfg }
+
+// Root returns the root node (level == Config().Levels).
+func (t *Table) Root() *Node { return t.root }
+
+func (t *Table) newNode(level int) *Node {
+	n := &Node{Level: level, PA: addr.PA(t.nextPA)}
+	t.nextPA += NodeBytes
+	return n
+}
+
+// entrySpan returns the bytes of virtual address space mapped by one entry
+// at the given level: 4 KB at level 1, 2 MB at level 2, 1 GB at level 3...
+func entrySpan(level int) uint64 {
+	return addr.PageSize4K << (9 * uint(level-1))
+}
+
+// indexAt returns the entry index for va at the given level.
+func indexAt(va addr.VA, level int) int {
+	return int(uint64(va) >> (12 + 9*uint(level-1)) & (EntriesPerNode - 1))
+}
+
+// leafLevelFor returns the page-table level whose leaves map the given page
+// size, or 0 if the size is not a supported page size.
+func leafLevelFor(pageSize uint64) int {
+	switch pageSize {
+	case addr.PageSize4K:
+		return 1
+	case addr.PageSize2M:
+		return 2
+	case addr.PageSize1G:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// Map installs a leaf mapping of the given page size for va -> pa. Both
+// addresses must be aligned to pageSize. If the target range is covered by
+// a Permission Entry, the PE is first expanded back into a subtree.
+func (t *Table) Map(va addr.VA, pa addr.PA, perm addr.Perm, pageSize uint64) error {
+	leafLevel := leafLevelFor(pageSize)
+	if leafLevel == 0 {
+		return fmt.Errorf("pagetable: unsupported page size %d", pageSize)
+	}
+	if !addr.IsAligned(uint64(va), pageSize) || !addr.IsAligned(uint64(pa), pageSize) {
+		return fmt.Errorf("pagetable: unaligned mapping %#x -> %#x (page size %d)", uint64(va), uint64(pa), pageSize)
+	}
+	if va >= addr.MaxVA && t.cfg.Levels == 4 {
+		return fmt.Errorf("pagetable: va %#x beyond 48-bit space", uint64(va))
+	}
+	n := t.root
+	for n.Level > leafLevel {
+		i := indexAt(va, n.Level)
+		e := &n.Entries[i]
+		switch e.Kind {
+		case EntryEmpty:
+			child := t.newNode(n.Level - 1)
+			*e = Entry{Kind: EntryTable, Next: child}
+		case EntryPE:
+			t.expandPE(n, i)
+		case EntryLeaf:
+			return fmt.Errorf("pagetable: %#x already mapped by a level-%d leaf", uint64(va), n.Level)
+		}
+		n = n.Entries[indexAt(va, n.Level)].Next
+	}
+	i := indexAt(va, leafLevel)
+	e := &n.Entries[i]
+	switch e.Kind {
+	case EntryTable:
+		return fmt.Errorf("pagetable: %#x has a subtree below level %d; unmap first", uint64(va), leafLevel)
+	case EntryPE:
+		// A PE at the leaf level for this page size would alias the
+		// new mapping; expanding a level-1 PE is meaningless, reject.
+		return fmt.Errorf("pagetable: %#x covered by a level-%d PE", uint64(va), leafLevel)
+	}
+	*e = Entry{Kind: EntryLeaf, PFN: uint64(pa) / pageSize, Perm: perm}
+	return nil
+}
+
+// MapRange maps the virtual range r to physical memory starting at pa using
+// pages of pageSize. r.Start, pa and r.Size must all be pageSize-aligned.
+func (t *Table) MapRange(r addr.VRange, pa addr.PA, perm addr.Perm, pageSize uint64) error {
+	if !addr.IsAligned(r.Size, pageSize) {
+		return fmt.Errorf("pagetable: range size %#x not aligned to page size %d", r.Size, pageSize)
+	}
+	for off := uint64(0); off < r.Size; off += pageSize {
+		if err := t.Map(r.Start+addr.VA(off), pa+addr.PA(off), perm, pageSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// expandPE converts the PE at n.Entries[i] back into an EntryTable with an
+// explicit child node of identity leaf mappings, one child-level leaf per
+// mapped sub-region page. The child level's leaves map entrySpan(level-1)
+// bytes each, so a field (1/16th of the entry span) covers exactly
+// EntriesPerNode/PEFields consecutive child entries.
+func (t *Table) expandPE(n *Node, i int) {
+	e := &n.Entries[i]
+	if e.Kind != EntryPE {
+		panic("pagetable: expandPE on non-PE entry")
+	}
+	if n.Level < 2 {
+		panic("pagetable: PE at level 1 cannot be expanded")
+	}
+	child := t.newNode(n.Level - 1)
+	base := t.entryBaseVA(n, i)
+	childSpan := entrySpan(n.Level - 1)
+	group := EntriesPerNode / t.cfg.PEFields
+	for ci := 0; ci < EntriesPerNode; ci++ {
+		perm := e.PEPerms[ci/group]
+		if perm == addr.NoPerm {
+			continue
+		}
+		cva := base + addr.VA(uint64(ci)*childSpan)
+		child.Entries[ci] = Entry{Kind: EntryLeaf, PFN: uint64(cva) / childSpan, Perm: perm}
+	}
+	*e = Entry{Kind: EntryTable, Next: child}
+}
+
+// entryBaseVA reconstructs the base virtual address mapped by entry i of
+// node n. Nodes do not store their base VA, so this walks from the root.
+func (t *Table) entryBaseVA(n *Node, i int) addr.VA {
+	base, ok := t.findNodeBase(t.root, n, 0)
+	if !ok {
+		panic("pagetable: node not reachable from root")
+	}
+	return base + addr.VA(uint64(i)*entrySpan(n.Level))
+}
+
+func (t *Table) findNodeBase(cur, target *Node, base addr.VA) (addr.VA, bool) {
+	if cur == target {
+		return base, true
+	}
+	span := entrySpan(cur.Level)
+	for i := range cur.Entries {
+		e := &cur.Entries[i]
+		if e.Kind != EntryTable {
+			continue
+		}
+		if b, ok := t.findNodeBase(e.Next, target, base+addr.VA(uint64(i)*span)); ok {
+			return b, true
+		}
+	}
+	return 0, false
+}
+
+// SetPE installs a Permission Entry directly at the entry covering va at
+// the given level, replacing whatever was there. perms must have PEFields
+// elements. va must be aligned to the entry span of that level. This is
+// primarily for tests and for OS fast paths that know the region layout.
+func (t *Table) SetPE(va addr.VA, level int, perms []addr.Perm) error {
+	if level < 2 || level > t.cfg.Levels {
+		return fmt.Errorf("pagetable: PE level %d out of range", level)
+	}
+	if len(perms) != t.cfg.PEFields {
+		return fmt.Errorf("pagetable: PE needs %d fields, got %d", t.cfg.PEFields, len(perms))
+	}
+	if !addr.IsAligned(uint64(va), entrySpan(level)) {
+		return fmt.Errorf("pagetable: va %#x not aligned to level-%d span", uint64(va), level)
+	}
+	n := t.root
+	for n.Level > level {
+		i := indexAt(va, n.Level)
+		e := &n.Entries[i]
+		switch e.Kind {
+		case EntryEmpty:
+			child := t.newNode(n.Level - 1)
+			*e = Entry{Kind: EntryTable, Next: child}
+		case EntryLeaf, EntryPE:
+			return fmt.Errorf("pagetable: %#x already mapped at level %d", uint64(va), n.Level)
+		}
+		n = n.Entries[indexAt(va, n.Level)].Next
+	}
+	p := make([]addr.Perm, len(perms))
+	copy(p, perms)
+	n.Entries[indexAt(va, level)] = Entry{Kind: EntryPE, PEPerms: p}
+	return nil
+}
+
+// Unmap removes all 4 KB-page mappings in r. r must be 4 KB aligned.
+// Mappings by huge leaves or PE fields that are only partially covered are
+// split/expanded as needed. Emptied page-table pages are pruned lazily by
+// Compact.
+func (t *Table) Unmap(r addr.VRange) error {
+	if !addr.IsAligned(uint64(r.Start), addr.PageSize4K) || !addr.IsAligned(r.Size, addr.PageSize4K) {
+		return fmt.Errorf("pagetable: Unmap range %v not page aligned", r)
+	}
+	for va := r.Start; va < r.End(); va += addr.VA(addr.PageSize4K) {
+		if err := t.clearPage(va); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// clearPage removes the mapping of a single 4 KB page.
+func (t *Table) clearPage(va addr.VA) error {
+	n := t.root
+	for {
+		i := indexAt(va, n.Level)
+		e := &n.Entries[i]
+		switch e.Kind {
+		case EntryEmpty:
+			return nil
+		case EntryPE:
+			span := entrySpan(n.Level)
+			field := span / uint64(t.cfg.PEFields)
+			fi := (uint64(va) % span) / field
+			if e.PEPerms[fi] == addr.NoPerm {
+				return nil
+			}
+			if addr.PageSize4K == field {
+				e.PEPerms[fi] = addr.NoPerm
+				return nil
+			}
+			t.expandPE(n, i)
+			n = n.Entries[i].Next
+			continue
+		case EntryLeaf:
+			if n.Level == 1 {
+				*e = Entry{}
+				return nil
+			}
+			// Partially unmapping a huge leaf: split into the
+			// child level first.
+			t.splitLeaf(n, i)
+			n = n.Entries[i].Next
+			continue
+		case EntryTable:
+			n = e.Next
+			continue
+		}
+	}
+}
+
+// splitLeaf splits a huge leaf entry into a child node of next-smaller
+// leaves covering the same range with the same permissions.
+func (t *Table) splitLeaf(n *Node, i int) {
+	e := &n.Entries[i]
+	if e.Kind != EntryLeaf || n.Level < 2 {
+		panic("pagetable: splitLeaf on non-huge leaf")
+	}
+	child := t.newNode(n.Level - 1)
+	childSpan := entrySpan(n.Level - 1)
+	basePA := e.PFN * entrySpan(n.Level)
+	for ci := 0; ci < EntriesPerNode; ci++ {
+		child.Entries[ci] = Entry{
+			Kind: EntryLeaf,
+			PFN:  (basePA + uint64(ci)*childSpan) / childSpan,
+			Perm: e.Perm,
+		}
+	}
+	*e = Entry{Kind: EntryTable, Next: child}
+}
+
+// Protect sets the permission of every mapped 4 KB page in r to perm.
+// Unmapped pages are skipped. PE fields fully covered are updated in place;
+// partially covered PEs are expanded.
+func (t *Table) Protect(r addr.VRange, perm addr.Perm) error {
+	if !addr.IsAligned(uint64(r.Start), addr.PageSize4K) || !addr.IsAligned(r.Size, addr.PageSize4K) {
+		return fmt.Errorf("pagetable: Protect range %v not page aligned", r)
+	}
+	for va := r.Start; va < r.End(); va += addr.VA(addr.PageSize4K) {
+		if err := t.protectPage(va, perm, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Table) protectPage(va addr.VA, perm addr.Perm, whole addr.VRange) error {
+	n := t.root
+	for {
+		i := indexAt(va, n.Level)
+		e := &n.Entries[i]
+		switch e.Kind {
+		case EntryEmpty:
+			return nil
+		case EntryPE:
+			span := entrySpan(n.Level)
+			field := span / uint64(t.cfg.PEFields)
+			fi := (uint64(va) % span) / field
+			if e.PEPerms[fi] == addr.NoPerm {
+				return nil
+			}
+			fieldBase := addr.VA(addr.AlignDown(uint64(va), field))
+			fieldRange := addr.VRange{Start: fieldBase, Size: field}
+			if whole.Contains(fieldRange.Start) && whole.Contains(fieldRange.End()-1) {
+				e.PEPerms[fi] = perm
+				return nil
+			}
+			t.expandPE(n, i)
+			n = n.Entries[i].Next
+			continue
+		case EntryLeaf:
+			if n.Level == 1 {
+				e.Perm = perm
+				return nil
+			}
+			span := entrySpan(n.Level)
+			leafBase := addr.VA(addr.AlignDown(uint64(va), span))
+			leafRange := addr.VRange{Start: leafBase, Size: span}
+			if whole.Contains(leafRange.Start) && whole.Contains(leafRange.End()-1) {
+				e.Perm = perm
+				return nil
+			}
+			t.splitLeaf(n, i)
+			n = n.Entries[i].Next
+			continue
+		case EntryTable:
+			n = e.Next
+			continue
+		}
+	}
+}

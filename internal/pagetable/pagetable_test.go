@@ -1,0 +1,664 @@
+package pagetable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+)
+
+func newTable(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Levels: 3}); err == nil {
+		t.Error("Levels=3 should be rejected")
+	}
+	if _, err := New(Config{PEFields: 7}); err == nil {
+		t.Error("PEFields=7 (does not divide 512) should be rejected")
+	}
+	if _, err := New(Config{Levels: 5, PEFields: 32}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	tbl := MustNew(Config{})
+	if tbl.Config().Levels != 4 || tbl.Config().PEFields != 16 {
+		t.Errorf("defaults not applied: %+v", tbl.Config())
+	}
+}
+
+func TestMapAndWalk4K(t *testing.T) {
+	tbl := newTable(t)
+	va, pa := addr.VA(0x40001000), addr.PA(0x7fff2000)
+	if err := tbl.Map(va, pa, addr.ReadWrite, addr.PageSize4K); err != nil {
+		t.Fatal(err)
+	}
+	r := tbl.Walk(va + 0x123)
+	if r.Outcome != WalkLeaf {
+		t.Fatalf("Outcome = %v, want leaf", r.Outcome)
+	}
+	if r.PA != pa+0x123 {
+		t.Errorf("PA = %#x, want %#x", uint64(r.PA), uint64(pa)+0x123)
+	}
+	if r.Perm != addr.ReadWrite {
+		t.Errorf("Perm = %v", r.Perm)
+	}
+	if r.Identity {
+		t.Error("non-identity mapping reported identity")
+	}
+	if r.MapSize != addr.PageSize4K || r.MapBase != va {
+		t.Errorf("MapBase/MapSize = %#x/%d", uint64(r.MapBase), r.MapSize)
+	}
+	if len(r.Steps) != 4 {
+		t.Errorf("walk steps = %d, want 4", len(r.Steps))
+	}
+	for i, s := range r.Steps {
+		if want := 4 - i; s.Level != want {
+			t.Errorf("step %d level = %d, want %d", i, s.Level, want)
+		}
+	}
+}
+
+func TestWalkFaultOnUnmapped(t *testing.T) {
+	tbl := newTable(t)
+	r := tbl.Walk(0xdeadbeef000)
+	if r.Outcome != WalkFault {
+		t.Fatalf("Outcome = %v, want fault", r.Outcome)
+	}
+	if len(r.Steps) != 1 {
+		t.Errorf("empty root entry should fault after 1 step, got %d", len(r.Steps))
+	}
+}
+
+func TestIdentityMappingDetected(t *testing.T) {
+	tbl := newTable(t)
+	va := addr.VA(0x80000000)
+	if err := tbl.Map(va, addr.PA(va), addr.ReadOnly, addr.PageSize4K); err != nil {
+		t.Fatal(err)
+	}
+	r := tbl.Walk(va)
+	if !r.Identity {
+		t.Error("identity mapping not detected")
+	}
+}
+
+func TestMapHugePages(t *testing.T) {
+	tbl := newTable(t)
+	if err := tbl.Map(addr.VA(addr.PageSize2M), addr.PA(3*addr.PageSize2M), addr.ReadWrite, addr.PageSize2M); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Map(addr.VA(addr.PageSize1G), addr.PA(addr.PageSize1G), addr.ReadExecute, addr.PageSize1G); err != nil {
+		t.Fatal(err)
+	}
+	r := tbl.Walk(addr.VA(addr.PageSize2M) + 0x1234)
+	if r.Outcome != WalkLeaf || r.PA != addr.PA(3*addr.PageSize2M)+0x1234 || r.MapSize != addr.PageSize2M {
+		t.Errorf("2M walk wrong: %+v", r)
+	}
+	if len(r.Steps) != 3 {
+		t.Errorf("2M walk steps = %d, want 3", len(r.Steps))
+	}
+	r = tbl.Walk(addr.VA(addr.PageSize1G) + 0x555555)
+	if r.Outcome != WalkLeaf || !r.Identity || r.MapSize != addr.PageSize1G {
+		t.Errorf("1G walk wrong: %+v", r)
+	}
+	if len(r.Steps) != 2 {
+		t.Errorf("1G walk steps = %d, want 2", len(r.Steps))
+	}
+}
+
+func TestMapRejectsMisaligned(t *testing.T) {
+	tbl := newTable(t)
+	if err := tbl.Map(0x1001, 0x2000, addr.ReadWrite, addr.PageSize4K); err == nil {
+		t.Error("misaligned VA accepted")
+	}
+	if err := tbl.Map(0x1000, 0x2001, addr.ReadWrite, addr.PageSize4K); err == nil {
+		t.Error("misaligned PA accepted")
+	}
+	if err := tbl.Map(0x1000, 0x2000, addr.ReadWrite, 12345); err == nil {
+		t.Error("bad page size accepted")
+	}
+	if err := tbl.Map(addr.MaxVA, 0, addr.ReadWrite, addr.PageSize4K); err == nil {
+		t.Error("out-of-range VA accepted")
+	}
+}
+
+func TestMapConflicts(t *testing.T) {
+	tbl := newTable(t)
+	if err := tbl.Map(0, 0, addr.ReadWrite, addr.PageSize2M); err != nil {
+		t.Fatal(err)
+	}
+	// A 4K map under an existing 2M leaf must fail.
+	if err := tbl.Map(0x1000, 0x1000, addr.ReadWrite, addr.PageSize4K); err == nil {
+		t.Error("mapping under a huge leaf should fail")
+	}
+	// A 2M map over existing 4K mappings must fail (subtree exists).
+	if err := tbl.Map(addr.VA(addr.PageSize1G), addr.PA(addr.PageSize1G), addr.ReadWrite, addr.PageSize4K); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Map(addr.VA(addr.PageSize1G), addr.PA(addr.PageSize1G), addr.ReadWrite, addr.PageSize2M); err == nil {
+		t.Error("2M map over an existing subtree should fail")
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	tbl := newTable(t)
+	r := addr.VRange{Start: 0x100000, Size: 16 * addr.PageSize4K}
+	if err := tbl.MapRange(r, addr.PA(r.Start), addr.ReadWrite, addr.PageSize4K); err != nil {
+		t.Fatal(err)
+	}
+	for off := uint64(0); off < r.Size; off += addr.PageSize4K {
+		pa, perm, ok := tbl.Lookup(r.Start + addr.VA(off))
+		if !ok || pa != addr.PA(r.Start)+addr.PA(off) || perm != addr.ReadWrite {
+			t.Fatalf("lookup at +%#x: pa=%#x perm=%v ok=%v", off, uint64(pa), perm, ok)
+		}
+	}
+}
+
+// mapIdentityRegion is a test helper: map [start, start+size) identity with
+// 4K pages.
+func mapIdentityRegion(t *testing.T, tbl *Table, start, size uint64, perm addr.Perm) {
+	t.Helper()
+	if err := tbl.MapRange(addr.VRange{Start: addr.VA(start), Size: size}, addr.PA(start), perm, addr.PageSize4K); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactCreatesL2PE(t *testing.T) {
+	tbl := newTable(t)
+	// Map an identity 2 MB region, uniform RW: should fold to one L2 PE.
+	base := uint64(addr.PageSize1G) // aligned
+	mapIdentityRegion(t, tbl, base, uint64(addr.PageSize2M), addr.ReadWrite)
+	before := tbl.SizeStats()
+	if before.NodesPerLevel[1] != 1 {
+		t.Fatalf("expected 1 L1 node before compaction, got %d", before.NodesPerLevel[1])
+	}
+	created := tbl.Compact()
+	if created != 1 {
+		t.Fatalf("Compact created %d PEs, want 1", created)
+	}
+	after := tbl.SizeStats()
+	if after.NodesPerLevel[1] != 0 {
+		t.Errorf("L1 node not freed: %d", after.NodesPerLevel[1])
+	}
+	if after.PECount != 1 {
+		t.Errorf("PECount = %d", after.PECount)
+	}
+	// Walks must still succeed, now terminating at the PE in 3 steps.
+	r := tbl.Walk(addr.VA(base + 0x12345))
+	if r.Outcome != WalkPE || !r.Identity || r.Perm != addr.ReadWrite {
+		t.Fatalf("post-compact walk: %+v", r)
+	}
+	if r.PA != addr.PA(base+0x12345) {
+		t.Errorf("PE walk PA = %#x", uint64(r.PA))
+	}
+	if len(r.Steps) != 3 {
+		t.Errorf("PE walk steps = %d, want 3", len(r.Steps))
+	}
+	if r.MapSize != uint64(addr.PageSize2M)/16 {
+		t.Errorf("PE field size = %d, want 128 KB", r.MapSize)
+	}
+}
+
+func TestCompactPartialRegionUses00Fields(t *testing.T) {
+	// Paper: "If region 3 is replaced by two adjacent 128 KB regions at
+	// the start of the mapped VA range with the rest unmapped, we could
+	// still use an L2PE ... with 00 permissions for the rest."
+	tbl := newTable(t)
+	base := uint64(addr.PageSize1G)
+	mapIdentityRegion(t, tbl, base, 2*128<<10, addr.ReadOnly)
+	if created := tbl.Compact(); created != 1 {
+		t.Fatalf("Compact created %d PEs, want 1", created)
+	}
+	r := tbl.Walk(addr.VA(base))
+	if r.Outcome != WalkPE || r.Perm != addr.ReadOnly {
+		t.Fatalf("walk into mapped field: %+v", r)
+	}
+	// Access beyond the two mapped fields must fault.
+	r = tbl.Walk(addr.VA(base + 3*128<<10))
+	if r.Outcome != WalkFault {
+		t.Fatalf("walk into 00 field should fault, got %+v", r)
+	}
+}
+
+func TestCompactNonUniformFieldStaysExpanded(t *testing.T) {
+	tbl := newTable(t)
+	base := uint64(addr.PageSize1G)
+	// First 4K page RO, rest of first 128K field RW: field not uniform,
+	// so no L2 PE may be created.
+	mapIdentityRegion(t, tbl, base, uint64(addr.PageSize4K), addr.ReadOnly)
+	mapIdentityRegion(t, tbl, base+uint64(addr.PageSize4K), 128<<10-uint64(addr.PageSize4K), addr.ReadWrite)
+	if created := tbl.Compact(); created != 0 {
+		t.Fatalf("Compact created %d PEs, want 0", created)
+	}
+	r := tbl.Walk(addr.VA(base))
+	if r.Outcome != WalkLeaf || r.Perm != addr.ReadOnly {
+		t.Fatalf("walk: %+v", r)
+	}
+}
+
+func TestCompactNonIdentityNotFolded(t *testing.T) {
+	tbl := newTable(t)
+	base := uint64(addr.PageSize1G)
+	// Uniform permissions but PA != VA: must not fold.
+	if err := tbl.MapRange(addr.VRange{Start: addr.VA(base), Size: uint64(addr.PageSize2M)},
+		addr.PA(base+uint64(addr.PageSize2M)), addr.ReadWrite, addr.PageSize4K); err != nil {
+		t.Fatal(err)
+	}
+	if created := tbl.Compact(); created != 0 {
+		t.Fatalf("Compact created %d PEs on non-identity mapping", created)
+	}
+}
+
+func TestCompactL3PE(t *testing.T) {
+	tbl := newTable(t)
+	// Identity map a full 1 GB with 2 MB leaves: folds to a single L3 PE.
+	base := uint64(addr.PageSize1G) * 4
+	if err := tbl.MapRange(addr.VRange{Start: addr.VA(base), Size: uint64(addr.PageSize1G)},
+		addr.PA(base), addr.ReadWrite, addr.PageSize2M); err != nil {
+		t.Fatal(err)
+	}
+	created := tbl.Compact()
+	if created != 1 {
+		t.Fatalf("Compact created %d PEs, want 1 L3PE", created)
+	}
+	r := tbl.Walk(addr.VA(base + 123456789))
+	if r.Outcome != WalkPE || len(r.Steps) != 2 {
+		t.Fatalf("L3 PE walk: %+v", r)
+	}
+	if r.MapSize != uint64(addr.PageSize1G)/16 {
+		t.Errorf("L3 PE field = %d, want 64 MB", r.MapSize)
+	}
+}
+
+func TestCompactHierarchical(t *testing.T) {
+	// 1 GB identity-mapped with 4K pages: L1 tables fold into L2 PEs,
+	// which then fold into a single L3 PE.
+	tbl := newTable(t)
+	base := uint64(addr.PageSize1G) * 8
+	// Use 2M leaves for speed at the bottom half, 4K for one 2M region
+	// to prove mixed granularity folds too.
+	if err := tbl.MapRange(addr.VRange{Start: addr.VA(base), Size: uint64(addr.PageSize1G) - uint64(addr.PageSize2M)},
+		addr.PA(base), addr.ReadWrite, addr.PageSize2M); err != nil {
+		t.Fatal(err)
+	}
+	last2M := base + uint64(addr.PageSize1G) - uint64(addr.PageSize2M)
+	mapIdentityRegion(t, tbl, last2M, uint64(addr.PageSize2M), addr.ReadWrite)
+	tbl.Compact()
+	r := tbl.Walk(addr.VA(base + 999999999))
+	if r.Outcome != WalkPE || len(r.Steps) != 2 {
+		t.Fatalf("hierarchical fold failed: %+v", r)
+	}
+	s := tbl.SizeStats()
+	if s.Nodes != 2 { // root + one L3 node holding the PE
+		t.Errorf("Nodes = %d, want 2", s.Nodes)
+	}
+}
+
+func TestCompactIdempotent(t *testing.T) {
+	tbl := newTable(t)
+	mapIdentityRegion(t, tbl, uint64(addr.PageSize1G), uint64(addr.PageSize2M)*3, addr.ReadWrite)
+	tbl.Compact()
+	s1 := tbl.SizeStats()
+	if n := tbl.Compact(); n != 0 {
+		t.Errorf("second Compact created %d PEs", n)
+	}
+	s2 := tbl.SizeStats()
+	if s1 != s2 {
+		t.Errorf("stats changed on idempotent compact: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	// A multi-hundred-MB identity heap: PE tables must be dramatically
+	// smaller and L1 fraction of the standard table must be ~97%+.
+	tbl := newTable(t)
+	heap := uint64(256 << 20) // 256 MB
+	base := uint64(addr.PageSize1G)
+	mapIdentityRegion(t, tbl, base, heap, addr.ReadWrite)
+	std := tbl.SizeStats()
+	if std.L1Fraction < 0.97 {
+		t.Errorf("standard table L1 fraction = %.3f, want > 0.97", std.L1Fraction)
+	}
+	tbl.Compact()
+	pe := tbl.SizeStats()
+	if pe.Bytes*20 > std.Bytes {
+		t.Errorf("PE table %d B not ≪ standard %d B", pe.Bytes, std.Bytes)
+	}
+	if pe.MappedPages != std.MappedPages {
+		t.Errorf("compaction changed mapped pages: %d vs %d", pe.MappedPages, std.MappedPages)
+	}
+	if pe.IdentityPages != pe.MappedPages {
+		t.Errorf("identity pages %d != mapped %d", pe.IdentityPages, pe.MappedPages)
+	}
+}
+
+func TestUnmapLeaf(t *testing.T) {
+	tbl := newTable(t)
+	mapIdentityRegion(t, tbl, 0x200000, 4*uint64(addr.PageSize4K), addr.ReadWrite)
+	if err := tbl.Unmap(addr.VRange{Start: 0x200000, Size: uint64(addr.PageSize4K)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := tbl.Lookup(0x200000); ok {
+		t.Error("page still mapped after Unmap")
+	}
+	if _, _, ok := tbl.Lookup(0x201000); !ok {
+		t.Error("neighbouring page lost")
+	}
+}
+
+func TestUnmapThroughPE(t *testing.T) {
+	tbl := newTable(t)
+	base := uint64(addr.PageSize1G)
+	mapIdentityRegion(t, tbl, base, uint64(addr.PageSize2M), addr.ReadWrite)
+	tbl.Compact()
+	// Unmap exactly one 128 KB field: PE field goes to NoPerm in place.
+	if err := tbl.Unmap(addr.VRange{Start: addr.VA(base), Size: 128 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := tbl.Lookup(addr.VA(base)); ok {
+		t.Error("field still mapped")
+	}
+	if _, _, ok := tbl.Lookup(addr.VA(base + 128<<10)); !ok {
+		t.Error("next field lost")
+	}
+	// Unmapping a partial field expands the PE.
+	if err := tbl.Unmap(addr.VRange{Start: addr.VA(base + 128<<10), Size: uint64(addr.PageSize4K)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := tbl.Lookup(addr.VA(base + 128<<10)); ok {
+		t.Error("page still mapped after partial-field unmap")
+	}
+	if _, _, ok := tbl.Lookup(addr.VA(base + 128<<10 + uint64(addr.PageSize4K))); !ok {
+		t.Error("rest of field lost after partial-field unmap")
+	}
+}
+
+func TestProtect(t *testing.T) {
+	tbl := newTable(t)
+	mapIdentityRegion(t, tbl, 0x300000, 8*uint64(addr.PageSize4K), addr.ReadWrite)
+	if err := tbl.Protect(addr.VRange{Start: 0x300000, Size: 2 * uint64(addr.PageSize4K)}, addr.ReadOnly); err != nil {
+		t.Fatal(err)
+	}
+	_, perm, _ := tbl.Lookup(0x300000)
+	if perm != addr.ReadOnly {
+		t.Errorf("perm = %v, want ro", perm)
+	}
+	_, perm, _ = tbl.Lookup(0x302000)
+	if perm != addr.ReadWrite {
+		t.Errorf("untouched page perm = %v, want rw", perm)
+	}
+}
+
+func TestProtectThroughPE(t *testing.T) {
+	tbl := newTable(t)
+	base := uint64(addr.PageSize1G)
+	mapIdentityRegion(t, tbl, base, uint64(addr.PageSize2M), addr.ReadWrite)
+	tbl.Compact()
+	// Whole-field protect updates the PE in place (no expansion).
+	if err := tbl.Protect(addr.VRange{Start: addr.VA(base), Size: 128 << 10}, addr.ReadOnly); err != nil {
+		t.Fatal(err)
+	}
+	r := tbl.Walk(addr.VA(base))
+	if r.Outcome != WalkPE || r.Perm != addr.ReadOnly {
+		t.Fatalf("walk after whole-field protect: %+v", r)
+	}
+	// Sub-field protect expands.
+	if err := tbl.Protect(addr.VRange{Start: addr.VA(base + 128<<10), Size: uint64(addr.PageSize4K)}, addr.ReadOnly); err != nil {
+		t.Fatal(err)
+	}
+	_, perm, _ := tbl.Lookup(addr.VA(base + 128<<10))
+	if perm != addr.ReadOnly {
+		t.Errorf("perm = %v", perm)
+	}
+	_, perm, _ = tbl.Lookup(addr.VA(base + 128<<10 + uint64(addr.PageSize4K)))
+	if perm != addr.ReadWrite {
+		t.Errorf("next page perm = %v, want rw", perm)
+	}
+}
+
+func TestSetPE(t *testing.T) {
+	tbl := newTable(t)
+	perms := make([]addr.Perm, 16)
+	for i := range perms {
+		perms[i] = addr.ReadWrite
+	}
+	if err := tbl.SetPE(addr.VA(addr.PageSize2M)*5, 2, perms); err != nil {
+		t.Fatal(err)
+	}
+	r := tbl.Walk(addr.VA(addr.PageSize2M)*5 + 0x1000)
+	if r.Outcome != WalkPE || r.Perm != addr.ReadWrite {
+		t.Fatalf("walk: %+v", r)
+	}
+	if err := tbl.SetPE(0x1000, 2, perms); err == nil {
+		t.Error("misaligned SetPE accepted")
+	}
+	if err := tbl.SetPE(0, 2, perms[:3]); err == nil {
+		t.Error("wrong field count accepted")
+	}
+	if err := tbl.SetPE(0, 1, perms); err == nil {
+		t.Error("level-1 PE accepted")
+	}
+}
+
+func TestMapThroughPEExpands(t *testing.T) {
+	// Demand-paging a new page into a gap covered by a PE's 00 field
+	// must expand the PE and keep all pre-existing mappings intact.
+	tbl := newTable(t)
+	base := uint64(addr.PageSize1G)
+	mapIdentityRegion(t, tbl, base, 128<<10, addr.ReadWrite) // one field
+	tbl.Compact()
+	// Map a non-identity page into the second field.
+	va := addr.VA(base + 128<<10)
+	if err := tbl.Map(va, addr.PA(0x7000000), addr.ReadOnly, addr.PageSize4K); err != nil {
+		t.Fatal(err)
+	}
+	pa, perm, ok := tbl.Lookup(va)
+	if !ok || pa != addr.PA(0x7000000) || perm != addr.ReadOnly {
+		t.Fatalf("new mapping lost: %#x %v %v", uint64(pa), perm, ok)
+	}
+	// Old identity pages must survive the expansion.
+	pa, perm, ok = tbl.Lookup(addr.VA(base + 0x5000))
+	if !ok || pa != addr.PA(base+0x5000) || perm != addr.ReadWrite {
+		t.Fatalf("old mapping lost: %#x %v %v", uint64(pa), perm, ok)
+	}
+}
+
+func TestFiveLevelTable(t *testing.T) {
+	tbl := MustNew(Config{Levels: 5})
+	va := addr.VA(uint64(1) << 50) // needs level 5
+	if err := tbl.Map(va, addr.PA(va), addr.ReadWrite, addr.PageSize4K); err != nil {
+		t.Fatal(err)
+	}
+	r := tbl.Walk(va)
+	if r.Outcome != WalkLeaf || !r.Identity {
+		t.Fatalf("5-level walk: %+v", r)
+	}
+	if len(r.Steps) != 5 {
+		t.Errorf("steps = %d, want 5", len(r.Steps))
+	}
+}
+
+func TestPEFieldsVariants(t *testing.T) {
+	for _, fields := range []int{4, 8, 16, 32, 64} {
+		tbl := MustNew(Config{PEFields: fields})
+		base := uint64(addr.PageSize1G)
+		mapIdentityRegion(t, tbl, base, uint64(addr.PageSize2M), addr.ReadWrite)
+		if n := tbl.Compact(); n != 1 {
+			t.Errorf("fields=%d: Compact created %d, want 1", fields, n)
+		}
+		r := tbl.Walk(addr.VA(base + 0x1000))
+		if r.Outcome != WalkPE {
+			t.Errorf("fields=%d: walk %+v", fields, r)
+		}
+		if want := uint64(addr.PageSize2M) / uint64(fields); r.MapSize != want {
+			t.Errorf("fields=%d: field size %d, want %d", fields, r.MapSize, want)
+		}
+	}
+}
+
+func TestForEachPage(t *testing.T) {
+	tbl := newTable(t)
+	mapIdentityRegion(t, tbl, 0x400000, 3*uint64(addr.PageSize4K), addr.ReadOnly)
+	var pages []addr.VA
+	tbl.ForEachPage(func(va addr.VA, pa addr.PA, perm addr.Perm) {
+		pages = append(pages, va)
+		if addr.PA(va) != pa || perm != addr.ReadOnly {
+			t.Errorf("page %#x: pa=%#x perm=%v", uint64(va), uint64(pa), perm)
+		}
+	})
+	if len(pages) != 3 {
+		t.Fatalf("pages = %d, want 3", len(pages))
+	}
+}
+
+// TestWalkMatchesReference drives random mapping operations and checks the
+// walker against a flat reference map, before and after compaction — the
+// key functional-correctness property of the whole package.
+func TestWalkMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := MustNew(Config{})
+		ref := map[addr.VA]struct {
+			pa   addr.PA
+			perm addr.Perm
+		}{}
+		perms := []addr.Perm{addr.ReadOnly, addr.ReadWrite, addr.ReadExecute}
+		// Random identity regions + scattered non-identity pages.
+		for i := 0; i < 20; i++ {
+			perm := perms[rng.Intn(len(perms))]
+			if rng.Intn(2) == 0 {
+				base := uint64(rng.Intn(64)) << 21 // 2M-aligned within 128 MB
+				npages := rng.Intn(80) + 1
+				for p := 0; p < npages; p++ {
+					va := addr.VA(base + uint64(p)*addr.PageSize4K)
+					if _, dup := ref[va]; dup {
+						continue
+					}
+					if err := tbl.Map(va, addr.PA(va), perm, addr.PageSize4K); err != nil {
+						continue
+					}
+					ref[va] = struct {
+						pa   addr.PA
+						perm addr.Perm
+					}{addr.PA(va), perm}
+				}
+			} else {
+				va := addr.VA(uint64(rng.Intn(1<<15)) << 12)
+				pa := addr.PA(uint64(rng.Intn(1<<15))<<12 + 1<<33)
+				if _, dup := ref[va]; dup {
+					continue
+				}
+				if err := tbl.Map(va, pa, perm, addr.PageSize4K); err != nil {
+					continue
+				}
+				ref[va] = struct {
+					pa   addr.PA
+					perm addr.Perm
+				}{pa, perm}
+			}
+		}
+		check := func() bool {
+			for va, want := range ref {
+				pa, perm, ok := tbl.Lookup(va + addr.VA(rng.Intn(4096)))
+				if !ok || pa.PageDown() != want.pa || perm != want.perm {
+					t.Logf("seed %d: lookup %#x = (%#x,%v,%v), want (%#x,%v)",
+						seed, uint64(va), uint64(pa), perm, ok, uint64(want.pa), want.perm)
+					return false
+				}
+			}
+			// Random unmapped probes.
+			for i := 0; i < 50; i++ {
+				va := addr.VA(uint64(rng.Intn(1<<16)) << 12)
+				_, known := ref[va]
+				_, _, ok := tbl.Lookup(va)
+				if ok != known {
+					t.Logf("seed %d: probe %#x mapped=%v want %v", seed, uint64(va), ok, known)
+					return false
+				}
+			}
+			return true
+		}
+		if !check() {
+			return false
+		}
+		tbl.Compact()
+		return check()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompactPreservesPages asserts the page-level view is identical before
+// and after compaction for a mixed layout.
+func TestCompactPreservesPages(t *testing.T) {
+	tbl := newTable(t)
+	base := uint64(addr.PageSize1G)
+	mapIdentityRegion(t, tbl, base, uint64(addr.PageSize2M), addr.ReadWrite)
+	mapIdentityRegion(t, tbl, base+uint64(addr.PageSize2M), 128<<10, addr.ReadOnly)
+	// Non-identity island.
+	if err := tbl.Map(addr.VA(base+8*uint64(addr.PageSize2M)), addr.PA(0x123456000), addr.ReadOnly, addr.PageSize4K); err != nil {
+		t.Fatal(err)
+	}
+	collect := func() map[addr.VA]string {
+		m := map[addr.VA]string{}
+		tbl.ForEachPage(func(va addr.VA, pa addr.PA, perm addr.Perm) {
+			m[va] = perm.String() + ":" + addr.PRange{Start: pa, Size: addr.PageSize4K}.String()
+		})
+		return m
+	}
+	before := collect()
+	tbl.Compact()
+	after := collect()
+	if len(before) != len(after) {
+		t.Fatalf("page count changed: %d -> %d", len(before), len(after))
+	}
+	for va, s := range before {
+		if after[va] != s {
+			t.Errorf("page %#x changed: %s -> %s", uint64(va), s, after[va])
+		}
+	}
+}
+
+func BenchmarkWalk4K(b *testing.B) {
+	tbl := MustNew(Config{})
+	base := uint64(addr.PageSize1G)
+	if err := tbl.MapRange(addr.VRange{Start: addr.VA(base), Size: 64 << 20}, addr.PA(base), addr.ReadWrite, addr.PageSize4K); err != nil {
+		b.Fatal(err)
+	}
+	var res WalkResult
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := addr.VA(base + uint64(rng.Intn(64<<20)))
+		tbl.WalkInto(va, &res)
+		if res.Outcome == WalkFault {
+			b.Fatal("unexpected fault")
+		}
+	}
+}
+
+func BenchmarkWalkPE(b *testing.B) {
+	tbl := MustNew(Config{})
+	base := uint64(addr.PageSize1G)
+	if err := tbl.MapRange(addr.VRange{Start: addr.VA(base), Size: 64 << 20}, addr.PA(base), addr.ReadWrite, addr.PageSize4K); err != nil {
+		b.Fatal(err)
+	}
+	tbl.Compact()
+	var res WalkResult
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := addr.VA(base + uint64(rng.Intn(64<<20)))
+		tbl.WalkInto(va, &res)
+		if res.Outcome != WalkPE {
+			b.Fatal("expected PE hit")
+		}
+	}
+}

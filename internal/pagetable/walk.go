@@ -1,0 +1,180 @@
+package pagetable
+
+import (
+	"fmt"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+)
+
+// WalkOutcome classifies how a page walk terminated.
+type WalkOutcome uint8
+
+// Walk outcomes.
+const (
+	// WalkFault: no mapping (empty entry, or PE field / leaf with no
+	// permission). The OS must handle the fault.
+	WalkFault WalkOutcome = iota
+	// WalkLeaf: the walk ended at a conventional leaf PTE; the entry's
+	// PFN provides the translation.
+	WalkLeaf
+	// WalkPE: the walk ended at a Permission Entry; the access is
+	// identity mapped (PA == VA) and the field provides the permission.
+	WalkPE
+)
+
+// String implements fmt.Stringer.
+func (o WalkOutcome) String() string {
+	switch o {
+	case WalkFault:
+		return "fault"
+	case WalkLeaf:
+		return "leaf"
+	case WalkPE:
+		return "pe"
+	default:
+		return fmt.Sprintf("WalkOutcome(%d)", uint8(o))
+	}
+}
+
+// WalkStep records one page-table entry access performed by the hardware
+// walker, from the root downward. The MMU timing models use EntryPA to
+// decide PWC/AVC hits versus memory references.
+type WalkStep struct {
+	// Level of the node whose entry was read (root = Config().Levels).
+	Level int
+	// EntryPA is the simulated physical address of the entry word.
+	EntryPA addr.PA
+	// Kind of the entry found.
+	Kind EntryKind
+}
+
+// WalkResult is the full result of a page walk.
+type WalkResult struct {
+	// Steps, in root-to-leaf order. Reused across walks when the result
+	// struct is reused; do not retain across calls.
+	Steps []WalkStep
+	// Outcome of the walk.
+	Outcome WalkOutcome
+	// PA is the translated physical address (valid unless Outcome is
+	// WalkFault). For WalkPE it equals the virtual address.
+	PA addr.PA
+	// Perm is the permission found (valid unless WalkFault).
+	Perm addr.Perm
+	// Identity reports PA == VA.
+	Identity bool
+	// MapBase and MapSize describe the VA granule the terminal entry
+	// covers: the page for WalkLeaf, the PE field's region for WalkPE.
+	// TLBs insert translations at this granularity.
+	MapBase addr.VA
+	MapSize uint64
+}
+
+// Walk performs a page walk for va, allocating a fresh result.
+func (t *Table) Walk(va addr.VA) WalkResult {
+	var r WalkResult
+	t.WalkInto(va, &r)
+	return r
+}
+
+// WalkInto performs a page walk for va into res, reusing res.Steps. This is
+// the allocation-free path used on the simulator's hot loop.
+func (t *Table) WalkInto(va addr.VA, res *WalkResult) {
+	res.Steps = res.Steps[:0]
+	res.Outcome = WalkFault
+	res.PA = 0
+	res.Perm = addr.NoPerm
+	res.Identity = false
+	res.MapBase = 0
+	res.MapSize = 0
+
+	n := t.root
+	for {
+		i := indexAt(va, n.Level)
+		e := &n.Entries[i]
+		res.Steps = append(res.Steps, WalkStep{Level: n.Level, EntryPA: n.EntryPA(i), Kind: e.Kind})
+		switch e.Kind {
+		case EntryEmpty:
+			return
+		case EntryTable:
+			n = e.Next
+			continue
+		case EntryLeaf:
+			span := entrySpan(n.Level)
+			base := addr.AlignDown(uint64(va), span)
+			pa := addr.PA(e.PFN*span + (uint64(va) - base))
+			if e.Perm == addr.NoPerm {
+				return
+			}
+			res.Outcome = WalkLeaf
+			res.PA = pa
+			res.Perm = e.Perm
+			res.Identity = uint64(pa) == uint64(va)
+			res.MapBase = addr.VA(base)
+			res.MapSize = span
+			return
+		case EntryPE:
+			span := entrySpan(n.Level)
+			field := span / uint64(t.cfg.PEFields)
+			fi := (uint64(va) % span) / field
+			perm := e.PEPerms[fi]
+			if perm == addr.NoPerm {
+				return
+			}
+			res.Outcome = WalkPE
+			res.PA = addr.PA(va)
+			res.Perm = perm
+			res.Identity = true
+			res.MapBase = addr.VA(addr.AlignDown(uint64(va), field))
+			res.MapSize = field
+			return
+		}
+	}
+}
+
+// Lookup resolves va to (pa, perm). ok is false if va is unmapped.
+func (t *Table) Lookup(va addr.VA) (pa addr.PA, perm addr.Perm, ok bool) {
+	r := t.Walk(va)
+	if r.Outcome == WalkFault {
+		return 0, addr.NoPerm, false
+	}
+	return r.PA, r.Perm, true
+}
+
+// ForEachPage invokes fn for every mapped 4 KB page, in ascending VA order,
+// with the page's base VA, its translated base PA and its permission. It is
+// intended for tests and debugging; it expands huge leaves and PE fields to
+// page granularity.
+func (t *Table) ForEachPage(fn func(va addr.VA, pa addr.PA, perm addr.Perm)) {
+	t.forEachPage(t.root, 0, fn)
+}
+
+func (t *Table) forEachPage(n *Node, base addr.VA, fn func(addr.VA, addr.PA, addr.Perm)) {
+	span := entrySpan(n.Level)
+	for i := 0; i < EntriesPerNode; i++ {
+		e := &n.Entries[i]
+		eBase := base + addr.VA(uint64(i)*span)
+		switch e.Kind {
+		case EntryTable:
+			t.forEachPage(e.Next, eBase, fn)
+		case EntryLeaf:
+			if e.Perm == addr.NoPerm {
+				continue
+			}
+			for off := uint64(0); off < span; off += addr.PageSize4K {
+				fn(eBase+addr.VA(off), addr.PA(e.PFN*span+off), e.Perm)
+			}
+		case EntryPE:
+			field := span / uint64(t.cfg.PEFields)
+			for fi := 0; fi < t.cfg.PEFields; fi++ {
+				perm := e.PEPerms[fi]
+				if perm == addr.NoPerm {
+					continue
+				}
+				fBase := eBase + addr.VA(uint64(fi)*field)
+				for off := uint64(0); off < field; off += addr.PageSize4K {
+					fn(fBase+addr.VA(off), addr.PA(fBase+addr.VA(off)), perm)
+				}
+			}
+		}
+	}
+}

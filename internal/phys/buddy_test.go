@@ -1,0 +1,416 @@
+package phys
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+)
+
+const testMem = 64 << 20 // 64 MB
+
+func newTestMemory(t *testing.T) *Memory {
+	t.Helper()
+	m, err := NewMemory(0, testMem)
+	if err != nil {
+		t.Fatalf("NewMemory: %v", err)
+	}
+	return m
+}
+
+func TestNewMemoryValidation(t *testing.T) {
+	if _, err := NewMemory(0, 0); err == nil {
+		t.Error("zero size should fail")
+	}
+	if _, err := NewMemory(0, FrameSize+1); err == nil {
+		t.Error("unaligned size should fail")
+	}
+	if _, err := NewMemory(0, 3*FrameSize); err == nil {
+		t.Error("non-power-of-two frame count should fail")
+	}
+	if _, err := NewMemory(123, 1<<20); err == nil {
+		t.Error("unaligned base should fail")
+	}
+	if _, err := NewMemory(16<<20, 1<<30); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestAllocContiguousBasic(t *testing.T) {
+	m := newTestMemory(t)
+	r, err := m.AllocContiguous(8 * FrameSize)
+	if err != nil {
+		t.Fatalf("AllocContiguous: %v", err)
+	}
+	if r.Size != 8*FrameSize {
+		t.Errorf("size = %d, want %d", r.Size, 8*FrameSize)
+	}
+	if !addr.IsAligned(uint64(r.Start), 8*FrameSize) {
+		t.Errorf("start %#x not aligned to block size", uint64(r.Start))
+	}
+	if m.UsedBytes() != 8*FrameSize {
+		t.Errorf("UsedBytes = %d, want %d", m.UsedBytes(), 8*FrameSize)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocContiguousTrimsRounding(t *testing.T) {
+	// The paper: "Once contiguous pages are obtained, additional pages
+	// obtained due to rounding up are returned immediately."
+	m := newTestMemory(t)
+	r, err := m.AllocContiguous(5 * FrameSize) // rounds to an 8-frame block
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size != 5*FrameSize {
+		t.Errorf("returned size = %d, want %d", r.Size, 5*FrameSize)
+	}
+	if m.UsedBytes() != 5*FrameSize {
+		t.Errorf("UsedBytes = %d, want exactly the 5 requested frames", m.UsedBytes())
+	}
+	// The trimmed 3 frames must be reusable: a single-frame allocation is
+	// served from the trimmed tail (lowest address first).
+	r2, err := m.AllocContiguous(FrameSize)
+	if err != nil {
+		t.Fatalf("trimmed frames not reusable: %v", err)
+	}
+	if r2.Start != r.End() {
+		t.Errorf("expected trimmed tail %#x to be handed out next, got %#x", uint64(r.End()), uint64(r2.Start))
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	m := newTestMemory(t)
+	var ranges []addr.PRange
+	sizes := []uint64{FrameSize, 3 * FrameSize, 17 * FrameSize, 64 * FrameSize, 1 << 20}
+	for _, s := range sizes {
+		r, err := m.AllocContiguous(s)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", s, err)
+		}
+		ranges = append(ranges, r)
+	}
+	for _, r := range ranges {
+		if err := m.Free(r); err != nil {
+			t.Fatalf("free %v: %v", r, err)
+		}
+	}
+	if m.FreeBytes() != m.Size() {
+		t.Errorf("after freeing everything, FreeBytes = %d, want %d", m.FreeBytes(), m.Size())
+	}
+	if m.LargestFreeBlock() != m.Size() {
+		t.Errorf("coalescing failed: largest block %d, want %d", m.LargestFreeBlock(), m.Size())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocationsDisjoint(t *testing.T) {
+	m := newTestMemory(t)
+	rng := rand.New(rand.NewSource(1))
+	var got []addr.PRange
+	for i := 0; i < 200; i++ {
+		size := (rng.Uint64()%64 + 1) * FrameSize
+		r, err := m.AllocContiguous(size)
+		if err != nil {
+			break
+		}
+		for _, prev := range got {
+			if r.Overlaps(prev) {
+				t.Fatalf("allocation %v overlaps %v", r, prev)
+			}
+		}
+		got = append(got, r)
+	}
+	if len(got) < 100 {
+		t.Fatalf("expected at least 100 allocations, got %d", len(got))
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	m := MustNewMemory(0, 1<<20) // 256 frames
+	if _, err := m.AllocContiguous(2 << 20); err != ErrOutOfMemory {
+		t.Errorf("err = %v, want ErrOutOfMemory", err)
+	}
+	// Exhaust, then confirm failure and recovery.
+	r, err := m.AllocContiguous(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AllocContiguous(FrameSize); err == nil {
+		t.Error("allocation from an exhausted memory should fail")
+	}
+	if err := m.Free(r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AllocContiguous(FrameSize); err != nil {
+		t.Errorf("allocation after free failed: %v", err)
+	}
+}
+
+func TestNoContiguousVsOutOfMemory(t *testing.T) {
+	// Fragment the memory so that half the bytes are free but no large
+	// block exists: allocate everything as frame pairs, free every other
+	// pair's buddy pattern.
+	m := MustNewMemory(0, 1<<20)
+	frames := int((1 << 20) / FrameSize)
+	var rs []addr.PRange
+	for i := 0; i < frames; i++ {
+		r, err := m.AllocContiguous(FrameSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs = append(rs, r)
+	}
+	for i := 0; i < frames; i += 2 {
+		if err := m.Free(rs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.FreeBytes() != (1<<20)/2 {
+		t.Fatalf("FreeBytes = %d", m.FreeBytes())
+	}
+	if _, err := m.AllocContiguous(2 * FrameSize); err != ErrNoContiguous {
+		t.Errorf("err = %v, want ErrNoContiguous", err)
+	}
+	if m.LargestFreeBlock() != FrameSize {
+		t.Errorf("LargestFreeBlock = %d, want one frame", m.LargestFreeBlock())
+	}
+}
+
+func TestAllocAt(t *testing.T) {
+	m := newTestMemory(t)
+	want := addr.PRange{Start: 1 << 20, Size: 16 * FrameSize}
+	r, err := m.AllocAt(want.Start, want.Size)
+	if err != nil {
+		t.Fatalf("AllocAt: %v", err)
+	}
+	if r != want {
+		t.Errorf("AllocAt = %v, want %v", r, want)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping AllocAt must fail without corrupting state.
+	if _, err := m.AllocAt(want.Start+addr.PA(4*FrameSize), 4*FrameSize); err == nil {
+		t.Error("overlapping AllocAt should fail")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(r); err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeBytes() != m.Size() {
+		t.Errorf("FreeBytes = %d after free, want all", m.FreeBytes())
+	}
+}
+
+func TestAllocAtUnaligned(t *testing.T) {
+	m := newTestMemory(t)
+	if _, err := m.AllocAt(123, FrameSize); err == nil {
+		t.Error("unaligned AllocAt should fail")
+	}
+	if _, err := m.AllocAt(addr.PA(testMem), FrameSize); err == nil {
+		t.Error("AllocAt beyond end should fail")
+	}
+}
+
+func TestFreeRejectsBadRanges(t *testing.T) {
+	m := newTestMemory(t)
+	r, err := m.AllocContiguous(4 * FrameSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(addr.PRange{Start: r.Start + addr.PA(FrameSize), Size: FrameSize}); err == nil {
+		t.Error("freeing a sub-range should fail")
+	}
+	if err := m.Free(addr.PRange{Start: 999 * addr.PA(FrameSize), Size: FrameSize}); err == nil {
+		t.Error("freeing an unallocated range should fail")
+	}
+	if err := m.Free(r); err != nil {
+		t.Fatalf("legitimate free failed: %v", err)
+	}
+}
+
+func TestBaseOffset(t *testing.T) {
+	base := addr.PA(16 << 20)
+	m := MustNewMemory(base, 16<<20)
+	r, err := m.AllocContiguous(FrameSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Start < base {
+		t.Errorf("allocation %#x below base %#x", uint64(r.Start), uint64(base))
+	}
+	if err := m.Free(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderFor(t *testing.T) {
+	cases := []struct {
+		bytes uint64
+		order uint8
+	}{
+		{1, 0},
+		{FrameSize, 0},
+		{FrameSize + 1, 1},
+		{2 * FrameSize, 1},
+		{3 * FrameSize, 2},
+		{4 * FrameSize, 2},
+		{1 << 20, 8},
+		{2 << 20, 9},
+	}
+	for _, c := range cases {
+		if got := orderFor(c.bytes); got != c.order {
+			t.Errorf("orderFor(%d) = %d, want %d", c.bytes, got, c.order)
+		}
+	}
+}
+
+func TestMaxAlignedOrder(t *testing.T) {
+	cases := []struct {
+		frame, frames uint64
+		want          uint8
+	}{
+		{0, 1, 0},
+		{0, 8, 3},
+		{0, 7, 2},
+		{4, 8, 2},
+		{2, 2, 1},
+		{1, 100, 0},
+		{8, 9, 3},
+	}
+	for _, c := range cases {
+		if got := maxAlignedOrder(c.frame, c.frames); got != c.want {
+			t.Errorf("maxAlignedOrder(%d,%d) = %d, want %d", c.frame, c.frames, got, c.want)
+		}
+	}
+}
+
+func TestSnapshotAccounting(t *testing.T) {
+	m := newTestMemory(t)
+	r1, _ := m.AllocContiguous(10 * FrameSize)
+	r2, _ := m.AllocContiguous(1 << 20)
+	s := m.Snapshot()
+	if s.UsedBytes != r1.Size+r2.Size {
+		t.Errorf("UsedBytes = %d, want %d", s.UsedBytes, r1.Size+r2.Size)
+	}
+	if s.AllocCalls != 2 {
+		t.Errorf("AllocCalls = %d, want 2", s.AllocCalls)
+	}
+	if s.TotalBytes != testMem {
+		t.Errorf("TotalBytes = %d", s.TotalBytes)
+	}
+}
+
+// TestBuddyProperty runs random alloc/free sequences and checks the
+// allocator invariants after every step, plus full coalescing at the end.
+func TestBuddyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := MustNewMemory(0, 8<<20)
+		type alloc struct{ r addr.PRange }
+		var live []alloc
+		for step := 0; step < 300; step++ {
+			if rng.Intn(3) != 0 || len(live) == 0 {
+				size := (rng.Uint64()%40 + 1) * FrameSize
+				r, err := m.AllocContiguous(size)
+				if err == nil {
+					live = append(live, alloc{r})
+				}
+			} else {
+				i := rng.Intn(len(live))
+				if err := m.Free(live[i].r); err != nil {
+					t.Logf("free failed: %v", err)
+					return false
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Logf("invariant violated: %v", err)
+			return false
+		}
+		for _, a := range live {
+			if err := m.Free(a.r); err != nil {
+				t.Logf("final free failed: %v", err)
+				return false
+			}
+		}
+		return m.FreeBytes() == m.Size() && m.LargestFreeBlock() == m.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAllocAtProperty interleaves AllocContiguous, AllocAt and Free.
+func TestAllocAtProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := MustNewMemory(0, 4<<20)
+		var live []addr.PRange
+		for step := 0; step < 150; step++ {
+			switch {
+			case rng.Intn(4) == 0 && len(live) > 0:
+				i := rng.Intn(len(live))
+				if err := m.Free(live[i]); err != nil {
+					return false
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			case rng.Intn(2) == 0:
+				pa := addr.PA(rng.Uint64() % (4 << 20)).PageDown()
+				size := (rng.Uint64()%16 + 1) * FrameSize
+				if r, err := m.AllocAt(pa, size); err == nil {
+					live = append(live, r)
+				}
+			default:
+				size := (rng.Uint64()%16 + 1) * FrameSize
+				if r, err := m.AllocContiguous(size); err == nil {
+					live = append(live, r)
+				}
+			}
+			// Disjointness.
+			for i := 0; i < len(live); i++ {
+				for j := i + 1; j < len(live); j++ {
+					if live[i].Overlaps(live[j]) {
+						t.Logf("overlap: %v %v", live[i], live[j])
+						return false
+					}
+				}
+			}
+		}
+		return m.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAllocFree(b *testing.B) {
+	m := MustNewMemory(0, 256<<20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := m.AllocContiguous(16 * FrameSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Free(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dvm-sim/dvm/internal/core"
+)
+
+func TestTable5(t *testing.T) {
+	var b strings.Builder
+	if err := Table5(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, feature := range []string{"Code Segment", "Heap Segment", "Stack Segment", "Page Tables", "Total"} {
+		if !strings.Contains(out, feature) {
+			t.Errorf("Table 5 missing %q:\n%s", feature, out)
+		}
+	}
+	// The paper's total is 252 lines (39+1+56+63+78+15).
+	if !strings.Contains(out, "252") {
+		t.Errorf("Table 5 total wrong:\n%s", out)
+	}
+}
+
+func TestTable3(t *testing.T) {
+	var b strings.Builder
+	if err := Table3(core.ProfileTiny, &b, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, ds := range []string{"FR", "Wiki", "LJ", "S24", "NF", "Bip1", "Bip2"} {
+		if !strings.Contains(out, ds) {
+			t.Errorf("Table 3 missing %s:\n%s", ds, out)
+		}
+	}
+}
+
+func TestFigure10Render(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full CPU traces")
+	}
+	var b strings.Builder
+	if err := Figure10(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, wl := range []string{"mcf", "bt", "cg", "canneal", "xsbench", "Average"} {
+		if !strings.Contains(out, wl) {
+			t.Errorf("Figure 10 missing %s:\n%s", wl, out)
+		}
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	var b strings.Builder
+	var lines []string
+	progress := func(format string, args ...interface{}) {
+		lines = append(lines, format)
+	}
+	if err := Table1(core.ProfileTiny, &b, progress); err != nil {
+		t.Fatal(err)
+	}
+	// Table 1 covers PageRank (4 inputs) + CF (3 inputs) = 7 rows.
+	if got := strings.Count(b.String(), "\n") - 3; got != 7 {
+		t.Errorf("Table 1 rows = %d, want 7:\n%s", got, b.String())
+	}
+	if len(lines) != 7 {
+		t.Errorf("progress lines = %d, want 7", len(lines))
+	}
+}
+
+func TestFigure2Render(t *testing.T) {
+	var b strings.Builder
+	if err := Figure2(core.ProfileTiny, &b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Average") {
+		t.Errorf("Figure 2 missing average row:\n%s", b.String())
+	}
+}

@@ -1,0 +1,87 @@
+package shbench
+
+import (
+	"testing"
+)
+
+// smallMem keeps unit-test runtimes down; percentages are scale-free.
+const smallMem = 1 << 30
+
+func TestExperimentsDefined(t *testing.T) {
+	if len(Experiments) != 3 {
+		t.Fatalf("Table 4 has 3 experiments, found %d", len(Experiments))
+	}
+	if Experiments[0].MaxBytes != 10_000 || Experiments[1].MaxBytes != 10_000_000 {
+		t.Errorf("experiment size ranges wrong: %+v", Experiments[:2])
+	}
+	if Experiments[2].Instances != 4 {
+		t.Errorf("experiment 3 should run 4 instances, has %d", Experiments[2].Instances)
+	}
+	if len(MemorySizes) != 3 || MemorySizes[0] != 16<<30 || MemorySizes[2] != 64<<30 {
+		t.Errorf("memory sizes wrong: %v", MemorySizes)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Experiment{ID: 9}, smallMem); err == nil {
+		t.Error("empty experiment accepted")
+	}
+	if _, err := Run(Experiment{ID: 9, MinBytes: 10, MaxBytes: 5, Instances: 1}, smallMem); err == nil {
+		t.Error("inverted size range accepted")
+	}
+}
+
+func TestSmallChunksIdentityFraction(t *testing.T) {
+	exp := Experiments[0]
+	r, err := Run(exp, smallMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports 95-97%; our pooling allocator should stay in
+	// that league even at 1 GB.
+	if r.Percent < 90 {
+		t.Errorf("experiment 1 identity fraction = %.1f%%, want >= 90%%", r.Percent)
+	}
+	if r.Percent > 100 {
+		t.Errorf("identity fraction = %.1f%% exceeds memory", r.Percent)
+	}
+	if r.Allocations == 0 {
+		t.Error("no allocations recorded")
+	}
+}
+
+func TestLargeChunksIdentityFraction(t *testing.T) {
+	exp := Experiments[1]
+	r, err := Run(exp, smallMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Percent < 85 {
+		t.Errorf("experiment 2 identity fraction = %.1f%%, want >= 85%%", r.Percent)
+	}
+}
+
+func TestConcurrentInstances(t *testing.T) {
+	exp := Experiments[2]
+	r, err := Run(exp, smallMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Percent < 85 {
+		t.Errorf("experiment 3 identity fraction = %.1f%%, want >= 85%%", r.Percent)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Run(Experiments[1], smallMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Experiments[1], smallMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Percent != b.Percent || a.Allocations != b.Allocations {
+		t.Errorf("runs differ: %+v vs %+v", a, b)
+	}
+}
