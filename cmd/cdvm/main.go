@@ -21,10 +21,11 @@ import (
 func main() {
 	workload := flag.String("workload", "", "run a single workload (mcf|bt|cg|canneal|xsbench)")
 	overlap := flag.Bool("overlap", false, "enable the §7.1 cDVM store-overlap optimization")
+	jobs := flag.Int("j", 0, "max concurrent experiment cells (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	if *workload == "" {
-		if err := report.Figure10(os.Stdout, nil); err != nil {
+		if err := report.Figure10(os.Stdout, report.Options{Jobs: *jobs}); err != nil {
 			fatal(err)
 		}
 		return

@@ -4,16 +4,21 @@
 //
 // Usage:
 //
-//	dvmrepro [-profile tiny|small|medium|paper] [-only fig2,table1,table3,fig8,fig9,table4,fig10,table5,ablations] [-quiet]
+//	dvmrepro [-profile tiny|small|medium|paper] [-j N] [-only fig2,table1,table3,fig8,fig9,table4,fig10,table5,ablations,virt] [-quiet]
 //
 // With no -only flag every artifact is regenerated in paper order. Output
-// goes to stdout; progress lines go to stderr unless -quiet is set.
+// goes to stdout; progress lines go to stderr unless -quiet is set. The
+// evaluation matrix is embarrassingly parallel: -j bounds how many
+// experiment cells run concurrently (default: one per CPU), and every
+// rendered table is byte-identical at any -j (-j 1 reproduces the
+// sequential sweep exactly).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -21,9 +26,13 @@ import (
 	"github.com/dvm-sim/dvm/internal/report"
 )
 
+// artifactKeys is the -only vocabulary, in paper rendering order.
+var artifactKeys = []string{"table3", "fig2", "table1", "fig8", "fig9", "table4", "fig10", "table5", "ablations", "virt"}
+
 func main() {
 	profileName := flag.String("profile", "small", "experiment profile: tiny|small|medium|paper (see DESIGN.md §6)")
-	only := flag.String("only", "", "comma-separated subset: fig2,table1,table3,fig8,fig9,table4,fig10,table5,ablations")
+	only := flag.String("only", "", "comma-separated subset: "+strings.Join(artifactKeys, ","))
+	jobs := flag.Int("j", 0, "max concurrent experiment cells (0 = one per CPU, 1 = sequential)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
 
@@ -38,15 +47,39 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  ... "+format+"\n", args...)
 		}
 	}
+	opts := report.Options{Jobs: *jobs, Progress: progress}
 
+	known := map[string]bool{}
+	for _, k := range artifactKeys {
+		known[k] = true
+	}
 	wanted := map[string]bool{}
 	if *only == "" {
-		for _, k := range []string{"table3", "fig2", "table1", "fig8", "fig9", "table4", "fig10", "table5", "ablations", "virt"} {
+		for _, k := range artifactKeys {
 			wanted[k] = true
 		}
 	} else {
+		var unknown []string
 		for _, k := range strings.Split(*only, ",") {
-			wanted[strings.TrimSpace(k)] = true
+			k = strings.TrimSpace(k)
+			if k == "" {
+				continue
+			}
+			if !known[k] {
+				unknown = append(unknown, k)
+				continue
+			}
+			wanted[k] = true
+		}
+		if len(unknown) > 0 {
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "dvmrepro: unknown artifact key(s) %s; valid keys: %s\n",
+				strings.Join(unknown, ", "), strings.Join(artifactKeys, ", "))
+			os.Exit(2)
+		}
+		if len(wanted) == 0 {
+			fmt.Fprintf(os.Stderr, "dvmrepro: -only selected nothing; valid keys: %s\n", strings.Join(artifactKeys, ", "))
+			os.Exit(2)
 		}
 	}
 
@@ -69,13 +102,13 @@ func main() {
 	}
 
 	out := os.Stdout
-	run("table3", func() error { return report.Table3(prof, out, progress) })
-	run("fig2", func() error { return report.Figure2(prof, out, progress) })
-	run("table1", func() error { return report.Table1(prof, out, progress) })
+	run("table3", func() error { return report.Table3(prof, out, opts) })
+	run("fig2", func() error { return report.Figure2(prof, out, opts) })
+	run("table1", func() error { return report.Table1(prof, out, opts) })
 	// fig8 and fig9 come from the same runs; requesting either (or both)
 	// renders both tables once.
 	if wanted["fig8"] || wanted["fig9"] {
-		run8 := func() error { return report.Figure8And9(prof, out, progress) }
+		run8 := func() error { return report.Figure8And9(prof, out, opts) }
 		name := "fig8"
 		if !wanted["fig8"] {
 			name = "fig9"
@@ -83,9 +116,9 @@ func main() {
 		wanted[name] = true
 		run(name, run8)
 	}
-	run("table4", func() error { return report.Table4(out, progress) })
-	run("fig10", func() error { return report.Figure10(out, progress) })
+	run("table4", func() error { return report.Table4(out, opts) })
+	run("fig10", func() error { return report.Figure10(out, opts) })
 	run("table5", func() error { return report.Table5(out) })
-	run("ablations", func() error { return report.Ablations(prof, out, progress) })
-	run("virt", func() error { return report.Virtualization(out, progress) })
+	run("ablations", func() error { return report.Ablations(prof, out, opts) })
+	run("virt", func() error { return report.Virtualization(out, opts) })
 }

@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	dvmsim -alg PageRank -dataset Wiki [-mode DVM-PE+] [-profile small] [-seed 42]
+//	dvmsim -alg PageRank -dataset Wiki [-mode DVM-PE+] [-profile small] [-seed 42] [-j N]
 //
-// Omitting -mode runs all seven configurations and prints a comparison.
+// Omitting -mode runs all seven configurations and prints a comparison;
+// -j bounds how many of those runs execute concurrently (default: one per
+// CPU; the printed table is identical at any -j).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +20,7 @@ import (
 	"github.com/dvm-sim/dvm/internal/core"
 	"github.com/dvm-sim/dvm/internal/graph"
 	"github.com/dvm-sim/dvm/internal/results"
+	"github.com/dvm-sim/dvm/internal/runner"
 )
 
 func main() {
@@ -25,6 +29,7 @@ func main() {
 	modeName := flag.String("mode", "", "mode (default: all): Ideal|4K,TLB+PWC|2M,TLB+PWC|1G,TLB+PWC|DVM-BM|DVM-PE|DVM-PE+")
 	profileName := flag.String("profile", "small", "experiment profile: tiny|small|medium|paper")
 	seed := flag.Int64("seed", 42, "graph generation seed")
+	jobs := flag.Int("j", 0, "max concurrent mode runs (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	prof, err := core.ProfileByName(*profileName)
@@ -61,12 +66,15 @@ func main() {
 		}
 	}
 
+	rows, err := runner.Map(context.Background(), *jobs, len(modes), func(_ context.Context, i int) (core.RunResult, error) {
+		return p.Run(modes[i], prof.SystemConfig())
+	})
+	if err != nil {
+		fatal(err)
+	}
 	t := results.NewTable("", "Mode", "Cycles", "TLB miss", "Struct hit", "Walk refs", "Squashes", "MMU energy (pJ)")
-	for _, m := range modes {
-		r, err := p.Run(m, prof.SystemConfig())
-		if err != nil {
-			fatal(err)
-		}
+	for i, m := range modes {
+		r := rows[i]
 		t.MustAddRow(m.String(),
 			fmt.Sprintf("%d", r.Stats.Cycles),
 			results.Pct(r.TLBMissRate),

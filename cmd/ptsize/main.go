@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ptsize [-profile small]
+//	ptsize [-profile small] [-j N]
 package main
 
 import (
@@ -17,13 +17,14 @@ import (
 
 func main() {
 	profileName := flag.String("profile", "small", "experiment profile: tiny|small|medium|paper")
+	jobs := flag.Int("j", 0, "max concurrent experiment cells (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 	prof, err := core.ProfileByName(*profileName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if err := report.Table1(prof, os.Stdout, nil); err != nil {
+	if err := report.Table1(prof, os.Stdout, report.Options{Jobs: *jobs}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

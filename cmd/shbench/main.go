@@ -20,10 +20,11 @@ import (
 func main() {
 	expt := flag.Int("expt", 0, "run a single experiment (1-3); 0 = full table")
 	memGB := flag.Uint64("mem", 32, "system memory in GB for -expt")
+	jobs := flag.Int("j", 0, "max concurrent experiment cells (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	if *expt == 0 {
-		if err := report.Table4(os.Stdout, nil); err != nil {
+		if err := report.Table4(os.Stdout, report.Options{Jobs: *jobs}); err != nil {
 			fatal(err)
 		}
 		return

@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	tlbstats [-profile small] [-sweep] [-alg PageRank -dataset Wiki]
+//	tlbstats [-profile small] [-j N] [-sweep] [-alg PageRank -dataset Wiki]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ func main() {
 	sweep := flag.Bool("sweep", false, "sweep TLB sizes for one workload instead of printing Figure 2")
 	alg := flag.String("alg", "PageRank", "algorithm for -sweep")
 	dataset := flag.String("dataset", "Wiki", "dataset for -sweep")
+	jobs := flag.Int("j", 0, "max concurrent experiment cells (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	prof, err := core.ProfileByName(*profileName)
@@ -30,7 +32,7 @@ func main() {
 		fatal(err)
 	}
 	if !*sweep {
-		if err := report.Figure2(prof, os.Stdout, nil); err != nil {
+		if err := report.Figure2(prof, os.Stdout, report.Options{Jobs: *jobs}); err != nil {
 			fatal(err)
 		}
 		return
@@ -47,7 +49,7 @@ func main() {
 		fatal(err)
 	}
 	sizes := []int{2, 4, 8, 16, 32, 64, 128, 256}
-	rates, err := core.TLBMissRateVsSize(p, prof.SystemConfig(), sizes)
+	rates, err := core.TLBMissRateVsSizeCtx(context.Background(), p, prof.SystemConfig(), sizes, *jobs)
 	if err != nil {
 		fatal(err)
 	}

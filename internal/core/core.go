@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/dvm-sim/dvm/internal/accel"
@@ -16,6 +17,7 @@ import (
 	"github.com/dvm-sim/dvm/internal/mmu"
 	"github.com/dvm-sim/dvm/internal/osmodel"
 	"github.com/dvm-sim/dvm/internal/pagetable"
+	"github.com/dvm-sim/dvm/internal/runner"
 )
 
 // Mode re-exports the configuration enumeration for callers of this
@@ -281,15 +283,32 @@ func buildPETable(proc *osmodel.Process, peFields int) (*pagetable.Table, error)
 	return tbl, nil
 }
 
-// RunAll executes the prepared workload under every mode.
+// RunAll executes the prepared workload under every mode, sequentially.
 func (p *Prepared) RunAll(cfg SystemConfig) (map[Mode]RunResult, error) {
-	out := make(map[Mode]RunResult, len(AllModes))
-	for _, m := range AllModes {
+	return p.RunAllCtx(context.Background(), cfg, 1)
+}
+
+// RunAllCtx executes the prepared workload under every mode with up to jobs
+// runs in flight (jobs <= 0 uses one worker per CPU; jobs == 1 reproduces
+// RunAll's sequential behaviour bit-for-bit). Each run builds its own
+// osmodel.System, IOMMU and memory controller, and the shared graph is
+// read-only after Prepare, so concurrent modes never interact; results are
+// keyed by mode, independent of completion order.
+func (p *Prepared) RunAllCtx(ctx context.Context, cfg SystemConfig, jobs int) (map[Mode]RunResult, error) {
+	results, err := runner.Map(ctx, jobs, len(AllModes), func(_ context.Context, i int) (RunResult, error) {
+		m := AllModes[i]
 		r, err := p.Run(m, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("core: %s/%s under %v: %w", p.Workload.Algorithm, p.G.Name, m, err)
+			return r, fmt.Errorf("core: %s/%s under %v: %w", p.Workload.Algorithm, p.G.Name, m, err)
 		}
-		out[m] = r
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[Mode]RunResult, len(AllModes))
+	for i, m := range AllModes {
+		out[m] = results[i]
 	}
 	return out, nil
 }

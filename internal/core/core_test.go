@@ -154,8 +154,8 @@ func TestFigure2Rates(t *testing.T) {
 	if row.MissRate4K > 0.6 {
 		t.Errorf("4K miss rate = %.4f implausibly high", row.MissRate4K)
 	}
-	if row.Lookups == 0 {
-		t.Error("no TLB lookups recorded")
+	if row.Lookups4K == 0 || row.Lookups2M == 0 {
+		t.Errorf("TLB lookups not recorded for both runs: 4K %d, 2M %d", row.Lookups4K, row.Lookups2M)
 	}
 }
 

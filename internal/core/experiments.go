@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/dvm-sim/dvm/internal/accel"
 	"github.com/dvm-sim/dvm/internal/graph"
 	"github.com/dvm-sim/dvm/internal/osmodel"
+	"github.com/dvm-sim/dvm/internal/runner"
 )
 
 // Profile fixes the workload scale and the matching hardware scale for a
@@ -74,13 +76,16 @@ func (p Profile) Workloads() []Workload {
 }
 
 // Figure2Row is one bar pair of Figure 2: a workload's TLB miss rate with
-// 4 KB and 2 MB pages.
+// 4 KB and 2 MB pages. Both runs' TLB lookup counts are recorded so the
+// miss-rate denominators are auditable (the 4K and 2M runs probe the TLB
+// different numbers of times: huge pages change the walk traffic).
 type Figure2Row struct {
 	Algorithm  string
 	Dataset    string
 	MissRate4K float64
 	MissRate2M float64
-	Lookups    uint64
+	Lookups4K  uint64
+	Lookups2M  uint64
 }
 
 // Figure2 measures TLB miss rates for one prepared workload.
@@ -96,7 +101,8 @@ func Figure2(p *Prepared, cfg SystemConfig) (Figure2Row, error) {
 	}
 	row.MissRate4K = r4.TLBMissRate
 	row.MissRate2M = r2.TLBMissRate
-	row.Lookups = r4.TLBLookups
+	row.Lookups4K = r4.TLBLookups
+	row.Lookups2M = r2.TLBLookups
 	return row, nil
 }
 
@@ -153,15 +159,22 @@ type Figure8Cell struct {
 	Results map[Mode]RunResult
 }
 
-// Figure8 runs one workload under all modes.
+// Figure8 runs one workload under all modes, sequentially.
 func Figure8(p *Prepared, cfg SystemConfig) (Figure8Cell, error) {
+	return Figure8Ctx(context.Background(), p, cfg, 1)
+}
+
+// Figure8Ctx runs one workload under all modes with up to jobs runs in
+// flight; any jobs value yields the exact RunResults of the sequential
+// sweep (enforced by TestFigure8ParallelismIsDeterministic).
+func Figure8Ctx(ctx context.Context, p *Prepared, cfg SystemConfig, jobs int) (Figure8Cell, error) {
 	cell := Figure8Cell{
 		Algorithm:  p.Workload.Algorithm,
 		Dataset:    p.G.Name,
 		Cycles:     map[Mode]uint64{},
 		Normalized: map[Mode]float64{},
 	}
-	results, err := p.RunAll(cfg)
+	results, err := p.RunAllCtx(ctx, cfg, jobs)
 	if err != nil {
 		return cell, err
 	}
@@ -212,15 +225,27 @@ func Figure9(cell Figure8Cell) (Figure9Cell, error) {
 // TLBMissRateVsSize sweeps TLB sizes for one workload at 4 KB pages — the
 // sensitivity study behind Figure 2's "128-entry TLB" choice.
 func TLBMissRateVsSize(p *Prepared, cfg SystemConfig, sizes []int) (map[int]float64, error) {
-	out := make(map[int]float64, len(sizes))
-	for _, n := range sizes {
+	return TLBMissRateVsSizeCtx(context.Background(), p, cfg, sizes, 1)
+}
+
+// TLBMissRateVsSizeCtx is TLBMissRateVsSize with up to jobs sizes measured
+// concurrently.
+func TLBMissRateVsSizeCtx(ctx context.Context, p *Prepared, cfg SystemConfig, sizes []int, jobs int) (map[int]float64, error) {
+	rates, err := runner.Map(ctx, jobs, len(sizes), func(_ context.Context, i int) (float64, error) {
 		c := cfg
-		c.TLBEntries = n
+		c.TLBEntries = sizes[i]
 		r, err := p.Run(ModeConv4K, c)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		out[n] = r.TLBMissRate
+		return r.TLBMissRate, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]float64, len(sizes))
+	for i, n := range sizes {
+		out[n] = rates[i]
 	}
 	return out, nil
 }

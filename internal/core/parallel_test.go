@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/dvm-sim/dvm/internal/graph"
+)
+
+// TestFigure8ParallelismIsDeterministic runs the same Figure 8 cell with a
+// sequential sweep (-j 1) and a saturated pool (-j 8) and requires every
+// per-mode RunResult — cycles, miss rates, energy, DRAM stats — to be
+// identical. Parallelism must change wall-clock time only, never results.
+func TestFigure8ParallelismIsDeterministic(t *testing.T) {
+	wiki, err := graph.DatasetByName("Wiki")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Prepare(Workload{
+		Algorithm: "PageRank", Dataset: wiki, Scale: ProfileTiny.Scale,
+		PageRankIters: ProfileTiny.PageRankIters, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ProfileTiny.SystemConfig()
+	seq, err := Figure8Ctx(context.Background(), p, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Figure8Ctx(context.Background(), p, cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range AllModes {
+		if !reflect.DeepEqual(seq.Results[m], par.Results[m]) {
+			t.Errorf("mode %v: RunResult differs between -j 1 and -j 8:\nseq: %+v\npar: %+v",
+				m, seq.Results[m], par.Results[m])
+		}
+	}
+	if !reflect.DeepEqual(seq.Cycles, par.Cycles) || !reflect.DeepEqual(seq.Normalized, par.Normalized) {
+		t.Error("derived Figure 8 cell differs between -j 1 and -j 8")
+	}
+}
+
+// TestRunAllCtxMatchesRunAll checks the context-based pool against the
+// plain sequential entry point at a non-trivial concurrency.
+func TestRunAllCtxMatchesRunAll(t *testing.T) {
+	fr, err := graph.DatasetByName("FR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Prepare(Workload{Algorithm: "BFS", Dataset: fr, Scale: ProfileTiny.Scale, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ProfileTiny.SystemConfig()
+	seq, err := p.RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := p.RunAllCtx(context.Background(), cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("RunAllCtx(jobs=4) differs from sequential RunAll")
+	}
+}

@@ -105,18 +105,29 @@ func (t *TLB) Lookup(va addr.VA) (pa addr.PA, perm addr.Perm, hit bool) {
 
 // Insert caches the translation of the page containing va. base/pa must be
 // aligned to the TLB's page size.
+//
+// The duplicate check scans the whole set before any victim is chosen:
+// stopping the scan at the first invalid slot would only be correct while
+// valid entries form a prefix of the set (true today, since only Invalidate
+// clears entries and it clears whole sets), and a future per-entry
+// invalidation would then let a vpn be cached twice, corrupting hit
+// accounting.
 func (t *TLB) Insert(base addr.VA, pa addr.PA, perm addr.Perm) {
 	t.clock++
 	vpn := uint64(base) / t.cfg.PageSize
 	pfn := uint64(pa) / t.cfg.PageSize
 	set := t.setFor(vpn)
-	victim := 0
 	for i := range set {
 		e := &set[i]
 		if e.valid && e.vpn == vpn {
 			e.pfn, e.perm, e.lastUse = pfn, perm, t.clock
 			return
 		}
+	}
+	// No duplicate: victim is the first invalid slot, else the true LRU.
+	victim := 0
+	for i := range set {
+		e := &set[i]
 		if !e.valid {
 			victim = i
 			break

@@ -97,6 +97,113 @@ func TestTLBMatchesReferenceLRU(t *testing.T) {
 	}
 }
 
+// TestTLBDuplicateInsertNeverSplitsEntry: re-inserting a vpn — with and
+// without invalid slots scattered through the set — must update the one
+// existing entry in place, never create a second copy. Detected via the
+// set's capacity: a 4-entry set holding a duplicated vpn could retain 5
+// distinct translations' worth of hits.
+func TestTLBDuplicateInsertNeverSplitsEntry(t *testing.T) {
+	const ways = 4
+	tlb := MustNewTLB(TLBConfig{Entries: ways, PageSize: addr.PageSize4K})
+	va := func(i uint64) addr.VA { return addr.VA(i * addr.PageSize4K) }
+	pa := func(i uint64) addr.PA { return addr.PA(i * addr.PageSize4K) }
+
+	// Fill the set, then re-insert every vpn with a new translation.
+	for i := uint64(0); i < ways; i++ {
+		tlb.Insert(va(i), pa(i), addr.ReadOnly)
+	}
+	for i := uint64(0); i < ways; i++ {
+		tlb.Insert(va(i), pa(100+i), addr.ReadWrite)
+	}
+	for i := uint64(0); i < ways; i++ {
+		gotPA, gotPerm, hit := tlb.Lookup(va(i))
+		if !hit {
+			t.Fatalf("vpn %d evicted by duplicate insert (set split the entry)", i)
+		}
+		if gotPA != pa(100+i) || gotPerm != addr.ReadWrite {
+			t.Errorf("vpn %d: got (%#x,%v), want updated translation (%#x,%v)",
+				i, uint64(gotPA), gotPerm, uint64(pa(100+i)), addr.ReadWrite)
+		}
+	}
+
+	// A full set re-inserted ways times must still hold exactly ways
+	// distinct vpns: inserting one new vpn evicts exactly one of them.
+	tlb.Insert(va(ways), pa(ways), addr.ReadOnly)
+	live := 0
+	for i := uint64(0); i <= ways; i++ {
+		if _, _, hit := tlb.Lookup(va(i)); hit {
+			live++
+		}
+	}
+	if live != ways {
+		t.Errorf("set holds %d live vpns, want exactly %d (duplicate corrupted occupancy)", live, ways)
+	}
+
+	// White-box: invalidate a slot in the middle of the set, so a valid
+	// duplicate sits *after* an invalid slot. A victim search that stops
+	// at the first invalid slot would insert a second copy of that vpn
+	// here; the duplicate check must win regardless of slot order.
+	set := tlb.sets[0]
+	set[0] = tlbEntry{}
+	dupVPN := set[ways-1].vpn
+	tlb.Insert(va(dupVPN), pa(200), addr.ReadOnly)
+	copies := 0
+	for i := range set {
+		if set[i].valid && set[i].vpn == dupVPN {
+			copies++
+		}
+	}
+	if copies != 1 {
+		t.Errorf("vpn %d cached %d times after insert past an invalid slot, want exactly 1", dupVPN, copies)
+	}
+	if set[ways-1].pfn != uint64(pa(200))/addr.PageSize4K {
+		t.Errorf("duplicate insert did not update the existing entry in place")
+	}
+}
+
+// TestTLBLRUEvictionOrder fills a set, touches entries in a known order and
+// checks the untouched entry — and only it — is evicted, across repeated
+// rounds (exact LRU, not approximations).
+func TestTLBLRUEvictionOrder(t *testing.T) {
+	const ways = 4
+	tlb := MustNewTLB(TLBConfig{Entries: ways, PageSize: addr.PageSize4K})
+	va := func(i uint64) addr.VA { return addr.VA(i * addr.PageSize4K) }
+
+	for i := uint64(0); i < ways; i++ {
+		tlb.Insert(va(i), addr.PA(va(i)), addr.ReadOnly)
+	}
+	// Refresh 0,1,3 via lookups; 2 becomes LRU.
+	for _, i := range []uint64{0, 1, 3} {
+		if _, _, hit := tlb.Lookup(va(i)); !hit {
+			t.Fatalf("warm-up lookup of vpn %d missed", i)
+		}
+	}
+	tlb.Insert(va(10), addr.PA(va(10)), addr.ReadOnly)
+	if _, _, hit := tlb.Lookup(va(2)); hit {
+		t.Error("vpn 2 was LRU but survived the eviction")
+	}
+	for _, i := range []uint64{0, 1, 3, 10} {
+		if _, _, hit := tlb.Lookup(va(i)); !hit {
+			t.Errorf("vpn %d wrongly evicted (not LRU)", i)
+		}
+	}
+	// Second round: the lookups above refreshed 0,1,3,10 in that order, so
+	// the next two evictions must be 0 then 1.
+	tlb.Insert(va(11), addr.PA(va(11)), addr.ReadOnly)
+	if _, _, hit := tlb.Lookup(va(0)); hit {
+		t.Error("vpn 0 was LRU after refresh round but survived")
+	}
+	tlb.Insert(va(12), addr.PA(va(12)), addr.ReadOnly)
+	if _, _, hit := tlb.Lookup(va(1)); hit {
+		t.Error("vpn 1 was LRU after refresh round but survived")
+	}
+	for _, i := range []uint64{3, 10, 11, 12} {
+		if _, _, hit := tlb.Lookup(va(i)); !hit {
+			t.Errorf("vpn %d wrongly evicted in round 2", i)
+		}
+	}
+}
+
 // TestTLBStatsConsistency: hits + misses equals lookups, never decreasing.
 func TestTLBStatsConsistency(t *testing.T) {
 	tlb := MustNewTLB(TLBConfig{Entries: 8, PageSize: addr.PageSize4K})

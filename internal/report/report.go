@@ -2,9 +2,16 @@
 // evaluation as formatted text, one function per artifact. The
 // reproduction commands (cmd/dvmrepro and the standalone tools) and the
 // repository's EXPERIMENTS.md are produced through this package.
+//
+// Each artifact is a matrix of independent simulations, so the generators
+// fan their cells out on internal/runner's worker pool: Options.Jobs bounds
+// the concurrency, progress lines are emitted as cells complete, and table
+// rows are always rendered in cell-index order, making the rendered output
+// byte-identical at every Jobs value.
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -14,11 +21,14 @@ import (
 	"github.com/dvm-sim/dvm/internal/graph"
 	"github.com/dvm-sim/dvm/internal/mmu"
 	"github.com/dvm-sim/dvm/internal/results"
+	"github.com/dvm-sim/dvm/internal/runner"
 	"github.com/dvm-sim/dvm/internal/shbench"
 	"github.com/dvm-sim/dvm/internal/virt"
 )
 
 // Progress receives one line per completed step; nil disables reporting.
+// The generators call it from worker goroutines, so callers passing a sink
+// that is not inherently safe get it wrapped via Synchronized.
 type Progress func(format string, args ...interface{})
 
 func (p Progress) log(format string, args ...interface{}) {
@@ -27,54 +37,91 @@ func (p Progress) log(format string, args ...interface{}) {
 	}
 }
 
+// Synchronized returns a Progress that serializes calls behind a mutex, so
+// it is safe to invoke from multiple goroutines; nil stays nil.
+func (p Progress) Synchronized() Progress {
+	return Progress(runner.Synchronized(runner.Logf(p)))
+}
+
+// Options configures how the generators execute. The zero value runs one
+// experiment cell per CPU with progress reporting disabled.
+type Options struct {
+	// Jobs bounds how many experiment cells run concurrently: 0 uses
+	// runtime.GOMAXPROCS(0), 1 reproduces the sequential sweep
+	// bit-for-bit, N > 1 keeps up to N cells in flight.
+	Jobs int
+	// Progress receives one line per completed cell (completion order);
+	// nil disables reporting.
+	Progress Progress
+}
+
+func (o Options) progress() Progress { return o.Progress.Synchronized() }
+
 // Figure2 regenerates the TLB miss-rate figure: one row per workload/input,
 // 4 KB vs 2 MB pages.
-func Figure2(prof core.Profile, w io.Writer, progress Progress) error {
+func Figure2(prof core.Profile, w io.Writer, opts Options) error {
 	t := results.NewTable(
 		fmt.Sprintf("Figure 2: TLB miss rates (%d-entry FA TLB, profile %s; paper: 128-entry, ~21%% avg at 4K, 2M within 1%%)",
 			prof.TLBEntries, prof.Name),
-		"Workload", "Input", "4K miss", "2M miss", "TLB lookups")
-	var sum4, sum2 float64
-	n := 0
-	for _, wl := range prof.Workloads() {
-		p, err := core.Prepare(wl)
+		"Workload", "Input", "4K miss", "2M miss", "4K lookups", "2M lookups")
+	wls := prof.Workloads()
+	progress := opts.progress()
+	rows, err := runner.Map(context.Background(), opts.Jobs, len(wls), func(_ context.Context, i int) (core.Figure2Row, error) {
+		p, err := core.Prepare(wls[i])
 		if err != nil {
-			return err
+			return core.Figure2Row{}, err
 		}
 		row, err := core.Figure2(p, prof.SystemConfig())
 		if err != nil {
-			return err
+			return row, err
 		}
 		progress.log("fig2 %s/%s: 4K %.1f%% 2M %.1f%%", row.Algorithm, row.Dataset, 100*row.MissRate4K, 100*row.MissRate2M)
+		return row, nil
+	})
+	if err != nil {
+		return err
+	}
+	var sum4, sum2 float64
+	for _, row := range rows {
 		t.MustAddRow(row.Algorithm, row.Dataset, results.Pct(row.MissRate4K), results.Pct(row.MissRate2M),
-			fmt.Sprintf("%d", row.Lookups))
+			fmt.Sprintf("%d", row.Lookups4K), fmt.Sprintf("%d", row.Lookups2M))
 		sum4 += row.MissRate4K
 		sum2 += row.MissRate2M
-		n++
 	}
-	t.MustAddRow("Average", "", results.Pct(sum4/float64(n)), results.Pct(sum2/float64(n)), "")
+	n := float64(len(rows))
+	t.MustAddRow("Average", "", results.Pct(sum4/n), results.Pct(sum2/n), "", "")
 	return t.WriteASCII(w)
 }
 
 // Table1 regenerates the page-table-size table for the PageRank and CF
 // heaps.
-func Table1(prof core.Profile, w io.Writer, progress Progress) error {
+func Table1(prof core.Profile, w io.Writer, opts Options) error {
 	t := results.NewTable(
 		fmt.Sprintf("Table 1: page table sizes (profile %s; paper: PEs cut tables from MBs to ~48-68 KB, L1 PTEs ~98%%)", prof.Name),
 		"Input", "Page tables", "% L1 PTEs", "With PEs")
+	var wls []core.Workload
 	for _, wl := range prof.Workloads() {
-		if wl.Algorithm != "PageRank" && wl.Algorithm != "CF" {
-			continue
+		if wl.Algorithm == "PageRank" || wl.Algorithm == "CF" {
+			wls = append(wls, wl)
 		}
-		p, err := core.Prepare(wl)
+	}
+	progress := opts.progress()
+	rows, err := runner.Map(context.Background(), opts.Jobs, len(wls), func(_ context.Context, i int) (core.Table1Row, error) {
+		p, err := core.Prepare(wls[i])
 		if err != nil {
-			return err
+			return core.Table1Row{}, err
 		}
 		row, err := core.Table1(p, prof.SystemConfig())
 		if err != nil {
-			return err
+			return row, err
 		}
 		progress.log("table1 %s: std %s -> PE %s", row.Input, results.KB(row.StdBytes), results.KB(row.PEBytes))
+		return row, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
 		t.MustAddRow(row.Input, results.KB(row.StdBytes), results.F(row.L1Fraction, 3), results.KB(row.PEBytes))
 	}
 	return t.WriteASCII(w)
@@ -82,18 +129,27 @@ func Table1(prof core.Profile, w io.Writer, progress Progress) error {
 
 // Table3 prints the dataset registry (paper-scale sizes plus the sizes
 // generated at the profile's scale).
-func Table3(prof core.Profile, w io.Writer, progress Progress) error {
+func Table3(prof core.Profile, w io.Writer, opts Options) error {
 	t := results.NewTable(
 		fmt.Sprintf("Table 3: graph datasets (paper scale, generated at scale %.4g for profile %s)", prof.Scale, prof.Name),
 		"Graph", "Vertices", "Edges", "Heap (paper)", "V (scaled)", "E (scaled)")
-	for _, d := range graph.Datasets {
+	progress := opts.progress()
+	type scaled struct{ v, e int }
+	rows, err := runner.Map(context.Background(), opts.Jobs, len(graph.Datasets), func(_ context.Context, i int) (scaled, error) {
+		d := graph.Datasets[i]
 		g, err := d.Generate(prof.Scale, 42)
 		if err != nil {
-			return err
+			return scaled{}, err
 		}
 		progress.log("table3 %s: V=%d E=%d", d.Name, g.V, g.E())
+		return scaled{g.V, g.E()}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, d := range graph.Datasets {
 		t.MustAddRow(d.Name, fmt.Sprintf("%d", d.Vertices), fmt.Sprintf("%d", d.Edges),
-			results.Bytes(d.HeapBytes), fmt.Sprintf("%d", g.V), fmt.Sprintf("%d", g.E()))
+			results.Bytes(d.HeapBytes), fmt.Sprintf("%d", rows[i].v), fmt.Sprintf("%d", rows[i].e))
 	}
 	return t.WriteASCII(w)
 }
@@ -101,7 +157,7 @@ func Table3(prof core.Profile, w io.Writer, progress Progress) error {
 // Figure8And9 runs the full mode matrix once and renders both the
 // normalized-execution-time figure (8) and the normalized-energy figure
 // (9).
-func Figure8And9(prof core.Profile, w io.Writer, progress Progress) error {
+func Figure8And9(prof core.Profile, w io.Writer, opts Options) error {
 	modes := core.AllModes
 	head8 := []string{"Workload", "Input"}
 	head9 := []string{"Workload", "Input"}
@@ -117,45 +173,59 @@ func Figure8And9(prof core.Profile, w io.Writer, progress Progress) error {
 	t9 := results.NewTable(
 		fmt.Sprintf("Figure 9: MMU dynamic energy normalized to 4K baseline (profile %s; paper: PE ~0.24x, BM ~0.85x)", prof.Name),
 		head9...)
-	sums8 := make(map[core.Mode]float64)
-	sums9 := make(map[core.Mode]float64)
-	n := 0
-	for _, wl := range prof.Workloads() {
-		p, err := core.Prepare(wl)
+	wls := prof.Workloads()
+	progress := opts.progress()
+	type pair struct {
+		cell core.Figure8Cell
+		fig9 core.Figure9Cell
+	}
+	// Parallelism is across cells; each cell runs its seven modes
+	// sequentially so a full sweep never has more than Jobs runs in
+	// flight.
+	cells, err := runner.Map(context.Background(), opts.Jobs, len(wls), func(ctx context.Context, i int) (pair, error) {
+		p, err := core.Prepare(wls[i])
 		if err != nil {
-			return err
+			return pair{}, err
 		}
-		cell, err := core.Figure8(p, prof.SystemConfig())
+		cell, err := core.Figure8Ctx(ctx, p, prof.SystemConfig(), 1)
 		if err != nil {
-			return err
+			return pair{}, err
 		}
 		fig9, err := core.Figure9(cell)
 		if err != nil {
-			return err
+			return pair{}, err
 		}
 		progress.log("fig8 %s/%s: 4K %.2fx PE %.3fx PE+ %.3fx BM %.2fx",
 			cell.Algorithm, cell.Dataset, cell.Normalized[core.ModeConv4K],
 			cell.Normalized[core.ModeDVMPE], cell.Normalized[core.ModeDVMPEPlus], cell.Normalized[core.ModeDVMBM])
-		row8 := []string{cell.Algorithm, cell.Dataset}
-		row9 := []string{cell.Algorithm, cell.Dataset}
+		return pair{cell, fig9}, nil
+	})
+	if err != nil {
+		return err
+	}
+	sums8 := make(map[core.Mode]float64)
+	sums9 := make(map[core.Mode]float64)
+	for _, c := range cells {
+		row8 := []string{c.cell.Algorithm, c.cell.Dataset}
+		row9 := []string{c.cell.Algorithm, c.cell.Dataset}
 		for _, m := range modes {
-			row8 = append(row8, results.F(cell.Normalized[m], 3))
-			sums8[m] += cell.Normalized[m]
+			row8 = append(row8, results.F(c.cell.Normalized[m], 3))
+			sums8[m] += c.cell.Normalized[m]
 			if m != core.ModeIdeal {
-				row9 = append(row9, results.F(fig9.Normalized[m], 3))
-				sums9[m] += fig9.Normalized[m]
+				row9 = append(row9, results.F(c.fig9.Normalized[m], 3))
+				sums9[m] += c.fig9.Normalized[m]
 			}
 		}
 		t8.MustAddRow(row8...)
 		t9.MustAddRow(row9...)
-		n++
 	}
+	n := float64(len(cells))
 	avg8 := []string{"Average", ""}
 	avg9 := []string{"Average", ""}
 	for _, m := range modes {
-		avg8 = append(avg8, results.F(sums8[m]/float64(n), 3))
+		avg8 = append(avg8, results.F(sums8[m]/n, 3))
 		if m != core.ModeIdeal {
-			avg9 = append(avg9, results.F(sums9[m]/float64(n), 3))
+			avg9 = append(avg9, results.F(sums9[m]/n, 3))
 		}
 	}
 	t8.MustAddRow(avg8...)
@@ -170,24 +240,40 @@ func Figure8And9(prof core.Profile, w io.Writer, progress Progress) error {
 }
 
 // Table4 regenerates the identity-mapping fragmentation table.
-func Table4(w io.Writer, progress Progress) error {
+func Table4(w io.Writer, opts Options) error {
 	t := results.NewTable(
 		"Table 4: % of system memory allocated with identity mapping intact (paper: 95-97%)",
 		"System Memory", "Expt 1", "Expt 2", "Expt 3")
+	type cell struct {
+		exp shbench.Experiment
+		mem uint64
+	}
+	var cellsIn []cell
+	for _, exp := range shbench.Experiments {
+		for _, mem := range shbench.MemorySizes {
+			cellsIn = append(cellsIn, cell{exp, mem})
+		}
+	}
+	progress := opts.progress()
+	pcts, err := runner.Map(context.Background(), opts.Jobs, len(cellsIn), func(_ context.Context, i int) (float64, error) {
+		c := cellsIn[i]
+		r, err := shbench.Run(c.exp, c.mem)
+		if err != nil {
+			return 0, err
+		}
+		progress.log("table4 expt %d %s: %.1f%%", c.exp.ID, results.Bytes(c.mem), r.Percent)
+		return r.Percent, nil
+	})
+	if err != nil {
+		return err
+	}
 	type key struct {
 		expt int
 		mem  uint64
 	}
 	cells := map[key]float64{}
-	for _, exp := range shbench.Experiments {
-		for _, mem := range shbench.MemorySizes {
-			r, err := shbench.Run(exp, mem)
-			if err != nil {
-				return err
-			}
-			progress.log("table4 expt %d %s: %.1f%%", exp.ID, results.Bytes(mem), r.Percent)
-			cells[key{exp.ID, mem}] = r.Percent
-		}
+	for i, c := range cellsIn {
+		cells[key{c.exp.ID, c.mem}] = pcts[i]
 	}
 	for _, mem := range shbench.MemorySizes {
 		t.MustAddRow(results.Bytes(mem),
@@ -199,18 +285,25 @@ func Table4(w io.Writer, progress Progress) error {
 }
 
 // Figure10 regenerates the CPU (cDVM) overhead figure.
-func Figure10(w io.Writer, progress Progress) error {
+func Figure10(w io.Writer, opts Options) error {
 	t := results.NewTable(
 		"Figure 10: CPU VM overheads vs ideal (paper avgs: 4K 29%, THP 13%, cDVM ~5%; xsbench 4K 84%)",
 		"Workload", "4K", "THP", "cDVM")
-	sums := map[cpu.Scheme]float64{}
-	for _, spec := range cpu.Workloads {
-		r, err := cpu.Run(spec, cpu.Config{})
+	progress := opts.progress()
+	rows, err := runner.Map(context.Background(), opts.Jobs, len(cpu.Workloads), func(_ context.Context, i int) (cpu.Result, error) {
+		r, err := cpu.Run(cpu.Workloads[i], cpu.Config{})
 		if err != nil {
-			return err
+			return cpu.Result{}, err
 		}
 		progress.log("fig10 %s: 4K %.1f%% THP %.1f%% cDVM %.1f%%",
 			r.Name, 100*r.Overhead[cpu.Scheme4K], 100*r.Overhead[cpu.SchemeTHP], 100*r.Overhead[cpu.SchemeCDVM])
+		return r, nil
+	})
+	if err != nil {
+		return err
+	}
+	sums := map[cpu.Scheme]float64{}
+	for _, r := range rows {
 		t.MustAddRow(r.Name,
 			results.Pct(r.Overhead[cpu.Scheme4K]),
 			results.Pct(r.Overhead[cpu.SchemeTHP]),
@@ -258,8 +351,9 @@ func Table5(w io.Writer) error {
 
 // Ablations renders the design-choice studies DESIGN.md calls out: PE
 // fan-out sweep, AVC size sweep and AVC-caches-L1 toggle, on one
-// representative workload.
-func Ablations(prof core.Profile, w io.Writer, progress Progress) error {
+// representative workload. The reference Ideal run is measured once; each
+// sweep then fans its configurations out on the worker pool.
+func Ablations(prof core.Profile, w io.Writer, opts Options) error {
 	d, err := graph.DatasetByName("Wiki")
 	if err != nil {
 		return err
@@ -269,25 +363,36 @@ func Ablations(prof core.Profile, w io.Writer, progress Progress) error {
 	if err != nil {
 		return err
 	}
+	progress := opts.progress()
+	ideal, err := p.Run(core.ModeIdeal, prof.SystemConfig())
+	if err != nil {
+		return err
+	}
+	norm := func(r core.RunResult) float64 {
+		return float64(r.Stats.Cycles) / float64(ideal.Stats.Cycles)
+	}
 
 	// PE fan-out sweep.
 	tf := results.NewTable(
 		fmt.Sprintf("Ablation A: PE fan-out (PageRank/Wiki, profile %s, DVM-PE)", prof.Name),
 		"PE fields", "Normalized time", "AVC hit rate", "Page table")
-	ideal, err := p.Run(core.ModeIdeal, prof.SystemConfig())
+	fanouts := []int{4, 8, 16, 32, 64}
+	fanRows, err := runner.Map(context.Background(), opts.Jobs, len(fanouts), func(_ context.Context, i int) (core.RunResult, error) {
+		cfg := prof.SystemConfig()
+		cfg.PEFields = fanouts[i]
+		r, err := p.Run(core.ModeDVMPE, cfg)
+		if err != nil {
+			return r, err
+		}
+		progress.log("ablation pe-fields %d: %.3fx", fanouts[i], norm(r))
+		return r, nil
+	})
 	if err != nil {
 		return err
 	}
-	for _, fields := range []int{4, 8, 16, 32, 64} {
-		cfg := prof.SystemConfig()
-		cfg.PEFields = fields
-		r, err := p.Run(core.ModeDVMPE, cfg)
-		if err != nil {
-			return err
-		}
-		progress.log("ablation pe-fields %d: %.3fx", fields, float64(r.Stats.Cycles)/float64(ideal.Stats.Cycles))
-		tf.MustAddRow(fmt.Sprintf("%d", fields),
-			results.F(float64(r.Stats.Cycles)/float64(ideal.Stats.Cycles), 3),
+	for i, r := range fanRows {
+		tf.MustAddRow(fmt.Sprintf("%d", fanouts[i]),
+			results.F(norm(r), 3),
 			results.F(r.StructHitRate, 4),
 			results.KB(r.PageTableBytes))
 	}
@@ -305,7 +410,9 @@ func Ablations(prof core.Profile, w io.Writer, progress Progress) error {
 	ts := results.NewTable(
 		fmt.Sprintf("Ablation B: AVC capacity (PageRank/Wiki, profile %s, DVM-PE, direct-mapped below 256 B)", prof.Name),
 		"AVC bytes", "Normalized time", "AVC hit rate")
-	for _, capBytes := range []int{64, 128, 256, 1024, 4096} {
+	capacities := []int{64, 128, 256, 1024, 4096}
+	capRows, err := runner.Map(context.Background(), opts.Jobs, len(capacities), func(_ context.Context, i int) (core.RunResult, error) {
+		capBytes := capacities[i]
 		cfg := prof.SystemConfig()
 		cfg.AVC.CapacityBytes = capBytes
 		cfg.AVC.MinLevel = 1
@@ -314,11 +421,17 @@ func Ablations(prof core.Profile, w io.Writer, progress Progress) error {
 		}
 		r, err := p.Run(core.ModeDVMPE, cfg)
 		if err != nil {
-			return err
+			return r, err
 		}
-		progress.log("ablation avc %dB: %.3fx", capBytes, float64(r.Stats.Cycles)/float64(ideal.Stats.Cycles))
-		ts.MustAddRow(fmt.Sprintf("%d", capBytes),
-			results.F(float64(r.Stats.Cycles)/float64(ideal.Stats.Cycles), 3),
+		progress.log("ablation avc %dB: %.3fx", capBytes, norm(r))
+		return r, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, r := range capRows {
+		ts.MustAddRow(fmt.Sprintf("%d", capacities[i]),
+			results.F(norm(r), 3),
 			results.F(r.StructHitRate, 4))
 	}
 	if err := ts.WriteASCII(w); err != nil {
@@ -336,7 +449,7 @@ func Ablations(prof core.Profile, w io.Writer, progress Progress) error {
 	tl := results.NewTable(
 		fmt.Sprintf("Ablation C: caching leaf PTE lines in the 1 KB walker cache (PageRank/Wiki, profile %s)", prof.Name),
 		"Mode", "Leaf lines", "Normalized time", "Walker-cache hit rate")
-	for _, x := range []struct {
+	toggles := []struct {
 		mode     core.Mode
 		minLevel int
 		label    string
@@ -345,7 +458,9 @@ func Ablations(prof core.Profile, w io.Writer, progress Progress) error {
 		{core.ModeConv4K, 1, "cached (polluted PWC)"},
 		{core.ModeDVMPE, 2, "excluded (PWC-style)"},
 		{core.ModeDVMPE, 1, "cached (AVC)"},
-	} {
+	}
+	togRows, err := runner.Map(context.Background(), opts.Jobs, len(toggles), func(_ context.Context, i int) (core.RunResult, error) {
+		x := toggles[i]
 		cfg := prof.SystemConfig()
 		if x.mode == core.ModeConv4K {
 			cfg.PWC = mmuPTECacheConfig(x.minLevel)
@@ -354,12 +469,17 @@ func Ablations(prof core.Profile, w io.Writer, progress Progress) error {
 		}
 		r, err := p.Run(x.mode, cfg)
 		if err != nil {
-			return err
+			return r, err
 		}
-		progress.log("ablation leaf-caching %v minlevel %d: %.3fx", x.mode, x.minLevel,
-			float64(r.Stats.Cycles)/float64(ideal.Stats.Cycles))
-		tl.MustAddRow(x.mode.String(), x.label,
-			results.F(float64(r.Stats.Cycles)/float64(ideal.Stats.Cycles), 3),
+		progress.log("ablation leaf-caching %v minlevel %d: %.3fx", x.mode, x.minLevel, norm(r))
+		return r, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, r := range togRows {
+		tl.MustAddRow(toggles[i].mode.String(), toggles[i].label,
+			results.F(norm(r), 3),
 			results.F(r.StructHitRate, 4))
 	}
 	return tl.WriteASCII(w)
@@ -368,7 +488,7 @@ func Ablations(prof core.Profile, w io.Writer, progress Progress) error {
 // Virtualization renders the Section 5 extension: per-scheme translation
 // costs under nested virtualization, from conventional two-dimensional
 // walks down to full DVM (gVA==gPA==sPA).
-func Virtualization(w io.Writer, progress Progress) error {
+func Virtualization(w io.Writer, opts Options) error {
 	t := results.NewTable(
 		"Extension (paper §5): virtualized DVM — nested translation cost per access (64 MB guest heap, uniform random)",
 		"Scheme", "Guest dim", "Nested dim", "Cold walk refs", "Avg refs/access", "Avg cycles/access", "TLB miss")
@@ -381,12 +501,20 @@ func Virtualization(w io.Writer, progress Progress) error {
 		{virt.SchemeHostDVM, "4K paging", "DVM (gPA==sPA)"},
 		{virt.SchemeFullDVM, "DVM", "none (gVA==sPA)"},
 	}
-	for _, row := range rows {
-		r, err := virt.Measure(row.scheme, virt.Config{}, 200_000, 7)
+	progress := opts.progress()
+	res, err := runner.Map(context.Background(), opts.Jobs, len(rows), func(_ context.Context, i int) (virt.Result, error) {
+		r, err := virt.Measure(rows[i].scheme, virt.Config{}, 200_000, 7)
 		if err != nil {
-			return err
+			return virt.Result{}, err
 		}
-		progress.log("virt %v: %.2f refs/access %.1f cy", row.scheme, r.AvgMemRefs, r.AvgCycles)
+		progress.log("virt %v: %.2f refs/access %.1f cy", rows[i].scheme, r.AvgMemRefs, r.AvgCycles)
+		return r, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, row := range rows {
+		r := res[i]
 		t.MustAddRow(row.scheme.String(), row.guest, row.host,
 			fmt.Sprintf("%d", r.ColdWalkRefs),
 			results.F(r.AvgMemRefs, 3),

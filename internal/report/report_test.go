@@ -2,6 +2,7 @@ package report
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"github.com/dvm-sim/dvm/internal/core"
@@ -26,7 +27,7 @@ func TestTable5(t *testing.T) {
 
 func TestTable3(t *testing.T) {
 	var b strings.Builder
-	if err := Table3(core.ProfileTiny, &b, nil); err != nil {
+	if err := Table3(core.ProfileTiny, &b, Options{Jobs: 1}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -42,7 +43,7 @@ func TestFigure10Render(t *testing.T) {
 		t.Skip("full CPU traces")
 	}
 	var b strings.Builder
-	if err := Figure10(&b, nil); err != nil {
+	if err := Figure10(&b, Options{Jobs: 1}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -55,11 +56,14 @@ func TestFigure10Render(t *testing.T) {
 
 func TestTable1Render(t *testing.T) {
 	var b strings.Builder
+	var mu sync.Mutex
 	var lines []string
 	progress := func(format string, args ...interface{}) {
+		mu.Lock()
 		lines = append(lines, format)
+		mu.Unlock()
 	}
-	if err := Table1(core.ProfileTiny, &b, progress); err != nil {
+	if err := Table1(core.ProfileTiny, &b, Options{Jobs: 1, Progress: progress}); err != nil {
 		t.Fatal(err)
 	}
 	// Table 1 covers PageRank (4 inputs) + CF (3 inputs) = 7 rows.
@@ -73,10 +77,53 @@ func TestTable1Render(t *testing.T) {
 
 func TestFigure2Render(t *testing.T) {
 	var b strings.Builder
-	if err := Figure2(core.ProfileTiny, &b, nil); err != nil {
+	if err := Figure2(core.ProfileTiny, &b, Options{Jobs: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(b.String(), "Average") {
-		t.Errorf("Figure 2 missing average row:\n%s", b.String())
+	out := b.String()
+	if !strings.Contains(out, "Average") {
+		t.Errorf("Figure 2 missing average row:\n%s", out)
+	}
+	if !strings.Contains(out, "4K lookups") || !strings.Contains(out, "2M lookups") {
+		t.Errorf("Figure 2 missing per-run lookup columns:\n%s", out)
+	}
+}
+
+// TestRenderDeterministicAcrossJobs renders artifacts sequentially and with
+// a saturated pool and requires byte-identical tables: parallelism must
+// only reorder progress lines, never rows.
+func TestRenderDeterministicAcrossJobs(t *testing.T) {
+	renderers := []struct {
+		name string
+		fn   func(opts Options) (string, error)
+	}{
+		{"fig2", func(opts Options) (string, error) {
+			var b strings.Builder
+			err := Figure2(core.ProfileTiny, &b, opts)
+			return b.String(), err
+		}},
+		{"table3", func(opts Options) (string, error) {
+			var b strings.Builder
+			err := Table3(core.ProfileTiny, &b, opts)
+			return b.String(), err
+		}},
+		{"virt", func(opts Options) (string, error) {
+			var b strings.Builder
+			err := Virtualization(&b, opts)
+			return b.String(), err
+		}},
+	}
+	for _, r := range renderers {
+		seq, err := r.fn(Options{Jobs: 1})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", r.name, err)
+		}
+		par, err := r.fn(Options{Jobs: 8})
+		if err != nil {
+			t.Fatalf("%s parallel: %v", r.name, err)
+		}
+		if seq != par {
+			t.Errorf("%s output differs between -j 1 and -j 8:\n--- j1:\n%s\n--- j8:\n%s", r.name, seq, par)
+		}
 	}
 }

@@ -1,0 +1,123 @@
+// Package runner provides the generic experiment runner the reproduction
+// harness fans its evaluation matrix out on: a bounded worker pool with
+// deterministic result ordering, context-based cancellation on the first
+// error, and a synchronized progress sink. The paper's figures and tables
+// are matrices of independent simulations (workload × configuration), so
+// cell-level parallelism changes wall-clock time, never results — results
+// are always collected by cell index, not by completion order.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultJobs resolves a jobs knob: values <= 0 mean "one worker per
+// available CPU" (runtime.GOMAXPROCS(0)).
+func DefaultJobs(jobs int) int {
+	if jobs <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return jobs
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) using at most jobs concurrent
+// workers and returns the n results in index order. jobs <= 0 uses
+// runtime.GOMAXPROCS(0); jobs == 1 runs inline on the calling goroutine in
+// strict index order, reproducing a plain sequential loop bit-for-bit
+// (including stopping at the first error).
+//
+// With jobs > 1, the first error cancels the derived context so workers
+// stop claiming new indices; in-flight calls are left to finish. When
+// several workers fail concurrently, the error of the smallest index is
+// returned, so the reported failure is deterministic across runs.
+func Map[T any](ctx context.Context, jobs, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("runner: negative cell count %d", n)
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+	jobs = DefaultJobs(jobs)
+	if jobs > n {
+		jobs = n
+	}
+	if jobs == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := fn(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     int64 = -1 // atomically claimed cell index
+		mu       sync.Mutex
+		firstIdx = -1
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				r, err := fn(ctx, i)
+				if err != nil {
+					mu.Lock()
+					if firstIdx == -1 || i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// The parent context may have been cancelled with no cell failing; the
+	// result slice is then incomplete and must not be used.
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Logf is a printf-style progress callback; nil disables reporting.
+type Logf func(format string, args ...interface{})
+
+// Synchronized wraps fn behind a mutex so workers' progress lines never
+// interleave mid-line. A nil fn stays nil (callers treat nil as disabled).
+func Synchronized(fn Logf) Logf {
+	if fn == nil {
+		return nil
+	}
+	var mu sync.Mutex
+	return func(format string, args ...interface{}) {
+		mu.Lock()
+		defer mu.Unlock()
+		fn(format, args...)
+	}
+}

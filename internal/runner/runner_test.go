@@ -1,0 +1,138 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8, 0} {
+		got, err := Map(context.Background(), jobs, 50, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("jobs=%d: len = %d", jobs, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("jobs=%d: out[%d] = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const jobs = 3
+	var inFlight, peak int64
+	var mu sync.Mutex
+	_, err := Map(context.Background(), jobs, 40, func(_ context.Context, i int) (struct{}, error) {
+		cur := atomic.AddInt64(&inFlight, 1)
+		mu.Lock()
+		if cur > peak {
+			peak = cur
+		}
+		mu.Unlock()
+		defer atomic.AddInt64(&inFlight, -1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > jobs {
+		t.Errorf("peak concurrency %d exceeds jobs %d", peak, jobs)
+	}
+}
+
+func TestMapReturnsSmallestIndexError(t *testing.T) {
+	errs := map[int]error{3: errors.New("cell 3"), 7: errors.New("cell 7")}
+	for _, jobs := range []int{1, 4} {
+		_, err := Map(context.Background(), jobs, 10, func(_ context.Context, i int) (int, error) {
+			if e, ok := errs[i]; ok {
+				return 0, e
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("jobs=%d: want error", jobs)
+		}
+		// Sequential stops at index 3; parallel must deterministically
+		// prefer the smallest failing index among those it observed. With
+		// every cell before 3 succeeding instantly, index 3's error must
+		// win in both cases.
+		if err.Error() != "cell 3" {
+			t.Errorf("jobs=%d: err = %q, want %q", jobs, err, "cell 3")
+		}
+	}
+}
+
+func TestMapErrorCancelsRemainingWork(t *testing.T) {
+	var started int64
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), 2, 1000, func(ctx context.Context, i int) (int, error) {
+		atomic.AddInt64(&started, 1)
+		if i == 0 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := atomic.LoadInt64(&started); n == 1000 {
+		t.Error("cancellation did not stop the pool from claiming every cell")
+	}
+}
+
+func TestMapHonorsParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, jobs := range []int{1, 4} {
+		_, err := Map(ctx, jobs, 10, func(_ context.Context, i int) (int, error) {
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("jobs=%d: err = %v, want context.Canceled", jobs, err)
+		}
+	}
+}
+
+func TestMapZeroCells(t *testing.T) {
+	got, err := Map(context.Background(), 4, 0, func(_ context.Context, i int) (int, error) {
+		t.Error("fn called for empty matrix")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Errorf("got %v, %v; want empty, nil", got, err)
+	}
+}
+
+func TestSynchronizedSerializesAndPreservesNil(t *testing.T) {
+	if Synchronized(nil) != nil {
+		t.Error("Synchronized(nil) should stay nil so callers can skip logging")
+	}
+	var lines []string
+	logf := Synchronized(func(format string, args ...interface{}) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				logf("worker %d line %d", i, j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(lines) != 800 {
+		t.Errorf("lines = %d, want 800 (append raced)", len(lines))
+	}
+}
