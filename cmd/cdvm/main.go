@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"github.com/dvm-sim/dvm/internal/cpu"
+	"github.com/dvm-sim/dvm/internal/obs"
 	"github.com/dvm-sim/dvm/internal/report"
 	"github.com/dvm-sim/dvm/internal/results"
 )
@@ -22,21 +23,27 @@ func main() {
 	workload := flag.String("workload", "", "run a single workload (mcf|bt|cg|canneal|xsbench)")
 	overlap := flag.Bool("overlap", false, "enable the §7.1 cDVM store-overlap optimization")
 	jobs := flag.Int("j", 0, "max concurrent experiment cells (0 = one per CPU, 1 = sequential)")
+	quiet := flag.Bool("q", false, "suppress status output")
 	flag.Parse()
 
+	lg := obs.NewLogger(os.Stderr, "cdvm", *quiet)
 	if *workload == "" {
-		if err := report.Figure10(os.Stdout, report.Options{Jobs: *jobs}); err != nil {
-			fatal(err)
+		opts := report.Options{Jobs: *jobs}
+		if !lg.Quiet() {
+			opts.Progress = lg.Statusf
+		}
+		if err := report.Figure10(os.Stdout, opts); err != nil {
+			lg.Exitf(1, "%v", err)
 		}
 		return
 	}
 	spec, err := cpu.WorkloadByName(*workload)
 	if err != nil {
-		fatal(err)
+		lg.Exitf(1, "%v", err)
 	}
 	r, err := cpu.Run(spec, cpu.Config{StoreOverlap: *overlap})
 	if err != nil {
-		fatal(err)
+		lg.Exitf(1, "%v", err)
 	}
 	if *overlap {
 		fmt.Println("cDVM store-overlap optimization enabled (paper §7.1)")
@@ -48,11 +55,6 @@ func main() {
 		t.MustAddRow(s.String(), results.Pct(r.Overhead[s]), results.Pct(r.L2MissRate[s]), fmt.Sprintf("%d", r.WalkCycles[s]))
 	}
 	if err := t.WriteASCII(os.Stdout); err != nil {
-		fatal(err)
+		lg.Exitf(1, "%v", err)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
 }

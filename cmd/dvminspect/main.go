@@ -15,6 +15,7 @@ import (
 	"github.com/dvm-sim/dvm/internal/accel"
 	"github.com/dvm-sim/dvm/internal/core"
 	"github.com/dvm-sim/dvm/internal/graph"
+	"github.com/dvm-sim/dvm/internal/obs"
 	"github.com/dvm-sim/dvm/internal/osmodel"
 )
 
@@ -23,31 +24,33 @@ func main() {
 	dataset := flag.String("dataset", "FR", "dataset: FR|Wiki|LJ|S24|NF|Bip1|Bip2")
 	profileName := flag.String("profile", "tiny", "experiment profile: tiny|small|medium|paper")
 	peOnly := flag.Bool("pe-only", false, "dump only the Permission Entry table")
+	quiet := flag.Bool("q", false, "suppress status output")
 	flag.Parse()
 
+	lg := obs.NewLogger(os.Stderr, "dvminspect", *quiet)
 	prof, err := core.ProfileByName(*profileName)
 	if err != nil {
-		fatal(err)
+		lg.Exitf(1, "%v", err)
 	}
 	d, err := graph.DatasetByName(*dataset)
 	if err != nil {
-		fatal(err)
+		lg.Exitf(1, "%v", err)
 	}
 	p, err := core.Prepare(core.Workload{
 		Algorithm: *alg, Dataset: d, Scale: prof.Scale,
 		PageRankIters: prof.PageRankIters, Seed: 42,
 	})
 	if err != nil {
-		fatal(err)
+		lg.Exitf(1, "%v", err)
 	}
 	sys, err := osmodel.NewSystem(32 << 30)
 	if err != nil {
-		fatal(err)
+		lg.Exitf(1, "%v", err)
 	}
 	proc := sys.NewProcess(osmodel.Policy{IdentityMapHeap: true, Seed: 42})
 	lay, err := accel.BuildLayout(proc, p.G, p.Prog.PropBytes)
 	if err != nil {
-		fatal(err)
+		lg.Exitf(1, "%v", err)
 	}
 	fmt.Printf("%s/%s: %d vertices, %d edges, heap %d KB, identity=%v\n",
 		*alg, *dataset, p.G.V, p.G.E(), lay.HeapBytes>>10, lay.IdentityMapped)
@@ -57,25 +60,20 @@ func main() {
 	if !*peOnly {
 		std, err := proc.BuildCanonicalTable(false)
 		if err != nil {
-			fatal(err)
+			lg.Exitf(1, "%v", err)
 		}
 		fmt.Println("== conventional 4K page table ==")
 		if err := std.Dump(os.Stdout); err != nil {
-			fatal(err)
+			lg.Exitf(1, "%v", err)
 		}
 		fmt.Println()
 	}
 	pe, err := proc.BuildCanonicalTable(true)
 	if err != nil {
-		fatal(err)
+		lg.Exitf(1, "%v", err)
 	}
 	fmt.Println("== Permission Entry page table ==")
 	if err := pe.Dump(os.Stdout); err != nil {
-		fatal(err)
+		lg.Exitf(1, "%v", err)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
 }

@@ -4,14 +4,22 @@
 //
 // Usage:
 //
-//	dvmrepro [-profile tiny|small|medium|paper] [-j N] [-only fig2,table1,table3,fig8,fig9,table4,fig10,table5,ablations,virt] [-quiet]
+//	dvmrepro [-profile tiny|small|medium|paper] [-j N]
+//	         [-only fig2,table1,table3,fig8,fig9,table4,fig10,table5,ablations,virt]
+//	         [-metrics file] [-trace file] [-trace-mask comps] [-pprof addr] [-q]
 //
 // With no -only flag every artifact is regenerated in paper order. Output
-// goes to stdout; progress lines go to stderr unless -quiet is set. The
+// goes to stdout; progress lines go to stderr unless -q is set. The
 // evaluation matrix is embarrassingly parallel: -j bounds how many
 // experiment cells run concurrently (default: one per CPU), and every
 // rendered table is byte-identical at any -j (-j 1 reproduces the
 // sequential sweep exactly).
+//
+// Observability: -metrics writes the merged per-run counter registry
+// snapshot as JSON (byte-identical at any -j — snapshots merge by
+// commutative sum); -trace writes a JSONL event trace bounded by
+// -trace-cap, filtered to the -trace-mask components; -pprof serves
+// net/http/pprof for live CPU/heap profiles.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"time"
 
 	"github.com/dvm-sim/dvm/internal/core"
+	"github.com/dvm-sim/dvm/internal/obs"
 	"github.com/dvm-sim/dvm/internal/report"
 )
 
@@ -34,20 +43,39 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset: "+strings.Join(artifactKeys, ","))
 	jobs := flag.Int("j", 0, "max concurrent experiment cells (0 = one per CPU, 1 = sequential)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.BoolVar(quiet, "q", false, "shorthand for -quiet")
+	metricsPath := flag.String("metrics", "", "write the merged metrics-registry snapshot as JSON to this file")
+	tracePath := flag.String("trace", "", "write a JSONL event trace to this file (see -trace-mask, -trace-cap)")
+	traceMask := flag.String("trace-mask", "all", "comma-separated components to trace: iommu,tlb,pwc,avc,bmcache,bitmap,engine or 'all'")
+	traceCap := flag.Int("trace-cap", 0, "event ring capacity (0 = default 65536; older events are overwritten)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	lg := obs.NewLogger(os.Stderr, "dvmrepro", *quiet)
+	if *pprofAddr != "" {
+		if _, err := obs.StartPprof(*pprofAddr, lg); err != nil {
+			lg.Exitf(2, "%v", err)
+		}
+	}
 
 	prof, err := core.ProfileByName(*profileName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		lg.Exitf(2, "%v", err)
 	}
-	var progress report.Progress
-	if !*quiet {
-		progress = func(format string, args ...interface{}) {
-			fmt.Fprintf(os.Stderr, "  ... "+format+"\n", args...)
+
+	opts := report.Options{Jobs: *jobs, Metrics: &obs.Collector{}}
+	if !lg.Quiet() {
+		opts.Progress = lg.Statusf
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		mask, err := obs.ParseMask(*traceMask)
+		if err != nil {
+			lg.Exitf(2, "%v", err)
 		}
+		tracer = obs.NewTracer(*traceCap, mask)
+		opts.Tracer = tracer
 	}
-	opts := report.Options{Jobs: *jobs, Progress: progress}
 
 	known := map[string]bool{}
 	for _, k := range artifactKeys {
@@ -73,13 +101,11 @@ func main() {
 		}
 		if len(unknown) > 0 {
 			sort.Strings(unknown)
-			fmt.Fprintf(os.Stderr, "dvmrepro: unknown artifact key(s) %s; valid keys: %s\n",
+			lg.Exitf(2, "unknown artifact key(s) %s; valid keys: %s",
 				strings.Join(unknown, ", "), strings.Join(artifactKeys, ", "))
-			os.Exit(2)
 		}
 		if len(wanted) == 0 {
-			fmt.Fprintf(os.Stderr, "dvmrepro: -only selected nothing; valid keys: %s\n", strings.Join(artifactKeys, ", "))
-			os.Exit(2)
+			lg.Exitf(2, "-only selected nothing; valid keys: %s", strings.Join(artifactKeys, ", "))
 		}
 	}
 
@@ -88,17 +114,12 @@ func main() {
 			return
 		}
 		start := time.Now()
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "== %s (profile %s)\n", name, prof.Name)
-		}
+		lg.Statusf("== %s (profile %s)", name, prof.Name)
 		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			lg.Exitf(1, "%s: %v", name, err)
 		}
 		fmt.Println()
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "== %s done in %v\n", name, time.Since(start).Round(time.Millisecond))
-		}
+		lg.Statusf("== %s done in %v", name, time.Since(start).Round(time.Millisecond))
 	}
 
 	out := os.Stdout
@@ -121,4 +142,42 @@ func main() {
 	run("table5", func() error { return report.Table5(out) })
 	run("ablations", func() error { return report.Ablations(prof, out, opts) })
 	run("virt", func() error { return report.Virtualization(out, opts) })
+
+	if *metricsPath != "" {
+		if err := writeMetrics(*metricsPath, opts.Metrics); err != nil {
+			lg.Exitf(1, "%v", err)
+		}
+		lg.Statusf("metrics written to %s", *metricsPath)
+	}
+	if tracer != nil {
+		if err := writeTrace(*tracePath, tracer); err != nil {
+			lg.Exitf(1, "%v", err)
+		}
+		lg.Statusf("trace written to %s (%d events emitted, %d retained)",
+			*tracePath, tracer.Total(), len(tracer.Events()))
+	}
+}
+
+func writeMetrics(path string, coll *obs.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := coll.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -5,10 +5,14 @@
 // Usage:
 //
 //	dvmsim -alg PageRank -dataset Wiki [-mode DVM-PE+] [-profile small] [-seed 42] [-j N]
+//	       [-metrics file] [-trace file] [-trace-mask comps] [-pprof addr] [-q]
 //
 // Omitting -mode runs all seven configurations and prints a comparison;
 // -j bounds how many of those runs execute concurrently (default: one per
-// CPU; the printed table is identical at any -j).
+// CPU; the printed table is identical at any -j). -metrics writes the
+// merged counter-registry snapshot of all runs as JSON; -trace writes a
+// JSONL event trace of the translation path; -pprof serves
+// net/http/pprof.
 package main
 
 import (
@@ -16,9 +20,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/dvm-sim/dvm/internal/core"
 	"github.com/dvm-sim/dvm/internal/graph"
+	"github.com/dvm-sim/dvm/internal/obs"
 	"github.com/dvm-sim/dvm/internal/results"
 	"github.com/dvm-sim/dvm/internal/runner"
 )
@@ -30,15 +36,28 @@ func main() {
 	profileName := flag.String("profile", "small", "experiment profile: tiny|small|medium|paper")
 	seed := flag.Int64("seed", 42, "graph generation seed")
 	jobs := flag.Int("j", 0, "max concurrent mode runs (0 = one per CPU, 1 = sequential)")
+	quiet := flag.Bool("q", false, "suppress status output")
+	metricsPath := flag.String("metrics", "", "write the merged metrics-registry snapshot as JSON to this file")
+	tracePath := flag.String("trace", "", "write a JSONL event trace to this file (see -trace-mask, -trace-cap)")
+	traceMask := flag.String("trace-mask", "all", "comma-separated components to trace: iommu,tlb,pwc,avc,bmcache,bitmap,engine or 'all'")
+	traceCap := flag.Int("trace-cap", 0, "event ring capacity (0 = default 65536; older events are overwritten)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	lg := obs.NewLogger(os.Stderr, "dvmsim", *quiet)
+	if *pprofAddr != "" {
+		if _, err := obs.StartPprof(*pprofAddr, lg); err != nil {
+			lg.Exitf(2, "%v", err)
+		}
+	}
 
 	prof, err := core.ProfileByName(*profileName)
 	if err != nil {
-		fatal(err)
+		lg.Exitf(1, "%v", err)
 	}
 	d, err := graph.DatasetByName(*dataset)
 	if err != nil {
-		fatal(err)
+		lg.Exitf(1, "%v", err)
 	}
 	w := core.Workload{
 		Algorithm:     *alg,
@@ -49,7 +68,7 @@ func main() {
 	}
 	p, err := core.Prepare(w)
 	if err != nil {
-		fatal(err)
+		lg.Exitf(1, "%v", err)
 	}
 	fmt.Printf("%s on %s: %d vertices, %d edges (scale %.4g)\n\n", *alg, *dataset, p.G.V, p.G.E(), prof.Scale)
 
@@ -62,15 +81,36 @@ func main() {
 			}
 		}
 		if modes == nil {
-			fatal(fmt.Errorf("unknown mode %q", *modeName))
+			lg.Exitf(1, "unknown mode %q", *modeName)
 		}
 	}
 
+	cfg := prof.SystemConfig()
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		mask, err := obs.ParseMask(*traceMask)
+		if err != nil {
+			lg.Exitf(2, "%v", err)
+		}
+		tracer = obs.NewTracer(*traceCap, mask)
+		cfg.Tracer = tracer
+	}
+	coll := &obs.Collector{}
+	progress := runner.NewProgress(len(modes), runner.Logf(lg.Statusf))
 	rows, err := runner.Map(context.Background(), *jobs, len(modes), func(_ context.Context, i int) (core.RunResult, error) {
-		return p.Run(modes[i], prof.SystemConfig())
+		r, err := p.Run(modes[i], cfg)
+		if err != nil {
+			return r, err
+		}
+		if err := core.CrossCheck(r); err != nil {
+			return r, err
+		}
+		coll.Add(r.Metrics)
+		progress.Done("%v: %d cycles in %v", modes[i], r.Stats.Cycles, r.Wall.Round(time.Millisecond))
+		return r, nil
 	})
 	if err != nil {
-		fatal(err)
+		lg.Exitf(1, "%v", err)
 	}
 	t := results.NewTable("", "Mode", "Cycles", "TLB miss", "Struct hit", "Walk refs", "Squashes", "MMU energy (pJ)")
 	for i, m := range modes {
@@ -84,11 +124,34 @@ func main() {
 			results.F(r.Energy.Total, 0))
 	}
 	if err := t.WriteASCII(os.Stdout); err != nil {
-		fatal(err)
+		lg.Exitf(1, "%v", err)
 	}
-}
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			lg.Exitf(1, "%v", err)
+		}
+		if err := coll.Snapshot().WriteJSON(f); err != nil {
+			lg.Exitf(1, "%v", err)
+		}
+		if err := f.Close(); err != nil {
+			lg.Exitf(1, "%v", err)
+		}
+		lg.Statusf("metrics written to %s", *metricsPath)
+	}
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			lg.Exitf(1, "%v", err)
+		}
+		if err := tracer.WriteJSONL(f); err != nil {
+			lg.Exitf(1, "%v", err)
+		}
+		if err := f.Close(); err != nil {
+			lg.Exitf(1, "%v", err)
+		}
+		lg.Statusf("trace written to %s (%d events emitted, %d retained)",
+			*tracePath, tracer.Total(), len(tracer.Events()))
+	}
 }

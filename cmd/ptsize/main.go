@@ -8,24 +8,28 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
 
 	"github.com/dvm-sim/dvm/internal/core"
+	"github.com/dvm-sim/dvm/internal/obs"
 	"github.com/dvm-sim/dvm/internal/report"
 )
 
 func main() {
 	profileName := flag.String("profile", "small", "experiment profile: tiny|small|medium|paper")
 	jobs := flag.Int("j", 0, "max concurrent experiment cells (0 = one per CPU, 1 = sequential)")
+	quiet := flag.Bool("q", false, "suppress status output")
 	flag.Parse()
+	lg := obs.NewLogger(os.Stderr, "ptsize", *quiet)
 	prof, err := core.ProfileByName(*profileName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		lg.Exitf(2, "%v", err)
 	}
-	if err := report.Table1(prof, os.Stdout, report.Options{Jobs: *jobs}); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	opts := report.Options{Jobs: *jobs}
+	if !lg.Quiet() {
+		opts.Progress = lg.Statusf
+	}
+	if err := report.Table1(prof, os.Stdout, opts); err != nil {
+		lg.Exitf(1, "%v", err)
 	}
 }

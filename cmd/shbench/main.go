@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/dvm-sim/dvm/internal/obs"
 	"github.com/dvm-sim/dvm/internal/report"
 	"github.com/dvm-sim/dvm/internal/shbench"
 )
@@ -21,11 +22,17 @@ func main() {
 	expt := flag.Int("expt", 0, "run a single experiment (1-3); 0 = full table")
 	memGB := flag.Uint64("mem", 32, "system memory in GB for -expt")
 	jobs := flag.Int("j", 0, "max concurrent experiment cells (0 = one per CPU, 1 = sequential)")
+	quiet := flag.Bool("q", false, "suppress status output")
 	flag.Parse()
 
+	lg := obs.NewLogger(os.Stderr, "shbench", *quiet)
 	if *expt == 0 {
-		if err := report.Table4(os.Stdout, report.Options{Jobs: *jobs}); err != nil {
-			fatal(err)
+		opts := report.Options{Jobs: *jobs}
+		if !lg.Quiet() {
+			opts.Progress = lg.Statusf
+		}
+		if err := report.Table4(os.Stdout, opts); err != nil {
+			lg.Exitf(1, "%v", err)
 		}
 		return
 	}
@@ -35,16 +42,11 @@ func main() {
 		}
 		r, err := shbench.Run(e, *memGB<<30)
 		if err != nil {
-			fatal(err)
+			lg.Exitf(1, "%v", err)
 		}
 		fmt.Printf("experiment %d at %d GB: %.1f%% of memory identity mapped (%d allocations, %d bytes)\n",
 			e.ID, *memGB, r.Percent, r.Allocations, r.AllocatedBytes)
 		return
 	}
-	fatal(fmt.Errorf("no experiment %d (have 1-3)", *expt))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	lg.Exitf(1, "no experiment %d (have 1-3)", *expt)
 }

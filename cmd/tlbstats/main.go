@@ -4,6 +4,10 @@
 // Usage:
 //
 //	tlbstats [-profile small] [-j N] [-sweep] [-alg PageRank -dataset Wiki]
+//	         [-metrics file] [-pprof addr] [-q]
+//
+// -metrics writes the merged counter-registry snapshot of the Figure 2
+// runs as JSON (byte-identical at any -j); -pprof serves net/http/pprof.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 
 	"github.com/dvm-sim/dvm/internal/core"
 	"github.com/dvm-sim/dvm/internal/graph"
+	"github.com/dvm-sim/dvm/internal/obs"
 	"github.com/dvm-sim/dvm/internal/report"
 	"github.com/dvm-sim/dvm/internal/results"
 )
@@ -25,33 +30,49 @@ func main() {
 	alg := flag.String("alg", "PageRank", "algorithm for -sweep")
 	dataset := flag.String("dataset", "Wiki", "dataset for -sweep")
 	jobs := flag.Int("j", 0, "max concurrent experiment cells (0 = one per CPU, 1 = sequential)")
+	quiet := flag.Bool("q", false, "suppress status output")
+	metricsPath := flag.String("metrics", "", "write the merged metrics-registry snapshot as JSON to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	lg := obs.NewLogger(os.Stderr, "tlbstats", *quiet)
+	if *pprofAddr != "" {
+		if _, err := obs.StartPprof(*pprofAddr, lg); err != nil {
+			lg.Exitf(2, "%v", err)
+		}
+	}
 
 	prof, err := core.ProfileByName(*profileName)
 	if err != nil {
-		fatal(err)
+		lg.Exitf(1, "%v", err)
 	}
+	coll := &obs.Collector{}
 	if !*sweep {
-		if err := report.Figure2(prof, os.Stdout, report.Options{Jobs: *jobs}); err != nil {
-			fatal(err)
+		opts := report.Options{Jobs: *jobs, Metrics: coll}
+		if !lg.Quiet() {
+			opts.Progress = lg.Statusf
 		}
+		if err := report.Figure2(prof, os.Stdout, opts); err != nil {
+			lg.Exitf(1, "%v", err)
+		}
+		writeMetrics(lg, *metricsPath, coll)
 		return
 	}
 	d, err := graph.DatasetByName(*dataset)
 	if err != nil {
-		fatal(err)
+		lg.Exitf(1, "%v", err)
 	}
 	p, err := core.Prepare(core.Workload{
 		Algorithm: *alg, Dataset: d, Scale: prof.Scale,
 		PageRankIters: prof.PageRankIters, Seed: 42,
 	})
 	if err != nil {
-		fatal(err)
+		lg.Exitf(1, "%v", err)
 	}
 	sizes := []int{2, 4, 8, 16, 32, 64, 128, 256}
 	rates, err := core.TLBMissRateVsSizeCtx(context.Background(), p, prof.SystemConfig(), sizes, *jobs)
 	if err != nil {
-		fatal(err)
+		lg.Exitf(1, "%v", err)
 	}
 	t := results.NewTable(fmt.Sprintf("TLB size sweep: %s/%s at 4 KB pages (profile %s)", *alg, *dataset, prof.Name),
 		"TLB entries", "Miss rate")
@@ -64,11 +85,25 @@ func main() {
 		t.MustAddRow(fmt.Sprintf("%d", k), results.Pct(rates[k]))
 	}
 	if err := t.WriteASCII(os.Stdout); err != nil {
-		fatal(err)
+		lg.Exitf(1, "%v", err)
 	}
+	writeMetrics(lg, *metricsPath, coll)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+// writeMetrics exports the collected snapshot when -metrics was given.
+func writeMetrics(lg *obs.Logger, path string, coll *obs.Collector) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		lg.Exitf(1, "%v", err)
+	}
+	if err := coll.Snapshot().WriteJSON(f); err != nil {
+		lg.Exitf(1, "%v", err)
+	}
+	if err := f.Close(); err != nil {
+		lg.Exitf(1, "%v", err)
+	}
+	lg.Statusf("metrics written to %s", path)
 }

@@ -7,6 +7,7 @@ import (
 	"github.com/dvm-sim/dvm/internal/graph"
 	"github.com/dvm-sim/dvm/internal/memsys"
 	"github.com/dvm-sim/dvm/internal/mmu"
+	"github.com/dvm-sim/dvm/internal/obs"
 )
 
 // Config shapes the accelerator hardware (paper Table 2).
@@ -104,6 +105,21 @@ func (e *Engine) Props() []float64 { return e.props }
 
 // Stats returns the statistics accumulated so far.
 func (e *Engine) Stats() RunStats { return e.stats }
+
+// RegisterMetrics publishes the engine's run statistics under prefix
+// (e.g. "accel" yields accel.accesses, accel.reads, ...). The
+// registered pointers are the RunStats fields the run loop increments,
+// so the access hot path is untouched; Cycles is written when Run
+// completes, before any end-of-run snapshot is taken.
+func (e *Engine) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.RegisterCounter(prefix+".cycles", &e.stats.Cycles)
+	reg.RegisterCounter(prefix+".accesses", &e.stats.Accesses)
+	reg.RegisterCounter(prefix+".reads", &e.stats.Reads)
+	reg.RegisterCounter(prefix+".writes", &e.stats.Writes)
+	reg.RegisterCounter(prefix+".edges", &e.stats.EdgesProcessed)
+	reg.RegisterCounter(prefix+".vertices.applied", &e.stats.VerticesApplied)
+	reg.RegisterCounter(prefix+".faults", &e.stats.Faults)
+}
 
 // access is one accelerator memory request.
 type access struct {

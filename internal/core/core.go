@@ -8,6 +8,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"github.com/dvm-sim/dvm/internal/accel"
 	"github.com/dvm-sim/dvm/internal/addr"
@@ -15,6 +16,7 @@ import (
 	"github.com/dvm-sim/dvm/internal/graph"
 	"github.com/dvm-sim/dvm/internal/memsys"
 	"github.com/dvm-sim/dvm/internal/mmu"
+	"github.com/dvm-sim/dvm/internal/obs"
 	"github.com/dvm-sim/dvm/internal/osmodel"
 	"github.com/dvm-sim/dvm/internal/pagetable"
 	"github.com/dvm-sim/dvm/internal/runner"
@@ -58,6 +60,10 @@ type SystemConfig struct {
 	Memory memsys.Config
 	// Seed drives layout randomization.
 	Seed int64
+	// Tracer, when non-nil, receives typed simulation events (DAV
+	// checks, fills/evictions, walks, faults) from every structure of
+	// the run. Tracing only records; results are unchanged.
+	Tracer *obs.Tracer
 }
 
 func (c SystemConfig) withDefaults() SystemConfig {
@@ -160,10 +166,21 @@ type RunResult struct {
 	PageTableBytes uint64
 	// DRAM is the memory-controller activity.
 	DRAM memsys.Stats
+	// Metrics is the run's registry snapshot: every component's
+	// counters under their canonical names (iommu.*, mmu.*, memsys.*,
+	// accel.*). It is fully deterministic — CrossCheck verifies the
+	// headline fields above against it, and merged snapshots are
+	// -j-independent.
+	Metrics obs.Snapshot
+	// Wall is the cell's host wall-clock time. It is the only
+	// nondeterministic field of a RunResult; determinism tests must
+	// ignore it.
+	Wall time.Duration
 }
 
 // Run executes the prepared workload under one mode.
 func (p *Prepared) Run(mode Mode, cfg SystemConfig) (RunResult, error) {
+	start := time.Now()
 	cfg = cfg.withDefaults()
 	res := RunResult{Mode: mode}
 
@@ -223,6 +240,17 @@ func (p *Prepared) Run(mode Mode, cfg SystemConfig) (RunResult, error) {
 	if err != nil {
 		return res, err
 	}
+	// Every run reports through its own registry; the components keep
+	// incrementing the same fields they always have (pointer-based
+	// registration), so the hot path is unchanged and the snapshot
+	// below is free until the run ends.
+	reg := obs.NewRegistry()
+	iommu.RegisterMetrics(reg)
+	mem.RegisterMetrics(reg, "memsys")
+	eng.RegisterMetrics(reg, "accel")
+	if cfg.Tracer != nil {
+		iommu.SetTracer(cfg.Tracer)
+	}
 	stats, err := eng.Run()
 	if err != nil {
 		return res, err
@@ -251,7 +279,39 @@ func (p *Prepared) Run(mode Mode, cfg SystemConfig) (RunResult, error) {
 	res.EnergyEvents.WalkMemRefs = res.IOMMU.WalkMemRefs
 	res.EnergyEvents.SquashedPreloads = res.IOMMU.SquashedPreloads
 	res.Energy = energy.Compute(energy.DefaultParams(), res.EnergyEvents)
+	res.Metrics = reg.Snapshot()
+	res.Wall = time.Since(start)
 	return res, nil
+}
+
+// CrossCheck verifies a RunResult's headline numbers — the values the
+// report tables are rendered from — against the run's registry
+// snapshot, so a divergence between what a component counted and what
+// a table prints fails loudly instead of silently skewing a figure.
+func CrossCheck(r RunResult) error {
+	checks := []struct {
+		name          string
+		table, metric uint64
+	}{
+		{"iommu.accesses", r.IOMMU.Accesses, r.Metrics.Get("iommu.accesses")},
+		{"iommu.walk.memrefs", r.IOMMU.WalkMemRefs, r.Metrics.Get("iommu.walk.memrefs")},
+		{"iommu.dav.identity", r.IOMMU.DAVIdentity, r.Metrics.Get("iommu.dav.identity")},
+		{"iommu.dav.fallback", r.IOMMU.FallbackTranslations, r.Metrics.Get("iommu.dav.fallback")},
+		{"iommu.preload.squashed", r.IOMMU.SquashedPreloads, r.Metrics.Get("iommu.preload.squashed")},
+		{"iommu.faults", r.IOMMU.Faults, r.Metrics.Get("iommu.faults")},
+		{"mmu.tlb lookups", r.TLBLookups, r.Metrics.Get("mmu.tlb.hits") + r.Metrics.Get("mmu.tlb.misses")},
+		{"accel.cycles", r.Stats.Cycles, r.Metrics.Get("accel.cycles")},
+		{"accel.accesses", r.Stats.Accesses, r.Metrics.Get("accel.accesses")},
+		{"accel.faults", r.Stats.Faults, r.Metrics.Get("accel.faults")},
+		{"memsys.accesses", r.DRAM.Accesses, r.Metrics.Get("memsys.accesses")},
+	}
+	for _, c := range checks {
+		if c.table != c.metric {
+			return fmt.Errorf("core: %v: table input %s = %d but registry reads %d — counter/table divergence",
+				r.Mode, c.name, c.table, c.metric)
+		}
+	}
+	return nil
 }
 
 // buildPETable builds the canonical table with a custom PE fan-out.

@@ -6,6 +6,7 @@ import (
 
 	"github.com/dvm-sim/dvm/internal/accel"
 	"github.com/dvm-sim/dvm/internal/graph"
+	"github.com/dvm-sim/dvm/internal/obs"
 	"github.com/dvm-sim/dvm/internal/osmodel"
 	"github.com/dvm-sim/dvm/internal/runner"
 )
@@ -86,6 +87,11 @@ type Figure2Row struct {
 	MissRate2M float64
 	Lookups4K  uint64
 	Lookups2M  uint64
+	// Metrics4K / Metrics2M are the two runs' registry snapshots, kept
+	// so report generators can cross-check the rendered rates against
+	// the components' own counters.
+	Metrics4K obs.Snapshot
+	Metrics2M obs.Snapshot
 }
 
 // Figure2 measures TLB miss rates for one prepared workload.
@@ -103,6 +109,8 @@ func Figure2(p *Prepared, cfg SystemConfig) (Figure2Row, error) {
 	row.MissRate2M = r2.TLBMissRate
 	row.Lookups4K = r4.TLBLookups
 	row.Lookups2M = r2.TLBLookups
+	row.Metrics4K = r4.Metrics
+	row.Metrics2M = r2.Metrics
 	return row, nil
 }
 

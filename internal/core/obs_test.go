@@ -1,0 +1,97 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/dvm-sim/dvm/internal/graph"
+	"github.com/dvm-sim/dvm/internal/obs"
+)
+
+func prepareTinyBFS(t *testing.T) *Prepared {
+	t.Helper()
+	fr, err := graph.DatasetByName("FR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Prepare(Workload{Algorithm: "BFS", Dataset: fr, Scale: ProfileTiny.Scale, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestRunPopulatesMetricsAndCrossChecks: every run must carry a
+// registry snapshot that agrees with the table-input fields, in every
+// mode.
+func TestRunPopulatesMetricsAndCrossChecks(t *testing.T) {
+	p := prepareTinyBFS(t)
+	for _, m := range AllModes {
+		r, err := p.Run(m, ProfileTiny.SystemConfig())
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(r.Metrics.Counters) == 0 {
+			t.Fatalf("%v: RunResult.Metrics is empty", m)
+		}
+		if err := CrossCheck(r); err != nil {
+			t.Errorf("%v: %v", m, err)
+		}
+		if r.Wall <= 0 {
+			t.Errorf("%v: Wall = %v, want > 0", m, r.Wall)
+		}
+	}
+}
+
+// TestCrossCheckDetectsDivergence tampers with one table input and
+// requires CrossCheck to fail loudly.
+func TestCrossCheckDetectsDivergence(t *testing.T) {
+	p := prepareTinyBFS(t)
+	r, err := p.Run(ModeDVMPE, ProfileTiny.SystemConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CrossCheck(r); err != nil {
+		t.Fatalf("clean result failed cross-check: %v", err)
+	}
+	r.IOMMU.Accesses++
+	if err := CrossCheck(r); err == nil {
+		t.Error("CrossCheck accepted a tampered iommu.accesses")
+	}
+	r.IOMMU.Accesses--
+	r.TLBLookups += 5
+	if err := CrossCheck(r); err == nil {
+		t.Error("CrossCheck accepted tampered TLB lookups")
+	}
+}
+
+// TestRunMetricsDeterministic: two identical runs must produce
+// identical snapshots (the per-run registry has no hidden global
+// state), and tracing must not change any counter.
+func TestRunMetricsDeterministic(t *testing.T) {
+	p := prepareTinyBFS(t)
+	cfg := ProfileTiny.SystemConfig()
+	a, err := p.Run(ModeDVMPEPlus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Run(ModeDVMPEPlus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+		t.Errorf("repeat run changed metrics:\na: %v\nb: %v", a.Metrics.Counters, b.Metrics.Counters)
+	}
+	traced := cfg
+	traced.Tracer = obs.NewTracer(1024, obs.MaskAll)
+	c, err := p.Run(ModeDVMPEPlus, traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Metrics, c.Metrics) {
+		t.Error("attaching a tracer changed counter values")
+	}
+	if c.Metrics.Get("iommu.accesses") > 0 && traced.Tracer.Total() == 0 {
+		t.Error("tracer attached to the run recorded nothing")
+	}
+}

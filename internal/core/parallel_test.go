@@ -8,6 +8,15 @@ import (
 	"github.com/dvm-sim/dvm/internal/graph"
 )
 
+// zeroWall clears RunResult.Wall — the one documented nondeterministic
+// field — so determinism tests can DeepEqual everything else.
+func zeroWall(rs map[Mode]RunResult) {
+	for m, r := range rs {
+		r.Wall = 0
+		rs[m] = r
+	}
+}
+
 // TestFigure8ParallelismIsDeterministic runs the same Figure 8 cell with a
 // sequential sweep (-j 1) and a saturated pool (-j 8) and requires every
 // per-mode RunResult — cycles, miss rates, energy, DRAM stats — to be
@@ -33,6 +42,8 @@ func TestFigure8ParallelismIsDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	zeroWall(seq.Results)
+	zeroWall(par.Results)
 	for _, m := range AllModes {
 		if !reflect.DeepEqual(seq.Results[m], par.Results[m]) {
 			t.Errorf("mode %v: RunResult differs between -j 1 and -j 8:\nseq: %+v\npar: %+v",
@@ -64,6 +75,8 @@ func TestRunAllCtxMatchesRunAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	zeroWall(seq)
+	zeroWall(par)
 	if !reflect.DeepEqual(seq, par) {
 		t.Error("RunAllCtx(jobs=4) differs from sequential RunAll")
 	}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"github.com/dvm-sim/dvm/internal/addr"
+	"github.com/dvm-sim/dvm/internal/obs"
 )
 
 // LineBytes is the transfer granularity: one 64 B cache line.
@@ -136,6 +137,16 @@ func (c *Controller) Reset() {
 	}
 	c.accesses = 0
 	c.waitSum = 0
+}
+
+// RegisterMetrics publishes the controller's counters under prefix
+// (e.g. "memsys" yields memsys.accesses / memsys.queue.cycles). The
+// registry reads the fields Access already increments, so the memory
+// hot path pays nothing. Snapshot() remains a thin view of the same
+// storage.
+func (c *Controller) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.RegisterCounter(prefix+".accesses", &c.accesses)
+	reg.RegisterCounter(prefix+".queue.cycles", &c.waitSum)
 }
 
 // Stats reports aggregate controller activity.

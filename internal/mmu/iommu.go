@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/dvm-sim/dvm/internal/addr"
+	"github.com/dvm-sim/dvm/internal/obs"
 	"github.com/dvm-sim/dvm/internal/pagetable"
 )
 
@@ -172,6 +173,7 @@ type IOMMU struct {
 
 	walk pagetable.WalkResult
 	ctr  Counters
+	tr   *obs.Tracer
 }
 
 // New creates an IOMMU over the given page table (built by the OS model
@@ -253,6 +255,54 @@ func (u *IOMMU) AVC() *PTECache { return u.avc }
 // BMCache returns the bitmap cache (nil unless ModeDVMBM).
 func (u *IOMMU) BMCache() *TLB { return u.bmCache }
 
+// RegisterMetrics publishes the IOMMU's activity counters and those of
+// every structure it owns into reg, under the repository's standard
+// names (iommu.*, mmu.tlb.*, mmu.pwc.*, mmu.avc.*, mmu.bmcache.*).
+// Registration is pointer-based: the hot translation path keeps
+// incrementing the same fields it always has, so observability adds no
+// allocation and no indirection there. The Counters() accessor remains
+// a thin view over the same storage.
+func (u *IOMMU) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterCounter("iommu.accesses", &u.ctr.Accesses)
+	reg.RegisterCounter("iommu.walk.memrefs", &u.ctr.WalkMemRefs)
+	reg.RegisterCounter("iommu.dav.identity", &u.ctr.DAVIdentity)
+	reg.RegisterCounter("iommu.dav.fallback", &u.ctr.FallbackTranslations)
+	reg.RegisterCounter("iommu.preload.squashed", &u.ctr.SquashedPreloads)
+	reg.RegisterCounter("iommu.faults", &u.ctr.Faults)
+	reg.RegisterCounter("iommu.ctxswitches", &u.ctr.ContextSwitches)
+	if u.tlb != nil {
+		u.tlb.RegisterMetrics(reg, "mmu.tlb")
+	}
+	if u.pwc != nil {
+		u.pwc.RegisterMetrics(reg, "mmu.pwc")
+	}
+	if u.avc != nil {
+		u.avc.RegisterMetrics(reg, "mmu.avc")
+	}
+	if u.bmCache != nil {
+		u.bmCache.RegisterMetrics(reg, "mmu.bmcache")
+	}
+}
+
+// SetTracer attaches an event tracer to the IOMMU and every structure
+// it owns; nil detaches. Tracing never changes results — events are
+// emitted after the fact and the tracer only records.
+func (u *IOMMU) SetTracer(tr *obs.Tracer) {
+	u.tr = tr
+	if u.tlb != nil {
+		u.tlb.SetTrace(tr, obs.CompTLB)
+	}
+	if u.pwc != nil {
+		u.pwc.SetTrace(tr, obs.CompPWC)
+	}
+	if u.avc != nil {
+		u.avc.SetTrace(tr, obs.CompAVC)
+	}
+	if u.bmCache != nil {
+		u.bmCache.SetTrace(tr, obs.CompBMCache)
+	}
+}
+
 // SwitchContext retargets the IOMMU at another process's translation state
 // — the accelerator-multiplexing path ("similar protection guarantees are
 // needed when accelerators are multiplexed among multiple processes",
@@ -283,6 +333,7 @@ func (u *IOMMU) SwitchContext(table *pagetable.Table, bm *PermBitmap) error {
 		u.bmCache.Invalidate()
 	}
 	u.ctr.ContextSwitches++
+	u.tr.Emit(obs.CompIOMMU, obs.EvCtxSwitch, 0, 0, u.ctr.ContextSwitches)
 	return nil
 }
 
@@ -329,6 +380,10 @@ func (u *IOMMU) conventional(va addr.VA, kind addr.AccessKind, p *Plan) {
 
 // davPE is Devirtualized Access Validation via PE page tables + AVC.
 func (u *IOMMU) davPE(va addr.VA, kind addr.AccessKind, p *Plan) {
+	trace := u.tr.Wants(obs.CompIOMMU)
+	if trace {
+		u.tr.Emit(obs.CompIOMMU, obs.EvDAVCheck, uint64(va), 0, uint64(kind))
+	}
 	u.walkTable(va, p, u.avc)
 	switch u.walk.Outcome {
 	case pagetable.WalkFault:
@@ -338,6 +393,12 @@ func (u *IOMMU) davPE(va addr.VA, kind addr.AccessKind, p *Plan) {
 		u.ctr.DAVIdentity++
 		if u.cfg.Mode == ModeDVMPEPlus && kind == addr.Read {
 			p.OverlapData = true
+		}
+		if trace {
+			u.tr.Emit(obs.CompIOMMU, obs.EvDAVIdentity, uint64(va), uint64(u.walk.PA), uint64(kind))
+			if p.OverlapData {
+				u.tr.Emit(obs.CompIOMMU, obs.EvPreloadIssue, uint64(va), uint64(va), 0)
+			}
 		}
 		u.finishTranslated(u.walk.PA, u.walk.Perm, kind, p)
 	case pagetable.WalkLeaf:
@@ -349,13 +410,25 @@ func (u *IOMMU) davPE(va addr.VA, kind addr.AccessKind, p *Plan) {
 			if u.cfg.Mode == ModeDVMPEPlus && kind == addr.Read {
 				p.OverlapData = true
 			}
+			if trace {
+				u.tr.Emit(obs.CompIOMMU, obs.EvDAVIdentity, uint64(va), uint64(u.walk.PA), uint64(kind))
+				if p.OverlapData {
+					u.tr.Emit(obs.CompIOMMU, obs.EvPreloadIssue, uint64(va), uint64(va), 0)
+				}
+			}
 		} else {
 			u.ctr.FallbackTranslations++
+			if trace {
+				u.tr.Emit(obs.CompIOMMU, obs.EvDAVFallback, uint64(va), uint64(u.walk.PA), uint64(kind))
+			}
 			if u.cfg.Mode == ModeDVMPEPlus && kind == addr.Read {
 				// The preload predicted PA==VA and was wrong:
 				// squash and retry at the translated address.
 				p.SquashedPreload = true
 				u.ctr.SquashedPreloads++
+				if trace {
+					u.tr.Emit(obs.CompIOMMU, obs.EvPreloadSquash, uint64(va), uint64(u.walk.PA), uint64(va))
+				}
 			}
 		}
 		u.finishTranslated(u.walk.PA, u.walk.Perm, kind, p)
@@ -364,18 +437,28 @@ func (u *IOMMU) davPE(va addr.VA, kind addr.AccessKind, p *Plan) {
 
 // davBitmap is DAV via the flat permission bitmap (DVM-BM).
 func (u *IOMMU) davBitmap(va addr.VA, kind addr.AccessKind, p *Plan) {
+	trace := u.tr.Wants(obs.CompIOMMU)
+	if trace {
+		u.tr.Emit(obs.CompIOMMU, obs.EvDAVCheck, uint64(va), 0, uint64(kind))
+	}
 	p.ProbeCycles += u.cfg.ProbeCycles
 	perm, cached := u.lookupBitmap(va, p)
 	_ = cached
 	if perm != addr.NoPerm {
 		// Identity-mapped heap page: validate and go.
 		u.ctr.DAVIdentity++
+		if trace {
+			u.tr.Emit(obs.CompIOMMU, obs.EvDAVIdentity, uint64(va), uint64(va), uint64(kind))
+		}
 		u.finishTranslated(addr.PA(va), perm, kind, p)
 		return
 	}
 	// 00 in the bitmap: not identity mapped — full translation,
 	// expedited by the fallback TLB.
 	u.ctr.FallbackTranslations++
+	if trace {
+		u.tr.Emit(obs.CompIOMMU, obs.EvDAVFallback, uint64(va), 0, uint64(kind))
+	}
 	p.ProbeCycles += u.cfg.ProbeCycles
 	if pa, tlbPerm, hit := u.tlb.Lookup(va); hit {
 		u.finishTranslated(pa, tlbPerm, kind, p)
@@ -400,6 +483,7 @@ func (u *IOMMU) lookupBitmap(va addr.VA, p *Plan) (addr.Perm, bool) {
 	perm, linePA := u.bm.Lookup(va)
 	p.MemRefs = append(p.MemRefs, linePA)
 	u.ctr.WalkMemRefs++
+	u.tr.Emit(obs.CompBitmap, obs.EvMemRef, uint64(va), uint64(linePA), 0)
 	u.bmCache.Insert(base, addr.PA(base), perm)
 	return perm, false
 }
@@ -408,6 +492,7 @@ func (u *IOMMU) lookupBitmap(va addr.VA, p *Plan) (addr.Perm, bool) {
 // cacheable levels and memory references for the rest.
 func (u *IOMMU) walkTable(va addr.VA, p *Plan, cache *PTECache) {
 	u.table.WalkInto(va, &u.walk)
+	var refs uint64
 	for _, step := range u.walk.Steps {
 		if cache.Caches(step.Level) {
 			p.ProbeCycles += u.cfg.ProbeCycles
@@ -415,15 +500,17 @@ func (u *IOMMU) walkTable(va addr.VA, p *Plan, cache *PTECache) {
 				continue
 			}
 			p.MemRefs = append(p.MemRefs, step.EntryPA)
-			u.ctr.WalkMemRefs++
+			refs++
 			cache.Insert(step.EntryPA, step.Level)
 		} else {
 			// Conventional walkers skip the PWC for L1 lines and go
 			// straight to memory.
 			p.MemRefs = append(p.MemRefs, step.EntryPA)
-			u.ctr.WalkMemRefs++
+			refs++
 		}
 	}
+	u.ctr.WalkMemRefs += refs
+	u.tr.Emit(obs.CompIOMMU, obs.EvWalk, uint64(va), uint64(u.walk.PA), refs)
 }
 
 // finishTranslated applies the permission check and fills the plan.
@@ -439,4 +526,5 @@ func (u *IOMMU) fault(p *Plan) {
 	p.Fault = true
 	p.OverlapData = false
 	u.ctr.Faults++
+	u.tr.Emit(obs.CompIOMMU, obs.EvFault, 0, 0, u.ctr.Faults)
 }

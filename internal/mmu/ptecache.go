@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/dvm-sim/dvm/internal/addr"
+	"github.com/dvm-sim/dvm/internal/obs"
 )
 
 // PTECacheConfig describes a physically-indexed, physically-tagged cache of
@@ -54,6 +55,9 @@ type PTECache struct {
 	clock  uint64
 	hits   uint64
 	misses uint64
+
+	tr   *obs.Tracer
+	comp obs.Component
 }
 
 // NewPTECache creates a cache; zero config fields take the PWC defaults
@@ -164,6 +168,12 @@ func (c *PTECache) Insert(pa addr.PA, level int) {
 			victim = i
 		}
 	}
+	if c.tr.Wants(c.comp) {
+		if v := &set[victim]; v.valid {
+			c.tr.Emit(c.comp, obs.EvEvict, 0, v.tag*uint64(c.cfg.BlockBytes), v.tag)
+		}
+		c.tr.Emit(c.comp, obs.EvFill, 0, uint64(pa), uint64(level))
+	}
 	set[victim] = pteBlock{valid: true, tag: tag, lastUse: c.clock}
 }
 
@@ -176,23 +186,37 @@ func (c *PTECache) Invalidate() {
 	}
 }
 
-// Hits returns the hit count.
+// Snapshot returns the current statistics (the CacheStats contract).
+func (c *PTECache) Snapshot() CacheStats { return CacheStats{Hits: c.hits, Misses: c.misses} }
+
+// Reset zeroes the statistical counters per the CacheStats contract:
+// resident lines and LRU recency are preserved (see CacheStats).
+func (c *PTECache) Reset() { c.hits, c.misses = 0, 0 }
+
+// Hits returns the hit count (thin view over Snapshot).
 func (c *PTECache) Hits() uint64 { return c.hits }
 
-// Misses returns the miss count.
+// Misses returns the miss count (thin view over Snapshot).
 func (c *PTECache) Misses() uint64 { return c.misses }
 
 // Lookups returns hits + misses.
-func (c *PTECache) Lookups() uint64 { return c.hits + c.misses }
+func (c *PTECache) Lookups() uint64 { return c.Snapshot().Lookups() }
 
 // HitRate returns hits/lookups, or 0 with no lookups.
-func (c *PTECache) HitRate() float64 {
-	n := c.Lookups()
-	if n == 0 {
-		return 0
-	}
-	return float64(c.hits) / float64(n)
+func (c *PTECache) HitRate() float64 { return c.Snapshot().HitRate() }
+
+// ResetStats is the historical name for Reset.
+func (c *PTECache) ResetStats() { c.Reset() }
+
+// RegisterMetrics publishes the cache's counters under prefix (e.g.
+// "mmu.avc" yields mmu.avc.hits / mmu.avc.misses) at no hot-path cost.
+func (c *PTECache) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.RegisterCounter(prefix+".hits", &c.hits)
+	reg.RegisterCounter(prefix+".misses", &c.misses)
 }
 
-// ResetStats zeroes hit/miss counters.
-func (c *PTECache) ResetStats() { c.hits, c.misses = 0, 0 }
+// SetTrace attaches an event tracer; fills and evictions are emitted
+// as the given component (CompPWC or CompAVC). A nil tracer detaches.
+func (c *PTECache) SetTrace(tr *obs.Tracer, comp obs.Component) {
+	c.tr, c.comp = tr, comp
+}

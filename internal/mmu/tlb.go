@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"github.com/dvm-sim/dvm/internal/addr"
+	"github.com/dvm-sim/dvm/internal/obs"
 )
 
 // TLBConfig describes a translation lookaside buffer.
@@ -43,6 +44,9 @@ type TLB struct {
 	clock  uint64
 	hits   uint64
 	misses uint64
+
+	tr   *obs.Tracer
+	comp obs.Component
 }
 
 // NewTLB creates a TLB.
@@ -136,6 +140,12 @@ func (t *TLB) Insert(base addr.VA, pa addr.PA, perm addr.Perm) {
 			victim = i
 		}
 	}
+	if t.tr.Wants(t.comp) {
+		if v := &set[victim]; v.valid {
+			t.tr.Emit(t.comp, obs.EvEvict, v.vpn*t.cfg.PageSize, v.pfn*t.cfg.PageSize, v.vpn)
+		}
+		t.tr.Emit(t.comp, obs.EvFill, uint64(base), uint64(pa), vpn)
+	}
 	set[victim] = tlbEntry{valid: true, vpn: vpn, pfn: pfn, perm: perm, lastUse: t.clock}
 }
 
@@ -148,24 +158,41 @@ func (t *TLB) Invalidate() {
 	}
 }
 
-// Hits returns the hit count.
+// Snapshot returns the current statistics (the CacheStats contract).
+func (t *TLB) Snapshot() CacheStats { return CacheStats{Hits: t.hits, Misses: t.misses} }
+
+// Reset zeroes the statistical counters per the CacheStats contract:
+// cached entries and LRU recency are preserved so warm-up exclusion
+// never perturbs replacement behaviour.
+func (t *TLB) Reset() { t.hits, t.misses = 0, 0 }
+
+// Hits returns the hit count (thin view over Snapshot).
 func (t *TLB) Hits() uint64 { return t.hits }
 
-// Misses returns the miss count.
+// Misses returns the miss count (thin view over Snapshot).
 func (t *TLB) Misses() uint64 { return t.misses }
 
 // Lookups returns hits + misses.
-func (t *TLB) Lookups() uint64 { return t.hits + t.misses }
+func (t *TLB) Lookups() uint64 { return t.Snapshot().Lookups() }
 
 // MissRate returns misses / lookups, or 0 with no lookups.
-func (t *TLB) MissRate() float64 {
-	n := t.Lookups()
-	if n == 0 {
-		return 0
-	}
-	return float64(t.misses) / float64(n)
+func (t *TLB) MissRate() float64 { return t.Snapshot().MissRate() }
+
+// ResetStats is the historical name for Reset.
+func (t *TLB) ResetStats() { t.Reset() }
+
+// RegisterMetrics publishes the TLB's counters under prefix (e.g.
+// "mmu.tlb" yields mmu.tlb.hits / mmu.tlb.misses). The registry reads
+// the same fields Lookup increments, so registration adds no hot-path
+// cost.
+func (t *TLB) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.RegisterCounter(prefix+".hits", &t.hits)
+	reg.RegisterCounter(prefix+".misses", &t.misses)
 }
 
-// ResetStats zeroes the hit/miss counters without invalidating entries
-// (used to exclude warm-up from measurements).
-func (t *TLB) ResetStats() { t.hits, t.misses = 0, 0 }
+// SetTrace attaches an event tracer; fills and evictions are emitted
+// as the given component (CompTLB, CompBMCache...). A nil tracer
+// detaches.
+func (t *TLB) SetTrace(tr *obs.Tracer, comp obs.Component) {
+	t.tr, t.comp = tr, comp
+}

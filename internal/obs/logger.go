@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on the default mux
+	"os"
+	"sync"
+)
+
+// Logger is the harness-side diagnostics sink the reproduction
+// commands share: every human-readable progress/status line goes
+// through it (to stderr), keeping machine-readable stdout clean for
+// tables and exports. It is goroutine-safe, so worker-pool progress
+// lines never interleave mid-line, and honours a quiet flag so -q
+// silences status without hiding errors.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	tag   string
+	quiet bool
+}
+
+// NewLogger creates a logger writing "tag: " prefixed lines to w
+// (typically os.Stderr). quiet suppresses Statusf but never Errorf.
+func NewLogger(w io.Writer, tag string, quiet bool) *Logger {
+	return &Logger{w: w, tag: tag, quiet: quiet}
+}
+
+// Quiet reports whether status output is suppressed.
+func (l *Logger) Quiet() bool { return l.quiet }
+
+// Statusf logs a progress/status line unless the logger is quiet. Its
+// signature matches the harness progress callbacks, so a method value
+// (lg.Statusf) plugs directly into report.Options.Progress.
+func (l *Logger) Statusf(format string, args ...interface{}) {
+	if l.quiet {
+		return
+	}
+	l.write(format, args...)
+}
+
+// Errorf logs an error line regardless of quiet.
+func (l *Logger) Errorf(format string, args ...interface{}) {
+	l.write(format, args...)
+}
+
+// Exitf logs an error line and exits with the given code.
+func (l *Logger) Exitf(code int, format string, args ...interface{}) {
+	l.Errorf(format, args...)
+	os.Exit(code)
+}
+
+func (l *Logger) write(format string, args ...interface{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.tag != "" {
+		fmt.Fprintf(l.w, "%s: ", l.tag)
+	}
+	fmt.Fprintf(l.w, format, args...)
+	fmt.Fprintln(l.w)
+}
+
+// StartPprof serves net/http/pprof on addr (e.g. "localhost:6060") in
+// the background and returns the bound address, so harness commands
+// can expose live CPU/heap profiles with a -pprof flag. The listener
+// runs for the life of the process.
+func StartPprof(addr string, lg *Logger) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: pprof listen %s: %w", addr, err)
+	}
+	go func() {
+		// Serve on the default mux, where net/http/pprof registered its
+		// handlers; the error is terminal for the listener only.
+		if err := http.Serve(ln, nil); err != nil && lg != nil {
+			lg.Errorf("pprof server: %v", err)
+		}
+	}()
+	bound := ln.Addr().String()
+	if lg != nil {
+		lg.Statusf("pprof listening on http://%s/debug/pprof/", bound)
+	}
+	return bound, nil
+}

@@ -1,0 +1,206 @@
+// Package obs is the unified observability layer of the simulator: a
+// metrics registry every component reports its hardware event counts
+// into, a bounded event tracer for post-hoc debugging of individual
+// translations, and the harness-side diagnostics (logger, pprof hook)
+// the reproduction commands share.
+//
+// The registry is deliberately pull-based: a component registers a
+// pointer to the uint64 counter it already increments on its hot path
+// (TLB hits, DAV identity checks, walk memory references, ...) and the
+// registry reads the value only when a snapshot is taken. Being
+// observable therefore costs the hot path nothing — no map lookup, no
+// atomic, no allocation — which is what lets the registry stay enabled
+// on every run (acceptance: zero allocations on the DAV/translation
+// path, see BenchmarkTranslateInto).
+//
+// Naming scheme: dot-separated hierarchical paths, component first —
+// `mmu.tlb.hits`, `mmu.avc.misses`, `iommu.dav.identity`,
+// `memsys.accesses`, `accel.reads`, `runner.cells.done`. DESIGN.md §7
+// documents the full vocabulary.
+//
+// Concurrency: a Registry belongs to one simulation run and is not
+// itself goroutine-safe (simulations are single-goroutine); the
+// Collector merges many runs' snapshots under a mutex, and because
+// merging is a commutative sum, the merged snapshot of a parallel
+// (-j N) sweep is byte-identical to the sequential one.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Registry is a per-run metrics registry: named counters registered by
+// the components of one simulation.
+type Registry struct {
+	counters map[string]*uint64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*uint64)}
+}
+
+// RegisterCounter attaches an externally-owned counter under name. The
+// component keeps incrementing its own field; the registry reads it at
+// snapshot time, so registration adds no hot-path cost. Registering a
+// name twice replaces the previous source (the latest component owns
+// the name, e.g. after a context switch rebuilds a structure).
+func (r *Registry) RegisterCounter(name string, v *uint64) {
+	if r == nil || v == nil {
+		return
+	}
+	r.counters[name] = v
+}
+
+// Counter registers and returns a registry-owned counter, for callers
+// that have no field of their own to expose.
+func (r *Registry) Counter(name string) *uint64 {
+	if r == nil {
+		return new(uint64)
+	}
+	if v, ok := r.counters[name]; ok {
+		return v
+	}
+	v := new(uint64)
+	r.counters[name] = v
+	return v
+}
+
+// Snapshot reads every registered counter. The result is a value type:
+// safe to retain, diff, merge and export after the run has ended.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Counters: make(map[string]uint64, len(r.counters))}
+	for name, v := range r.counters {
+		s.Counters[name] = *v
+	}
+	return s
+}
+
+// Snapshot is a point-in-time reading of a registry (or a merge of
+// several). The zero value is an empty snapshot.
+type Snapshot struct {
+	Counters map[string]uint64 `json:"counters"`
+}
+
+// Get returns a counter's value; missing names read as zero, so
+// mode-dependent structures (no TLB under DVM-PE) need no special
+// casing in cross-checks.
+func (s Snapshot) Get(name string) uint64 { return s.Counters[name] }
+
+// Diff returns s - prev per counter: the activity of the interval
+// between two snapshots. Counters absent from prev diff against zero;
+// counters absent from s are dropped (they no longer exist).
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	d := Snapshot{Counters: make(map[string]uint64, len(s.Counters))}
+	for name, v := range s.Counters {
+		d.Counters[name] = v - prev.Counters[name]
+	}
+	return d
+}
+
+// Merge sums snapshots counter-wise. Addition is commutative, so the
+// merge of a parallel sweep's per-cell snapshots is independent of
+// completion order — the property the -j determinism tests pin down.
+func Merge(snaps ...Snapshot) Snapshot {
+	m := Snapshot{Counters: make(map[string]uint64)}
+	for _, s := range snaps {
+		for name, v := range s.Counters {
+			m.Counters[name] += v
+		}
+	}
+	return m
+}
+
+// Names returns the counter names in sorted order.
+func (s Snapshot) Names() []string {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON exports the snapshot as indented JSON with sorted keys
+// (encoding/json sorts map keys), terminated by a newline. The format
+// is stable and covered by a golden-file test.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteText exports the snapshot as sorted "name value" lines.
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, name := range s.Names() {
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Collector accumulates snapshots from concurrent experiment cells
+// into one merged snapshot. All methods are goroutine-safe and
+// nil-safe (a nil Collector discards everything), so harness code can
+// thread an optional collector without guarding every call site. The
+// zero value is ready to use.
+type Collector struct {
+	mu  sync.Mutex
+	sum map[string]uint64
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{sum: make(map[string]uint64)}
+}
+
+// Add merges one cell's snapshot into the collector.
+func (c *Collector) Add(s Snapshot) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sum == nil {
+		c.sum = make(map[string]uint64, len(s.Counters))
+	}
+	for name, v := range s.Counters {
+		c.sum[name] += v
+	}
+}
+
+// Inc adds n to a harness-level counter (e.g. runner.cells.done).
+func (c *Collector) Inc(name string, n uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.sum == nil {
+		c.sum = make(map[string]uint64)
+	}
+	c.sum[name] += n
+	c.mu.Unlock()
+}
+
+// Snapshot returns the merged totals collected so far.
+func (c *Collector) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{Counters: map[string]uint64{}}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{Counters: make(map[string]uint64, len(c.sum))}
+	for name, v := range c.sum {
+		s.Counters[name] = v
+	}
+	return s
+}

@@ -1,0 +1,62 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/dvm-sim/dvm/internal/core"
+	"github.com/dvm-sim/dvm/internal/obs"
+)
+
+// TestMetricsDeterministicAcrossJobs is the -metrics acceptance
+// criterion: the merged registry snapshot of a sweep must be
+// byte-identical between -j 1 and -j 8 (snapshots merge by commutative
+// sum, so completion order cannot leak in).
+func TestMetricsDeterministicAcrossJobs(t *testing.T) {
+	collect := func(jobs int) obs.Snapshot {
+		coll := obs.NewCollector()
+		if err := Figure2(core.ProfileTiny, io.Discard, Options{Jobs: jobs, Metrics: coll}); err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return coll.Snapshot()
+	}
+	seq := collect(1)
+	par := collect(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("merged metrics differ between -j 1 and -j 8:\nj1: %v\nj8: %v", seq.Counters, par.Counters)
+	}
+	if got, want := seq.Get("runner.cells.done"), uint64(len(core.ProfileTiny.Workloads())); got != want {
+		t.Errorf("runner.cells.done = %d, want %d", got, want)
+	}
+	if seq.Get("mmu.tlb.hits")+seq.Get("mmu.tlb.misses") == 0 {
+		t.Error("merged snapshot has no TLB activity")
+	}
+}
+
+// TestProgressLinesCarryETAPrefix checks the live progress sink wraps
+// each cell line in the [done/total pct eta] header and never writes to
+// the artifact stream.
+func TestProgressLinesCarryETAPrefix(t *testing.T) {
+	var lines []string
+	opts := Options{Jobs: 1, Progress: func(format string, args ...interface{}) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}}
+	var out strings.Builder
+	if err := Table3(core.ProfileTiny, &out, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("no progress lines emitted")
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "[") || !strings.Contains(l, "/") || !strings.Contains(l, "%]") && !strings.Contains(l, "eta") {
+			t.Errorf("progress line missing [done/total pct eta] prefix: %q", l)
+		}
+	}
+	if strings.Contains(out.String(), "[1/") {
+		t.Error("progress leaked into the artifact stream")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"github.com/dvm-sim/dvm/internal/cpu"
 	"github.com/dvm-sim/dvm/internal/graph"
 	"github.com/dvm-sim/dvm/internal/mmu"
+	"github.com/dvm-sim/dvm/internal/obs"
 	"github.com/dvm-sim/dvm/internal/results"
 	"github.com/dvm-sim/dvm/internal/runner"
 	"github.com/dvm-sim/dvm/internal/shbench"
@@ -51,11 +52,52 @@ type Options struct {
 	// bit-for-bit, N > 1 keeps up to N cells in flight.
 	Jobs int
 	// Progress receives one line per completed cell (completion order);
-	// nil disables reporting.
+	// nil disables reporting. Lines are prefixed with a live
+	// "[done/total pct eta]" progress header.
 	Progress Progress
+	// Metrics, when non-nil, accumulates every simulation cell's
+	// registry snapshot plus harness counters (runner.cells.done).
+	// Merging is a commutative sum, so the collected snapshot is
+	// byte-identical at every Jobs value.
+	Metrics *obs.Collector
+	// Tracer, when non-nil, is attached to every simulation the
+	// generators run (see core.SystemConfig.Tracer).
+	Tracer *obs.Tracer
 }
 
-func (o Options) progress() Progress { return o.Progress.Synchronized() }
+// progressFor returns a per-cell completion logger over total cells,
+// adding the live count/percent/ETA prefix; the returned Progress is
+// goroutine-safe and non-nil only when reporting is enabled.
+func (o Options) progressFor(total int) Progress {
+	p := runner.NewProgress(total, runner.Logf(o.Progress))
+	if p == nil {
+		return nil
+	}
+	return p.Done
+}
+
+// system resolves the profile's machine configuration with the
+// options' tracer attached.
+func (o Options) system(prof core.Profile) core.SystemConfig {
+	cfg := prof.SystemConfig()
+	cfg.Tracer = o.Tracer
+	return cfg
+}
+
+// collect cross-checks one RunResult against its own registry snapshot
+// (so a counter/table divergence aborts the artifact instead of
+// silently skewing it) and folds the snapshot into the collector.
+// runner.cells.done is counted separately, once per runner.Map cell.
+func (o Options) collect(r core.RunResult) error {
+	if err := core.CrossCheck(r); err != nil {
+		return err
+	}
+	o.Metrics.Add(r.Metrics)
+	return nil
+}
+
+// cellDone counts one completed runner cell into the collector.
+func (o Options) cellDone() { o.Metrics.Inc("runner.cells.done", 1) }
 
 // Figure2 regenerates the TLB miss-rate figure: one row per workload/input,
 // 4 KB vs 2 MB pages.
@@ -65,16 +107,18 @@ func Figure2(prof core.Profile, w io.Writer, opts Options) error {
 			prof.TLBEntries, prof.Name),
 		"Workload", "Input", "4K miss", "2M miss", "4K lookups", "2M lookups")
 	wls := prof.Workloads()
-	progress := opts.progress()
+	progress := opts.progressFor(len(wls))
 	rows, err := runner.Map(context.Background(), opts.Jobs, len(wls), func(_ context.Context, i int) (core.Figure2Row, error) {
 		p, err := core.Prepare(wls[i])
 		if err != nil {
 			return core.Figure2Row{}, err
 		}
-		row, err := core.Figure2(p, prof.SystemConfig())
+		row, err := core.Figure2(p, opts.system(prof))
 		if err != nil {
 			return row, err
 		}
+		opts.Metrics.Add(obs.Merge(row.Metrics4K, row.Metrics2M))
+		opts.cellDone()
 		progress.log("fig2 %s/%s: 4K %.1f%% 2M %.1f%%", row.Algorithm, row.Dataset, 100*row.MissRate4K, 100*row.MissRate2M)
 		return row, nil
 	})
@@ -83,6 +127,15 @@ func Figure2(prof core.Profile, w io.Writer, opts Options) error {
 	}
 	var sum4, sum2 float64
 	for _, row := range rows {
+		// Cross-check the rendered miss-rate denominators against the
+		// TLB's own registry counters: the table and the hardware
+		// model must agree to the last lookup.
+		if got := row.Metrics4K.Get("mmu.tlb.hits") + row.Metrics4K.Get("mmu.tlb.misses"); got != row.Lookups4K {
+			return fmt.Errorf("report: fig2 %s/%s: 4K lookups %d but registry reads %d", row.Algorithm, row.Dataset, row.Lookups4K, got)
+		}
+		if got := row.Metrics2M.Get("mmu.tlb.hits") + row.Metrics2M.Get("mmu.tlb.misses"); got != row.Lookups2M {
+			return fmt.Errorf("report: fig2 %s/%s: 2M lookups %d but registry reads %d", row.Algorithm, row.Dataset, row.Lookups2M, got)
+		}
 		t.MustAddRow(row.Algorithm, row.Dataset, results.Pct(row.MissRate4K), results.Pct(row.MissRate2M),
 			fmt.Sprintf("%d", row.Lookups4K), fmt.Sprintf("%d", row.Lookups2M))
 		sum4 += row.MissRate4K
@@ -105,7 +158,7 @@ func Table1(prof core.Profile, w io.Writer, opts Options) error {
 			wls = append(wls, wl)
 		}
 	}
-	progress := opts.progress()
+	progress := opts.progressFor(len(wls))
 	rows, err := runner.Map(context.Background(), opts.Jobs, len(wls), func(_ context.Context, i int) (core.Table1Row, error) {
 		p, err := core.Prepare(wls[i])
 		if err != nil {
@@ -115,6 +168,7 @@ func Table1(prof core.Profile, w io.Writer, opts Options) error {
 		if err != nil {
 			return row, err
 		}
+		opts.cellDone()
 		progress.log("table1 %s: std %s -> PE %s", row.Input, results.KB(row.StdBytes), results.KB(row.PEBytes))
 		return row, nil
 	})
@@ -133,7 +187,7 @@ func Table3(prof core.Profile, w io.Writer, opts Options) error {
 	t := results.NewTable(
 		fmt.Sprintf("Table 3: graph datasets (paper scale, generated at scale %.4g for profile %s)", prof.Scale, prof.Name),
 		"Graph", "Vertices", "Edges", "Heap (paper)", "V (scaled)", "E (scaled)")
-	progress := opts.progress()
+	progress := opts.progressFor(len(graph.Datasets))
 	type scaled struct{ v, e int }
 	rows, err := runner.Map(context.Background(), opts.Jobs, len(graph.Datasets), func(_ context.Context, i int) (scaled, error) {
 		d := graph.Datasets[i]
@@ -141,6 +195,7 @@ func Table3(prof core.Profile, w io.Writer, opts Options) error {
 		if err != nil {
 			return scaled{}, err
 		}
+		opts.cellDone()
 		progress.log("table3 %s: V=%d E=%d", d.Name, g.V, g.E())
 		return scaled{g.V, g.E()}, nil
 	})
@@ -174,7 +229,7 @@ func Figure8And9(prof core.Profile, w io.Writer, opts Options) error {
 		fmt.Sprintf("Figure 9: MMU dynamic energy normalized to 4K baseline (profile %s; paper: PE ~0.24x, BM ~0.85x)", prof.Name),
 		head9...)
 	wls := prof.Workloads()
-	progress := opts.progress()
+	progress := opts.progressFor(len(wls))
 	type pair struct {
 		cell core.Figure8Cell
 		fig9 core.Figure9Cell
@@ -187,10 +242,16 @@ func Figure8And9(prof core.Profile, w io.Writer, opts Options) error {
 		if err != nil {
 			return pair{}, err
 		}
-		cell, err := core.Figure8Ctx(ctx, p, prof.SystemConfig(), 1)
+		cell, err := core.Figure8Ctx(ctx, p, opts.system(prof), 1)
 		if err != nil {
 			return pair{}, err
 		}
+		for _, m := range modes {
+			if err := opts.collect(cell.Results[m]); err != nil {
+				return pair{}, fmt.Errorf("fig8 %s/%s %v: %w", cell.Algorithm, cell.Dataset, m, err)
+			}
+		}
+		opts.cellDone()
 		fig9, err := core.Figure9(cell)
 		if err != nil {
 			return pair{}, err
@@ -254,13 +315,14 @@ func Table4(w io.Writer, opts Options) error {
 			cellsIn = append(cellsIn, cell{exp, mem})
 		}
 	}
-	progress := opts.progress()
+	progress := opts.progressFor(len(cellsIn))
 	pcts, err := runner.Map(context.Background(), opts.Jobs, len(cellsIn), func(_ context.Context, i int) (float64, error) {
 		c := cellsIn[i]
 		r, err := shbench.Run(c.exp, c.mem)
 		if err != nil {
 			return 0, err
 		}
+		opts.cellDone()
 		progress.log("table4 expt %d %s: %.1f%%", c.exp.ID, results.Bytes(c.mem), r.Percent)
 		return r.Percent, nil
 	})
@@ -289,12 +351,13 @@ func Figure10(w io.Writer, opts Options) error {
 	t := results.NewTable(
 		"Figure 10: CPU VM overheads vs ideal (paper avgs: 4K 29%, THP 13%, cDVM ~5%; xsbench 4K 84%)",
 		"Workload", "4K", "THP", "cDVM")
-	progress := opts.progress()
+	progress := opts.progressFor(len(cpu.Workloads))
 	rows, err := runner.Map(context.Background(), opts.Jobs, len(cpu.Workloads), func(_ context.Context, i int) (cpu.Result, error) {
 		r, err := cpu.Run(cpu.Workloads[i], cpu.Config{})
 		if err != nil {
 			return cpu.Result{}, err
 		}
+		opts.cellDone()
 		progress.log("fig10 %s: 4K %.1f%% THP %.1f%% cDVM %.1f%%",
 			r.Name, 100*r.Overhead[cpu.Scheme4K], 100*r.Overhead[cpu.SchemeTHP], 100*r.Overhead[cpu.SchemeCDVM])
 		return r, nil
@@ -363,11 +426,30 @@ func Ablations(prof core.Profile, w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
-	progress := opts.progress()
-	ideal, err := p.Run(core.ModeIdeal, prof.SystemConfig())
+	// The three sweeps' configurations, declared up front so the progress
+	// sink knows the cell total (plus one reference Ideal run).
+	fanouts := []int{4, 8, 16, 32, 64}
+	capacities := []int{64, 128, 256, 1024, 4096}
+	toggles := []struct {
+		mode     core.Mode
+		minLevel int
+		label    string
+	}{
+		{core.ModeConv4K, 2, "excluded (stock PWC)"},
+		{core.ModeConv4K, 1, "cached (polluted PWC)"},
+		{core.ModeDVMPE, 2, "excluded (PWC-style)"},
+		{core.ModeDVMPE, 1, "cached (AVC)"},
+	}
+	progress := opts.progressFor(1 + len(fanouts) + len(capacities) + len(toggles))
+	ideal, err := p.Run(core.ModeIdeal, opts.system(prof))
 	if err != nil {
 		return err
 	}
+	if err := opts.collect(ideal); err != nil {
+		return err
+	}
+	opts.cellDone()
+	progress.log("ablation ideal reference: %d cycles", ideal.Stats.Cycles)
 	norm := func(r core.RunResult) float64 {
 		return float64(r.Stats.Cycles) / float64(ideal.Stats.Cycles)
 	}
@@ -376,14 +458,17 @@ func Ablations(prof core.Profile, w io.Writer, opts Options) error {
 	tf := results.NewTable(
 		fmt.Sprintf("Ablation A: PE fan-out (PageRank/Wiki, profile %s, DVM-PE)", prof.Name),
 		"PE fields", "Normalized time", "AVC hit rate", "Page table")
-	fanouts := []int{4, 8, 16, 32, 64}
 	fanRows, err := runner.Map(context.Background(), opts.Jobs, len(fanouts), func(_ context.Context, i int) (core.RunResult, error) {
-		cfg := prof.SystemConfig()
+		cfg := opts.system(prof)
 		cfg.PEFields = fanouts[i]
 		r, err := p.Run(core.ModeDVMPE, cfg)
 		if err != nil {
 			return r, err
 		}
+		if err := opts.collect(r); err != nil {
+			return r, err
+		}
+		opts.cellDone()
 		progress.log("ablation pe-fields %d: %.3fx", fanouts[i], norm(r))
 		return r, nil
 	})
@@ -410,10 +495,9 @@ func Ablations(prof core.Profile, w io.Writer, opts Options) error {
 	ts := results.NewTable(
 		fmt.Sprintf("Ablation B: AVC capacity (PageRank/Wiki, profile %s, DVM-PE, direct-mapped below 256 B)", prof.Name),
 		"AVC bytes", "Normalized time", "AVC hit rate")
-	capacities := []int{64, 128, 256, 1024, 4096}
 	capRows, err := runner.Map(context.Background(), opts.Jobs, len(capacities), func(_ context.Context, i int) (core.RunResult, error) {
 		capBytes := capacities[i]
-		cfg := prof.SystemConfig()
+		cfg := opts.system(prof)
 		cfg.AVC.CapacityBytes = capBytes
 		cfg.AVC.MinLevel = 1
 		if capBytes < 256 {
@@ -423,6 +507,10 @@ func Ablations(prof core.Profile, w io.Writer, opts Options) error {
 		if err != nil {
 			return r, err
 		}
+		if err := opts.collect(r); err != nil {
+			return r, err
+		}
+		opts.cellDone()
 		progress.log("ablation avc %dB: %.3fx", capBytes, norm(r))
 		return r, nil
 	})
@@ -449,19 +537,9 @@ func Ablations(prof core.Profile, w io.Writer, opts Options) error {
 	tl := results.NewTable(
 		fmt.Sprintf("Ablation C: caching leaf PTE lines in the 1 KB walker cache (PageRank/Wiki, profile %s)", prof.Name),
 		"Mode", "Leaf lines", "Normalized time", "Walker-cache hit rate")
-	toggles := []struct {
-		mode     core.Mode
-		minLevel int
-		label    string
-	}{
-		{core.ModeConv4K, 2, "excluded (stock PWC)"},
-		{core.ModeConv4K, 1, "cached (polluted PWC)"},
-		{core.ModeDVMPE, 2, "excluded (PWC-style)"},
-		{core.ModeDVMPE, 1, "cached (AVC)"},
-	}
 	togRows, err := runner.Map(context.Background(), opts.Jobs, len(toggles), func(_ context.Context, i int) (core.RunResult, error) {
 		x := toggles[i]
-		cfg := prof.SystemConfig()
+		cfg := opts.system(prof)
 		if x.mode == core.ModeConv4K {
 			cfg.PWC = mmuPTECacheConfig(x.minLevel)
 		} else {
@@ -471,6 +549,10 @@ func Ablations(prof core.Profile, w io.Writer, opts Options) error {
 		if err != nil {
 			return r, err
 		}
+		if err := opts.collect(r); err != nil {
+			return r, err
+		}
+		opts.cellDone()
 		progress.log("ablation leaf-caching %v minlevel %d: %.3fx", x.mode, x.minLevel, norm(r))
 		return r, nil
 	})
@@ -501,12 +583,13 @@ func Virtualization(w io.Writer, opts Options) error {
 		{virt.SchemeHostDVM, "4K paging", "DVM (gPA==sPA)"},
 		{virt.SchemeFullDVM, "DVM", "none (gVA==sPA)"},
 	}
-	progress := opts.progress()
+	progress := opts.progressFor(len(rows))
 	res, err := runner.Map(context.Background(), opts.Jobs, len(rows), func(_ context.Context, i int) (virt.Result, error) {
 		r, err := virt.Measure(rows[i].scheme, virt.Config{}, 200_000, 7)
 		if err != nil {
 			return virt.Result{}, err
 		}
+		opts.cellDone()
 		progress.log("virt %v: %.2f refs/access %.1f cy", rows[i].scheme, r.AvgMemRefs, r.AvgCycles)
 		return r, nil
 	})

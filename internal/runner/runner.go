@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultJobs resolves a jobs knob: values <= 0 mean "one worker per
@@ -120,4 +121,59 @@ func Synchronized(fn Logf) Logf {
 		defer mu.Unlock()
 		fn(format, args...)
 	}
+}
+
+// Progress is a live progress sink over a fixed number of cells: each
+// Done call renders one "[done/total pct% eta]" prefixed line through
+// the underlying Logf. It is goroutine-safe (workers report completion
+// concurrently) and nil-safe, so callers with reporting disabled need
+// no guards. The ETA extrapolates the mean completed-cell time over
+// the remaining cells; it goes only to the human-facing sink and never
+// into machine-readable output.
+type Progress struct {
+	mu    sync.Mutex
+	logf  Logf
+	total int
+	done  int
+	start time.Time
+}
+
+// NewProgress creates a progress sink for total cells; a nil logf
+// returns nil (disabled).
+func NewProgress(total int, logf Logf) *Progress {
+	if logf == nil {
+		return nil
+	}
+	return &Progress{logf: logf, total: total, start: time.Now()}
+}
+
+// Done reports one completed cell with a formatted description.
+func (p *Progress) Done(format string, args ...interface{}) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	prefix := fmt.Sprintf("[%d/%d", p.done, p.total)
+	if p.total > 0 {
+		prefix += fmt.Sprintf(" %2d%%", 100*p.done/p.total)
+		if left := p.total - p.done; left > 0 {
+			eta := time.Duration(int64(time.Since(p.start)) / int64(p.done) * int64(left))
+			prefix += fmt.Sprintf(" eta %v", eta.Round(100*time.Millisecond))
+		}
+	}
+	// The prefix contains literal '%' signs, so it must travel as an
+	// argument, never as part of the format string.
+	p.logf("%s] %s", prefix, fmt.Sprintf(format, args...))
+}
+
+// Count returns how many cells have been reported done.
+func (p *Progress) Count() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.done
 }

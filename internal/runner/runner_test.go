@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -134,5 +135,64 @@ func TestSynchronizedSerializesAndPreservesNil(t *testing.T) {
 	wg.Wait()
 	if len(lines) != 800 {
 		t.Errorf("lines = %d, want 800 (append raced)", len(lines))
+	}
+}
+
+func TestProgressNilIsDisabled(t *testing.T) {
+	if p := NewProgress(10, nil); p != nil {
+		t.Fatal("nil logf must yield a nil (disabled) Progress")
+	}
+	var p *Progress
+	p.Done("must not panic")
+	if p.Count() != 0 {
+		t.Error("nil Progress counted")
+	}
+}
+
+func TestProgressPrefixAndPercentEscaping(t *testing.T) {
+	var lines []string
+	p := NewProgress(2, func(format string, args ...interface{}) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	})
+	p.Done("cell %s at %d%%", "a", 50)
+	p.Done("cell b")
+	if p.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", p.Count())
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// The prefix's own '%' must never be re-interpreted as a verb, and
+	// the message's verbs must be expanded exactly once.
+	if want := "cell a at 50%"; len(lines[0]) == 0 || lines[0][0] != '[' || !strings.HasSuffix(lines[0], want) {
+		t.Errorf("line 0 = %q, want [done/total ...] prefix + %q", lines[0], want)
+	}
+	if strings.Contains(lines[0], "!") || strings.Contains(lines[1], "!") {
+		t.Errorf("format corruption in progress lines: %q / %q", lines[0], lines[1])
+	}
+	if !strings.Contains(lines[0], "[1/2 50%") || !strings.Contains(lines[1], "[2/2 100%") {
+		t.Errorf("count/percent prefixes wrong: %q / %q", lines[0], lines[1])
+	}
+}
+
+func TestProgressConcurrentDone(t *testing.T) {
+	var mu sync.Mutex
+	n := 0
+	p := NewProgress(100, func(format string, args ...interface{}) {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Done("x")
+		}()
+	}
+	wg.Wait()
+	if p.Count() != 100 || n != 100 {
+		t.Errorf("Count = %d, lines = %d, want 100/100", p.Count(), n)
 	}
 }
