@@ -19,7 +19,12 @@ var (
 	prepErr  error
 )
 
-func benchWorkload(b *testing.B) *dvm.Prepared {
+// benchWorkloads prepares (once) and returns both benchmark workloads.
+// Every benchmark goes through here and fatals on prepErr before touching
+// either prepared workload: preparation stops at the first failure, so a
+// failed NF generation after a successful Wiki one would otherwise leave
+// prepCF nil while prepWL looks usable.
+func benchWorkloads(b *testing.B) (wl, cf *dvm.Prepared) {
 	b.Helper()
 	prepOnce.Do(func() {
 		d, err := dvm.DatasetByName("Wiki")
@@ -46,7 +51,13 @@ func benchWorkload(b *testing.B) *dvm.Prepared {
 	if prepErr != nil {
 		b.Fatal(prepErr)
 	}
-	return prepWL
+	return prepWL, prepCF
+}
+
+func benchWorkload(b *testing.B) *dvm.Prepared {
+	b.Helper()
+	wl, _ := benchWorkloads(b)
+	return wl
 }
 
 // BenchmarkFigure2TLBMissRates regenerates one Figure 2 bar pair (4 KB and
@@ -141,11 +152,11 @@ func BenchmarkFigure9Energy(b *testing.B) {
 
 // BenchmarkFigure8CF runs the collaborative-filtering column of Figure 8.
 func BenchmarkFigure8CF(b *testing.B) {
-	benchWorkload(b)
+	_, cf := benchWorkloads(b)
 	cfg := dvm.ProfileTiny.SystemConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := dvm.Figure8(prepCF, cfg); err != nil {
+		if _, err := dvm.Figure8(cf, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

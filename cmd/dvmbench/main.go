@@ -1,0 +1,331 @@
+// Command dvmbench records the repository's performance trajectory: it
+// regenerates every paper artifact at a profile (end-to-end wall per
+// artifact) and runs a fixed set of micro-benchmarks (ns/op, allocs/op)
+// through testing.Benchmark, then writes the measurements to a JSON file
+// (BENCH_tiny.json at the repository root is the committed trajectory).
+//
+// Usage:
+//
+//	dvmbench [-profile tiny] -o BENCH_tiny.json            # measure, write
+//	dvmbench [-profile tiny] -o BENCH_tiny.json -as-baseline
+//	dvmbench [-profile tiny] -against BENCH_tiny.json      # CI regression gate
+//
+// The output file holds two sections: "baseline" (the numbers recorded
+// before the PR-3 hot-path pass, frozen) and "current" (refreshed by -o).
+// Writing with -o preserves an existing file's baseline section so the
+// speedup ratio stays auditable; -as-baseline rewrites the baseline
+// instead (used once per optimisation epoch). A "speedup" section is
+// recomputed on every write as baseline/current.
+//
+// -against measures the working tree and compares it to the file's
+// "current" section, the committed performance contract:
+//
+//   - allocs/op compare machine-independently: the gate fails when a
+//     benchmark allocates more than max(1.2*committed, committed+2)
+//     objects per op. The +2 grace keeps near-zero-allocation benchmarks
+//     from failing on one incidental allocation; the 20% headroom keeps
+//     the gate from tracking noise on alloc-heavy paths.
+//   - ns/op compares only after normalizing both runs by their own
+//     end-to-end artifact wall (ratio of ratios), so an absolutely slower
+//     CI machine does not fail the gate, but a benchmark that regressed
+//     relative to the rest of the suite by >20% does.
+//
+// The tolerances are deliberately loose: the gate exists to catch a
+// hot path accidentally reverting to a slow path (2x regressions), not
+// to police single-digit drift.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/dvm-sim/dvm/internal/core"
+	"github.com/dvm-sim/dvm/internal/graph"
+	"github.com/dvm-sim/dvm/internal/obs"
+	"github.com/dvm-sim/dvm/internal/report"
+)
+
+// Measurement is one recorded run of the suite.
+type Measurement struct {
+	// Label identifies the code state measured (e.g. a commit subject).
+	Label string `json:"label,omitempty"`
+	// GoVersion and NumCPU record the measuring environment.
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	// ArtifactsSeconds is the sequential (-j 1) wall per artifact.
+	ArtifactsSeconds map[string]float64 `json:"artifacts_seconds"`
+	// EndToEndSeconds is the wall of regenerating every artifact, the
+	// headline "full dvmrepro regeneration" number.
+	EndToEndSeconds float64 `json:"end_to_end_seconds"`
+	// Benchmarks holds the micro-benchmark results by name.
+	Benchmarks map[string]BenchResult `json:"benchmarks"`
+}
+
+// BenchResult is one micro-benchmark's outcome.
+type BenchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// File is the committed trajectory format.
+type File struct {
+	Schema  string `json:"schema"`
+	Profile string `json:"profile"`
+	// Baseline is frozen at the start of an optimisation epoch;
+	// Current is refreshed by every -o run.
+	Baseline *Measurement `json:"baseline,omitempty"`
+	Current  *Measurement `json:"current,omitempty"`
+	// Speedup is Baseline/Current, recomputed on write.
+	Speedup *Speedup `json:"speedup,omitempty"`
+}
+
+// Speedup summarizes baseline/current ratios (>1 means faster now).
+type Speedup struct {
+	EndToEnd  float64            `json:"end_to_end"`
+	Artifacts map[string]float64 `json:"artifacts"`
+}
+
+func main() {
+	profileName := flag.String("profile", "tiny", "experiment profile to measure (tiny|small|medium|paper)")
+	out := flag.String("o", "", "write/refresh this trajectory file's current section")
+	asBaseline := flag.Bool("as-baseline", false, "with -o: write the baseline section instead of current")
+	against := flag.String("against", "", "measure and gate against this file's current section (CI)")
+	label := flag.String("label", "", "label recorded with the measurement")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	lg := obs.NewLogger(os.Stderr, "dvmbench", *quiet)
+	if (*out == "") == (*against == "") {
+		lg.Exitf(2, "exactly one of -o or -against is required")
+	}
+	prof, err := core.ProfileByName(*profileName)
+	if err != nil {
+		lg.Exitf(2, "%v", err)
+	}
+
+	m, err := measure(prof, *label, lg)
+	if err != nil {
+		lg.Exitf(1, "%v", err)
+	}
+
+	if *against != "" {
+		committed, err := load(*against)
+		if err != nil {
+			lg.Exitf(1, "%v", err)
+		}
+		if committed.Current == nil {
+			lg.Exitf(1, "%s has no current section to gate against", *against)
+		}
+		if errs := gate(committed.Current, m); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "dvmbench: REGRESSION: %v\n", e)
+			}
+			lg.Exitf(1, "%d benchmark regression(s) against %s (see above; refresh with `go run ./cmd/dvmbench -profile %s -o %s` if intentional)",
+				len(errs), *against, prof.Name, *against)
+		}
+		lg.Statusf("no regressions against %s (%d benchmarks, %d artifacts)", *against, len(m.Benchmarks), len(m.ArtifactsSeconds))
+		return
+	}
+
+	f := &File{Schema: "dvm-bench/1", Profile: prof.Name}
+	if prev, err := load(*out); err == nil {
+		*f = *prev
+	} else if !os.IsNotExist(err) {
+		lg.Exitf(1, "%v", err)
+	}
+	if *asBaseline {
+		f.Baseline = m
+	} else {
+		f.Current = m
+	}
+	f.Speedup = speedup(f.Baseline, f.Current)
+	if err := write(*out, f); err != nil {
+		lg.Exitf(1, "%v", err)
+	}
+	if f.Speedup != nil {
+		lg.Statusf("end-to-end %s regeneration: baseline %.2fs -> current %.2fs (%.2fx)",
+			prof.Name, f.Baseline.EndToEndSeconds, f.Current.EndToEndSeconds, f.Speedup.EndToEnd)
+	}
+	lg.Statusf("wrote %s", *out)
+}
+
+// artifacts maps artifact keys to their generators, in dvmrepro's
+// rendering order. Table 5 is static text and is not timed.
+func artifacts(prof core.Profile, opts report.Options) []struct {
+	key string
+	fn  func(io.Writer) error
+} {
+	return []struct {
+		key string
+		fn  func(io.Writer) error
+	}{
+		{"table3", func(w io.Writer) error { return report.Table3(prof, w, opts) }},
+		{"fig2", func(w io.Writer) error { return report.Figure2(prof, w, opts) }},
+		{"table1", func(w io.Writer) error { return report.Table1(prof, w, opts) }},
+		{"fig8", func(w io.Writer) error { return report.Figure8And9(prof, w, opts) }},
+		{"table4", func(w io.Writer) error { return report.Table4(w, opts) }},
+		{"fig10", func(w io.Writer) error { return report.Figure10(w, opts) }},
+		{"ablations", func(w io.Writer) error { return report.Ablations(prof, w, opts) }},
+		{"virt", func(w io.Writer) error { return report.Virtualization(w, opts) }},
+	}
+}
+
+// measure runs the suite: every artifact end-to-end at -j 1 (stable,
+// comparable across runs), then the micro-benchmarks.
+func measure(prof core.Profile, label string, lg *obs.Logger) (*Measurement, error) {
+	m := &Measurement{
+		Label:            label,
+		GoVersion:        runtime.Version(),
+		NumCPU:           runtime.NumCPU(),
+		ArtifactsSeconds: map[string]float64{},
+		Benchmarks:       map[string]BenchResult{},
+	}
+	opts := report.Options{Jobs: 1, Metrics: &obs.Collector{}, Prepared: core.NewPreparedCache()}
+	for _, a := range artifacts(prof, opts) {
+		start := time.Now()
+		if err := a.fn(io.Discard); err != nil {
+			return nil, fmt.Errorf("dvmbench: %s: %w", a.key, err)
+		}
+		wall := time.Since(start).Seconds()
+		m.ArtifactsSeconds[a.key] = wall
+		m.EndToEndSeconds += wall
+		lg.Statusf("artifact %s: %.2fs", a.key, wall)
+	}
+	for _, b := range microBenches(prof) {
+		r := testing.Benchmark(b.fn)
+		br := BenchResult{NsPerOp: float64(r.T.Nanoseconds()) / float64(r.N), AllocsPerOp: r.AllocsPerOp()}
+		m.Benchmarks[b.name] = br
+		lg.Statusf("bench %s: %.0f ns/op %d allocs/op", b.name, br.NsPerOp, br.AllocsPerOp)
+	}
+	return m, nil
+}
+
+// microBenches is the tracked micro-benchmark suite. Names are stable:
+// the CI gate joins on them.
+func microBenches(prof core.Profile) []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	cfg := prof.SystemConfig()
+	var prep *core.Prepared
+	prepare := func(b *testing.B) *core.Prepared {
+		if prep == nil {
+			d, err := graph.DatasetByName("Wiki")
+			if err != nil {
+				b.Fatal(err)
+			}
+			prep, err = core.Prepare(core.Workload{
+				Algorithm: "PageRank", Dataset: d, Scale: prof.Scale,
+				PageRankIters: prof.PageRankIters, Seed: 42,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		return prep
+	}
+	perMode := func(mode core.Mode) func(b *testing.B) {
+		return func(b *testing.B) {
+			p := prepare(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Run(mode, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"run/conv4k", perMode(core.ModeConv4K)},
+		{"run/dvm-bm", perMode(core.ModeDVMBM)},
+		{"run/dvm-pe", perMode(core.ModeDVMPE)},
+		{"run/dvm-pe+", perMode(core.ModeDVMPEPlus)},
+		{"run/ideal", perMode(core.ModeIdeal)},
+	}
+}
+
+// gate compares a fresh measurement against the committed contract.
+// See the package comment for the exact tolerances and why.
+func gate(committed, fresh *Measurement) []error {
+	var errs []error
+	names := make([]string, 0, len(committed.Benchmarks))
+	for name := range committed.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := committed.Benchmarks[name]
+		cur, ok := fresh.Benchmarks[name]
+		if !ok {
+			errs = append(errs, fmt.Errorf("%s: tracked benchmark missing from this run", name))
+			continue
+		}
+		// Alloc gate: machine-independent.
+		if limit := maxI(int64(float64(base.AllocsPerOp)*1.2), base.AllocsPerOp+2); cur.AllocsPerOp > limit {
+			errs = append(errs, fmt.Errorf("%s: %d allocs/op, committed %d (limit %d)",
+				name, cur.AllocsPerOp, base.AllocsPerOp, limit))
+		}
+		// Time gate: normalize each run's ns/op by its own end-to-end
+		// wall so machine speed cancels; >20% relative regression fails.
+		if committed.EndToEndSeconds > 0 && fresh.EndToEndSeconds > 0 && base.NsPerOp > 0 {
+			rel := (cur.NsPerOp / fresh.EndToEndSeconds) / (base.NsPerOp / committed.EndToEndSeconds)
+			if rel > 1.2 {
+				errs = append(errs, fmt.Errorf("%s: %.0f ns/op is %.2fx the committed share of the end-to-end wall (limit 1.20x)",
+					name, cur.NsPerOp, rel))
+			}
+		}
+	}
+	return errs
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func speedup(base, cur *Measurement) *Speedup {
+	if base == nil || cur == nil || cur.EndToEndSeconds == 0 {
+		return nil
+	}
+	s := &Speedup{Artifacts: map[string]float64{}}
+	s.EndToEnd = base.EndToEndSeconds / cur.EndToEndSeconds
+	for k, b := range base.ArtifactsSeconds {
+		if c := cur.ArtifactsSeconds[k]; c > 0 {
+			s.Artifacts[k] = b / c
+		}
+	}
+	return s
+}
+
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("dvmbench: parsing %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func write(path string, f *File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

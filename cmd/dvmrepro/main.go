@@ -63,7 +63,7 @@ func main() {
 		lg.Exitf(2, "%v", err)
 	}
 
-	opts := report.Options{Jobs: *jobs, Metrics: &obs.Collector{}}
+	opts := report.Options{Jobs: *jobs, Metrics: &obs.Collector{}, Prepared: core.NewPreparedCache()}
 	if !lg.Quiet() {
 		opts.Progress = lg.Statusf
 	}

@@ -244,6 +244,9 @@ type (
 	Workload = core.Workload
 	// Prepared is a generated workload ready to run under any mode.
 	Prepared = core.Prepared
+	// PreparedCache deduplicates Prepare calls across generators and
+	// parallel workers (single-flight; results unchanged).
+	PreparedCache = core.PreparedCache
 	// SystemConfig is the simulated machine configuration.
 	SystemConfig = core.SystemConfig
 	// RunResult is one (workload, mode) outcome.
@@ -260,12 +263,13 @@ type (
 
 // Harness entry points.
 var (
-	Prepare       = core.Prepare
-	ProfileByName = core.ProfileByName
-	Figure2       = core.Figure2
-	Table1        = core.Table1
-	Figure8       = core.Figure8
-	Figure9       = core.Figure9
+	Prepare          = core.Prepare
+	NewPreparedCache = core.NewPreparedCache
+	ProfileByName    = core.ProfileByName
+	Figure2          = core.Figure2
+	Table1           = core.Table1
+	Figure8          = core.Figure8
+	Figure9          = core.Figure9
 )
 
 // Predefined profiles.

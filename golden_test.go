@@ -1,0 +1,71 @@
+package dvm_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/dvm-sim/dvm/internal/core"
+	"github.com/dvm-sim/dvm/internal/obs"
+	"github.com/dvm-sim/dvm/internal/report"
+)
+
+// TestGoldenTinyProfile regenerates every paper artifact at the tiny
+// profile and compares the rendered output byte-for-byte against
+// testdata/golden_tiny.txt — the exact stdout of
+//
+//	dvmrepro -profile tiny -j 1
+//
+// This is the referee for every performance change: strength-reduced
+// arithmetic, the scheduler heap, shared page tables and the map-free
+// allocator must all leave the simulated behaviour — and therefore every
+// rendered digit — untouched, at every -j.
+//
+// Refresh (only when an intentional modeling change lands):
+//
+//	go run ./cmd/dvmrepro -profile tiny -j 1 -q > testdata/golden_tiny.txt
+func TestGoldenTinyProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tiny-profile regeneration; skipped with -short")
+	}
+	want, err := os.ReadFile("testdata/golden_tiny.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := core.ProfileByName("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jobs: 0 fans cells out one per CPU; the rendered bytes must still
+	// match the sequential (-j 1) golden file exactly.
+	opts := report.Options{Jobs: 0, Metrics: &obs.Collector{}, Prepared: core.NewPreparedCache()}
+	var out bytes.Buffer
+	// The artifact sequence and the blank line after each one mirror
+	// cmd/dvmrepro's main loop.
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{"table3", func() error { return report.Table3(prof, &out, opts) }},
+		{"fig2", func() error { return report.Figure2(prof, &out, opts) }},
+		{"table1", func() error { return report.Table1(prof, &out, opts) }},
+		{"fig8+9", func() error { return report.Figure8And9(prof, &out, opts) }},
+		{"table4", func() error { return report.Table4(&out, opts) }},
+		{"fig10", func() error { return report.Figure10(&out, opts) }},
+		{"table5", func() error { return report.Table5(&out) }},
+		{"ablations", func() error { return report.Ablations(prof, &out, opts) }},
+		{"virt", func() error { return report.Virtualization(&out, opts) }},
+	}
+	for _, s := range steps {
+		if err := s.fn(); err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		fmt.Fprintln(&out)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("tiny-profile output diverged from testdata/golden_tiny.txt (got %d bytes, want %d); "+
+			"if a modeling change is intentional, refresh the golden file per the comment above",
+			out.Len(), len(want))
+	}
+}

@@ -67,6 +67,21 @@ type Engine struct {
 	touched     []int32
 	touchedMark []bool
 
+	// Scheduler and per-iteration scratch, pooled so the steady-state
+	// run loop allocates nothing: per-PE scheduler state and MLP rings,
+	// the ready-time heap, the phase stream slices, the apply streams'
+	// activation buffers, the next-frontier buffer (ping-ponged with
+	// frontier), and the cached all-vertices apply list.
+	pes        []peState
+	ringBuf    []uint64
+	heap       []int32
+	streamBuf  []stream
+	scatterBuf []scatterStream
+	applyBuf   []applyStream
+	results    [][]int32
+	nextBuf    []int32
+	allVerts   []int32
+
 	stats RunStats
 	plan  mmu.Plan
 	now   uint64 // global barrier time
@@ -156,33 +171,42 @@ func (e *Engine) Run() (RunStats, error) {
 
 // runIteration executes one scatter (process/reduce) phase followed by one
 // apply phase, each as a set of concurrently timed PE streams separated by
-// a barrier.
+// a barrier. All phase scratch comes from the engine's pools.
 func (e *Engine) runIteration(iter int) {
+	npe := e.cfg.PEs
+	if cap(e.streamBuf) < npe {
+		e.streamBuf = make([]stream, npe)
+		e.scatterBuf = make([]scatterStream, npe)
+		e.applyBuf = make([]applyStream, npe)
+		e.results = make([][]int32, npe)
+	}
+	streams := e.streamBuf[:npe]
+
 	// Scatter: the frontier is interleaved across PEs, Graphicionado's
 	// vertex-id-interleaved partitioning.
-	scatter := make([]stream, e.cfg.PEs)
-	for pe := 0; pe < e.cfg.PEs; pe++ {
-		scatter[pe] = &scatterStream{e: e, pe: pe, stride: e.cfg.PEs, vi: pe}
+	scatter := e.scatterBuf[:npe]
+	for pe := 0; pe < npe; pe++ {
+		scatter[pe] = scatterStream{e: e, pe: pe, stride: npe, vi: pe}
+		streams[pe] = &scatter[pe]
 	}
 	e.touched = e.touched[:0]
-	e.runStreams(scatter)
+	e.runStreams(streams)
 
 	// Apply: over all vertices (AllActive programs that request it via
 	// ApplyAll semantics — PageRank) or over the touched destinations.
 	var applyList []int32
 	if e.prog.AllActive && !e.g.Bipartite {
-		applyList = allVertices(e.g)
+		if e.allVerts == nil {
+			e.allVerts = allVertices(e.g)
+		}
+		applyList = e.allVerts
 	} else {
 		applyList = e.touched
 	}
-	var next []int32
-	if !e.prog.AllActive {
-		next = make([]int32, 0, len(applyList))
-	}
-	apply := make([]stream, e.cfg.PEs)
-	chunk := (len(applyList) + e.cfg.PEs - 1) / e.cfg.PEs
-	results := make([][]int32, e.cfg.PEs)
-	for pe := 0; pe < e.cfg.PEs; pe++ {
+	apply := e.applyBuf[:npe]
+	results := e.results[:npe]
+	chunk := (len(applyList) + npe - 1) / npe
+	for pe := 0; pe < npe; pe++ {
 		lo := pe * chunk
 		hi := lo + chunk
 		if lo > len(applyList) {
@@ -191,12 +215,11 @@ func (e *Engine) runIteration(iter int) {
 		if hi > len(applyList) {
 			hi = len(applyList)
 		}
-		s := &applyStream{e: e, verts: applyList[lo:hi], collect: !e.prog.AllActive}
-		apply[pe] = s
-		results[pe] = nil
-		s.activated = &results[pe]
+		results[pe] = results[pe][:0]
+		apply[pe] = applyStream{e: e, verts: applyList[lo:hi], collect: !e.prog.AllActive, activated: &results[pe]}
+		streams[pe] = &apply[pe]
 	}
-	e.runStreams(apply)
+	e.runStreams(streams)
 	// Reset temporaries of touched vertices and clear marks.
 	for _, v := range e.touched {
 		e.temps[v] = e.prog.ReduceIdentity
@@ -206,77 +229,154 @@ func (e *Engine) runIteration(iter int) {
 		// Frontier repeats (PageRank: all vertices; CF: the users).
 		return
 	}
+	next := e.nextBuf[:0]
 	for _, r := range results {
 		next = append(next, r...)
 	}
+	// Ping-pong: the outgoing frontier's backing array becomes the next
+	// iteration's scratch buffer.
+	e.nextBuf = e.frontier[:0]
 	e.frontier = next
+}
+
+// peState is one PE's scheduler state within a phase.
+type peState struct {
+	s       stream
+	clock   uint64   // earliest next issue
+	ring    []uint64 // completion times of the last MLP accesses
+	ringIdx int
+	pending access
+	ready   uint64 // max(clock, ring[ringIdx]) — the heap key
+}
+
+// peLess orders the scheduler heap by (ready-time, PE index). The index
+// tie-break reproduces the lowest-index-wins rule of the linear scan this
+// heap replaced, so issue order — and every downstream counter and cycle
+// count — is bit-identical.
+func (e *Engine) peLess(a, b int32) bool {
+	pa, pb := &e.pes[a], &e.pes[b]
+	return pa.ready < pb.ready || (pa.ready == pb.ready && a < b)
+}
+
+func (e *Engine) heapPush(i int32) {
+	e.heap = append(e.heap, i)
+	j := len(e.heap) - 1
+	for j > 0 {
+		parent := (j - 1) / 2
+		if !e.peLess(e.heap[j], e.heap[parent]) {
+			break
+		}
+		e.heap[j], e.heap[parent] = e.heap[parent], e.heap[j]
+		j = parent
+	}
+}
+
+func (e *Engine) heapSiftDown(j int) {
+	n := len(e.heap)
+	for {
+		l := 2*j + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && e.peLess(e.heap[r], e.heap[l]) {
+			m = r
+		}
+		if !e.peLess(e.heap[m], e.heap[j]) {
+			return
+		}
+		e.heap[j], e.heap[m] = e.heap[m], e.heap[j]
+		j = m
+	}
+}
+
+func (e *Engine) heapPopRoot() {
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.heapSiftDown(0)
+	}
 }
 
 // runStreams prices the PEs' access streams against the IOMMU and memory
 // system, merged in global time order so channel contention is causal. Each
 // PE issues at most one access per cycle and keeps at most MLP outstanding.
+//
+// A PE's ready time depends only on its own clock and MLP ring, both of
+// which change only when it issues, so heap keys are stable while a PE
+// waits and an indexed min-heap replaces the old O(PEs) scan without
+// reordering anything. next() has side effects on shared engine state, so
+// its global call order is part of the modeled behaviour: the initial fill
+// polls PEs in index order and each subsequent poll refills only the PE
+// that just issued — exactly the order the scan produced.
 func (e *Engine) runStreams(streams []stream) {
-	type peState struct {
-		s       stream
-		clock   uint64   // earliest next issue
-		ring    []uint64 // completion times of the last MLP accesses
-		ringIdx int
-		done    bool
-		pending access
-		hasPend bool
+	n := len(streams)
+	mlp := e.cfg.MLP
+	if cap(e.pes) < n || cap(e.ringBuf) < n*mlp {
+		e.pes = make([]peState, n)
+		e.ringBuf = make([]uint64, n*mlp)
 	}
-	pes := make([]peState, len(streams))
+	e.pes = e.pes[:n]
+	pes := e.pes
 	for i := range pes {
-		pes[i] = peState{s: streams[i], clock: e.now, ring: make([]uint64, e.cfg.MLP)}
-		for j := range pes[i].ring {
-			pes[i].ring[j] = e.now
+		ring := e.ringBuf[i*mlp : (i+1)*mlp]
+		for j := range ring {
+			ring[j] = e.now
 		}
+		pes[i] = peState{s: streams[i], clock: e.now, ring: ring}
+	}
+	e.heap = e.heap[:0]
+	for i := range pes {
+		p := &pes[i]
+		a, ok := p.s.next()
+		if !ok {
+			continue
+		}
+		p.pending = a
+		p.ready = p.clock
+		if slot := p.ring[p.ringIdx]; slot > p.ready {
+			p.ready = slot
+		}
+		e.heapPush(int32(i))
 	}
 	endTime := e.now
-	for {
-		// Pick the PE with the smallest next-issue time.
-		best := -1
-		var bestT uint64
-		for i := range pes {
-			p := &pes[i]
-			if p.done {
-				continue
-			}
-			if !p.hasPend {
-				a, ok := p.s.next()
-				if !ok {
-					p.done = true
-					continue
-				}
-				p.pending = a
-				p.hasPend = true
-			}
-			t := p.clock
-			if slot := p.ring[p.ringIdx]; slot > t {
-				t = slot
-			}
-			if best == -1 || t < bestT {
-				best = i
-				bestT = t
-			}
-		}
-		if best == -1 {
-			break
-		}
+	for len(e.heap) > 0 {
+		best := e.heap[0]
 		p := &pes[best]
+		bestT := p.ready
 		if e.observer != nil {
 			e.observer.Record(TraceRecord{PE: uint8(best), Kind: p.pending.kind, VA: p.pending.va})
 		}
 		completion := e.priceAccess(p.pending, bestT)
-		p.hasPend = false
 		p.ring[p.ringIdx] = completion
-		p.ringIdx = (p.ringIdx + 1) % e.cfg.MLP
+		p.ringIdx++
+		if p.ringIdx == mlp {
+			p.ringIdx = 0
+		}
 		p.clock = bestT + 1
 		if completion > endTime {
 			endTime = completion
 		}
+		a, ok := p.s.next()
+		if !ok {
+			e.heapPopRoot()
+			continue
+		}
+		p.pending = a
+		t := p.clock
+		if slot := p.ring[p.ringIdx]; slot > t {
+			t = slot
+		}
+		p.ready = t
+		e.heapSiftDown(0) // the issued PE's key only ever increases
 	}
 	e.now = endTime
+	// Drop stream references so pooled state never pins a finished
+	// phase's streams.
+	for i := range pes {
+		pes[i].s = nil
+	}
 	if e.observer != nil {
 		e.observer.Barrier()
 	}

@@ -1,0 +1,45 @@
+package accel
+
+import (
+	"testing"
+
+	"github.com/dvm-sim/dvm/internal/mmu"
+)
+
+// TestRunIterationZeroAllocSteadyState extends the IOMMU's
+// TestTranslateIntoZeroAlloc pinning to the whole engine hot path: after
+// one warm-up iteration has sized the pooled scheduler state, stream
+// buffers and scratch slices, a steady-state iteration (scatter + apply,
+// every access priced through the IOMMU and memory system) must allocate
+// nothing.
+func TestRunIterationZeroAllocSteadyState(t *testing.T) {
+	g := testGraph(t)
+	// PageRank is AllActive: the frontier repeats, so every iteration is
+	// shaped identically — the steady state the pools are built for.
+	e := buildEngine(t, mmu.ModeDVMPE, g, PageRank(50))
+	e.runIteration(0) // warm-up: pools grow to steady capacity
+	iter := 1
+	allocs := testing.AllocsPerRun(10, func() {
+		e.runIteration(iter)
+		iter++
+	})
+	if allocs != 0 {
+		t.Errorf("runIteration allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+}
+
+// TestRunIterationZeroAllocConv4K repeats the pin for the conventional
+// walker (deepest translation path: TLB miss → PWC → multi-level walk).
+func TestRunIterationZeroAllocConv4K(t *testing.T) {
+	g := testGraph(t)
+	e := buildEngine(t, mmu.ModeConv4K, g, PageRank(50))
+	e.runIteration(0)
+	iter := 1
+	allocs := testing.AllocsPerRun(10, func() {
+		e.runIteration(iter)
+		iter++
+	})
+	if allocs != 0 {
+		t.Errorf("runIteration allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+}

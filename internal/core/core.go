@@ -8,6 +8,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/dvm-sim/dvm/internal/accel"
@@ -112,10 +113,129 @@ func (w Workload) ProgramFor() (accel.Program, error) {
 }
 
 // Prepared is a generated workload ready to run under any mode.
+//
+// A Prepared also caches the deterministic machine state its runs share:
+// the OS process and heap layout per (MemBytes, Seed), and the built page
+// tables per table kind. Page tables are read-only during a run (the
+// walker and the permission bitmap never write them), so concurrent mode
+// runs share one table instead of each rebuilding it — byte-identical
+// results, a fraction of the setup cost. The cache is internally locked;
+// a Prepared may be shared across goroutines.
 type Prepared struct {
 	Workload Workload
 	G        *graph.Graph
 	Prog     accel.Program
+
+	mu    sync.Mutex
+	state map[machineKey]*machineState
+}
+
+// machineKey identifies the deterministic inputs of process + layout
+// construction; everything else in SystemConfig (TLB/AVC geometry, PE
+// count...) only shapes the per-run hardware, not the address space.
+type machineKey struct {
+	memBytes uint64
+	seed     int64
+}
+
+// tableKind names the distinct page tables a workload can need. Conv4K
+// and DVM-BM walk the same canonical 4K table.
+type tableKind int
+
+const (
+	tableCanonical tableKind = iota // 4K canonical (Conv4K, DVM-BM)
+	tableHuge2M
+	tableHuge1G
+	tablePE // canonical with Permission Entries, keyed by fan-out
+)
+
+type tableKey struct {
+	kind     tableKind
+	peFields int // tablePE only; 0 otherwise
+}
+
+// machineState is the cached machine for one machineKey.
+type machineState struct {
+	proc   *osmodel.Process
+	lay    accel.Layout
+	tables map[tableKey]*pagetable.Table
+	bm     *mmu.PermBitmap // DVM-BM bitmap, built with the canonical table
+}
+
+// machine returns (building on first use) the cached process and layout
+// for cfg. cfg must already have defaults applied.
+func (p *Prepared) machine(cfg SystemConfig) (*machineState, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := machineKey{memBytes: cfg.MemBytes, seed: cfg.Seed}
+	if st, ok := p.state[key]; ok {
+		return st, nil
+	}
+	sys, err := osmodel.NewSystem(cfg.MemBytes)
+	if err != nil {
+		return nil, err
+	}
+	proc := sys.NewProcess(osmodel.Policy{IdentityMapHeap: true, Seed: cfg.Seed})
+	lay, err := accel.BuildLayout(proc, p.G, p.Prog.PropBytes)
+	if err != nil {
+		return nil, err
+	}
+	st := &machineState{proc: proc, lay: lay, tables: make(map[tableKey]*pagetable.Table)}
+	if p.state == nil {
+		p.state = make(map[machineKey]*machineState)
+	}
+	p.state[key] = st
+	return st, nil
+}
+
+// tableFor returns (building on first use) the shared page table and, for
+// DVM-BM, the permission bitmap for the mode. The build runs under the
+// Prepared's lock: single-flight, so -j workers racing on the same cell
+// never build the same table twice.
+func (p *Prepared) tableFor(st *machineState, mode Mode, peFields int) (*pagetable.Table, *mmu.PermBitmap, error) {
+	var key tableKey
+	switch mode {
+	case mmu.ModeIdeal:
+		return nil, nil, nil
+	case mmu.ModeConv2M:
+		key = tableKey{kind: tableHuge2M}
+	case mmu.ModeConv1G:
+		key = tableKey{kind: tableHuge1G}
+	case mmu.ModeDVMPE, mmu.ModeDVMPEPlus:
+		if peFields == 0 {
+			peFields = pagetable.DefaultPEFields
+		}
+		key = tableKey{kind: tablePE, peFields: peFields}
+	default: // ModeConv4K, ModeDVMBM
+		key = tableKey{kind: tableCanonical}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	table, ok := st.tables[key]
+	if !ok {
+		var err error
+		switch key.kind {
+		case tableHuge2M, tableHuge1G:
+			table, err = st.proc.BuildHugeTable(mode.PageSize())
+		case tablePE:
+			table, err = buildPETable(st.proc, key.peFields)
+		default:
+			table, err = st.proc.BuildCanonicalTable(false)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		st.tables[key] = table
+	}
+	var bm *mmu.PermBitmap
+	if mode == mmu.ModeDVMBM {
+		if st.bm == nil {
+			st.bm = mmu.NewPermBitmap()
+			st.proc.ForEachIdentityPage(st.bm.Set)
+		}
+		bm = st.bm
+	}
+	return table, bm, nil
 }
 
 // Prepare generates the dataset once; runs under different modes share it.
@@ -184,40 +304,17 @@ func (p *Prepared) Run(mode Mode, cfg SystemConfig) (RunResult, error) {
 	cfg = cfg.withDefaults()
 	res := RunResult{Mode: mode}
 
-	sys, err := osmodel.NewSystem(cfg.MemBytes)
+	st, err := p.machine(cfg)
 	if err != nil {
 		return res, err
 	}
-	proc := sys.NewProcess(osmodel.Policy{IdentityMapHeap: true, Seed: cfg.Seed})
-	lay, err := accel.BuildLayout(proc, p.G, p.Prog.PropBytes)
-	if err != nil {
-		return res, err
-	}
+	lay := st.lay
 	res.HeapBytes = lay.HeapBytes
 	res.IdentityMapped = lay.IdentityMapped
 
-	var table *pagetable.Table
-	var bm *mmu.PermBitmap
-	switch mode {
-	case mmu.ModeIdeal:
-	case mmu.ModeConv2M, mmu.ModeConv1G:
-		if table, err = proc.BuildHugeTable(mode.PageSize()); err != nil {
-			return res, err
-		}
-	case mmu.ModeDVMBM:
-		if table, err = proc.BuildCanonicalTable(false); err != nil {
-			return res, err
-		}
-		bm = mmu.NewPermBitmap()
-		proc.ForEachIdentityPage(bm.Set)
-	case mmu.ModeDVMPE, mmu.ModeDVMPEPlus:
-		if table, err = buildPETable(proc, cfg.PEFields); err != nil {
-			return res, err
-		}
-	default: // ModeConv4K
-		if table, err = proc.BuildCanonicalTable(false); err != nil {
-			return res, err
-		}
+	table, bm, err := p.tableFor(st, mode, cfg.PEFields)
+	if err != nil {
+		return res, err
 	}
 	if table != nil {
 		res.PageTableBytes = table.SizeStats().Bytes

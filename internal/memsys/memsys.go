@@ -71,8 +71,12 @@ func (c Config) withDefaults() Config {
 type Controller struct {
 	cfg       Config
 	busyUntil []uint64 // per channel
-	accesses  uint64
-	waitSum   uint64
+	// chanMask strength-reduces the channel-select modulo when Channels
+	// is a power of two (it is in the paper's Table 2 configuration);
+	// chanMask < 0 keeps the general modulo for odd channel counts.
+	chanMask int64
+	accesses uint64
+	waitSum  uint64
 }
 
 // NewController creates a controller with the given configuration; zero
@@ -82,7 +86,11 @@ func NewController(cfg Config) (*Controller, error) {
 	if cfg.Channels < 1 {
 		return nil, fmt.Errorf("memsys: need at least one channel, got %d", cfg.Channels)
 	}
-	return &Controller{cfg: cfg, busyUntil: make([]uint64, cfg.Channels)}, nil
+	ctl := &Controller{cfg: cfg, busyUntil: make([]uint64, cfg.Channels), chanMask: -1}
+	if cfg.Channels&(cfg.Channels-1) == 0 {
+		ctl.chanMask = int64(cfg.Channels - 1)
+	}
+	return ctl, nil
 }
 
 // MustNewController is NewController that panics on error.
@@ -99,6 +107,9 @@ func (c *Controller) Config() Config { return c.cfg }
 
 // channel returns the channel servicing pa.
 func (c *Controller) channel(pa addr.PA) int {
+	if c.chanMask >= 0 {
+		return int((uint64(pa) >> c.cfg.InterleaveShift) & uint64(c.chanMask))
+	}
 	return int((uint64(pa) >> c.cfg.InterleaveShift) % uint64(c.cfg.Channels))
 }
 

@@ -1,0 +1,33 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+)
+
+// TestChannelMaskAgreesWithReference: the mask fast path in channel()
+// must agree with the modulo reference for pow2 channel counts, and odd
+// counts must take (and pass through) the fallback.
+func TestChannelMaskAgreesWithReference(t *testing.T) {
+	for _, nch := range []int{1, 2, 3, 4, 5, 6, 8, 16} {
+		c := MustNewController(Config{Channels: nch})
+		wantPow2 := nch&(nch-1) == 0
+		if (c.chanMask >= 0) != wantPow2 {
+			t.Fatalf("channels=%d: chanMask=%d", nch, c.chanMask)
+		}
+		f := func(raw uint64) bool {
+			got := c.channel(addr.PA(raw))
+			want := int((raw >> c.cfg.InterleaveShift) % uint64(nch))
+			if got != want {
+				t.Logf("channels=%d pa=%#x: got %d want %d", nch, raw, got, want)
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("channels=%d: %v", nch, err)
+		}
+	}
+}

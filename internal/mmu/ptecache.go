@@ -2,6 +2,7 @@ package mmu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"github.com/dvm-sim/dvm/internal/addr"
 	"github.com/dvm-sim/dvm/internal/obs"
@@ -49,12 +50,19 @@ type pteBlock struct {
 // PTECache is an LRU set-associative cache of page-table lines, indexed by
 // the physical address of the line.
 type PTECache struct {
-	cfg    PTECacheConfig
-	sets   [][]pteBlock
-	nsets  int
-	clock  uint64
-	hits   uint64
-	misses uint64
+	cfg   PTECacheConfig
+	sets  [][]pteBlock
+	nsets int
+	// blockShift strength-reduces the line-number division when
+	// BlockBytes is a power of two (it always is in the evaluated
+	// geometries); blockShift < 0 keeps the general division. setMask
+	// likewise replaces the set-index modulo for power-of-two set
+	// counts.
+	blockShift int
+	setMask    int64
+	clock      uint64
+	hits       uint64
+	misses     uint64
 
 	tr   *obs.Tracer
 	comp obs.Component
@@ -88,7 +96,14 @@ func NewPTECache(cfg PTECacheConfig) (*PTECache, error) {
 	for i := range sets {
 		sets[i] = make([]pteBlock, cfg.Ways)
 	}
-	return &PTECache{cfg: cfg, sets: sets, nsets: nsets}, nil
+	c := &PTECache{cfg: cfg, sets: sets, nsets: nsets, blockShift: -1, setMask: -1}
+	if b := uint64(cfg.BlockBytes); b&(b-1) == 0 {
+		c.blockShift = bits.TrailingZeros64(b)
+	}
+	if nsets&(nsets-1) == 0 {
+		c.setMask = int64(nsets - 1)
+	}
+	return c, nil
 }
 
 // MustNewPTECache is NewPTECache that panics on error.
@@ -109,12 +124,20 @@ func (c *PTECache) Config() PTECacheConfig { return c.cfg }
 // drop every node's first lines into the same set and thrash the low
 // set count of a 1 KB cache.
 func (c *PTECache) blockAddr(pa addr.PA) (tag uint64, set int) {
-	line := uint64(pa) / uint64(c.cfg.BlockBytes)
+	var line uint64
+	if c.blockShift >= 0 {
+		line = uint64(pa) >> uint(c.blockShift)
+	} else {
+		line = uint64(pa) / uint64(c.cfg.BlockBytes)
+	}
 	h := line
 	h ^= h >> 4
 	h ^= h >> 8
 	h ^= h >> 16
 	h ^= h >> 32
+	if c.setMask >= 0 {
+		return line, int(h & uint64(c.setMask))
+	}
 	return line, int(h % uint64(c.nsets))
 }
 

@@ -1,0 +1,130 @@
+package mmu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+)
+
+// tlbSetRef is the pre-strength-reduction reference: set index by modulo,
+// VPN by division. The fast paths in setFor/Lookup/Insert must agree with
+// it bit-for-bit for every supported page size and set count.
+func tlbSetRef(va addr.VA, pageSize uint64, nsets int) (vpn, off uint64, set int) {
+	vpn = uint64(va) / pageSize
+	off = uint64(va) % pageSize
+	set = int(vpn % uint64(nsets))
+	return
+}
+
+// TestTLBShiftMaskAgreesWithReference: for all supported page sizes and a
+// spread of set geometries (including fully associative, i.e. one set),
+// the shift/mask arithmetic selects the same set and computes the same
+// VPN/offset as the `/`-and-`%` reference.
+func TestTLBShiftMaskAgreesWithReference(t *testing.T) {
+	pageSizes := []uint64{addr.PageSize4K, addr.PageSize2M, addr.PageSize1G}
+	geoms := []struct{ entries, ways int }{
+		{4, 0},    // fully associative: 1 set
+		{128, 1},  // direct mapped: 128 sets
+		{128, 4},  // 32 sets
+		{64, 8},   // 8 sets
+		{96, 12},  // 8 sets from non-pow2 entries/ways
+		{24, 2},   // 12 sets: NOT a power of two → modulo fallback
+		{112, 16}, // 7 sets: NOT a power of two → modulo fallback
+	}
+	for _, ps := range pageSizes {
+		for _, g := range geoms {
+			tlb := MustNewTLB(TLBConfig{Entries: g.entries, Ways: g.ways, PageSize: ps})
+			nsets := tlb.nsets
+			wantPow2 := nsets&(nsets-1) == 0
+			if (tlb.setMask >= 0) != wantPow2 {
+				t.Fatalf("page %d entries %d ways %d: setMask=%d for nsets=%d",
+					ps, g.entries, g.ways, tlb.setMask, nsets)
+			}
+			f := func(raw uint64) bool {
+				va := addr.VA(raw)
+				refVPN, refOff, refSet := tlbSetRef(va, ps, nsets)
+				vpn := uint64(va) >> tlb.pageShift
+				off := uint64(va) & tlb.pageMask
+				if vpn != refVPN || off != refOff {
+					t.Logf("page %d va %#x: vpn %d/%d off %d/%d", ps, raw, vpn, refVPN, off, refOff)
+					return false
+				}
+				// Compare the selected set by identity of the backing slice.
+				got := tlb.setFor(vpn)
+				want := tlb.sets[refSet]
+				if &got[0] != &want[0] {
+					t.Logf("page %d nsets %d va %#x: wrong set", ps, nsets, raw)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Errorf("page %d entries %d ways %d: %v", ps, g.entries, g.ways, err)
+			}
+		}
+	}
+}
+
+// TestTLBRoundTripAllPageSizes: Insert-then-Lookup returns the exact PA
+// the reference arithmetic predicts, for every page size (exercises the
+// pfn<<shift|off recombination against pfn*pageSize+off).
+func TestTLBRoundTripAllPageSizes(t *testing.T) {
+	for _, ps := range []uint64{addr.PageSize4K, addr.PageSize2M, addr.PageSize1G} {
+		tlb := MustNewTLB(TLBConfig{Entries: 16, Ways: 4, PageSize: ps})
+		rng := rand.New(rand.NewSource(int64(ps)))
+		for i := 0; i < 200; i++ {
+			base := addr.VA(uint64(rng.Intn(1 << 16)) * ps)
+			pa := addr.PA(uint64(rng.Intn(1 << 16)) * ps)
+			off := rng.Uint64() % ps
+			tlb.Insert(base, pa, addr.ReadWrite)
+			got, perm, hit := tlb.Lookup(base + addr.VA(off))
+			if !hit {
+				t.Fatalf("page %d: miss immediately after insert", ps)
+			}
+			want := addr.PA(uint64(pa)/ps*ps + off)
+			if got != want || perm != addr.ReadWrite {
+				t.Fatalf("page %d base %#x off %#x: got %#x want %#x", ps, base, off, got, want)
+			}
+		}
+	}
+}
+
+// pteCacheRef is the reference line/set computation for PTECache.blockAddr.
+func pteCacheRef(pa addr.PA, blockBytes, nsets int) (line uint64, set int) {
+	line = uint64(pa) / uint64(blockBytes)
+	h := line
+	h ^= h >> 4
+	h ^= h >> 8
+	h ^= h >> 16
+	h ^= h >> 32
+	return line, int(h % uint64(nsets))
+}
+
+// TestPTECacheShiftMaskAgreesWithReference covers pow2 and non-pow2 set
+// counts (the PWC/AVC default is 4 sets; 3-way geometries force the
+// modulo fallback).
+func TestPTECacheShiftMaskAgreesWithReference(t *testing.T) {
+	geoms := []PTECacheConfig{
+		{CapacityBytes: 1 << 10, BlockBytes: 64, Ways: 4, MinLevel: 1},  // 4 sets (paper)
+		{CapacityBytes: 1 << 12, BlockBytes: 64, Ways: 1, MinLevel: 2},  // 64 sets
+		{CapacityBytes: 768, BlockBytes: 64, Ways: 4, MinLevel: 1},      // 3 sets → fallback
+		{CapacityBytes: 1 << 10, BlockBytes: 128, Ways: 8, MinLevel: 1}, // 1 set
+	}
+	for _, cfg := range geoms {
+		c := MustNewPTECache(cfg)
+		f := func(raw uint64) bool {
+			line, set := c.blockAddr(addr.PA(raw))
+			refLine, refSet := pteCacheRef(addr.PA(raw), c.cfg.BlockBytes, c.nsets)
+			if line != refLine || set != refSet {
+				t.Logf("cfg %+v pa %#x: line %d/%d set %d/%d", cfg, raw, line, refLine, set, refSet)
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("cfg %+v: %v", cfg, err)
+		}
+	}
+}

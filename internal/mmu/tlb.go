@@ -7,6 +7,7 @@ package mmu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"github.com/dvm-sim/dvm/internal/addr"
 	"github.com/dvm-sim/dvm/internal/obs"
@@ -38,12 +39,21 @@ type tlbEntry struct {
 // out that "supporting multiple page sizes is difficult" for set-associative
 // TLBs.
 type TLB struct {
-	cfg    TLBConfig
-	sets   [][]tlbEntry
-	nsets  int
-	clock  uint64
-	hits   uint64
-	misses uint64
+	cfg   TLBConfig
+	sets  [][]tlbEntry
+	nsets int
+	// pageShift/pageMask are the precomputed strength-reduced forms of
+	// cfg.PageSize (always a power of two): va>>pageShift is the VPN,
+	// va&pageMask the page offset. setMask replaces the set-index modulo
+	// when nsets is a power of two (the common case — entries and ways
+	// are powers of two in every evaluated configuration); setMask < 0
+	// keeps the general modulo for odd set counts.
+	pageShift uint
+	pageMask  uint64
+	setMask   int64
+	clock     uint64
+	hits      uint64
+	misses    uint64
 
 	tr   *obs.Tracer
 	comp obs.Component
@@ -69,7 +79,14 @@ func NewTLB(cfg TLBConfig) (*TLB, error) {
 	for i := range sets {
 		sets[i] = make([]tlbEntry, ways)
 	}
-	return &TLB{cfg: cfg, sets: sets, nsets: nsets}, nil
+	t := &TLB{cfg: cfg, sets: sets, nsets: nsets}
+	t.pageShift = uint(bits.TrailingZeros64(cfg.PageSize))
+	t.pageMask = cfg.PageSize - 1
+	t.setMask = -1
+	if nsets&(nsets-1) == 0 {
+		t.setMask = int64(nsets - 1)
+	}
+	return t, nil
 }
 
 // MustNewTLB is NewTLB that panics on error.
@@ -85,6 +102,9 @@ func MustNewTLB(cfg TLBConfig) *TLB {
 func (t *TLB) Config() TLBConfig { return t.cfg }
 
 func (t *TLB) setFor(vpn uint64) []tlbEntry {
+	if t.setMask >= 0 {
+		return t.sets[vpn&uint64(t.setMask)]
+	}
 	return t.sets[vpn%uint64(t.nsets)]
 }
 
@@ -92,15 +112,15 @@ func (t *TLB) setFor(vpn uint64) []tlbEntry {
 // the cached permission.
 func (t *TLB) Lookup(va addr.VA) (pa addr.PA, perm addr.Perm, hit bool) {
 	t.clock++
-	vpn := uint64(va) / t.cfg.PageSize
+	vpn := uint64(va) >> t.pageShift
 	set := t.setFor(vpn)
 	for i := range set {
 		e := &set[i]
 		if e.valid && e.vpn == vpn {
 			e.lastUse = t.clock
 			t.hits++
-			off := uint64(va) % t.cfg.PageSize
-			return addr.PA(e.pfn*t.cfg.PageSize + off), e.perm, true
+			off := uint64(va) & t.pageMask
+			return addr.PA(e.pfn<<t.pageShift | off), e.perm, true
 		}
 	}
 	t.misses++
@@ -118,8 +138,8 @@ func (t *TLB) Lookup(va addr.VA) (pa addr.PA, perm addr.Perm, hit bool) {
 // accounting.
 func (t *TLB) Insert(base addr.VA, pa addr.PA, perm addr.Perm) {
 	t.clock++
-	vpn := uint64(base) / t.cfg.PageSize
-	pfn := uint64(pa) / t.cfg.PageSize
+	vpn := uint64(base) >> t.pageShift
+	pfn := uint64(pa) >> t.pageShift
 	set := t.setFor(vpn)
 	for i := range set {
 		e := &set[i]

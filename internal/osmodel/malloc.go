@@ -2,6 +2,7 @@ package osmodel
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/dvm-sim/dvm/internal/addr"
 )
@@ -27,19 +28,24 @@ const mallocAlign = 16
 // every heap allocation. Small requests are carved from pooled segments
 // with size-class free lists (SmartHeap-style reuse); large requests map
 // their own segment.
+//
+// Small-chunk bookkeeping is map-free: chunks live in per-pool parallel
+// slices (carve offset, class, free flag) found by binary search — first
+// on the sorted pool list, then on the pool's ascending carve offsets.
+// The shbench sweeps drive tens of millions of Alloc/Free pairs, and
+// per-chunk map inserts dominated their profile.
 type Malloc struct {
 	p *Process
 	// open is the pool currently being bump-allocated.
 	open *mallocPool
-	// pools maps pool base -> pool, for Free.
-	pools map[addr.VA]*mallocPool
-	// freeByClass holds freed small chunks for reuse, keyed by their
-	// 16-byte size class.
-	freeByClass map[uint64][]addr.VA
-	// chunkPool maps a live or free small chunk to its pool base.
-	chunkPool map[addr.VA]addr.VA
-	// chunkSize maps a live small chunk to its class size.
-	chunkSize map[addr.VA]uint64
+	// pools is every pool segment, sorted by base address.
+	pools []*mallocPool
+	// freeByClass holds freed small chunks for LIFO reuse, keyed by
+	// their 16-byte size class. Class cardinality is tiny (bounded by
+	// the experiments' size distributions), so the map itself stays
+	// cheap; the pointer indirection keeps pop/push off the mapassign
+	// path.
+	freeByClass map[uint64]*[]chunkRef
 	// large maps each large allocation's address to its VMA range.
 	large map[addr.VA]addr.VRange
 
@@ -47,20 +53,33 @@ type Malloc struct {
 	requested uint64
 }
 
+// chunkRef locates one freed chunk for reuse without any map lookups.
+type chunkRef struct {
+	pool *mallocPool
+	idx  int32
+}
+
 type mallocPool struct {
 	r    addr.VRange
 	off  uint64
 	live int
+	// Parallel per-chunk records in carve order; offs is ascending
+	// because chunks are bump-allocated.
+	offs    []uint32
+	classes []uint32
+	free    []bool
+}
+
+// chunkVA returns the address of the pool's idx-th chunk.
+func (pl *mallocPool) chunkVA(idx int32) addr.VA {
+	return pl.r.Start + addr.VA(pl.offs[idx])
 }
 
 // NewMalloc creates an allocator over the process.
 func NewMalloc(p *Process) *Malloc {
 	return &Malloc{
 		p:           p,
-		pools:       make(map[addr.VA]*mallocPool),
-		freeByClass: make(map[uint64][]addr.VA),
-		chunkPool:   make(map[addr.VA]addr.VA),
-		chunkSize:   make(map[addr.VA]uint64),
+		freeByClass: make(map[uint64]*[]chunkRef),
 		large:       make(map[addr.VA]addr.VRange),
 	}
 }
@@ -81,14 +100,14 @@ func (m *Malloc) Alloc(size uint64) (addr.VA, error) {
 		return r.Start, nil
 	}
 	class := addr.AlignUp(size, mallocAlign)
-	// Reuse a freed chunk of the same class when available.
-	if list := m.freeByClass[class]; len(list) > 0 {
-		va := list[len(list)-1]
-		m.freeByClass[class] = list[:len(list)-1]
-		m.chunkSize[va] = class
-		m.pools[m.chunkPool[va]].live++
+	// Reuse a freed chunk of the same class when available (LIFO).
+	if list := m.freeByClass[class]; list != nil && len(*list) > 0 {
+		ref := (*list)[len(*list)-1]
+		*list = (*list)[:len(*list)-1]
+		ref.pool.free[ref.idx] = false
+		ref.pool.live++
 		m.allocated += class
-		return va, nil
+		return ref.pool.chunkVA(ref.idx), nil
 	}
 	if m.open == nil || m.open.off+class > m.open.r.Size {
 		r, _, err := m.p.Mmap(MallocPoolBytes, addr.ReadWrite)
@@ -96,15 +115,44 @@ func (m *Malloc) Alloc(size uint64) (addr.VA, error) {
 			return 0, err
 		}
 		m.open = &mallocPool{r: r}
-		m.pools[r.Start] = m.open
+		m.insertPool(m.open)
 	}
 	va := m.open.r.Start + addr.VA(m.open.off)
+	m.open.offs = append(m.open.offs, uint32(m.open.off))
+	m.open.classes = append(m.open.classes, uint32(class))
+	m.open.free = append(m.open.free, false)
 	m.open.off += class
 	m.open.live++
-	m.chunkPool[va] = m.open.r.Start
-	m.chunkSize[va] = class
 	m.allocated += class
 	return va, nil
+}
+
+// insertPool adds a pool to the sorted pool list. Mmap hands out ascending
+// addresses in practice, so this is almost always an append.
+func (m *Malloc) insertPool(pl *mallocPool) {
+	i := sort.Search(len(m.pools), func(i int) bool { return m.pools[i].r.Start > pl.r.Start })
+	m.pools = append(m.pools, nil)
+	copy(m.pools[i+1:], m.pools[i:])
+	m.pools[i] = pl
+}
+
+// findChunk locates the pool and chunk record of a small allocation;
+// ok is false when va was never handed out by the small-chunk path.
+func (m *Malloc) findChunk(va addr.VA) (*mallocPool, int32, bool) {
+	i := sort.Search(len(m.pools), func(i int) bool { return m.pools[i].r.Start > va })
+	if i == 0 {
+		return nil, 0, false
+	}
+	pl := m.pools[i-1]
+	if uint64(va) >= uint64(pl.r.Start)+pl.r.Size {
+		return nil, 0, false
+	}
+	off := uint32(va - pl.r.Start)
+	j := sort.Search(len(pl.offs), func(j int) bool { return pl.offs[j] >= off })
+	if j == len(pl.offs) || pl.offs[j] != off {
+		return nil, 0, false
+	}
+	return pl, int32(j), true
 }
 
 // Free releases an allocation returned by Alloc. Small chunks go to their
@@ -116,13 +164,19 @@ func (m *Malloc) Free(va addr.VA) error {
 		m.allocated -= r.Size
 		return m.p.Munmap(r)
 	}
-	class, ok := m.chunkSize[va]
-	if !ok {
+	pl, idx, ok := m.findChunk(va)
+	if !ok || pl.free[idx] {
 		return fmt.Errorf("osmodel: free of unallocated address %#x", uint64(va))
 	}
-	delete(m.chunkSize, va)
-	m.freeByClass[class] = append(m.freeByClass[class], va)
-	m.pools[m.chunkPool[va]].live--
+	class := uint64(pl.classes[idx])
+	pl.free[idx] = true
+	list := m.freeByClass[class]
+	if list == nil {
+		list = new([]chunkRef)
+		m.freeByClass[class] = list
+	}
+	*list = append(*list, chunkRef{pool: pl, idx: idx})
+	pl.live--
 	m.allocated -= class
 	return nil
 }

@@ -63,6 +63,18 @@ type Options struct {
 	// Tracer, when non-nil, is attached to every simulation the
 	// generators run (see core.SystemConfig.Tracer).
 	Tracer *obs.Tracer
+	// Prepared, when non-nil, deduplicates workload preparation (graph
+	// generation, page-table construction) across generators and -j
+	// workers. Results are unchanged — the cache only shares immutable
+	// inputs. Callers regenerating several artifacts should pass one
+	// cache to all of them.
+	Prepared *core.PreparedCache
+}
+
+// prepare resolves a workload through the shared cache when one is
+// configured (a nil cache degrades to plain core.Prepare).
+func (o Options) prepare(w core.Workload) (*core.Prepared, error) {
+	return o.Prepared.Prepare(w)
 }
 
 // progressFor returns a per-cell completion logger over total cells,
@@ -109,7 +121,7 @@ func Figure2(prof core.Profile, w io.Writer, opts Options) error {
 	wls := prof.Workloads()
 	progress := opts.progressFor(len(wls))
 	rows, err := runner.Map(context.Background(), opts.Jobs, len(wls), func(_ context.Context, i int) (core.Figure2Row, error) {
-		p, err := core.Prepare(wls[i])
+		p, err := opts.prepare(wls[i])
 		if err != nil {
 			return core.Figure2Row{}, err
 		}
@@ -160,7 +172,7 @@ func Table1(prof core.Profile, w io.Writer, opts Options) error {
 	}
 	progress := opts.progressFor(len(wls))
 	rows, err := runner.Map(context.Background(), opts.Jobs, len(wls), func(_ context.Context, i int) (core.Table1Row, error) {
-		p, err := core.Prepare(wls[i])
+		p, err := opts.prepare(wls[i])
 		if err != nil {
 			return core.Table1Row{}, err
 		}
@@ -238,7 +250,7 @@ func Figure8And9(prof core.Profile, w io.Writer, opts Options) error {
 	// sequentially so a full sweep never has more than Jobs runs in
 	// flight.
 	cells, err := runner.Map(context.Background(), opts.Jobs, len(wls), func(ctx context.Context, i int) (pair, error) {
-		p, err := core.Prepare(wls[i])
+		p, err := opts.prepare(wls[i])
 		if err != nil {
 			return pair{}, err
 		}
@@ -422,7 +434,7 @@ func Ablations(prof core.Profile, w io.Writer, opts Options) error {
 		return err
 	}
 	wl := core.Workload{Algorithm: "PageRank", Dataset: d, Scale: prof.Scale, PageRankIters: prof.PageRankIters, Seed: 42}
-	p, err := core.Prepare(wl)
+	p, err := opts.prepare(wl)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,65 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestProgressDoneConcurrent hammers Progress.Done from 8 goroutines —
+// the shape -j workers produce — and checks under -race that the
+// internal counter, the ETA math and the log sink are all serialized:
+// every call produces exactly one line, the done counter never skews,
+// and each emitted count 1..N appears exactly once.
+func TestProgressDoneConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		perG    = 250
+		total   = workers * perG
+	)
+	var sinkMu sync.Mutex
+	var lines []string
+	p := NewProgress(total, func(format string, args ...interface{}) {
+		line := fmt.Sprintf(format, args...)
+		sinkMu.Lock()
+		lines = append(lines, line)
+		sinkMu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				p.Done("worker %d cell %d", g, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := p.Count(); got != total {
+		t.Fatalf("Count() = %d after %d Done calls", got, total)
+	}
+	if len(lines) != total {
+		t.Fatalf("sink saw %d lines, want %d", len(lines), total)
+	}
+	// Done's count/total prefix must be a permutation of 1..total: a
+	// lost update would duplicate one count and skip another.
+	seen := make([]bool, total+1)
+	for _, line := range lines {
+		var n, tot int
+		if _, err := fmt.Sscanf(line, "[%d/%d", &n, &tot); err != nil {
+			t.Fatalf("unparseable progress line %q: %v", line, err)
+		}
+		if tot != total || n < 1 || n > total {
+			t.Fatalf("progress line %q out of range", line)
+		}
+		if seen[n] {
+			t.Fatalf("count %d emitted twice (lost update)", n)
+		}
+		seen[n] = true
+		if !strings.Contains(line, "worker ") {
+			t.Fatalf("line %q lost its description", line)
+		}
+	}
+}
