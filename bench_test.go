@@ -299,6 +299,45 @@ func BenchmarkVirtualization(b *testing.B) {
 	}
 }
 
+// BenchmarkPrepare measures workload preparation end-to-end: dataset
+// generation (CSR construction), address-space layout and page-table
+// population — the deterministic pre-simulation paths that PR 4 made
+// budget-aware. Sequential here (no Workers budget); the parallel paths
+// are pinned byte-identical to this one by the equivalence tests.
+func BenchmarkPrepare(b *testing.B) {
+	d, err := dvm.DatasetByName("Wiki")
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl := dvm.Workload{
+		Algorithm: "PageRank", Dataset: d,
+		Scale: dvm.ProfileTiny.Scale, PageRankIters: 2, Seed: 42,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dvm.Prepare(wl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemsysAccess measures the memory controller's per-line service
+// path (channel select, queueing, reservation) — the innermost call of
+// every simulated memory reference.
+func BenchmarkMemsysAccess(b *testing.B) {
+	ctl, err := dvm.NewMemController(dvm.MemConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var now uint64
+	for i := 0; i < b.N; i++ {
+		now = ctl.Access(dvm.PA(uint64(i)<<6), now)
+	}
+}
+
 // BenchmarkIdentityReestablish measures the §4.3.1 reclaim path: break an
 // identity mapping, swap it out, fault back in and re-establish identity.
 func BenchmarkIdentityReestablish(b *testing.B) {

@@ -17,6 +17,7 @@ import (
 	"github.com/dvm-sim/dvm/internal/obs"
 	"github.com/dvm-sim/dvm/internal/report"
 	"github.com/dvm-sim/dvm/internal/results"
+	"github.com/dvm-sim/dvm/internal/runner"
 )
 
 func main() {
@@ -28,7 +29,7 @@ func main() {
 
 	lg := obs.NewLogger(os.Stderr, "cdvm", *quiet)
 	if *workload == "" {
-		opts := report.Options{Jobs: *jobs}
+		opts := report.Options{Jobs: *jobs, Workers: runner.BudgetFor(*jobs)}
 		if !lg.Quiet() {
 			opts.Progress = lg.Statusf
 		}

@@ -46,20 +46,29 @@ import (
 	"testing"
 	"time"
 
+	"github.com/dvm-sim/dvm/internal/addr"
 	"github.com/dvm-sim/dvm/internal/core"
 	"github.com/dvm-sim/dvm/internal/graph"
+	"github.com/dvm-sim/dvm/internal/memsys"
 	"github.com/dvm-sim/dvm/internal/obs"
 	"github.com/dvm-sim/dvm/internal/report"
+	"github.com/dvm-sim/dvm/internal/runner"
 )
 
 // Measurement is one recorded run of the suite.
 type Measurement struct {
 	// Label identifies the code state measured (e.g. a commit subject).
 	Label string `json:"label,omitempty"`
-	// GoVersion and NumCPU record the measuring environment.
-	GoVersion string `json:"go_version"`
-	NumCPU    int    `json:"num_cpu"`
-	// ArtifactsSeconds is the sequential (-j 1) wall per artifact.
+	// GoVersion, NumCPU and GOMAXPROCS record the measuring environment;
+	// Jobs is the resolved -j the artifact timings ran at. Together they
+	// say how much parallelism a recorded wall could have benefited from,
+	// which is what makes cross-machine comparisons of EndToEndSeconds
+	// auditable.
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Jobs       int    `json:"jobs"`
+	// ArtifactsSeconds is the wall per artifact at -j Jobs.
 	ArtifactsSeconds map[string]float64 `json:"artifacts_seconds"`
 	// EndToEndSeconds is the wall of regenerating every artifact, the
 	// headline "full dvmrepro regeneration" number.
@@ -97,6 +106,7 @@ func main() {
 	out := flag.String("o", "", "write/refresh this trajectory file's current section")
 	asBaseline := flag.Bool("as-baseline", false, "with -o: write the baseline section instead of current")
 	against := flag.String("against", "", "measure and gate against this file's current section (CI)")
+	jobs := flag.Int("j", 1, "worker processes for artifact timings (default 1: sequential, comparable across files)")
 	label := flag.String("label", "", "label recorded with the measurement")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
@@ -110,7 +120,7 @@ func main() {
 		lg.Exitf(2, "%v", err)
 	}
 
-	m, err := measure(prof, *label, lg)
+	m, err := measure(prof, *label, *jobs, lg)
 	if err != nil {
 		lg.Exitf(1, "%v", err)
 	}
@@ -177,17 +187,26 @@ func artifacts(prof core.Profile, opts report.Options) []struct {
 	}
 }
 
-// measure runs the suite: every artifact end-to-end at -j 1 (stable,
-// comparable across runs), then the micro-benchmarks.
-func measure(prof core.Profile, label string, lg *obs.Logger) (*Measurement, error) {
+// measure runs the suite: every artifact end-to-end at -j jobs (default
+// 1: stable, comparable across runs and against committed files), then
+// the micro-benchmarks (always sequential).
+func measure(prof core.Profile, label string, jobs int, lg *obs.Logger) (*Measurement, error) {
+	jobs = runner.DefaultJobs(jobs)
 	m := &Measurement{
 		Label:            label,
 		GoVersion:        runtime.Version(),
 		NumCPU:           runtime.NumCPU(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Jobs:             jobs,
 		ArtifactsSeconds: map[string]float64{},
 		Benchmarks:       map[string]BenchResult{},
 	}
-	opts := report.Options{Jobs: 1, Metrics: &obs.Collector{}, Prepared: core.NewPreparedCache()}
+	opts := report.Options{
+		Jobs:     jobs,
+		Workers:  runner.BudgetFor(jobs),
+		Metrics:  &obs.Collector{},
+		Prepared: core.NewPreparedCache(),
+	}
 	for _, a := range artifacts(prof, opts) {
 		start := time.Now()
 		if err := a.fn(io.Discard); err != nil {
@@ -252,6 +271,32 @@ func microBenches(prof core.Profile) []struct {
 		{"run/dvm-pe", perMode(core.ModeDVMPE)},
 		{"run/dvm-pe+", perMode(core.ModeDVMPEPlus)},
 		{"run/ideal", perMode(core.ModeIdeal)},
+		{"prepare", func(b *testing.B) {
+			d, err := graph.DatasetByName("Wiki")
+			if err != nil {
+				b.Fatal(err)
+			}
+			wl := core.Workload{
+				Algorithm: "PageRank", Dataset: d, Scale: prof.Scale,
+				PageRankIters: prof.PageRankIters, Seed: 42,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Prepare(wl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"memsys/access", func(b *testing.B) {
+			ctl := memsys.MustNewController(memsys.Config{})
+			b.ReportAllocs()
+			b.ResetTimer()
+			var now uint64
+			for i := 0; i < b.N; i++ {
+				now = ctl.Access(addr.PA(uint64(i)<<6), now)
+			}
+		}},
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"github.com/dvm-sim/dvm/internal/core"
 	"github.com/dvm-sim/dvm/internal/obs"
 	"github.com/dvm-sim/dvm/internal/report"
+	"github.com/dvm-sim/dvm/internal/runner"
 )
 
 // artifactKeys is the -only vocabulary, in paper rendering order.
@@ -63,7 +64,7 @@ func main() {
 		lg.Exitf(2, "%v", err)
 	}
 
-	opts := report.Options{Jobs: *jobs, Metrics: &obs.Collector{}, Prepared: core.NewPreparedCache()}
+	opts := report.Options{Jobs: *jobs, Metrics: &obs.Collector{}, Prepared: core.NewPreparedCache(), Workers: runner.BudgetFor(*jobs)}
 	if !lg.Quiet() {
 		opts.Progress = lg.Statusf
 	}

@@ -66,7 +66,8 @@ func main() {
 		PageRankIters: prof.PageRankIters,
 		Seed:          *seed,
 	}
-	p, err := core.Prepare(w)
+	workers := runner.BudgetFor(*jobs)
+	p, err := core.PrepareB(w, workers)
 	if err != nil {
 		lg.Exitf(1, "%v", err)
 	}
@@ -86,6 +87,7 @@ func main() {
 	}
 
 	cfg := prof.SystemConfig()
+	cfg.Workers = workers
 	var tracer *obs.Tracer
 	if *tracePath != "" {
 		mask, err := obs.ParseMask(*traceMask)
@@ -97,7 +99,7 @@ func main() {
 	}
 	coll := &obs.Collector{}
 	progress := runner.NewProgress(len(modes), runner.Logf(lg.Statusf))
-	rows, err := runner.Map(context.Background(), *jobs, len(modes), func(_ context.Context, i int) (core.RunResult, error) {
+	rows, err := runner.MapB(context.Background(), workers, *jobs, len(modes), func(_ context.Context, i int) (core.RunResult, error) {
 		r, err := p.Run(modes[i], cfg)
 		if err != nil {
 			return r, err

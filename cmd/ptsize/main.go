@@ -13,6 +13,7 @@ import (
 	"github.com/dvm-sim/dvm/internal/core"
 	"github.com/dvm-sim/dvm/internal/obs"
 	"github.com/dvm-sim/dvm/internal/report"
+	"github.com/dvm-sim/dvm/internal/runner"
 )
 
 func main() {
@@ -25,7 +26,7 @@ func main() {
 	if err != nil {
 		lg.Exitf(2, "%v", err)
 	}
-	opts := report.Options{Jobs: *jobs}
+	opts := report.Options{Jobs: *jobs, Workers: runner.BudgetFor(*jobs)}
 	if !lg.Quiet() {
 		opts.Progress = lg.Statusf
 	}

@@ -15,6 +15,7 @@ import (
 
 	"github.com/dvm-sim/dvm/internal/obs"
 	"github.com/dvm-sim/dvm/internal/report"
+	"github.com/dvm-sim/dvm/internal/runner"
 	"github.com/dvm-sim/dvm/internal/shbench"
 )
 
@@ -27,7 +28,7 @@ func main() {
 
 	lg := obs.NewLogger(os.Stderr, "shbench", *quiet)
 	if *expt == 0 {
-		opts := report.Options{Jobs: *jobs}
+		opts := report.Options{Jobs: *jobs, Workers: runner.BudgetFor(*jobs)}
 		if !lg.Quiet() {
 			opts.Progress = lg.Statusf
 		}

@@ -22,6 +22,7 @@ import (
 	"github.com/dvm-sim/dvm/internal/obs"
 	"github.com/dvm-sim/dvm/internal/report"
 	"github.com/dvm-sim/dvm/internal/results"
+	"github.com/dvm-sim/dvm/internal/runner"
 )
 
 func main() {
@@ -48,7 +49,7 @@ func main() {
 	}
 	coll := &obs.Collector{}
 	if !*sweep {
-		opts := report.Options{Jobs: *jobs, Metrics: coll}
+		opts := report.Options{Jobs: *jobs, Metrics: coll, Workers: runner.BudgetFor(*jobs)}
 		if !lg.Quiet() {
 			opts.Progress = lg.Statusf
 		}

@@ -1,0 +1,80 @@
+package dvm_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/dvm-sim/dvm/internal/core"
+	"github.com/dvm-sim/dvm/internal/obs"
+	"github.com/dvm-sim/dvm/internal/report"
+	"github.com/dvm-sim/dvm/internal/runner"
+)
+
+// TestGoldenSmallFastArtifacts regenerates the sub-second artifacts of the
+// small profile (table3, table1, virt) and compares them byte-for-byte
+// against testdata/golden_small_fast.txt — the exact stdout of
+//
+//	dvmrepro -profile small -only table3,table1,virt -j 1 -q
+//
+// The tiny golden covers every artifact; this one exists so the *small*
+// profile — the first profile whose graphs are big enough to cross the
+// two-phase engine's async threshold and the parallel CSR build's edge
+// minimum — has a cheap byte-identity referee too. It runs the sweep
+// twice: sequentially, and with a worker budget (Jobs 8) that engages
+// parallel trace generation and parallel Prepare wherever thresholds
+// allow. Both must reproduce the committed file exactly.
+//
+// Refresh (only when an intentional modeling change lands):
+//
+//	go run ./cmd/dvmrepro -profile small -only table3,table1,virt -j 1 -q > testdata/golden_small_fast.txt
+func TestGoldenSmallFastArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("small-profile regeneration; skipped with -short")
+	}
+	want, err := os.ReadFile("testdata/golden_small_fast.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := core.ProfileByName("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		jobs int
+	}{
+		{"sequential", 1},
+		{"jobs8", 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := report.Options{
+				Jobs:     tc.jobs,
+				Workers:  runner.BudgetFor(tc.jobs),
+				Metrics:  &obs.Collector{},
+				Prepared: core.NewPreparedCache(),
+			}
+			var out bytes.Buffer
+			steps := []struct {
+				name string
+				fn   func() error
+			}{
+				{"table3", func() error { return report.Table3(prof, &out, opts) }},
+				{"table1", func() error { return report.Table1(prof, &out, opts) }},
+				{"virt", func() error { return report.Virtualization(&out, opts) }},
+			}
+			for _, s := range steps {
+				if err := s.fn(); err != nil {
+					t.Fatalf("%s: %v", s.name, err)
+				}
+				fmt.Fprintln(&out)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Fatalf("small-profile fast artifacts diverged from testdata/golden_small_fast.txt "+
+					"(got %d bytes, want %d); if a modeling change is intentional, refresh per the comment above",
+					out.Len(), len(want))
+			}
+		})
+	}
+}

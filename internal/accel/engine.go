@@ -8,6 +8,7 @@ import (
 	"github.com/dvm-sim/dvm/internal/memsys"
 	"github.com/dvm-sim/dvm/internal/mmu"
 	"github.com/dvm-sim/dvm/internal/obs"
+	"github.com/dvm-sim/dvm/internal/runner"
 )
 
 // Config shapes the accelerator hardware (paper Table 2).
@@ -82,6 +83,16 @@ type Engine struct {
 	nextBuf    []int32
 	allVerts   []int32
 
+	// Two-phase mode (see twophase.go): the shared worker budget, the
+	// per-PE trace streams and generators, and the pooled chunk buffers.
+	// All nil/empty until SetWorkers grants a budget — engines without
+	// one run every PE through the direct streams above.
+	workers       *runner.Budget
+	tstreams      []traceStream
+	genScatterBuf []scatterGen
+	genApplyBuf   []applyGen
+	chunkFree     [][]traceEntry
+
 	stats RunStats
 	plan  mmu.Plan
 	now   uint64 // global barrier time
@@ -117,6 +128,13 @@ func NewEngine(cfg Config, g *graph.Graph, prog Program, lay Layout, iommu *mmu.
 
 // Props returns the vertex properties (the functional result).
 func (e *Engine) Props() []float64 { return e.props }
+
+// SetWorkers hands the engine a shared extra-worker budget. When set,
+// each phase borrows up to PEs tokens to generate per-PE traces ahead of
+// the timing replay (twophase.go); with a nil budget — or an exhausted
+// one — every PE runs its direct stream inline. Either way the output is
+// byte-identical; the budget only changes wall-clock time.
+func (e *Engine) SetWorkers(b *runner.Budget) { e.workers = b }
 
 // Stats returns the statistics accumulated so far.
 func (e *Engine) Stats() RunStats { return e.stats }
@@ -183,14 +201,24 @@ func (e *Engine) runIteration(iter int) {
 	streams := e.streamBuf[:npe]
 
 	// Scatter: the frontier is interleaved across PEs, Graphicionado's
-	// vertex-id-interleaved partitioning.
+	// vertex-id-interleaved partitioning. PEs that win a worker token
+	// generate their trace concurrently (twophase.go); the rest run the
+	// direct stream inline — any mix is byte-identical.
+	e.touched = e.touched[:0]
+	async := e.asyncWorkers(e.scatterEstimate())
 	scatter := e.scatterBuf[:npe]
 	for pe := 0; pe < npe; pe++ {
-		scatter[pe] = scatterStream{e: e, pe: pe, stride: npe, vi: pe}
-		streams[pe] = &scatter[pe]
+		if pe < async {
+			g := &e.genScatterBuf[pe]
+			*g = scatterGen{e: e, stride: npe, vi: pe}
+			streams[pe] = e.startProducer(&e.tstreams[pe], g)
+		} else {
+			scatter[pe] = scatterStream{e: e, pe: pe, stride: npe, vi: pe}
+			streams[pe] = &scatter[pe]
+		}
 	}
-	e.touched = e.touched[:0]
 	e.runStreams(streams)
+	e.reclaimChunks(async)
 
 	// Apply: over all vertices (AllActive programs that request it via
 	// ApplyAll semantics — PageRank) or over the touched destinations.
@@ -203,6 +231,7 @@ func (e *Engine) runIteration(iter int) {
 	} else {
 		applyList = e.touched
 	}
+	async = e.asyncWorkers(2 * len(applyList))
 	apply := e.applyBuf[:npe]
 	results := e.results[:npe]
 	chunk := (len(applyList) + npe - 1) / npe
@@ -216,10 +245,17 @@ func (e *Engine) runIteration(iter int) {
 			hi = len(applyList)
 		}
 		results[pe] = results[pe][:0]
-		apply[pe] = applyStream{e: e, verts: applyList[lo:hi], collect: !e.prog.AllActive, activated: &results[pe]}
-		streams[pe] = &apply[pe]
+		if pe < async {
+			g := &e.genApplyBuf[pe]
+			*g = applyGen{e: e, verts: applyList[lo:hi], collect: !e.prog.AllActive, activated: &results[pe]}
+			streams[pe] = e.startProducer(&e.tstreams[pe], g)
+		} else {
+			apply[pe] = applyStream{e: e, verts: applyList[lo:hi], collect: !e.prog.AllActive, activated: &results[pe]}
+			streams[pe] = &apply[pe]
+		}
 	}
 	e.runStreams(streams)
+	e.reclaimChunks(async)
 	// Reset temporaries of touched vertices and clear marks.
 	for _, v := range e.touched {
 		e.temps[v] = e.prog.ReduceIdentity

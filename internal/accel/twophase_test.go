@@ -1,0 +1,216 @@
+package accel
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/dvm-sim/dvm/internal/graph"
+	"github.com/dvm-sim/dvm/internal/mmu"
+	"github.com/dvm-sim/dvm/internal/obs"
+	"github.com/dvm-sim/dvm/internal/runner"
+)
+
+// forceAsync drops the async threshold for the duration of a test so even
+// tiny phases borrow workers, then restores it.
+func forceAsync(t *testing.T) {
+	t.Helper()
+	old := asyncMinPerPE
+	asyncMinPerPE = 0
+	t.Cleanup(func() { asyncMinPerPE = old })
+}
+
+// runWithMetrics runs an engine and returns its stats, props copy and a
+// full registry snapshot (engine + IOMMU + memory-system counters), the
+// same counters core.Run publishes.
+func runWithMetrics(t *testing.T, e *Engine) (RunStats, []float64, obs.Snapshot) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	e.iommu.RegisterMetrics(reg)
+	e.mem.RegisterMetrics(reg, "memsys")
+	e.RegisterMetrics(reg, "accel")
+	s, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	props := append([]float64(nil), e.Props()...)
+	return s, props, reg.Snapshot()
+}
+
+// TestTwoPhaseEquivalence is the replay-vs-direct property test: across
+// randomized graphs, programs and all translation modes, the two-phase
+// engine (trace generation on borrowed workers + timing replay) must
+// produce bit-identical stats, metrics snapshots and functional results
+// to the direct engine.
+func TestTwoPhaseEquivalence(t *testing.T) {
+	forceAsync(t)
+	type prog struct {
+		name string
+		p    Program
+	}
+	progs := []prog{
+		{"bfs", BFS(0)},
+		{"sssp", SSSP(0)},
+		{"pagerank", PageRank(2)},
+	}
+	for _, seed := range []int64{1, 7} {
+		g, err := graph.GenerateRMAT(graph.DefaultRMAT(9, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bip, err := graph.GenerateBipartite(graph.BipartiteConfig{
+			Users: 300, Items: 40, Edges: 4000, Skew: graph.DefaultRMAT(10, seed),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range mmu.AllModes {
+			for _, pr := range progs {
+				direct := buildEngineTLB(t, mode, g, pr.p, 16)
+				twoPhase := buildEngineTLB(t, mode, g, pr.p, 16)
+				twoPhase.SetWorkers(runner.NewBudget(8))
+				ds, dp, dm := runWithMetrics(t, direct)
+				ts, tp, tm := runWithMetrics(t, twoPhase)
+				if ds != ts {
+					t.Errorf("seed %d %v %s: stats diverge\ndirect    %+v\ntwo-phase %+v", seed, mode, pr.name, ds, ts)
+				}
+				if !reflect.DeepEqual(dp, tp) {
+					t.Errorf("seed %d %v %s: props diverge", seed, mode, pr.name)
+				}
+				if !reflect.DeepEqual(dm, tm) {
+					t.Errorf("seed %d %v %s: metrics snapshots diverge\ndirect    %v\ntwo-phase %v", seed, mode, pr.name, dm, tm)
+				}
+			}
+			// CF runs on the bipartite graph (apply covers the touched
+			// items, exercising the collect=false all-active path).
+			direct := buildEngineTLB(t, mode, bip, CF(2), 16)
+			twoPhase := buildEngineTLB(t, mode, bip, CF(2), 16)
+			twoPhase.SetWorkers(runner.NewBudget(8))
+			ds, dp, dm := runWithMetrics(t, direct)
+			ts, tp, tm := runWithMetrics(t, twoPhase)
+			if ds != ts || !reflect.DeepEqual(dp, tp) || !reflect.DeepEqual(dm, tm) {
+				t.Errorf("seed %d %v cf: two-phase run diverges (stats %+v vs %+v)", seed, mode, ds, ts)
+			}
+		}
+	}
+}
+
+// TestTwoPhasePartialBudget checks the mixed configuration: fewer tokens
+// than PEs, so some PEs stream pregenerated traces while the rest run
+// direct streams within the same phase — and tokens drained mid-run (a
+// busy pool) must degrade to the pure direct path, never diverge.
+func TestTwoPhasePartialBudget(t *testing.T) {
+	forceAsync(t)
+	g := testGraph(t)
+	want, wantProps, _ := runWithMetrics(t, buildEngine(t, mmu.ModeDVMPE, g, PageRank(3)))
+	for _, tokens := range []int{0, 1, 3, 5, 16} {
+		e := buildEngine(t, mmu.ModeDVMPE, g, PageRank(3))
+		e.SetWorkers(runner.NewBudget(tokens))
+		got, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("budget %d: stats diverge\nwant %+v\ngot  %+v", tokens, want, got)
+		}
+		if !reflect.DeepEqual(wantProps, e.Props()) {
+			t.Errorf("budget %d: props diverge", tokens)
+		}
+	}
+}
+
+// TestTwoPhaseBudgetRestored checks producer token accounting: every
+// borrowed token is back in the pool when Run returns.
+func TestTwoPhaseBudgetRestored(t *testing.T) {
+	forceAsync(t)
+	g := testGraph(t)
+	b := runner.NewBudget(5)
+	e := buildEngine(t, mmu.ModeIdeal, g, PageRank(2))
+	e.SetWorkers(b)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Free(); got != 5 {
+		t.Errorf("budget has %d tokens after run, want 5", got)
+	}
+}
+
+// TestTwoPhaseRaceHammer drives several two-phase engines concurrently
+// off one shared budget, so the race detector sees producer/replay
+// channel traffic plus cross-engine token contention. Results must match
+// a sequential reference despite tokens migrating between engines.
+func TestTwoPhaseRaceHammer(t *testing.T) {
+	forceAsync(t)
+	g := testGraph(t)
+	want, wantProps, _ := runWithMetrics(t, buildEngine(t, mmu.ModeDVMPEPlus, g, SSSP(0)))
+	const engines = 6
+	b := runner.NewBudget(4) // fewer tokens than claimants: constant contention
+	var wg sync.WaitGroup
+	errs := make([]string, engines)
+	for i := 0; i < engines; i++ {
+		e := buildEngine(t, mmu.ModeDVMPEPlus, g, SSSP(0))
+		e.SetWorkers(b)
+		wg.Add(1)
+		go func(i int, e *Engine) {
+			defer wg.Done()
+			got, err := e.Run()
+			switch {
+			case err != nil:
+				errs[i] = err.Error()
+			case got != want:
+				errs[i] = "stats diverge"
+			case !reflect.DeepEqual(wantProps, e.Props()):
+				errs[i] = "props diverge"
+			}
+		}(i, e)
+	}
+	wg.Wait()
+	for i, msg := range errs {
+		if msg != "" {
+			t.Errorf("engine %d: %s", i, msg)
+		}
+	}
+	if got := b.Free(); got != 4 {
+		t.Errorf("budget has %d tokens after hammer, want 4", got)
+	}
+}
+
+// TestTwoPhaseRecorded checks that trace recording (the RunRecorded
+// observer) composes with the two-phase engine: the recorded trace must
+// match the direct engine's byte-for-byte, since issue order is part of
+// the equivalence contract.
+func TestTwoPhaseRecorded(t *testing.T) {
+	forceAsync(t)
+	g := testGraph(t)
+	record := func(two bool) ([]byte, RunStats) {
+		e := buildEngine(t, mmu.ModeDVMBM, g, BFS(0))
+		if two {
+			e.SetWorkers(runner.NewBudget(8))
+		}
+		var buf writableBuffer
+		w, err := NewTraceWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := e.RunRecorded(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.b, s
+	}
+	db, ds := record(false)
+	tb, ts := record(true)
+	if ds != ts {
+		t.Fatalf("recorded stats diverge: %+v vs %+v", ds, ts)
+	}
+	if !reflect.DeepEqual(db, tb) {
+		t.Fatalf("recorded traces diverge (%d vs %d bytes)", len(db), len(tb))
+	}
+}
+
+type writableBuffer struct{ b []byte }
+
+func (w *writableBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

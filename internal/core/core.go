@@ -65,6 +65,14 @@ type SystemConfig struct {
 	// checks, fills/evictions, walks, faults) from every structure of
 	// the run. Tracing only records; results are unchanged.
 	Tracer *obs.Tracer
+	// Workers is the shared extra-worker pool intra-run parallelism
+	// draws on: the engine's trace generators (accel two-phase mode)
+	// and concurrent page-table builds borrow tokens from it. It is
+	// the same pool the cell-level -j workers hold tokens from, so one
+	// -j value bounds a whole invocation's concurrency. Nil runs every
+	// cell strictly sequentially; either way results are byte-identical
+	// (DESIGN.md §9).
+	Workers *runner.Budget
 }
 
 func (c SystemConfig) withDefaults() SystemConfig {
@@ -154,12 +162,27 @@ type tableKey struct {
 	peFields int // tablePE only; 0 otherwise
 }
 
-// machineState is the cached machine for one machineKey.
+// machineState is the cached machine for one machineKey. Tables build
+// under per-key single-flight entries rather than one big lock, so -j
+// workers needing *different* tables (the 2M, 1G, canonical and PE
+// builds of one workload) construct them concurrently — each build only
+// reads the immutable process state.
 type machineState struct {
 	proc   *osmodel.Process
 	lay    accel.Layout
-	tables map[tableKey]*pagetable.Table
-	bm     *mmu.PermBitmap // DVM-BM bitmap, built with the canonical table
+	mu     sync.Mutex // guards the tables map, not the builds
+	tables map[tableKey]*tableEntry
+	bmOnce sync.Once
+	bm     *mmu.PermBitmap // DVM-BM bitmap, built once on first use
+}
+
+// tableEntry is the single-flight slot for one page table: whoever
+// arrives first builds inside the Once; everyone else blocks only on
+// that same table, never on sibling builds.
+type tableEntry struct {
+	once  sync.Once
+	table *pagetable.Table
+	err   error
 }
 
 // machine returns (building on first use) the cached process and layout
@@ -180,7 +203,7 @@ func (p *Prepared) machine(cfg SystemConfig) (*machineState, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &machineState{proc: proc, lay: lay, tables: make(map[tableKey]*pagetable.Table)}
+	st := &machineState{proc: proc, lay: lay, tables: make(map[tableKey]*tableEntry)}
 	if p.state == nil {
 		p.state = make(map[machineKey]*machineState)
 	}
@@ -189,9 +212,10 @@ func (p *Prepared) machine(cfg SystemConfig) (*machineState, error) {
 }
 
 // tableFor returns (building on first use) the shared page table and, for
-// DVM-BM, the permission bitmap for the mode. The build runs under the
-// Prepared's lock: single-flight, so -j workers racing on the same cell
-// never build the same table twice.
+// DVM-BM, the permission bitmap for the mode. Builds are single-flight
+// per table kind — -j workers racing on the same cell never build the
+// same table twice, and workers needing different tables build them in
+// parallel instead of queueing on one lock.
 func (p *Prepared) tableFor(st *machineState, mode Mode, peFields int) (*pagetable.Table, *mmu.PermBitmap, error) {
 	var key tableKey
 	switch mode {
@@ -209,37 +233,47 @@ func (p *Prepared) tableFor(st *machineState, mode Mode, peFields int) (*pagetab
 	default: // ModeConv4K, ModeDVMBM
 		key = tableKey{kind: tableCanonical}
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	table, ok := st.tables[key]
+	st.mu.Lock()
+	entry, ok := st.tables[key]
 	if !ok {
-		var err error
+		entry = &tableEntry{}
+		st.tables[key] = entry
+	}
+	st.mu.Unlock()
+	entry.once.Do(func() {
 		switch key.kind {
 		case tableHuge2M, tableHuge1G:
-			table, err = st.proc.BuildHugeTable(mode.PageSize())
+			entry.table, entry.err = st.proc.BuildHugeTable(mode.PageSize())
 		case tablePE:
-			table, err = buildPETable(st.proc, key.peFields)
+			entry.table, entry.err = buildPETable(st.proc, key.peFields)
 		default:
-			table, err = st.proc.BuildCanonicalTable(false)
+			entry.table, entry.err = st.proc.BuildCanonicalTable(false)
 		}
-		if err != nil {
-			return nil, nil, err
-		}
-		st.tables[key] = table
+	})
+	if entry.err != nil {
+		return nil, nil, entry.err
 	}
 	var bm *mmu.PermBitmap
 	if mode == mmu.ModeDVMBM {
-		if st.bm == nil {
+		st.bmOnce.Do(func() {
 			st.bm = mmu.NewPermBitmap()
 			st.proc.ForEachIdentityPage(st.bm.Set)
-		}
+		})
 		bm = st.bm
 	}
-	return table, bm, nil
+	return entry.table, bm, nil
 }
 
 // Prepare generates the dataset once; runs under different modes share it.
 func Prepare(w Workload) (*Prepared, error) {
+	return PrepareB(w, nil)
+}
+
+// PrepareB is Prepare with a shared worker budget: the deterministic
+// parts of dataset generation (the CSR counting sort) borrow workers
+// from b, while the RNG edge streams stay sequential — the Prepared is
+// bit-identical at every budget population.
+func PrepareB(w Workload, b *runner.Budget) (*Prepared, error) {
 	if w.Scale == 0 {
 		w.Scale = 1
 	}
@@ -253,7 +287,7 @@ func Prepare(w Workload) (*Prepared, error) {
 	if w.Algorithm != "CF" && w.Dataset.Bipartite {
 		return nil, fmt.Errorf("core: %s cannot run on bipartite dataset %s", w.Algorithm, w.Dataset.Name)
 	}
-	g, err := w.Dataset.Generate(w.Scale, w.Seed)
+	g, err := w.Dataset.GenerateB(w.Scale, w.Seed, b)
 	if err != nil {
 		return nil, err
 	}
@@ -337,6 +371,9 @@ func (p *Prepared) Run(mode Mode, cfg SystemConfig) (RunResult, error) {
 	if err != nil {
 		return res, err
 	}
+	// Two-phase mode: the engine borrows trace-generation workers from
+	// the shared pool when tokens are free (byte-identical either way).
+	eng.SetWorkers(cfg.Workers)
 	// Every run reports through its own registry; the components keep
 	// incrementing the same fields they always have (pointer-based
 	// registration), so the hot path is unchanged and the snapshot
@@ -452,7 +489,7 @@ func (p *Prepared) RunAll(cfg SystemConfig) (map[Mode]RunResult, error) {
 // read-only after Prepare, so concurrent modes never interact; results are
 // keyed by mode, independent of completion order.
 func (p *Prepared) RunAllCtx(ctx context.Context, cfg SystemConfig, jobs int) (map[Mode]RunResult, error) {
-	results, err := runner.Map(ctx, jobs, len(AllModes), func(_ context.Context, i int) (RunResult, error) {
+	results, err := runner.MapB(ctx, cfg.Workers, jobs, len(AllModes), func(_ context.Context, i int) (RunResult, error) {
 		m := AllModes[i]
 		r, err := p.Run(m, cfg)
 		if err != nil {

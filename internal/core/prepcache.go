@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"github.com/dvm-sim/dvm/internal/runner"
+)
 
 // PreparedCache deduplicates workload preparation across report
 // generators and parallel workers. Figures 2/8 and Tables 5/6/7 all
@@ -33,8 +37,15 @@ func NewPreparedCache() *PreparedCache {
 // receiver degrades to plain Prepare (no sharing), so callers can thread
 // an optional cache without branching.
 func (c *PreparedCache) Prepare(w Workload) (*Prepared, error) {
+	return c.PrepareB(w, nil)
+}
+
+// PrepareB is Prepare lending generation a shared worker budget (the CSR
+// build parallelism of core.PrepareB); the prepared workload is
+// bit-identical at every budget population.
+func (c *PreparedCache) PrepareB(w Workload, b *runner.Budget) (*Prepared, error) {
 	if c == nil {
-		return Prepare(w)
+		return PrepareB(w, b)
 	}
 	c.mu.Lock()
 	e, ok := c.m[w]
@@ -43,6 +54,6 @@ func (c *PreparedCache) Prepare(w Workload) (*Prepared, error) {
 		c.m[w] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.p, e.err = Prepare(w) })
+	e.once.Do(func() { e.p, e.err = PrepareB(w, b) })
 	return e.p, e.err
 }

@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/dvm-sim/dvm/internal/runner"
+)
+
+// forceParallelCSR drops the parallel-build threshold for one test so
+// even tiny edge lists take the blocked counting sort.
+func forceParallelCSR(t *testing.T) {
+	t.Helper()
+	old := parallelEdgeMin
+	parallelEdgeMin = 0
+	t.Cleanup(func() { parallelEdgeMin = old })
+}
+
+// TestFromEdgesParallelMatchesSequential: the blocked parallel counting
+// sort must produce bit-identical CSR arrays to the sequential sort —
+// including edge order within each adjacency run (stability) — for any
+// worker count, including worker counts that don't divide the edge count.
+func TestFromEdgesParallelMatchesSequential(t *testing.T) {
+	forceParallelCSR(t)
+	for _, scale := range []int{4, 7, 10} {
+		for _, seed := range []int64{1, 2, 3} {
+			want, err := GenerateRMAT(DefaultRMAT(scale, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 3, 5, 8, 13} {
+				cfg := DefaultRMAT(scale, seed)
+				cfg.Workers = runner.NewBudget(workers - 1)
+				got, err := GenerateRMAT(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("scale %d seed %d workers %d: parallel CSR differs", scale, seed, workers)
+				}
+				if got := cfg.Workers.Free(); got != workers-1 {
+					t.Fatalf("budget has %d tokens after build, want %d", got, workers-1)
+				}
+			}
+		}
+	}
+}
+
+// TestBipartiteParallelMatchesSequential covers the bipartite shape
+// (empty adjacency runs for all item vertices — many zero-count sources).
+func TestBipartiteParallelMatchesSequential(t *testing.T) {
+	forceParallelCSR(t)
+	base := BipartiteConfig{Users: 500, Items: 60, Edges: 7000, Skew: DefaultRMAT(10, 4)}
+	want, err := GenerateBipartite(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := base
+	par.Workers = runner.NewBudget(7)
+	got, err := GenerateBipartite(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("parallel bipartite CSR differs from sequential")
+	}
+}
+
+// TestCSRBuildRaceHammer builds many graphs concurrently off one shared
+// budget, for the race detector: count/scatter workers inside each build
+// plus cross-build token contention.
+func TestCSRBuildRaceHammer(t *testing.T) {
+	forceParallelCSR(t)
+	want, err := GenerateRMAT(DefaultRMAT(9, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := runner.NewBudget(4)
+	var wg sync.WaitGroup
+	errs := make([]string, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := DefaultRMAT(9, 11)
+			cfg.Workers = b
+			g, err := GenerateRMAT(cfg)
+			switch {
+			case err != nil:
+				errs[i] = err.Error()
+			case !reflect.DeepEqual(want, g):
+				errs[i] = "graph differs"
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, msg := range errs {
+		if msg != "" {
+			t.Errorf("build %d: %s", i, msg)
+		}
+	}
+	if got := b.Free(); got != 4 {
+		t.Errorf("budget has %d tokens after hammer, want 4", got)
+	}
+}

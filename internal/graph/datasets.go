@@ -3,6 +3,8 @@ package graph
 import (
 	"fmt"
 	"math"
+
+	"github.com/dvm-sim/dvm/internal/runner"
 )
 
 // DatasetSpec describes one input of the paper's Table 3.
@@ -69,6 +71,13 @@ func BipartiteDatasets() []DatasetSpec {
 // edge factor matching the dataset's E/V ratio; bipartite datasets shrink
 // users/items/edges together.
 func (d DatasetSpec) Generate(scale float64, seed int64) (*Graph, error) {
+	return d.GenerateB(scale, seed, nil)
+}
+
+// GenerateB is Generate with a shared worker budget for the CSR build:
+// the RNG edge streams stay sequential, so the graph is bit-identical to
+// Generate's at every budget population.
+func (d DatasetSpec) GenerateB(scale float64, seed int64, b *runner.Budget) (*Graph, error) {
 	if scale <= 0 || scale > 1 {
 		return nil, fmt.Errorf("graph: scale %v out of (0,1]", scale)
 	}
@@ -78,7 +87,8 @@ func (d DatasetSpec) Generate(scale float64, seed int64) (*Graph, error) {
 		edges := scaleInt(d.Edges, scale, 256)
 		g, err := GenerateBipartite(BipartiteConfig{
 			Users: users, Items: items, Edges: edges,
-			Skew: DefaultRMAT(sizeScale(users), seed),
+			Skew:    DefaultRMAT(sizeScale(users), seed),
+			Workers: b,
 		})
 		if err != nil {
 			return nil, err
@@ -98,6 +108,7 @@ func (d DatasetSpec) Generate(scale float64, seed int64) (*Graph, error) {
 	}
 	cfg := DefaultRMAT(rmatScale, seed)
 	cfg.EdgeFactor = ef
+	cfg.Workers = b
 	_ = v
 	g, err := GenerateRMAT(cfg)
 	if err != nil {

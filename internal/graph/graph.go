@@ -14,7 +14,11 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sync"
+
+	"github.com/dvm-sim/dvm/internal/runner"
 )
 
 // Graph is a directed graph in compressed-sparse-row form, optionally
@@ -100,8 +104,23 @@ type edgeTuple struct {
 	w        float32
 }
 
-// fromEdges builds a CSR graph from an edge list.
-func fromEdges(name string, v int, edges []edgeTuple, bipartite bool, users, items int) *Graph {
+// parallelEdgeMin is the edge count below which the CSR build stays
+// sequential: the per-worker count arrays and goroutine startup only pay
+// off on multi-million-edge lists. A variable so tests can force the
+// parallel path on tiny inputs.
+var parallelEdgeMin = 1 << 17
+
+// csrCountBudget bounds the memory the parallel build spends on
+// per-worker count arrays (workers * V * 4 bytes).
+const csrCountBudget = 256 << 20
+
+// fromEdges builds a CSR graph from an edge list with a stable counting
+// sort: edges keep their list order within each source's adjacency run.
+// When b has free workers and the list is large, the sort runs as a
+// parallel stable counting sort over contiguous edge blocks — provably
+// the same output (see fromEdgesParallel), so generated datasets are
+// bit-identical at every worker count.
+func fromEdges(name string, v int, edges []edgeTuple, bipartite bool, users, items int, b *runner.Budget) *Graph {
 	g := &Graph{
 		Name:      name,
 		V:         v,
@@ -111,6 +130,19 @@ func fromEdges(name string, v int, edges []edgeTuple, bipartite bool, users, ite
 		Bipartite: bipartite,
 		Users:     users,
 		Items:     items,
+	}
+	// The parallel path keeps cursors as uint32, so huge edge lists (and
+	// graphs too small to amortize the fan-out) take the plain path.
+	if v > 0 && len(edges) >= parallelEdgeMin && uint64(len(edges)) < math.MaxUint32 {
+		maxExtra := csrCountBudget/(4*v) - 1
+		if maxExtra > 31 {
+			maxExtra = 31
+		}
+		if extra := b.TryAcquire(maxExtra); extra > 0 {
+			fromEdgesParallel(g, edges, extra+1)
+			b.Release(extra)
+			return g
+		}
 	}
 	for _, e := range edges {
 		g.RowPtr[e.src+1]++
@@ -129,6 +161,100 @@ func fromEdges(name string, v int, edges []edgeTuple, bipartite bool, users, ite
 	return g
 }
 
+// fromEdgesParallel fills g's CSR arrays from edges using `workers`
+// goroutines and a stable blocked counting sort. Equivalence to the
+// sequential sort: the edge list is split into `workers` contiguous
+// blocks; block w scatters its edges of source s into
+// [RowPtr[s] + counts of s in blocks < w, ...) in block order — exactly
+// the positions the sequential pass assigns, since all of block w's
+// edges precede block w+1's in list order. No worker writes outside its
+// own cursor ranges, so the scatter needs no locks.
+func fromEdgesParallel(g *Graph, edges []edgeTuple, workers int) {
+	v := g.V
+	counts := make([][]uint32, workers)
+	bounds := make([]int, workers+1)
+	for w := 1; w < workers; w++ {
+		bounds[w] = w * len(edges) / workers
+	}
+	bounds[workers] = len(edges)
+
+	// Pass 1: per-block source counting, one private array per worker.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := make([]uint32, v)
+			for _, e := range edges[bounds[w]:bounds[w+1]] {
+				c[e.src]++
+			}
+			counts[w] = c
+		}(w)
+	}
+	wg.Wait()
+
+	// Per-source totals (parallel over vertex ranges)...
+	chunk := (v + workers - 1) / workers
+	forChunks := func(fn func(lo, hi int)) {
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > v {
+				hi = v
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				fn(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	forChunks(func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			var t uint64
+			for w := 0; w < workers; w++ {
+				t += uint64(counts[w][s])
+			}
+			g.RowPtr[s+1] = t
+		}
+	})
+	// ...then the sequential prefix sum (O(V), the only serial stage)...
+	for i := 0; i < v; i++ {
+		g.RowPtr[i+1] += g.RowPtr[i]
+	}
+	// ...and the count→cursor conversion: counts[w][s] becomes block w's
+	// first slot of source s's adjacency run.
+	forChunks(func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			run := uint32(g.RowPtr[s])
+			for w := 0; w < workers; w++ {
+				c := counts[w][s]
+				counts[w][s] = run
+				run += c
+			}
+		}
+	})
+
+	// Pass 2: each block scatters into its own precomputed slots.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cur := counts[w]
+			for _, e := range edges[bounds[w]:bounds[w+1]] {
+				i := cur[e.src]
+				cur[e.src]++
+				g.Col[i] = e.dst
+				g.Weight[i] = e.w
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // RMATConfig parameterizes the graph500 recursive-matrix generator.
 type RMATConfig struct {
 	// Scale: the graph has 2^Scale vertices.
@@ -140,6 +266,10 @@ type RMATConfig struct {
 	A, B, C float64
 	// Seed makes generation reproducible.
 	Seed int64
+	// Workers, when non-nil, lends extra workers to the CSR build (the
+	// edge RNG stream stays sequential, so the generated graph is
+	// bit-identical at any worker count; only wall-clock changes).
+	Workers *runner.Budget
 }
 
 // DefaultRMAT returns the graph500 parameters at the given scale.
@@ -168,7 +298,7 @@ func GenerateRMAT(cfg RMATConfig) (*Graph, error) {
 		src, dst := rmatEdge(rng, cfg)
 		edges[i] = edgeTuple{src: src, dst: dst, w: 1 + 63*rng.Float32()}
 	}
-	g := fromEdges(fmt.Sprintf("rmat-%d", cfg.Scale), v, edges, false, 0, 0)
+	g := fromEdges(fmt.Sprintf("rmat-%d", cfg.Scale), v, edges, false, 0, 0, cfg.Workers)
 	return g, nil
 }
 
@@ -201,6 +331,9 @@ type BipartiteConfig struct {
 	Edges int
 	// Skew is the R-MAT scale used to draw the skewed user/item indexes.
 	Skew RMATConfig
+	// Workers lends extra workers to the CSR build (see
+	// RMATConfig.Workers; the rating RNG stream stays sequential).
+	Workers *runner.Budget
 }
 
 // GenerateBipartite builds a user→item graph: each R-MAT edge's endpoints
@@ -222,7 +355,7 @@ func GenerateBipartite(cfg BipartiteConfig) (*Graph, error) {
 		edges[i] = edgeTuple{src: u, dst: m, w: float32(1 + rng.Intn(5))}
 	}
 	v := cfg.Users + cfg.Items
-	g := fromEdges(fmt.Sprintf("bipartite-%dx%d", cfg.Users, cfg.Items), v, edges, true, cfg.Users, cfg.Items)
+	g := fromEdges(fmt.Sprintf("bipartite-%dx%d", cfg.Users, cfg.Items), v, edges, true, cfg.Users, cfg.Items, cfg.Workers)
 	return g, nil
 }
 

@@ -113,32 +113,38 @@ func (c *Controller) channel(pa addr.PA) int {
 	return int((uint64(pa) >> c.cfg.InterleaveShift) % uint64(c.cfg.Channels))
 }
 
+// timing computes the service timing of an access to pa at time `now`:
+// the channel it lands on, the cycle its burst can begin (after any
+// queued burst drains) and its completion time. Access and Peek both
+// price through this one function, so the reserving and non-reserving
+// models can never drift apart.
+func (c *Controller) timing(pa addr.PA, now uint64) (ch int, start, done uint64) {
+	ch = c.channel(pa)
+	start = now
+	if b := c.busyUntil[ch]; b > start {
+		start = b
+	}
+	return ch, start, start + c.cfg.BurstCycles + c.cfg.FixedLatencyCycles
+}
+
 // Access issues a 64 B read or write of the line containing pa at time
 // `now` (in cycles) and returns the completion time. The channel is
 // occupied for BurstCycles; the data arrives FixedLatencyCycles after the
 // burst begins.
 func (c *Controller) Access(pa addr.PA, now uint64) uint64 {
-	ch := c.channel(pa)
-	start := now
-	if b := c.busyUntil[ch]; b > start {
-		start = b
-	}
+	ch, start, done := c.timing(pa, now)
 	c.busyUntil[ch] = start + c.cfg.BurstCycles
 	c.accesses++
 	c.waitSum += start - now
-	return start + c.cfg.BurstCycles + c.cfg.FixedLatencyCycles
+	return done
 }
 
 // Peek returns the completion time an access to pa would observe at `now`
 // without actually reserving channel bandwidth. Used by models that only
 // need a latency estimate.
 func (c *Controller) Peek(pa addr.PA, now uint64) uint64 {
-	ch := c.channel(pa)
-	start := now
-	if b := c.busyUntil[ch]; b > start {
-		start = b
-	}
-	return start + c.cfg.BurstCycles + c.cfg.FixedLatencyCycles
+	_, _, done := c.timing(pa, now)
+	return done
 }
 
 // Reset clears channel state and statistics.

@@ -75,8 +75,8 @@ func TestTLBRoundTripAllPageSizes(t *testing.T) {
 		tlb := MustNewTLB(TLBConfig{Entries: 16, Ways: 4, PageSize: ps})
 		rng := rand.New(rand.NewSource(int64(ps)))
 		for i := 0; i < 200; i++ {
-			base := addr.VA(uint64(rng.Intn(1 << 16)) * ps)
-			pa := addr.PA(uint64(rng.Intn(1 << 16)) * ps)
+			base := addr.VA(uint64(rng.Intn(1<<16)) * ps)
+			pa := addr.PA(uint64(rng.Intn(1<<16)) * ps)
 			off := rng.Uint64() % ps
 			tlb.Insert(base, pa, addr.ReadWrite)
 			got, perm, hit := tlb.Lookup(base + addr.VA(off))

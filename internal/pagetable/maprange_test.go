@@ -1,0 +1,74 @@
+package pagetable
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+)
+
+// TestMapRangeMatchesPerPageMap pins the memoized-descent fast path to
+// the per-page reference: the resulting trees must be deeply identical —
+// including every node's simulated PA, i.e. the node-allocation order —
+// across page sizes, multi-node ranges and pre-existing state.
+func TestMapRangeMatchesPerPageMap(t *testing.T) {
+	type op struct {
+		r        addr.VRange
+		pa       addr.PA
+		pageSize uint64
+	}
+	cases := []struct {
+		name string
+		ops  []op
+	}{
+		{"single node", []op{{addr.VRange{Start: 0x1000, Size: 64 << 12}, 0x1000, addr.PageSize4K}}},
+		{"multi node 4K", []op{{addr.VRange{Start: 0x1ff000, Size: 5 << 20}, 0x1ff000, addr.PageSize4K}}},
+		{"huge 2M", []op{{addr.VRange{Start: 3 << 21, Size: 700 << 21}, addr.PA(3 << 21), addr.PageSize2M}}},
+		{"disjoint ranges", []op{
+			{addr.VRange{Start: 0x40000000, Size: 2 << 20}, 0x40000000, addr.PageSize4K},
+			{addr.VRange{Start: 0x200000000, Size: 3 << 20}, 0x1000000, addr.PageSize4K},
+			{addr.VRange{Start: 0x80000000, Size: 4 << 21}, 0x80000000, addr.PageSize2M},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fast := MustNew(Config{})
+			ref := MustNew(Config{})
+			for _, o := range tc.ops {
+				if err := fast.MapRange(o.r, o.pa, addr.ReadWrite, o.pageSize); err != nil {
+					t.Fatal(err)
+				}
+				for off := uint64(0); off < o.r.Size; off += o.pageSize {
+					if err := ref.Map(o.r.Start+addr.VA(off), o.pa+addr.PA(off), addr.ReadWrite, o.pageSize); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if !reflect.DeepEqual(fast.Root(), ref.Root()) {
+				t.Fatal("MapRange tree differs from per-page Map tree")
+			}
+			if fast.nextPA != ref.nextPA {
+				t.Fatalf("node allocation diverged: nextPA %#x vs %#x", fast.nextPA, ref.nextPA)
+			}
+		})
+	}
+}
+
+// TestMapRangeErrorsMatchMap: conflicting mappings must fail the same
+// way through the fast path as through per-page Map.
+func TestMapRangeErrorsMatchMap(t *testing.T) {
+	tbl := MustNew(Config{})
+	if err := tbl.Map(2<<21, 2<<21, addr.ReadWrite, addr.PageSize2M); err != nil {
+		t.Fatal(err)
+	}
+	// The 4K range descends into the huge leaf's span: must error like Map.
+	err := tbl.MapRange(addr.VRange{Start: 2 << 21, Size: 1 << 12}, 0, addr.ReadOnly, addr.PageSize4K)
+	if err == nil {
+		t.Fatal("MapRange over a huge leaf did not fail")
+	}
+	// Misaligned start must take the per-page path and report alignment.
+	err = MustNew(Config{}).MapRange(addr.VRange{Start: 0x800, Size: 1 << 12}, 0, addr.ReadOnly, addr.PageSize4K)
+	if err == nil {
+		t.Fatal("misaligned MapRange did not fail")
+	}
+}

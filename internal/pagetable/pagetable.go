@@ -215,6 +215,17 @@ func (t *Table) Map(va addr.VA, pa addr.PA, perm addr.Perm, pageSize uint64) err
 	if va >= addr.MaxVA && t.cfg.Levels == 4 {
 		return fmt.Errorf("pagetable: va %#x beyond 48-bit space", uint64(va))
 	}
+	n, err := t.descendFor(va, leafLevel)
+	if err != nil {
+		return err
+	}
+	return t.installLeaf(n, va, pa, perm, leafLevel, pageSize)
+}
+
+// descendFor returns the node at leafLevel covering va, creating missing
+// interior nodes and expanding covering PEs exactly as a mapping walk
+// does.
+func (t *Table) descendFor(va addr.VA, leafLevel int) (*Node, error) {
 	n := t.root
 	for n.Level > leafLevel {
 		i := indexAt(va, n.Level)
@@ -226,10 +237,16 @@ func (t *Table) Map(va addr.VA, pa addr.PA, perm addr.Perm, pageSize uint64) err
 		case EntryPE:
 			t.expandPE(n, i)
 		case EntryLeaf:
-			return fmt.Errorf("pagetable: %#x already mapped by a level-%d leaf", uint64(va), n.Level)
+			return nil, fmt.Errorf("pagetable: %#x already mapped by a level-%d leaf", uint64(va), n.Level)
 		}
-		n = n.Entries[indexAt(va, n.Level)].Next
+		n = n.Entries[i].Next
 	}
+	return n, nil
+}
+
+// installLeaf writes the leaf entry for va into node n (already at the
+// leaf level).
+func (t *Table) installLeaf(n *Node, va addr.VA, pa addr.PA, perm addr.Perm, leafLevel int, pageSize uint64) error {
 	i := indexAt(va, leafLevel)
 	e := &n.Entries[i]
 	switch e.Kind {
@@ -246,12 +263,46 @@ func (t *Table) Map(va addr.VA, pa addr.PA, perm addr.Perm, pageSize uint64) err
 
 // MapRange maps the virtual range r to physical memory starting at pa using
 // pages of pageSize. r.Start, pa and r.Size must all be pageSize-aligned.
+//
+// The loop memoizes the current leaf-level node: consecutive pages land
+// in the same node 511 times out of 512, so the root-to-leaf descent
+// runs only on node boundaries instead of per page. Node-allocation
+// order — and with it every node's simulated PA — is identical to
+// per-page Map calls, because descents still happen in ascending VA
+// order and create exactly the missing interior nodes top-down.
 func (t *Table) MapRange(r addr.VRange, pa addr.PA, perm addr.Perm, pageSize uint64) error {
 	if !addr.IsAligned(r.Size, pageSize) {
 		return fmt.Errorf("pagetable: range size %#x not aligned to page size %d", r.Size, pageSize)
 	}
+	leafLevel := leafLevelFor(pageSize)
+	if leafLevel == 0 || !addr.IsAligned(uint64(r.Start), pageSize) || !addr.IsAligned(uint64(pa), pageSize) {
+		// Per-page Map reports the precise error for malformed inputs.
+		for off := uint64(0); off < r.Size; off += pageSize {
+			if err := t.Map(r.Start+addr.VA(off), pa+addr.PA(off), perm, pageSize); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	nodeSpan := entrySpan(leafLevel) * EntriesPerNode
+	var (
+		n    *Node
+		base uint64
+	)
 	for off := uint64(0); off < r.Size; off += pageSize {
-		if err := t.Map(r.Start+addr.VA(off), pa+addr.PA(off), perm, pageSize); err != nil {
+		va := r.Start + addr.VA(off)
+		if va >= addr.MaxVA && t.cfg.Levels == 4 {
+			return fmt.Errorf("pagetable: va %#x beyond 48-bit space", uint64(va))
+		}
+		if n == nil || uint64(va)-base >= nodeSpan {
+			var err error
+			n, err = t.descendFor(va, leafLevel)
+			if err != nil {
+				return err
+			}
+			base = addr.AlignDown(uint64(va), nodeSpan)
+		}
+		if err := t.installLeaf(n, va, pa+addr.PA(off), perm, leafLevel, pageSize); err != nil {
 			return err
 		}
 	}

@@ -69,12 +69,22 @@ type Options struct {
 	// inputs. Callers regenerating several artifacts should pass one
 	// cache to all of them.
 	Prepared *core.PreparedCache
+	// Workers, when non-nil, is the shared extra-worker pool bounding
+	// *all* concurrency of the invocation: cell-level workers hold its
+	// tokens (via runner.MapB) and inside each cell the engine's trace
+	// generators, parallel CSR builds and page-table construction borrow
+	// from the same pool — so one -j value never oversubscribes the
+	// machine. Nil preserves the plain per-level Jobs semantics; results
+	// are byte-identical either way. Commands set it to
+	// runner.BudgetFor(jobs).
+	Workers *runner.Budget
 }
 
 // prepare resolves a workload through the shared cache when one is
-// configured (a nil cache degrades to plain core.Prepare).
+// configured (a nil cache degrades to plain core.Prepare), lending the
+// shared worker pool to the deterministic parts of generation.
 func (o Options) prepare(w core.Workload) (*core.Prepared, error) {
-	return o.Prepared.Prepare(w)
+	return o.Prepared.PrepareB(w, o.Workers)
 }
 
 // progressFor returns a per-cell completion logger over total cells,
@@ -93,6 +103,7 @@ func (o Options) progressFor(total int) Progress {
 func (o Options) system(prof core.Profile) core.SystemConfig {
 	cfg := prof.SystemConfig()
 	cfg.Tracer = o.Tracer
+	cfg.Workers = o.Workers
 	return cfg
 }
 
@@ -120,7 +131,7 @@ func Figure2(prof core.Profile, w io.Writer, opts Options) error {
 		"Workload", "Input", "4K miss", "2M miss", "4K lookups", "2M lookups")
 	wls := prof.Workloads()
 	progress := opts.progressFor(len(wls))
-	rows, err := runner.Map(context.Background(), opts.Jobs, len(wls), func(_ context.Context, i int) (core.Figure2Row, error) {
+	rows, err := runner.MapB(context.Background(), opts.Workers, opts.Jobs, len(wls), func(_ context.Context, i int) (core.Figure2Row, error) {
 		p, err := opts.prepare(wls[i])
 		if err != nil {
 			return core.Figure2Row{}, err
@@ -171,7 +182,7 @@ func Table1(prof core.Profile, w io.Writer, opts Options) error {
 		}
 	}
 	progress := opts.progressFor(len(wls))
-	rows, err := runner.Map(context.Background(), opts.Jobs, len(wls), func(_ context.Context, i int) (core.Table1Row, error) {
+	rows, err := runner.MapB(context.Background(), opts.Workers, opts.Jobs, len(wls), func(_ context.Context, i int) (core.Table1Row, error) {
 		p, err := opts.prepare(wls[i])
 		if err != nil {
 			return core.Table1Row{}, err
@@ -201,7 +212,7 @@ func Table3(prof core.Profile, w io.Writer, opts Options) error {
 		"Graph", "Vertices", "Edges", "Heap (paper)", "V (scaled)", "E (scaled)")
 	progress := opts.progressFor(len(graph.Datasets))
 	type scaled struct{ v, e int }
-	rows, err := runner.Map(context.Background(), opts.Jobs, len(graph.Datasets), func(_ context.Context, i int) (scaled, error) {
+	rows, err := runner.MapB(context.Background(), opts.Workers, opts.Jobs, len(graph.Datasets), func(_ context.Context, i int) (scaled, error) {
 		d := graph.Datasets[i]
 		g, err := d.Generate(prof.Scale, 42)
 		if err != nil {
@@ -249,7 +260,7 @@ func Figure8And9(prof core.Profile, w io.Writer, opts Options) error {
 	// Parallelism is across cells; each cell runs its seven modes
 	// sequentially so a full sweep never has more than Jobs runs in
 	// flight.
-	cells, err := runner.Map(context.Background(), opts.Jobs, len(wls), func(ctx context.Context, i int) (pair, error) {
+	cells, err := runner.MapB(context.Background(), opts.Workers, opts.Jobs, len(wls), func(ctx context.Context, i int) (pair, error) {
 		p, err := opts.prepare(wls[i])
 		if err != nil {
 			return pair{}, err
@@ -328,7 +339,7 @@ func Table4(w io.Writer, opts Options) error {
 		}
 	}
 	progress := opts.progressFor(len(cellsIn))
-	pcts, err := runner.Map(context.Background(), opts.Jobs, len(cellsIn), func(_ context.Context, i int) (float64, error) {
+	pcts, err := runner.MapB(context.Background(), opts.Workers, opts.Jobs, len(cellsIn), func(_ context.Context, i int) (float64, error) {
 		c := cellsIn[i]
 		r, err := shbench.Run(c.exp, c.mem)
 		if err != nil {
@@ -364,7 +375,7 @@ func Figure10(w io.Writer, opts Options) error {
 		"Figure 10: CPU VM overheads vs ideal (paper avgs: 4K 29%, THP 13%, cDVM ~5%; xsbench 4K 84%)",
 		"Workload", "4K", "THP", "cDVM")
 	progress := opts.progressFor(len(cpu.Workloads))
-	rows, err := runner.Map(context.Background(), opts.Jobs, len(cpu.Workloads), func(_ context.Context, i int) (cpu.Result, error) {
+	rows, err := runner.MapB(context.Background(), opts.Workers, opts.Jobs, len(cpu.Workloads), func(_ context.Context, i int) (cpu.Result, error) {
 		r, err := cpu.Run(cpu.Workloads[i], cpu.Config{})
 		if err != nil {
 			return cpu.Result{}, err
@@ -470,7 +481,7 @@ func Ablations(prof core.Profile, w io.Writer, opts Options) error {
 	tf := results.NewTable(
 		fmt.Sprintf("Ablation A: PE fan-out (PageRank/Wiki, profile %s, DVM-PE)", prof.Name),
 		"PE fields", "Normalized time", "AVC hit rate", "Page table")
-	fanRows, err := runner.Map(context.Background(), opts.Jobs, len(fanouts), func(_ context.Context, i int) (core.RunResult, error) {
+	fanRows, err := runner.MapB(context.Background(), opts.Workers, opts.Jobs, len(fanouts), func(_ context.Context, i int) (core.RunResult, error) {
 		cfg := opts.system(prof)
 		cfg.PEFields = fanouts[i]
 		r, err := p.Run(core.ModeDVMPE, cfg)
@@ -507,7 +518,7 @@ func Ablations(prof core.Profile, w io.Writer, opts Options) error {
 	ts := results.NewTable(
 		fmt.Sprintf("Ablation B: AVC capacity (PageRank/Wiki, profile %s, DVM-PE, direct-mapped below 256 B)", prof.Name),
 		"AVC bytes", "Normalized time", "AVC hit rate")
-	capRows, err := runner.Map(context.Background(), opts.Jobs, len(capacities), func(_ context.Context, i int) (core.RunResult, error) {
+	capRows, err := runner.MapB(context.Background(), opts.Workers, opts.Jobs, len(capacities), func(_ context.Context, i int) (core.RunResult, error) {
 		capBytes := capacities[i]
 		cfg := opts.system(prof)
 		cfg.AVC.CapacityBytes = capBytes
@@ -549,7 +560,7 @@ func Ablations(prof core.Profile, w io.Writer, opts Options) error {
 	tl := results.NewTable(
 		fmt.Sprintf("Ablation C: caching leaf PTE lines in the 1 KB walker cache (PageRank/Wiki, profile %s)", prof.Name),
 		"Mode", "Leaf lines", "Normalized time", "Walker-cache hit rate")
-	togRows, err := runner.Map(context.Background(), opts.Jobs, len(toggles), func(_ context.Context, i int) (core.RunResult, error) {
+	togRows, err := runner.MapB(context.Background(), opts.Workers, opts.Jobs, len(toggles), func(_ context.Context, i int) (core.RunResult, error) {
 		x := toggles[i]
 		cfg := opts.system(prof)
 		if x.mode == core.ModeConv4K {
@@ -596,7 +607,7 @@ func Virtualization(w io.Writer, opts Options) error {
 		{virt.SchemeFullDVM, "DVM", "none (gVA==sPA)"},
 	}
 	progress := opts.progressFor(len(rows))
-	res, err := runner.Map(context.Background(), opts.Jobs, len(rows), func(_ context.Context, i int) (virt.Result, error) {
+	res, err := runner.MapB(context.Background(), opts.Workers, opts.Jobs, len(rows), func(_ context.Context, i int) (virt.Result, error) {
 		r, err := virt.Measure(rows[i].scheme, virt.Config{}, 200_000, 7)
 		if err != nil {
 			return virt.Result{}, err

@@ -1,0 +1,81 @@
+package runner
+
+import "sync/atomic"
+
+// Budget is the shared worker-token pool that makes one -j value govern
+// *all* parallelism of a harness invocation. The paper harness has two
+// nested levels of concurrency: cell-level workers (independent
+// simulations of the evaluation matrix, fanned out by Map/MapB) and
+// intra-run workers (the accelerator engine's trace generators and the
+// parallel parts of workload preparation). Both draw "extra worker"
+// tokens from the same Budget, so a -j 8 sweep never runs more than 8
+// compute goroutines at once: when the matrix is wide the tokens are
+// spent on cells, and as the tail drains the freed tokens migrate into
+// the remaining cells' engines.
+//
+// A Budget holds the number of *extra* workers beyond the calling
+// goroutine: NewBudget(0) (or a nil *Budget) means strictly sequential
+// execution everywhere, reproducing -j 1 bit-for-bit. Acquisition is
+// non-blocking — callers that get no tokens run inline — so the pool can
+// never deadlock, and because every simulation is deterministic
+// regardless of worker count, how tokens happen to be distributed never
+// changes any result, only wall-clock time.
+type Budget struct {
+	free atomic.Int64
+}
+
+// NewBudget returns a pool of n extra-worker tokens (n <= 0 yields an
+// always-empty pool, equivalent to a nil Budget).
+func NewBudget(n int) *Budget {
+	b := &Budget{}
+	if n > 0 {
+		b.free.Store(int64(n))
+	}
+	return b
+}
+
+// BudgetFor derives the extra-worker pool for a -j style jobs knob:
+// DefaultJobs(jobs)-1 tokens, the caller's own goroutine being the
+// remaining worker (so -j 1 gets an empty pool and -j 0 gets one token
+// per CPU beyond the first).
+func BudgetFor(jobs int) *Budget {
+	return NewBudget(DefaultJobs(jobs) - 1)
+}
+
+// TryAcquire grabs up to max tokens without blocking and returns how many
+// it got (possibly zero). A nil Budget always returns zero.
+func (b *Budget) TryAcquire(max int) int {
+	if b == nil || max <= 0 {
+		return 0
+	}
+	for {
+		cur := b.free.Load()
+		if cur <= 0 {
+			return 0
+		}
+		n := int64(max)
+		if n > cur {
+			n = cur
+		}
+		if b.free.CompareAndSwap(cur, cur-n) {
+			return int(n)
+		}
+	}
+}
+
+// Release returns n previously acquired tokens to the pool. A nil Budget
+// ignores the call (TryAcquire on nil never hands tokens out).
+func (b *Budget) Release(n int) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.free.Add(int64(n))
+}
+
+// Free reports the tokens currently available (for tests and metrics).
+func (b *Budget) Free() int {
+	if b == nil {
+		return 0
+	}
+	return int(b.free.Load())
+}

@@ -1,0 +1,163 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBudgetBasics(t *testing.T) {
+	b := NewBudget(3)
+	if got := b.TryAcquire(2); got != 2 {
+		t.Fatalf("TryAcquire(2) = %d, want 2", got)
+	}
+	if got := b.TryAcquire(5); got != 1 {
+		t.Fatalf("TryAcquire(5) = %d, want the remaining 1", got)
+	}
+	if got := b.TryAcquire(1); got != 0 {
+		t.Fatalf("TryAcquire on empty pool = %d, want 0", got)
+	}
+	b.Release(3)
+	if got := b.Free(); got != 3 {
+		t.Fatalf("Free() = %d after full release, want 3", got)
+	}
+	if got := b.TryAcquire(0); got != 0 {
+		t.Fatalf("TryAcquire(0) = %d, want 0", got)
+	}
+}
+
+func TestBudgetNilSafe(t *testing.T) {
+	var b *Budget
+	if got := b.TryAcquire(4); got != 0 {
+		t.Fatalf("nil TryAcquire = %d, want 0", got)
+	}
+	b.Release(2) // must not panic
+	if got := b.Free(); got != 0 {
+		t.Fatalf("nil Free = %d, want 0", got)
+	}
+}
+
+func TestBudgetFor(t *testing.T) {
+	if got := BudgetFor(8).Free(); got != 7 {
+		t.Errorf("BudgetFor(8) = %d tokens, want 7", got)
+	}
+	if got := BudgetFor(1).Free(); got != 0 {
+		t.Errorf("BudgetFor(1) = %d tokens, want 0", got)
+	}
+	if got := BudgetFor(0).Free(); got != DefaultJobs(0)-1 {
+		t.Errorf("BudgetFor(0) = %d tokens, want GOMAXPROCS-1", got)
+	}
+}
+
+// TestBudgetConservation hammers acquire/release from many goroutines and
+// checks no tokens are ever minted or lost.
+func TestBudgetConservation(t *testing.T) {
+	const tokens = 7
+	b := NewBudget(tokens)
+	var inUse, maxSeen atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				n := b.TryAcquire(1 + (i+w)%3)
+				if n == 0 {
+					continue
+				}
+				cur := inUse.Add(int64(n))
+				for {
+					m := maxSeen.Load()
+					if cur <= m || maxSeen.CompareAndSwap(m, cur) {
+						break
+					}
+				}
+				inUse.Add(-int64(n))
+				b.Release(n)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := b.Free(); got != tokens {
+		t.Errorf("pool ends with %d tokens, want %d", got, tokens)
+	}
+	if m := maxSeen.Load(); m > tokens {
+		t.Errorf("saw %d tokens in use at once, cap is %d", m, tokens)
+	}
+}
+
+// TestMapBMatchesMap: MapB must produce byte-identical results to Map for
+// any budget population, including an empty pool (inline sequential).
+func TestMapBMatchesMap(t *testing.T) {
+	ctx := context.Background()
+	fn := func(_ context.Context, i int) (string, error) {
+		return fmt.Sprintf("cell-%02d", i*i), nil
+	}
+	want, err := Map(ctx, 1, 20, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tokens := range []int{0, 1, 3, 50} {
+		got, err := MapB(ctx, NewBudget(tokens), 8, 20, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("budget %d: results diverge", tokens)
+		}
+	}
+}
+
+// TestMapBReleasesTokens: after MapB returns, every borrowed token is back.
+func TestMapBReleasesTokens(t *testing.T) {
+	b := NewBudget(4)
+	_, err := MapB(context.Background(), b, 8, 32, func(_ context.Context, i int) (int, error) {
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Free(); got != 4 {
+		t.Errorf("budget has %d tokens after MapB, want 4", got)
+	}
+}
+
+// TestMapBNestedSharing: nested MapB calls drawing on one pool must never
+// exceed the pool's worker cap (1 outer caller + tokens extras).
+func TestMapBNestedSharing(t *testing.T) {
+	const tokens = 3
+	b := NewBudget(tokens)
+	var running, maxSeen atomic.Int64
+	body := func(ctx context.Context, _ int) (int, error) {
+		cur := running.Add(1)
+		for {
+			m := maxSeen.Load()
+			if cur <= m || maxSeen.CompareAndSwap(m, cur) {
+				break
+			}
+		}
+		for i := 0; i < 1000; i++ { // linger so overlaps are observable
+			_ = i
+		}
+		running.Add(-1)
+		return 0, nil
+	}
+	_, err := MapB(context.Background(), b, 8, 6, func(ctx context.Context, i int) (int, error) {
+		_, err := MapB(ctx, b, 8, 10, body)
+		return 0, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worker ceiling: the caller plus one goroutine per token. (Inner
+	// bodies run on outer workers, so outer workers don't add on top.)
+	if m := maxSeen.Load(); m > tokens+1 {
+		t.Errorf("saw %d concurrent bodies, cap is %d", m, tokens+1)
+	}
+	if got := b.Free(); got != tokens {
+		t.Errorf("budget has %d tokens after nested MapB, want %d", got, tokens)
+	}
+}

@@ -36,6 +36,21 @@ func DefaultJobs(jobs int) int {
 // several workers fail concurrently, the error of the smallest index is
 // returned, so the reported failure is deterministic across runs.
 func Map[T any](ctx context.Context, jobs, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapB(ctx, nil, jobs, n, fn)
+}
+
+// MapB is Map drawing its workers beyond the first from the shared
+// Budget: one worker always runs (on its own goroutine, claiming cells
+// in index order), and one extra worker is spawned per token available —
+// up to jobs-1 — each returning its token when it runs out of cells, so
+// tail-end tokens migrate to whatever still needs them (other artifacts,
+// or the intra-run workers of the remaining cells). A nil budget grants
+// every requested worker, reproducing plain Map.
+//
+// Results are collected by cell index, never by completion order, so —
+// like Map — the output is byte-identical at every jobs value and every
+// budget population.
+func MapB[T any](ctx context.Context, b *Budget, jobs, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("runner: negative cell count %d", n)
 	}
@@ -46,6 +61,11 @@ func Map[T any](ctx context.Context, jobs, n int, fn func(ctx context.Context, i
 	jobs = DefaultJobs(jobs)
 	if jobs > n {
 		jobs = n
+	}
+	extra := 0
+	if jobs > 1 && b != nil {
+		extra = b.TryAcquire(jobs - 1)
+		jobs = 1 + extra
 	}
 	if jobs == 1 {
 		for i := 0; i < n; i++ {
@@ -73,8 +93,14 @@ func Map[T any](ctx context.Context, jobs, n int, fn func(ctx context.Context, i
 	)
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
+		// Workers beyond the first each hold one budget token; it goes
+		// back to the pool the moment the worker finds no more cells.
+		borrowed := w > 0 && b != nil
 		go func() {
 			defer wg.Done()
+			if borrowed {
+				defer b.Release(1)
+			}
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n || ctx.Err() != nil {
