@@ -36,13 +36,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"sort"
+	"syscall"
 	"testing"
 	"time"
 
@@ -120,8 +124,18 @@ func main() {
 		lg.Exitf(2, "%v", err)
 	}
 
-	m, err := measure(prof, *label, *jobs, lg)
+	// Ctrl-C cancels the measurement sweep; nothing is written (a
+	// partial trajectory would poison later comparisons), so the
+	// committed file is only ever replaced atomically and completely.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	m, err := measure(ctx, prof, *label, *jobs, lg)
 	if err != nil {
+		if ctx.Err() != nil {
+			lg.Statusf("interrupted; no file written")
+			os.Exit(130)
+		}
 		lg.Exitf(1, "%v", err)
 	}
 
@@ -190,7 +204,7 @@ func artifacts(prof core.Profile, opts report.Options) []struct {
 // measure runs the suite: every artifact end-to-end at -j jobs (default
 // 1: stable, comparable across runs and against committed files), then
 // the micro-benchmarks (always sequential).
-func measure(prof core.Profile, label string, jobs int, lg *obs.Logger) (*Measurement, error) {
+func measure(ctx context.Context, prof core.Profile, label string, jobs int, lg *obs.Logger) (*Measurement, error) {
 	jobs = runner.DefaultJobs(jobs)
 	m := &Measurement{
 		Label:            label,
@@ -202,6 +216,7 @@ func measure(prof core.Profile, label string, jobs int, lg *obs.Logger) (*Measur
 		Benchmarks:       map[string]BenchResult{},
 	}
 	opts := report.Options{
+		Ctx:      ctx,
 		Jobs:     jobs,
 		Workers:  runner.BudgetFor(jobs),
 		Metrics:  &obs.Collector{},
@@ -367,10 +382,35 @@ func load(path string) (*File, error) {
 	return &f, nil
 }
 
+// write replaces the trajectory file atomically (temp file + rename in
+// the same directory), so an interrupt mid-write can never leave a
+// truncated JSON file behind for the CI gate to choke on.
 func write(path string, f *File) error {
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }

@@ -6,6 +6,7 @@
 //
 //	dvmrepro [-profile tiny|small|medium|paper] [-j N]
 //	         [-only fig2,table1,table3,fig8,fig9,table4,fig10,table5,ablations,virt]
+//	         [-checkpoint file [-resume]] [-chaos-rate p -chaos-seed N]
 //	         [-metrics file] [-trace file] [-trace-mask comps] [-pprof addr] [-q]
 //
 // With no -only flag every artifact is regenerated in paper order. Output
@@ -15,6 +16,16 @@
 // rendered table is byte-identical at any -j (-j 1 reproduces the
 // sequential sweep exactly).
 //
+// Resilience: -checkpoint persists every completed experiment cell to a
+// JSONL file; Ctrl-C (or SIGTERM) cancels the sweep cleanly, flushes the
+// checkpoint plus a partial -metrics snapshot, and exits 130. Rerunning
+// with -resume skips the finished cells and renders final tables
+// byte-identical to an uninterrupted run. -chaos-rate arms deterministic
+// seeded fault injection (allocation failures, corrupted PTEs, truncated
+// walks, bad PE permissions, memory latency spikes) in every simulation;
+// -chaos-seed fixes the fault schedule, so two runs with the same seed
+// report identical chaos.* counters and identical typed errors.
+//
 // Observability: -metrics writes the merged per-run counter registry
 // snapshot as JSON (byte-identical at any -j — snapshots merge by
 // commutative sum); -trace writes a JSONL event trace bounded by
@@ -23,13 +34,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
+	"github.com/dvm-sim/dvm/internal/chaos"
 	"github.com/dvm-sim/dvm/internal/core"
 	"github.com/dvm-sim/dvm/internal/obs"
 	"github.com/dvm-sim/dvm/internal/report"
@@ -47,9 +62,13 @@ func main() {
 	flag.BoolVar(quiet, "q", false, "shorthand for -quiet")
 	metricsPath := flag.String("metrics", "", "write the merged metrics-registry snapshot as JSON to this file")
 	tracePath := flag.String("trace", "", "write a JSONL event trace to this file (see -trace-mask, -trace-cap)")
-	traceMask := flag.String("trace-mask", "all", "comma-separated components to trace: iommu,tlb,pwc,avc,bmcache,bitmap,engine or 'all'")
+	traceMask := flag.String("trace-mask", "all", "comma-separated components to trace: iommu,tlb,pwc,avc,bmcache,bitmap,engine,chaos or 'all'")
 	traceCap := flag.Int("trace-cap", 0, "event ring capacity (0 = default 65536; older events are overwritten)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	ckPath := flag.String("checkpoint", "", "persist completed experiment cells to this JSONL file (enables -resume)")
+	resume := flag.Bool("resume", false, "with -checkpoint: skip cells a previous interrupted run completed")
+	chaosRate := flag.Float64("chaos-rate", 0, "fault-injection probability per injection site (0 disables; results are not paper artifacts)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection PRNG seed (fixed seed = deterministic fault schedule)")
 	flag.Parse()
 
 	lg := obs.NewLogger(os.Stderr, "dvmrepro", *quiet)
@@ -64,7 +83,13 @@ func main() {
 		lg.Exitf(2, "%v", err)
 	}
 
-	opts := report.Options{Jobs: *jobs, Metrics: &obs.Collector{}, Prepared: core.NewPreparedCache(), Workers: runner.BudgetFor(*jobs)}
+	// Ctrl-C / SIGTERM cancels the sweep through the context: workers
+	// stop claiming cells, completed cells are already checkpointed, and
+	// the partial metrics snapshot is flushed before exiting 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := report.Options{Ctx: ctx, Jobs: *jobs, Metrics: &obs.Collector{}, Prepared: core.NewPreparedCache(), Workers: runner.BudgetFor(*jobs)}
 	if !lg.Quiet() {
 		opts.Progress = lg.Statusf
 	}
@@ -76,6 +101,29 @@ func main() {
 		}
 		tracer = obs.NewTracer(*traceCap, mask)
 		opts.Tracer = tracer
+	}
+	// The checkpoint identity includes the chaos configuration: cells
+	// simulated under fault injection must never satisfy a clean run's
+	// resume (or vice versa).
+	ckProfile := prof.Name
+	if *chaosRate > 0 {
+		opts.Chaos = &chaos.Config{Seed: *chaosSeed, Rate: *chaosRate}
+		ckProfile = fmt.Sprintf("%s+chaos(seed=%d,rate=%g)", prof.Name, *chaosSeed, *chaosRate)
+		lg.Statusf("chaos armed: seed %d rate %g (outputs are not paper artifacts)", *chaosSeed, *chaosRate)
+	}
+	if *resume && *ckPath == "" {
+		lg.Exitf(2, "-resume requires -checkpoint")
+	}
+	var ck *core.Checkpoint
+	if *ckPath != "" {
+		ck, err = core.OpenCheckpoint(*ckPath, ckProfile, *resume)
+		if err != nil {
+			lg.Exitf(1, "%v", err)
+		}
+		opts.Checkpoint = ck
+		if *resume && ck.Len() > 0 {
+			lg.Statusf("resuming from %s: %d completed cells restored", *ckPath, ck.Len())
+		}
 	}
 
 	known := map[string]bool{}
@@ -110,6 +158,33 @@ func main() {
 		}
 	}
 
+	// interrupted is the Ctrl-C epilogue: everything durable is flushed
+	// (completed cells are already on disk in the checkpoint; the partial
+	// metrics/trace snapshots are written now) and the process exits with
+	// the conventional 128+SIGINT status.
+	interrupted := func(name string) {
+		lg.Statusf("interrupted during %s", name)
+		if err := ck.Close(); err != nil {
+			lg.Statusf("checkpoint close: %v", err)
+		}
+		if *metricsPath != "" {
+			if err := writeMetrics(*metricsPath, opts.Metrics); err != nil {
+				lg.Statusf("partial metrics: %v", err)
+			} else {
+				lg.Statusf("partial metrics written to %s", *metricsPath)
+			}
+		}
+		if tracer != nil {
+			if err := writeTrace(*tracePath, tracer); err != nil {
+				lg.Statusf("partial trace: %v", err)
+			}
+		}
+		if *ckPath != "" {
+			lg.Statusf("%d completed cells checkpointed; rerun with -checkpoint %s -resume to continue", ck.Len(), *ckPath)
+		}
+		os.Exit(130)
+	}
+
 	run := func(name string, fn func() error) {
 		if !wanted[name] {
 			return
@@ -117,6 +192,9 @@ func main() {
 		start := time.Now()
 		lg.Statusf("== %s (profile %s)", name, prof.Name)
 		if err := fn(); err != nil {
+			if ctx.Err() != nil {
+				interrupted(name)
+			}
 			lg.Exitf(1, "%s: %v", name, err)
 		}
 		fmt.Println()
@@ -144,6 +222,9 @@ func main() {
 	run("ablations", func() error { return report.Ablations(prof, out, opts) })
 	run("virt", func() error { return report.Virtualization(out, opts) })
 
+	if err := ck.Close(); err != nil {
+		lg.Exitf(1, "checkpoint: %v", err)
+	}
 	if *metricsPath != "" {
 		if err := writeMetrics(*metricsPath, opts.Metrics); err != nil {
 			lg.Exitf(1, "%v", err)

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	dvmsim -alg PageRank -dataset Wiki [-mode DVM-PE+] [-profile small] [-seed 42] [-j N]
+//	       [-chaos-rate p -chaos-seed N]
 //	       [-metrics file] [-trace file] [-trace-mask comps] [-pprof addr] [-q]
 //
 // Omitting -mode runs all seven configurations and prints a comparison;
@@ -20,8 +21,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"github.com/dvm-sim/dvm/internal/chaos"
 	"github.com/dvm-sim/dvm/internal/core"
 	"github.com/dvm-sim/dvm/internal/graph"
 	"github.com/dvm-sim/dvm/internal/obs"
@@ -39,9 +43,11 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress status output")
 	metricsPath := flag.String("metrics", "", "write the merged metrics-registry snapshot as JSON to this file")
 	tracePath := flag.String("trace", "", "write a JSONL event trace to this file (see -trace-mask, -trace-cap)")
-	traceMask := flag.String("trace-mask", "all", "comma-separated components to trace: iommu,tlb,pwc,avc,bmcache,bitmap,engine or 'all'")
+	traceMask := flag.String("trace-mask", "all", "comma-separated components to trace: iommu,tlb,pwc,avc,bmcache,bitmap,engine,chaos or 'all'")
 	traceCap := flag.Int("trace-cap", 0, "event ring capacity (0 = default 65536; older events are overwritten)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	chaosRate := flag.Float64("chaos-rate", 0, "fault-injection probability per injection site (0 disables; results are not paper artifacts)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection PRNG seed (fixed seed = deterministic fault schedule)")
 	flag.Parse()
 
 	lg := obs.NewLogger(os.Stderr, "dvmsim", *quiet)
@@ -88,6 +94,10 @@ func main() {
 
 	cfg := prof.SystemConfig()
 	cfg.Workers = workers
+	if *chaosRate > 0 {
+		cfg.Chaos = &chaos.Config{Seed: *chaosSeed, Rate: *chaosRate}
+		lg.Statusf("chaos armed: seed %d rate %g (outputs are not paper artifacts)", *chaosSeed, *chaosRate)
+	}
 	var tracer *obs.Tracer
 	if *tracePath != "" {
 		mask, err := obs.ParseMask(*traceMask)
@@ -97,9 +107,13 @@ func main() {
 		tracer = obs.NewTracer(*traceCap, mask)
 		cfg.Tracer = tracer
 	}
+	// Ctrl-C cancels the mode sweep cleanly; the partial metrics
+	// snapshot is still flushed below before exiting 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	coll := &obs.Collector{}
 	progress := runner.NewProgress(len(modes), runner.Logf(lg.Statusf))
-	rows, err := runner.MapB(context.Background(), workers, *jobs, len(modes), func(_ context.Context, i int) (core.RunResult, error) {
+	rows, err := runner.MapB(ctx, workers, *jobs, len(modes), func(_ context.Context, i int) (core.RunResult, error) {
 		r, err := p.Run(modes[i], cfg)
 		if err != nil {
 			return r, err
@@ -112,6 +126,15 @@ func main() {
 		return r, nil
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			if *metricsPath != "" {
+				if werr := writeSnapshot(*metricsPath, coll); werr == nil {
+					lg.Statusf("partial metrics written to %s", *metricsPath)
+				}
+			}
+			lg.Statusf("interrupted")
+			os.Exit(130)
+		}
 		lg.Exitf(1, "%v", err)
 	}
 	t := results.NewTable("", "Mode", "Cycles", "TLB miss", "Struct hit", "Walk refs", "Squashes", "MMU energy (pJ)")
@@ -130,14 +153,7 @@ func main() {
 	}
 
 	if *metricsPath != "" {
-		f, err := os.Create(*metricsPath)
-		if err != nil {
-			lg.Exitf(1, "%v", err)
-		}
-		if err := coll.Snapshot().WriteJSON(f); err != nil {
-			lg.Exitf(1, "%v", err)
-		}
-		if err := f.Close(); err != nil {
+		if err := writeSnapshot(*metricsPath, coll); err != nil {
 			lg.Exitf(1, "%v", err)
 		}
 		lg.Statusf("metrics written to %s", *metricsPath)
@@ -156,4 +172,16 @@ func main() {
 		lg.Statusf("trace written to %s (%d events emitted, %d retained)",
 			*tracePath, tracer.Total(), len(tracer.Events()))
 	}
+}
+
+func writeSnapshot(path string, coll *obs.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := coll.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

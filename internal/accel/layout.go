@@ -61,9 +61,23 @@ func BuildLayout(p *osmodel.Process, g *graph.Graph, propBytes uint64) (Layout, 
 		if !ident {
 			lay.IdentityMapped = false
 			// Demand-paged fallback: populate now, as the host
-			// writing the data would.
+			// writing the data would — through a writable mapping,
+			// then drop to the requested permission (the loader's
+			// mmap + populate + mprotect sequence). Read-only
+			// segments cannot be populated through their final
+			// permission.
+			if perm != addr.ReadWrite {
+				if err := p.Mprotect(r, addr.ReadWrite); err != nil {
+					return 0, err
+				}
+			}
 			if err := p.TouchRange(r, addr.Write); err != nil {
 				return 0, err
+			}
+			if perm != addr.ReadWrite {
+				if err := p.Mprotect(r, perm); err != nil {
+					return 0, err
+				}
 			}
 		}
 		lay.HeapBytes += r.Size

@@ -1,0 +1,105 @@
+package chaos
+
+import (
+	"testing"
+
+	"github.com/dvm-sim/dvm/internal/obs"
+)
+
+// Same seed + labels must reproduce the exact hit/draw sequence.
+func TestChaosInjectorDeterminism(t *testing.T) {
+	cfg := &Config{Seed: 7, Rate: 0.25}
+	a := cfg.For("PageRank", "Wiki", "DVM-PE+")
+	b := cfg.For("PageRank", "Wiki", "DVM-PE+")
+	for i := 0; i < 10000; i++ {
+		site := Site(i % int(numSites))
+		if ha, hb := a.Hit(site), b.Hit(site); ha != hb {
+			t.Fatalf("draw %d: hit diverged (%v vs %v)", i, ha, hb)
+		}
+		if da, db := a.Draw(512), b.Draw(512); da != db {
+			t.Fatalf("draw %d: Draw diverged (%d vs %d)", i, da, db)
+		}
+	}
+	if a.Total() == 0 {
+		t.Fatal("rate 0.25 over 10000 draws injected nothing")
+	}
+	for s := Site(0); s < numSites; s++ {
+		if a.Count(s) != b.Count(s) {
+			t.Fatalf("site %v: counts diverged (%d vs %d)", s, a.Count(s), b.Count(s))
+		}
+	}
+}
+
+// Different labels must derive independent fault streams: two cells of
+// a sweep should not see correlated injections.
+func TestChaosLabelsDecorrelate(t *testing.T) {
+	cfg := &Config{Seed: 7, Rate: 0.5}
+	a := cfg.For("BFS", "Wiki", "DVM-PE")
+	b := cfg.For("BFS", "LJ", "DVM-PE")
+	same := 0
+	const n = 4096
+	for i := 0; i < n; i++ {
+		if a.Hit(SitePTECorrupt) == b.Hit(SitePTECorrupt) {
+			same++
+		}
+	}
+	// Independent p=0.5 streams agree ~50% of the time; identical
+	// streams agree 100%. 60% leaves ~13 sigma of slack.
+	if same > n*60/100 {
+		t.Fatalf("streams for different labels agree on %d/%d draws; look correlated", same, n)
+	}
+}
+
+// A nil injector (chaos disabled) must never inject and never panic.
+func TestChaosNilInjector(t *testing.T) {
+	var j *Injector
+	if j.Hit(SiteAllocFail) || j.HitAt(SitePTECorrupt, 0x1000) {
+		t.Fatal("nil injector reported a hit")
+	}
+	if j.Draw(10) != 0 || j.SpikeCycles() != 0 || j.Total() != 0 || j.Count(SiteMemLatency) != 0 {
+		t.Fatal("nil injector returned nonzero state")
+	}
+	j.SetTracer(obs.NewTracer(4, obs.MaskAll))
+	j.Register(obs.NewRegistry())
+
+	var nilCfg *Config
+	if nilCfg.Enabled() || nilCfg.For("x") != nil {
+		t.Fatal("nil config should be disabled")
+	}
+	if (&Config{Seed: 1}).For("x") != nil {
+		t.Fatal("rate-0 config should derive a nil injector")
+	}
+}
+
+// Rate 1 hits every opportunity; the counters and registry agree.
+func TestChaosRateOneAndRegistry(t *testing.T) {
+	cfg := &Config{Seed: 3, Rate: 1, MemSpikeCycles: 123}
+	j := cfg.For("cell")
+	reg := obs.NewRegistry()
+	j.Register(reg)
+	tr := obs.NewTracer(16, obs.MaskAll)
+	j.SetTracer(tr)
+	for i := 0; i < 5; i++ {
+		if !j.Hit(SiteMemLatency) {
+			t.Fatalf("rate 1 missed at draw %d", i)
+		}
+	}
+	if j.SpikeCycles() != 123 {
+		t.Fatalf("SpikeCycles = %d, want 123", j.SpikeCycles())
+	}
+	snap := reg.Snapshot()
+	if got := snap.Get("chaos.mem.spike"); got != 5 {
+		t.Fatalf("chaos.mem.spike = %d, want 5", got)
+	}
+	if got := snap.Get("chaos.alloc.fail"); got != 0 {
+		t.Fatalf("chaos.alloc.fail = %d, want 0", got)
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("tracer recorded %d events, want 5", tr.Total())
+	}
+	for _, ev := range tr.Events() {
+		if ev.Comp != obs.CompChaos || ev.Kind != obs.EvInject || Site(ev.Aux) != SiteMemLatency {
+			t.Fatalf("unexpected trace event %+v", ev)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/dvm-sim/dvm/internal/chaos"
+)
+
+// chaosCounterNames are the per-site fault counters an armed run
+// publishes in its registry.
+var chaosCounterNames = []string{
+	"chaos.alloc.fail", "chaos.pte.corrupt", "chaos.pte.truncate",
+	"chaos.pe.badperm", "chaos.mem.spike",
+}
+
+// TestChaosFixedSeedDeterministicRuns: the fault schedule is part of the
+// seeded simulation, so two runs with the same chaos seed produce
+// bit-identical results AND bit-identical chaos.* fault counts.
+func TestChaosFixedSeedDeterministicRuns(t *testing.T) {
+	p, err := Prepare(wikiTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{ModeConv4K, ModeDVMBM, ModeDVMPEPlus} {
+		cfg := ProfileTiny.SystemConfig()
+		cfg.Chaos = &chaos.Config{Seed: 7, Rate: 0.02}
+		a, err := p.Run(mode, cfg)
+		if err != nil {
+			t.Fatalf("%v run A: %v", mode, err)
+		}
+		b, err := p.Run(mode, cfg)
+		if err != nil {
+			t.Fatalf("%v run B: %v", mode, err)
+		}
+		if a.Stats != b.Stats || a.IOMMU != b.IOMMU || a.TLBMissRate != b.TLBMissRate {
+			t.Errorf("%v: chaos runs differ:\n%+v\n%+v", mode, a.Stats, b.Stats)
+		}
+		if !reflect.DeepEqual(a.Metrics.Counters, b.Metrics.Counters) {
+			t.Errorf("%v: chaos metric registries differ", mode)
+		}
+		var total uint64
+		for _, name := range chaosCounterNames {
+			total += a.Metrics.Get(name)
+		}
+		if total == 0 {
+			t.Errorf("%v: rate 0.02 injected zero faults", mode)
+		}
+		// A different seed must produce a different fault schedule
+		// (equal counts across every site would mean the seed is dead).
+		cfg.Chaos = &chaos.Config{Seed: 8, Rate: 0.02}
+		c, err := p.Run(mode, cfg)
+		if err != nil {
+			t.Fatalf("%v run C: %v", mode, err)
+		}
+		same := true
+		for _, name := range chaosCounterNames {
+			if a.Metrics.Get(name) != c.Metrics.Get(name) {
+				same = false
+			}
+		}
+		if same && a.Stats == c.Stats {
+			t.Errorf("%v: seeds 7 and 8 produced identical runs", mode)
+		}
+	}
+}
+
+// TestChaosNoPanicSeedModeMatrix hammers every mode with aggressive
+// fault rates: no injected fault may escape as a panic, and every run
+// must still pass its own counter/table cross-check. Run under -race in
+// the CI chaos job.
+func TestChaosNoPanicSeedModeMatrix(t *testing.T) {
+	p, err := Prepare(wikiTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rate := range []float64{0.01, 0.2, 0.9} {
+		for _, seed := range []int64{1, 2, 3} {
+			for _, mode := range AllModes {
+				cfg := ProfileTiny.SystemConfig()
+				cfg.Chaos = &chaos.Config{Seed: seed, Rate: rate}
+				r, err := p.Run(mode, cfg)
+				if err != nil {
+					// A typed simulated fault surfacing as an error is
+					// acceptable; a panic would have killed the test.
+					t.Errorf("%v seed %d rate %g: %v", mode, seed, rate, err)
+					continue
+				}
+				if err := CrossCheck(r); err != nil {
+					t.Errorf("%v seed %d rate %g: cross-check: %v", mode, seed, rate, err)
+				}
+				// Corrupt-PTE faults must be counted, never silently
+				// mistranslated.
+				if got, want := r.Metrics.Get("iommu.faults.corrupt"), r.IOMMU.CorruptFaults; got != want {
+					t.Errorf("%v seed %d rate %g: corrupt faults %d vs registry %d", mode, seed, rate, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestChaosInjectedFaultsAreObserved: at a meaningful rate the walk-path
+// sites actually fire on walking modes, and the engine counts the
+// resulting accelerator faults rather than mistranslating.
+func TestChaosInjectedFaultsAreObserved(t *testing.T) {
+	p, err := Prepare(wikiTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ProfileTiny.SystemConfig()
+	cfg.Chaos = &chaos.Config{Seed: 42, Rate: 0.1}
+	r, err := p.Run(ModeConv4K, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := r.Metrics.Get("chaos.pte.corrupt") + r.Metrics.Get("chaos.pte.truncate")
+	if corrupt == 0 {
+		t.Fatal("no PTE corruption injected at rate 0.1 on a walking mode")
+	}
+	if r.IOMMU.CorruptFaults == 0 {
+		t.Error("injected corruption produced no typed corrupt faults")
+	}
+	if r.Stats.Faults == 0 {
+		t.Error("typed faults did not surface as accelerator faults")
+	}
+	if r.IOMMU.CorruptFaults > r.Stats.Faults {
+		t.Errorf("corrupt faults %d exceed total accelerator faults %d", r.IOMMU.CorruptFaults, r.Stats.Faults)
+	}
+}
+
+// TestChaosDisabledIsBitIdentical: a nil chaos config, an explicit
+// rate-0 config and the plain clean path must be indistinguishable —
+// the injector costs nothing when disarmed, and no chaos.* counters
+// appear in a clean registry.
+func TestChaosDisabledIsBitIdentical(t *testing.T) {
+	p, err := Prepare(wikiTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := ProfileTiny.SystemConfig()
+	zero := ProfileTiny.SystemConfig()
+	zero.Chaos = &chaos.Config{Seed: 99, Rate: 0}
+	for _, mode := range AllModes {
+		a, err := p.Run(mode, clean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := p.Run(mode, zero)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Stats != b.Stats || a.IOMMU != b.IOMMU || a.TLBMissRate != b.TLBMissRate ||
+			a.Energy != b.Energy || a.DRAM != b.DRAM {
+			t.Errorf("%v: rate-0 chaos config changed the simulation", mode)
+		}
+		if !reflect.DeepEqual(a.Metrics.Counters, b.Metrics.Counters) {
+			t.Errorf("%v: rate-0 chaos config changed the metrics registry", mode)
+		}
+		for name := range a.Metrics.Counters {
+			if strings.HasPrefix(name, "chaos.") {
+				t.Errorf("%v: clean run leaked counter %s", mode, name)
+			}
+		}
+	}
+}
+
+// TestChaosAllocFailForcesFallback: allocation-failure injection drives
+// the paper's Figure 7 fallback arm — identity mapping fails and the
+// run proceeds demand-paged instead of erroring.
+func TestChaosAllocFailForcesFallback(t *testing.T) {
+	p, err := Prepare(wikiTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ProfileTiny.SystemConfig()
+	cfg.Chaos = &chaos.Config{Seed: 5, Rate: 0.9}
+	r, err := p.Run(ModeDVMPE, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics.Get("chaos.alloc.fail") == 0 {
+		t.Fatal("rate 0.9 never failed an allocation")
+	}
+	if r.IdentityMapped {
+		t.Error("heap still fully identity mapped despite injected allocation failures")
+	}
+	if r.Stats.Cycles == 0 {
+		t.Error("fallback run did not execute")
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// checkpointMagic identifies the file format; bump on incompatible
+// layout changes so a resume against an old file fails loudly instead
+// of silently dropping cells.
+const checkpointMagic = "dvm/1"
+
+// Checkpoint persists completed sweep cells as JSONL so an interrupted
+// run can resume skipping them. The format is one JSON object per line:
+// a header line
+//
+//	{"checkpoint":"dvm/1","profile":"small"}
+//
+// followed by one record per completed cell
+//
+//	{"key":"fig2/BFS/Wiki","value":{...}}
+//
+// Records append under a mutex in completion order — which is
+// nondeterministic under -j, and deliberately so: the checkpoint is a
+// cache keyed by cell name, not an ordered artifact. Determinism of
+// the *rendered tables* is preserved because restored values feed the
+// same index-ordered collection path computed values do.
+//
+// Crash tolerance: a process killed mid-append leaves a truncated last
+// line; Open tolerates (and discards) exactly one trailing malformed
+// line, and the next Record overwrites it. Malformed lines elsewhere
+// abort the resume — that is corruption, not interruption.
+type Checkpoint struct {
+	mu      sync.Mutex
+	f       *os.File
+	done    map[string]json.RawMessage
+	profile string
+	// headerLoaded records that load() saw a valid header, so reopening
+	// in append mode must not write a second one.
+	headerLoaded bool
+	// validLen is the byte offset after the last intact record; a torn
+	// trailing fragment beyond it is truncated away on resume so the
+	// next append starts on a clean line.
+	validLen int64
+}
+
+// OpenCheckpoint opens (or creates) the checkpoint at path for the
+// named experiment profile. With resume false the file is truncated —
+// a fresh sweep; with resume true existing records are loaded and
+// subsequent Lookup calls serve them. A profile mismatch on resume is
+// an error: cells of different profiles are different simulations that
+// must never satisfy each other's keys.
+func OpenCheckpoint(path, profile string, resume bool) (*Checkpoint, error) {
+	c := &Checkpoint{done: make(map[string]json.RawMessage), profile: profile}
+	if resume {
+		if err := c.load(path); err != nil {
+			return nil, err
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY
+	if resume {
+		flags |= os.O_APPEND
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	c.f = f
+	if c.headerLoaded {
+		// Drop any torn trailing fragment so O_APPEND writes start on
+		// a clean line.
+		if err := f.Truncate(c.validLen); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else {
+		if err := c.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *Checkpoint) writeHeader() error {
+	hdr := struct {
+		Checkpoint string `json:"checkpoint"`
+		Profile    string `json:"profile"`
+	}{checkpointMagic, c.profile}
+	b, err := json.Marshal(hdr)
+	if err != nil {
+		return err
+	}
+	_, err = c.f.Write(append(b, '\n'))
+	return err
+}
+
+func (c *Checkpoint) load(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil // nothing to resume from; start fresh
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	lineNo := 0
+	var pendingErr error
+	for {
+		raw, rerr := r.ReadBytes('\n')
+		if len(raw) == 0 {
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				return rerr
+			}
+			continue
+		}
+		// A record is intact only when its terminating newline made it
+		// to disk; a newline-less tail is a torn append.
+		intact := raw[len(raw)-1] == '\n'
+		line := bytes.TrimSuffix(raw, []byte("\n"))
+		lineNo++
+		if pendingErr != nil {
+			// The torn/malformed line was not the last one: corruption.
+			return pendingErr
+		}
+		switch {
+		case len(line) == 0:
+			// blank line; keep it inside validLen
+		case lineNo == 1:
+			var hdr struct {
+				Checkpoint string `json:"checkpoint"`
+				Profile    string `json:"profile"`
+			}
+			if err := json.Unmarshal(line, &hdr); err != nil || hdr.Checkpoint == "" {
+				return fmt.Errorf("core: %s is not a checkpoint file", path)
+			}
+			if hdr.Checkpoint != checkpointMagic {
+				return fmt.Errorf("core: checkpoint %s has format %q, want %q", path, hdr.Checkpoint, checkpointMagic)
+			}
+			if hdr.Profile != c.profile {
+				return fmt.Errorf("core: checkpoint %s was written by profile %q, cannot resume profile %q", path, hdr.Profile, c.profile)
+			}
+			if !intact {
+				return fmt.Errorf("core: %s is not a checkpoint file", path)
+			}
+			c.headerLoaded = true
+		default:
+			var rec struct {
+				Key   string          `json:"key"`
+				Value json.RawMessage `json:"value"`
+			}
+			if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" || !intact {
+				// A torn final append from an interrupted run is
+				// tolerated (and truncated away) when nothing follows;
+				// anywhere else it is corruption.
+				pendingErr = fmt.Errorf("core: checkpoint %s line %d is corrupt", path, lineNo)
+				continue
+			}
+			c.done[rec.Key] = rec.Value
+		}
+		c.validLen += int64(len(raw))
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return rerr
+		}
+	}
+	// pendingErr still set here means the torn line was the final one —
+	// an interrupted append; it sits past validLen and gets truncated.
+	return nil
+}
+
+// Lookup reports whether the cell named key already completed, decoding
+// its stored value into v (a pointer) when found. A decode failure is
+// an error — better to fail the resume than to render a table from a
+// half-read cell.
+func (c *Checkpoint) Lookup(key string, v any) (bool, error) {
+	if c == nil {
+		return false, nil
+	}
+	c.mu.Lock()
+	raw, ok := c.done[key]
+	c.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return false, fmt.Errorf("core: checkpoint cell %q: %w", key, err)
+	}
+	return true, nil
+}
+
+// Record persists one completed cell. The line is flushed to the OS
+// before Record returns, so a SIGKILL immediately after loses at most
+// the in-flight append (which load tolerates), never a completed one.
+func (c *Checkpoint) Record(key string, v any) error {
+	if c == nil {
+		return nil
+	}
+	b, err := json.Marshal(struct {
+		Key   string `json:"key"`
+		Value any    `json:"value"`
+	}{key, v})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.done[key]; dup {
+		return nil // a resumed run re-recording a restored cell
+	}
+	if _, err := c.f.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	c.done[key] = b
+	return nil
+}
+
+// Len reports how many completed cells the checkpoint holds.
+func (c *Checkpoint) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// Close syncs and closes the underlying file.
+func (c *Checkpoint) Close() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Sync()
+	if cerr := c.f.Close(); err == nil {
+		err = cerr
+	}
+	c.f = nil
+	return err
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type ckCell struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+func TestChaosCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	ck, err := OpenCheckpoint(path, "small", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ckCell{Name: "fig2/BFS/Wiki", Value: 1.375}
+	if err := ck.Record("fig2/BFS/Wiki", want); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Record("table3/Wiki", ckCell{Name: "table3/Wiki", Value: 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ck2, err := OpenCheckpoint(path, "small", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	if ck2.Len() != 2 {
+		t.Fatalf("resumed checkpoint holds %d cells, want 2", ck2.Len())
+	}
+	var got ckCell
+	ok, err := ck2.Lookup("fig2/BFS/Wiki", &got)
+	if err != nil || !ok {
+		t.Fatalf("Lookup = %v, %v; want found", ok, err)
+	}
+	if got != want {
+		t.Fatalf("restored cell = %+v, want %+v", got, want)
+	}
+	if ok, _ := ck2.Lookup("fig2/PageRank/Wiki", &got); ok {
+		t.Fatal("Lookup found a cell that was never recorded")
+	}
+}
+
+func TestChaosCheckpointProfileMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	ck, err := OpenCheckpoint(path, "small", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Record("k", ckCell{Name: "k"})
+	ck.Close()
+
+	if _, err := OpenCheckpoint(path, "medium", true); err == nil ||
+		!strings.Contains(err.Error(), "profile") {
+		t.Fatalf("resume with mismatched profile: err = %v, want profile error", err)
+	}
+}
+
+// A run killed mid-append leaves a truncated last line; resume must
+// tolerate it and rerun only that cell.
+func TestChaosCheckpointTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	ck, err := OpenCheckpoint(path, "small", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Record("a", ckCell{Name: "a", Value: 1})
+	ck.Record("b", ckCell{Name: "b", Value: 2})
+	ck.Close()
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"c","val`) // SIGKILL mid-append
+	f.Close()
+
+	ck2, err := OpenCheckpoint(path, "small", true)
+	if err != nil {
+		t.Fatalf("resume over torn final line: %v", err)
+	}
+	defer ck2.Close()
+	if ck2.Len() != 2 {
+		t.Fatalf("resumed %d cells, want 2 (torn cell dropped)", ck2.Len())
+	}
+	var got ckCell
+	if ok, _ := ck2.Lookup("c", &got); ok {
+		t.Fatal("torn cell must not be restored")
+	}
+	// The torn tail is truncated on resume, so re-recording the lost
+	// cell yields a file a further resume reads completely.
+	if err := ck2.Record("c", ckCell{Name: "c", Value: 3}); err != nil {
+		t.Fatal(err)
+	}
+	ck2.Close()
+	ck3, err := OpenCheckpoint(path, "small", true)
+	if err != nil {
+		t.Fatalf("resume after torn-tail repair: %v", err)
+	}
+	defer ck3.Close()
+	if ck3.Len() != 3 {
+		t.Fatalf("final resume holds %d cells, want 3", ck3.Len())
+	}
+	if ok, _ := ck3.Lookup("c", &got); !ok || got.Value != 3 {
+		t.Fatalf("repaired cell = %v %+v, want found with value 3", ok, got)
+	}
+}
+
+func TestChaosCheckpointCorruptInteriorLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	if err := os.WriteFile(path, []byte(
+		"{\"checkpoint\":\"dvm/1\",\"profile\":\"small\"}\n"+
+			"not json at all\n"+
+			"{\"key\":\"b\",\"value\":{}}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path, "small", true); err == nil ||
+		!strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("interior corruption: err = %v, want corrupt-line error", err)
+	}
+}
+
+func TestChaosCheckpointNotACheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	if err := os.WriteFile(path, []byte("{\"tables\":[]}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path, "small", true); err == nil {
+		t.Fatal("resume against a non-checkpoint JSON file must fail")
+	}
+}
+
+func TestChaosCheckpointResumeMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	ck, err := OpenCheckpoint(path, "small", true)
+	if err != nil {
+		t.Fatalf("resume with no existing file must start fresh: %v", err)
+	}
+	defer ck.Close()
+	if ck.Len() != 0 {
+		t.Fatalf("fresh resume holds %d cells, want 0", ck.Len())
+	}
+	if err := ck.Record("a", ckCell{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChaosCheckpointNilSafe(t *testing.T) {
+	var ck *Checkpoint
+	if ok, err := ck.Lookup("k", &ckCell{}); ok || err != nil {
+		t.Fatalf("nil Lookup = %v, %v", ok, err)
+	}
+	if err := ck.Record("k", ckCell{}); err != nil {
+		t.Fatal(err)
+	}
+	if ck.Len() != 0 || ck.Close() != nil {
+		t.Fatal("nil Len/Close must be no-ops")
+	}
+}
+
+// Records written by a resumed run for already-restored cells are
+// dropped, so repeated interrupt/resume cycles never bloat the file.
+func TestChaosCheckpointDuplicateRecordDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	ck, _ := OpenCheckpoint(path, "small", false)
+	ck.Record("a", ckCell{Name: "a", Value: 1})
+	ck.Close()
+	ck2, err := OpenCheckpoint(path, "small", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck2.Record("a", ckCell{Name: "a", Value: 1})
+	ck2.Close()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(b), "\"key\":\"a\""); n != 1 {
+		t.Fatalf("cell recorded %d times across resume, want 1", n)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"github.com/dvm-sim/dvm/internal/accel"
 	"github.com/dvm-sim/dvm/internal/addr"
+	"github.com/dvm-sim/dvm/internal/chaos"
 	"github.com/dvm-sim/dvm/internal/energy"
 	"github.com/dvm-sim/dvm/internal/graph"
 	"github.com/dvm-sim/dvm/internal/memsys"
@@ -73,6 +74,16 @@ type SystemConfig struct {
 	// cell strictly sequentially; either way results are byte-identical
 	// (DESIGN.md §9).
 	Workers *runner.Budget
+	// Chaos, when enabled, threads a deterministic fault injector
+	// through the run: allocation failures in the OS model, simulated
+	// page-table corruption in the IOMMU walk path, and memory-latency
+	// spikes. Each (workload, mode) run derives its own injector from
+	// Chaos.Seed and the run's labels, so the injected fault sequence is
+	// identical at any -j. Chaos-enabled runs bypass the shared machine
+	// and page-table caches — injection must never leak into a
+	// concurrent clean run — and publish chaos.* counters into the
+	// run's metrics snapshot. Nil or rate-0 is exactly the clean path.
+	Chaos *chaos.Config
 }
 
 func (c SystemConfig) withDefaults() SystemConfig {
@@ -338,7 +349,26 @@ func (p *Prepared) Run(mode Mode, cfg SystemConfig) (RunResult, error) {
 	cfg = cfg.withDefaults()
 	res := RunResult{Mode: mode}
 
-	st, err := p.machine(cfg)
+	// Derive the run's fault injector (nil when chaos is off). The
+	// labels make each cell's fault stream independent of execution
+	// order; the injector itself is single-goroutine like the rest of
+	// the run.
+	var inj *chaos.Injector
+	if cfg.Chaos.Enabled() {
+		inj = cfg.Chaos.For(p.Workload.Algorithm, p.G.Name, mode.String())
+		inj.SetTracer(cfg.Tracer)
+	}
+
+	var st *machineState
+	var err error
+	if inj != nil {
+		// Chaos runs build a private machine: injected allocation
+		// failures change the layout and shared tables must never see
+		// injected state.
+		st, err = p.chaosMachine(cfg, inj)
+	} else {
+		st, err = p.machine(cfg)
+	}
 	if err != nil {
 		return res, err
 	}
@@ -359,6 +389,7 @@ func (p *Prepared) Run(mode Mode, cfg SystemConfig) (RunResult, error) {
 		TLBEntries: cfg.TLBEntries,
 		AVC:        cfg.AVC,
 		PWC:        cfg.PWC,
+		Chaos:      inj,
 	}, table, bm)
 	if err != nil {
 		return res, err
@@ -367,6 +398,7 @@ func (p *Prepared) Run(mode Mode, cfg SystemConfig) (RunResult, error) {
 	if err != nil {
 		return res, err
 	}
+	mem.SetChaos(inj)
 	eng, err := accel.NewEngine(accel.Config{PEs: cfg.PEs, MLP: cfg.MLP}, p.G, p.Prog, lay, iommu, mem)
 	if err != nil {
 		return res, err
@@ -382,6 +414,7 @@ func (p *Prepared) Run(mode Mode, cfg SystemConfig) (RunResult, error) {
 	iommu.RegisterMetrics(reg)
 	mem.RegisterMetrics(reg, "memsys")
 	eng.RegisterMetrics(reg, "accel")
+	inj.Register(reg)
 	if cfg.Tracer != nil {
 		iommu.SetTracer(cfg.Tracer)
 	}
@@ -418,6 +451,25 @@ func (p *Prepared) Run(mode Mode, cfg SystemConfig) (RunResult, error) {
 	return res, nil
 }
 
+// chaosMachine builds a fresh, private machine for a fault-injected
+// run. It mirrors machine() but installs the injector into the OS model
+// before the layout is built, so injected identity-allocation failures
+// reshape this run's address space (exercising the DAV fallback and
+// preload-squash paths) without touching the shared cache.
+func (p *Prepared) chaosMachine(cfg SystemConfig, inj *chaos.Injector) (*machineState, error) {
+	sys, err := osmodel.NewSystem(cfg.MemBytes)
+	if err != nil {
+		return nil, err
+	}
+	sys.SetChaos(inj)
+	proc := sys.NewProcess(osmodel.Policy{IdentityMapHeap: true, Seed: cfg.Seed})
+	lay, err := accel.BuildLayout(proc, p.G, p.Prog.PropBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &machineState{proc: proc, lay: lay, tables: make(map[tableKey]*tableEntry)}, nil
+}
+
 // CrossCheck verifies a RunResult's headline numbers — the values the
 // report tables are rendered from — against the run's registry
 // snapshot, so a divergence between what a component counted and what
@@ -433,6 +485,7 @@ func CrossCheck(r RunResult) error {
 		{"iommu.dav.fallback", r.IOMMU.FallbackTranslations, r.Metrics.Get("iommu.dav.fallback")},
 		{"iommu.preload.squashed", r.IOMMU.SquashedPreloads, r.Metrics.Get("iommu.preload.squashed")},
 		{"iommu.faults", r.IOMMU.Faults, r.Metrics.Get("iommu.faults")},
+		{"iommu.faults.corrupt", r.IOMMU.CorruptFaults, r.Metrics.Get("iommu.faults.corrupt")},
 		{"mmu.tlb lookups", r.TLBLookups, r.Metrics.Get("mmu.tlb.hits") + r.Metrics.Get("mmu.tlb.misses")},
 		{"accel.cycles", r.Stats.Cycles, r.Metrics.Get("accel.cycles")},
 		{"accel.accesses", r.Stats.Accesses, r.Metrics.Get("accel.accesses")},

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"github.com/dvm-sim/dvm/internal/addr"
+	"github.com/dvm-sim/dvm/internal/chaos"
 	"github.com/dvm-sim/dvm/internal/obs"
 )
 
@@ -77,6 +78,10 @@ type Controller struct {
 	chanMask int64
 	accesses uint64
 	waitSum  uint64
+	// inj, when non-nil, injects contention spikes into Access. Peek
+	// never consults it: an estimate must not consume injector draws,
+	// or estimating would perturb where real faults land.
+	inj *chaos.Injector
 }
 
 // NewController creates a controller with the given configuration; zero
@@ -133,11 +138,23 @@ func (c *Controller) timing(pa addr.PA, now uint64) (ch int, start, done uint64)
 // burst begins.
 func (c *Controller) Access(pa addr.PA, now uint64) uint64 {
 	ch, start, done := c.timing(pa, now)
+	if c.inj.Hit(chaos.SiteMemLatency) {
+		// A contention spike: the request sits in the queue an extra
+		// SpikeCycles before its burst begins, delaying this channel's
+		// subsequent requests just like real interference would.
+		spike := c.inj.SpikeCycles()
+		start += spike
+		done += spike
+	}
 	c.busyUntil[ch] = start + c.cfg.BurstCycles
 	c.accesses++
 	c.waitSum += start - now
 	return done
 }
+
+// SetChaos attaches a fault injector; nil (the default) disables
+// injection at zero cost beyond one nil check per access.
+func (c *Controller) SetChaos(inj *chaos.Injector) { c.inj = inj }
 
 // Peek returns the completion time an access to pa would observe at `now`
 // without actually reserving channel bandwidth. Used by models that only

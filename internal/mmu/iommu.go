@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/dvm-sim/dvm/internal/addr"
+	"github.com/dvm-sim/dvm/internal/chaos"
 	"github.com/dvm-sim/dvm/internal/obs"
 	"github.com/dvm-sim/dvm/internal/pagetable"
 )
@@ -98,6 +99,12 @@ type Config struct {
 	// ProbeCycles is the latency of one structure probe (TLB, PWC, AVC
 	// or bitmap-cache); default 1 cycle (Table 2).
 	ProbeCycles uint64
+	// Chaos, when non-nil, injects simulated page-table faults into the
+	// walk path (corrupted PTEs, truncated subtrees, bad PE permission
+	// fields). The injection flips the walk outcome *after* the real
+	// walk — shared page tables are never mutated — so a corrupted
+	// translation surfaces as a typed fault, never a mistranslation.
+	Chaos *chaos.Injector
 }
 
 // Counters aggregates IOMMU activity for performance and energy reporting.
@@ -118,6 +125,10 @@ type Counters struct {
 	// Faults counts permission/validation failures (exceptions raised on
 	// the host CPU).
 	Faults uint64
+	// CorruptFaults is the subset of Faults caused by structurally
+	// invalid page-table state (FaultCorrupt/FaultBadPE walks) — in
+	// practice only nonzero under fault injection.
+	CorruptFaults uint64
 	// ContextSwitches counts SwitchContext invocations (accelerator
 	// multiplexing across processes).
 	ContextSwitches uint64
@@ -134,6 +145,9 @@ type Plan struct {
 	// Fault means the access is not permitted; the access is dropped and
 	// an exception is raised on the host.
 	Fault bool
+	// FaultKind refines Fault: FaultUnmapped/FaultCorrupt/FaultBadPE for
+	// walk faults, FaultNone for a plain permission denial.
+	FaultKind pagetable.FaultKind
 	// ProbeCycles is the total serial latency of structure probes.
 	ProbeCycles uint64
 	// MemRefs are the dependent page-walk/bitmap memory references.
@@ -150,6 +164,7 @@ type Plan struct {
 func (p *Plan) reset() {
 	p.PA = 0
 	p.Fault = false
+	p.FaultKind = pagetable.FaultNone
 	p.ProbeCycles = 0
 	p.MemRefs = p.MemRefs[:0]
 	p.OverlapData = false
@@ -269,6 +284,7 @@ func (u *IOMMU) RegisterMetrics(reg *obs.Registry) {
 	reg.RegisterCounter("iommu.dav.fallback", &u.ctr.FallbackTranslations)
 	reg.RegisterCounter("iommu.preload.squashed", &u.ctr.SquashedPreloads)
 	reg.RegisterCounter("iommu.faults", &u.ctr.Faults)
+	reg.RegisterCounter("iommu.faults.corrupt", &u.ctr.CorruptFaults)
 	reg.RegisterCounter("iommu.ctxswitches", &u.ctr.ContextSwitches)
 	if u.tlb != nil {
 		u.tlb.RegisterMetrics(reg, "mmu.tlb")
@@ -371,7 +387,7 @@ func (u *IOMMU) conventional(va addr.VA, kind addr.AccessKind, p *Plan) {
 	}
 	u.walkTable(va, p, u.pwc)
 	if u.walk.Outcome == pagetable.WalkFault {
-		u.fault(p)
+		u.fault(p, u.walk.Fault)
 		return
 	}
 	u.tlb.Insert(u.walk.MapBase, u.walk.PA-addr.PA(uint64(va)-uint64(u.walk.MapBase)), u.walk.Perm)
@@ -387,7 +403,7 @@ func (u *IOMMU) davPE(va addr.VA, kind addr.AccessKind, p *Plan) {
 	u.walkTable(va, p, u.avc)
 	switch u.walk.Outcome {
 	case pagetable.WalkFault:
-		u.fault(p)
+		u.fault(p, u.walk.Fault)
 		return
 	case pagetable.WalkPE:
 		u.ctr.DAVIdentity++
@@ -466,7 +482,7 @@ func (u *IOMMU) davBitmap(va addr.VA, kind addr.AccessKind, p *Plan) {
 	}
 	u.walkTable(va, p, u.pwc)
 	if u.walk.Outcome == pagetable.WalkFault {
-		u.fault(p)
+		u.fault(p, u.walk.Fault)
 		return
 	}
 	u.tlb.Insert(u.walk.MapBase, u.walk.PA-addr.PA(uint64(va)-uint64(u.walk.MapBase)), u.walk.Perm)
@@ -492,6 +508,9 @@ func (u *IOMMU) lookupBitmap(va addr.VA, p *Plan) (addr.Perm, bool) {
 // cacheable levels and memory references for the rest.
 func (u *IOMMU) walkTable(va addr.VA, p *Plan, cache *PTECache) {
 	u.table.WalkInto(va, &u.walk)
+	if u.cfg.Chaos != nil {
+		u.injectWalkChaos(va)
+	}
 	var refs uint64
 	for _, step := range u.walk.Steps {
 		if cache.Caches(step.Level) {
@@ -513,18 +532,51 @@ func (u *IOMMU) walkTable(va addr.VA, p *Plan, cache *PTECache) {
 	u.tr.Emit(obs.CompIOMMU, obs.EvWalk, uint64(va), uint64(u.walk.PA), refs)
 }
 
+// injectWalkChaos rewrites the just-completed walk per the injector's
+// decisions, simulating table damage without touching the (shared,
+// read-only) table itself. Each call consumes a fixed draw sequence
+// from the per-run injector, so a given seed injects at the same
+// accesses in every run. The walk is already priced from u.walk.Steps,
+// so a truncated subtree also shortens the billed walk, exactly as a
+// real missing interior node would.
+func (u *IOMMU) injectWalkChaos(va addr.VA) {
+	inj := u.cfg.Chaos
+	if inj.HitAt(chaos.SitePTETruncate, uint64(va)) {
+		if len(u.walk.Steps) > 1 {
+			keep := 1 + int(inj.Draw(uint64(len(u.walk.Steps)-1)))
+			u.walk.Steps = u.walk.Steps[:keep]
+		}
+		u.walk.Outcome = pagetable.WalkFault
+		u.walk.Fault = pagetable.FaultCorrupt
+		return
+	}
+	if inj.HitAt(chaos.SitePTECorrupt, uint64(va)) {
+		u.walk.Outcome = pagetable.WalkFault
+		u.walk.Fault = pagetable.FaultCorrupt
+		return
+	}
+	if u.walk.Outcome == pagetable.WalkPE && inj.HitAt(chaos.SitePEPermBad, uint64(va)) {
+		u.walk.Outcome = pagetable.WalkFault
+		u.walk.Fault = pagetable.FaultBadPE
+	}
+}
+
 // finishTranslated applies the permission check and fills the plan.
 func (u *IOMMU) finishTranslated(pa addr.PA, perm addr.Perm, kind addr.AccessKind, p *Plan) {
 	if !perm.Allows(kind) {
-		u.fault(p)
+		u.fault(p, pagetable.FaultNone)
 		return
 	}
 	p.PA = pa
 }
 
-func (u *IOMMU) fault(p *Plan) {
+func (u *IOMMU) fault(p *Plan, kind pagetable.FaultKind) {
 	p.Fault = true
+	p.FaultKind = kind
 	p.OverlapData = false
 	u.ctr.Faults++
-	u.tr.Emit(obs.CompIOMMU, obs.EvFault, 0, 0, u.ctr.Faults)
+	if kind == pagetable.FaultCorrupt || kind == pagetable.FaultBadPE {
+		u.ctr.CorruptFaults++
+	}
+	u.tr.Emit(obs.CompIOMMU, obs.EvFault, 0, 0, uint64(kind))
 }

@@ -26,6 +26,8 @@ const (
 	CompBitmap
 	// CompEngine is the accelerator engine.
 	CompEngine
+	// CompChaos is the fault-injection layer (internal/chaos).
+	CompChaos
 	numComponents
 )
 
@@ -46,6 +48,8 @@ func (c Component) String() string {
 		return "bitmap"
 	case CompEngine:
 		return "engine"
+	case CompChaos:
+		return "chaos"
 	default:
 		return fmt.Sprintf("comp(%d)", uint8(c))
 	}
@@ -89,7 +93,7 @@ func ParseMask(s string) (Mask, error) {
 			}
 		}
 		if !found {
-			return 0, fmt.Errorf("obs: unknown trace component %q (have iommu,tlb,pwc,avc,bmcache,bitmap,engine,all)", name)
+			return 0, fmt.Errorf("obs: unknown trace component %q (have iommu,tlb,pwc,avc,bmcache,bitmap,engine,chaos,all)", name)
 		}
 	}
 	return m, nil
@@ -125,6 +129,8 @@ const (
 	EvMemRef
 	// EvCtxSwitch: the IOMMU was retargeted at another address space.
 	EvCtxSwitch
+	// EvInject: the chaos layer injected one simulated fault (Aux: site).
+	EvInject
 )
 
 // String returns the kind's trace-format name.
@@ -152,6 +158,8 @@ func (k EventKind) String() string {
 		return "memref"
 	case EvCtxSwitch:
 		return "ctxswitch"
+	case EvInject:
+		return "inject"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}

@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"github.com/dvm-sim/dvm/internal/addr"
+	"github.com/dvm-sim/dvm/internal/chaos"
 	"github.com/dvm-sim/dvm/internal/phys"
 )
 
@@ -148,7 +149,17 @@ type System struct {
 	procs    map[int]*Process
 	nextPID  int
 	frameRef map[addr.PA]int // CoW share counts for individual frames
+	// inj, when non-nil, injects identity-allocation failures
+	// (simulated fragmentation pressure) into mmapSeg.
+	inj *chaos.Injector
 }
+
+// SetChaos attaches a fault injector to the system; nil (the default)
+// disables injection. An injected SiteAllocFail makes the next
+// identity-eligible mmap take the demand-paged fallback arm — the
+// "Move fails" path of the paper's Figure 7 — exactly as real physical
+// fragmentation would.
+func (s *System) SetChaos(inj *chaos.Injector) { s.inj = inj }
 
 // NewSystem boots a system with the given physical memory size (bytes,
 // power-of-two). The first KernelReserved bytes are claimed by the kernel
@@ -313,6 +324,12 @@ func (p *Process) mmapSeg(size uint64, perm addr.Perm, kind SegmentKind, identit
 		return addr.VRange{}, false, fmt.Errorf("osmodel: zero-size mapping")
 	}
 	size = addr.AlignUp(size, addr.PageSize4K)
+	if identity && p.sys.inj.Hit(chaos.SiteAllocFail) {
+		// Injected fragmentation: the contiguous identity grab fails
+		// before it is attempted; take the demand-paging arm below.
+		p.stats.IdentityFailures++
+		identity = false
+	}
 	if identity {
 		granule := identityGranuleFor(size)
 		gsize := addr.AlignUp(size, granule)

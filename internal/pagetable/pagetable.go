@@ -397,6 +397,60 @@ func (t *Table) SetPE(va addr.VA, level int, perms []addr.Perm) error {
 	return nil
 }
 
+// CorruptEntry overwrites the entry covering va at the given level with
+// an arbitrary — possibly structurally invalid — entry decoded from
+// raw, following existing EntryTable links only (it never creates
+// interior nodes, so it can only damage what exists). It is the
+// byte-level corruption primitive used by the chaos tests and fuzz
+// targets: the low bits of raw select the (possibly out-of-range)
+// entry kind and the corruption variant, the high bits supply frame
+// numbers and permission bits verbatim. The walker must turn whatever
+// this installs into a typed fault, never a panic or mistranslation.
+//
+// Tables handed to CorruptEntry must be privately owned: the simulator
+// shares prepared tables across runs and those must never be mutated.
+func (t *Table) CorruptEntry(va addr.VA, level int, raw uint64) error {
+	if level < 1 || level > t.cfg.Levels {
+		return fmt.Errorf("pagetable: corrupt level %d out of range", level)
+	}
+	n := t.root
+	for n.Level > level {
+		e := &n.Entries[indexAt(va, n.Level)]
+		if e.Kind != EntryTable || e.Next == nil {
+			return fmt.Errorf("pagetable: no subtree at level %d for %#x", n.Level, uint64(va))
+		}
+		n = e.Next
+	}
+	i := indexAt(va, level)
+	e := Entry{Kind: EntryKind(raw & 7)} // kinds 4-7 do not exist: unknown-kind corruption
+	switch e.Kind {
+	case EntryTable:
+		switch (raw >> 3) & 3 {
+		case 0:
+			// nil subtree pointer (truncated table)
+		case 1:
+			e.Next = n // self-link: a cycle
+		case 2:
+			e.Next = &Node{Level: n.Level, PA: n.PA} // mis-leveled cross-link
+		case 3:
+			if n.Level >= 2 {
+				e.Next = t.newNode(n.Level - 1) // valid but empty subtree
+			}
+		}
+	case EntryLeaf:
+		e.Perm = addr.Perm(raw >> 8 & 0xF) // 4 bits: half the values are invalid
+		e.PFN = raw >> 12
+	case EntryPE:
+		nf := int(raw >> 3 & 0x3F) // field count 0-63: usually != PEFields
+		e.PEPerms = make([]addr.Perm, nf)
+		for fi := range e.PEPerms {
+			e.PEPerms[fi] = addr.Perm(raw >> (9 + uint(fi)%48) & 0x7)
+		}
+	}
+	n.Entries[i] = e
+	return nil
+}
+
 // Unmap removes all 4 KB-page mappings in r. r must be 4 KB aligned.
 // Mappings by huge leaves or PE fields that are only partially covered are
 // split/expanded as needed. Emptied page-table pages are pruned lazily by

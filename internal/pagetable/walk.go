@@ -36,6 +36,46 @@ func (o WalkOutcome) String() string {
 	}
 }
 
+// FaultKind refines a WalkFault outcome. The walker never panics and
+// never silently mistranslates: structurally invalid tables (whether
+// from fault injection or a harness bug) surface as typed faults that
+// the MMU models raise on the simulated host.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	// FaultNone: the walk did not fault.
+	FaultNone FaultKind = iota
+	// FaultUnmapped: an ordinary page fault — empty entry or a
+	// no-permission leaf/PE field. The OS can handle it.
+	FaultUnmapped
+	// FaultCorrupt: the table is structurally invalid at the faulting
+	// entry — unknown entry kind, nil or mis-leveled subtree pointer
+	// (covers cycles), out-of-range frame number, or invalid leaf
+	// permission bits.
+	FaultCorrupt
+	// FaultBadPE: a Permission Entry is malformed — wrong field count,
+	// PE at the leaf level, or permission bits outside the 2-bit
+	// encoding.
+	FaultBadPE
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultUnmapped:
+		return "unmapped"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultBadPE:
+		return "badpe"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", uint8(k))
+	}
+}
+
 // WalkStep records one page-table entry access performed by the hardware
 // walker, from the root downward. The MMU timing models use EntryPA to
 // decide PWC/AVC hits versus memory references.
@@ -55,6 +95,8 @@ type WalkResult struct {
 	Steps []WalkStep
 	// Outcome of the walk.
 	Outcome WalkOutcome
+	// Fault refines a WalkFault outcome (FaultNone otherwise).
+	Fault FaultKind
 	// PA is the translated physical address (valid unless Outcome is
 	// WalkFault). For WalkPE it equals the virtual address.
 	PA addr.PA
@@ -81,11 +123,17 @@ func (t *Table) Walk(va addr.VA) WalkResult {
 func (t *Table) WalkInto(va addr.VA, res *WalkResult) {
 	res.Steps = res.Steps[:0]
 	res.Outcome = WalkFault
+	res.Fault = FaultUnmapped
 	res.PA = 0
 	res.Perm = addr.NoPerm
 	res.Identity = false
 	res.MapBase = 0
 	res.MapSize = 0
+
+	// maxPA bounds leaf frame numbers to the x86-64 architectural
+	// 52-bit physical space; anything above is corruption, and trusting
+	// it would wrap the PA arithmetic into a silent mistranslation.
+	const maxPA = uint64(1) << 52
 
 	n := t.root
 	for {
@@ -96,16 +144,30 @@ func (t *Table) WalkInto(va addr.VA, res *WalkResult) {
 		case EntryEmpty:
 			return
 		case EntryTable:
+			// A structurally valid child exists and sits exactly one
+			// level down. Anything else — nil pointer, self-link,
+			// cross-link, or a "table" below the last level — is
+			// corruption; the level check also bounds the walk to
+			// Levels steps, so a cyclic table cannot hang the walker.
+			if n.Level <= 1 || e.Next == nil || e.Next.Level != n.Level-1 {
+				res.Fault = FaultCorrupt
+				return
+			}
 			n = e.Next
 			continue
 		case EntryLeaf:
 			span := entrySpan(n.Level)
 			base := addr.AlignDown(uint64(va), span)
+			if e.Perm > addr.ReadExecute || e.PFN >= maxPA/span {
+				res.Fault = FaultCorrupt
+				return
+			}
 			pa := addr.PA(e.PFN*span + (uint64(va) - base))
 			if e.Perm == addr.NoPerm {
 				return
 			}
 			res.Outcome = WalkLeaf
+			res.Fault = FaultNone
 			res.PA = pa
 			res.Perm = e.Perm
 			res.Identity = uint64(pa) == uint64(va)
@@ -113,19 +175,31 @@ func (t *Table) WalkInto(va addr.VA, res *WalkResult) {
 			res.MapSize = span
 			return
 		case EntryPE:
+			if n.Level < 2 || len(e.PEPerms) != t.cfg.PEFields {
+				res.Fault = FaultBadPE
+				return
+			}
 			span := entrySpan(n.Level)
 			field := span / uint64(t.cfg.PEFields)
 			fi := (uint64(va) % span) / field
 			perm := e.PEPerms[fi]
+			if perm > addr.ReadExecute {
+				res.Fault = FaultBadPE
+				return
+			}
 			if perm == addr.NoPerm {
 				return
 			}
 			res.Outcome = WalkPE
+			res.Fault = FaultNone
 			res.PA = addr.PA(va)
 			res.Perm = perm
 			res.Identity = true
 			res.MapBase = addr.VA(addr.AlignDown(uint64(va), field))
 			res.MapSize = field
+			return
+		default:
+			res.Fault = FaultCorrupt
 			return
 		}
 	}

@@ -16,6 +16,7 @@ import (
 	"io"
 	"sort"
 
+	"github.com/dvm-sim/dvm/internal/chaos"
 	"github.com/dvm-sim/dvm/internal/core"
 	"github.com/dvm-sim/dvm/internal/cpu"
 	"github.com/dvm-sim/dvm/internal/graph"
@@ -78,6 +79,53 @@ type Options struct {
 	// are byte-identical either way. Commands set it to
 	// runner.BudgetFor(jobs).
 	Workers *runner.Budget
+	// Ctx, when non-nil, cancels the sweep: generators stop claiming
+	// cells when it is done (Ctrl-C in the commands). Nil means
+	// context.Background().
+	Ctx context.Context
+	// Checkpoint, when non-nil, persists every completed cell and
+	// serves cells a previous interrupted run already finished.
+	// Restored cells replay the same metrics/progress side effects as
+	// computed ones, so the rendered tables and the -metrics snapshot
+	// are byte-identical to an uninterrupted run.
+	Checkpoint *core.Checkpoint
+	// Chaos, when non-nil with Rate > 0, arms deterministic fault
+	// injection in every simulation the generators run (see
+	// core.SystemConfig.Chaos). Nil or rate 0 is the clean path,
+	// bit-for-bit.
+	Chaos *chaos.Config
+}
+
+// ctx returns the sweep context (Background when unset).
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// checkpointed serves one cell from the checkpoint when a previous run
+// already completed it, and computes-then-records it otherwise. With no
+// checkpoint configured it degrades to a plain compute. Callers run the
+// per-cell side effects (metrics fold, progress, cell counters) after
+// this returns, so restored and computed cells contribute identically
+// to every artifact.
+func checkpointed[T any](o Options, key string, compute func() (T, error)) (T, error) {
+	var v T
+	ok, err := o.Checkpoint.Lookup(key, &v)
+	if err != nil {
+		return v, err
+	}
+	if ok {
+		return v, nil
+	}
+	if v, err = compute(); err != nil {
+		return v, err
+	}
+	if err := o.Checkpoint.Record(key, v); err != nil {
+		return v, fmt.Errorf("report: checkpointing %s: %w", key, err)
+	}
+	return v, nil
 }
 
 // prepare resolves a workload through the shared cache when one is
@@ -99,11 +147,12 @@ func (o Options) progressFor(total int) Progress {
 }
 
 // system resolves the profile's machine configuration with the
-// options' tracer attached.
+// options' tracer and fault-injection config attached.
 func (o Options) system(prof core.Profile) core.SystemConfig {
 	cfg := prof.SystemConfig()
 	cfg.Tracer = o.Tracer
 	cfg.Workers = o.Workers
+	cfg.Chaos = o.Chaos
 	return cfg
 }
 
@@ -131,12 +180,14 @@ func Figure2(prof core.Profile, w io.Writer, opts Options) error {
 		"Workload", "Input", "4K miss", "2M miss", "4K lookups", "2M lookups")
 	wls := prof.Workloads()
 	progress := opts.progressFor(len(wls))
-	rows, err := runner.MapB(context.Background(), opts.Workers, opts.Jobs, len(wls), func(_ context.Context, i int) (core.Figure2Row, error) {
-		p, err := opts.prepare(wls[i])
-		if err != nil {
-			return core.Figure2Row{}, err
-		}
-		row, err := core.Figure2(p, opts.system(prof))
+	rows, err := runner.MapB(opts.ctx(), opts.Workers, opts.Jobs, len(wls), func(_ context.Context, i int) (core.Figure2Row, error) {
+		row, err := checkpointed(opts, "fig2/"+wls[i].Algorithm+"/"+wls[i].Dataset.Name, func() (core.Figure2Row, error) {
+			p, err := opts.prepare(wls[i])
+			if err != nil {
+				return core.Figure2Row{}, err
+			}
+			return core.Figure2(p, opts.system(prof))
+		})
 		if err != nil {
 			return row, err
 		}
@@ -182,12 +233,14 @@ func Table1(prof core.Profile, w io.Writer, opts Options) error {
 		}
 	}
 	progress := opts.progressFor(len(wls))
-	rows, err := runner.MapB(context.Background(), opts.Workers, opts.Jobs, len(wls), func(_ context.Context, i int) (core.Table1Row, error) {
-		p, err := opts.prepare(wls[i])
-		if err != nil {
-			return core.Table1Row{}, err
-		}
-		row, err := core.Table1(p, prof.SystemConfig())
+	rows, err := runner.MapB(opts.ctx(), opts.Workers, opts.Jobs, len(wls), func(_ context.Context, i int) (core.Table1Row, error) {
+		row, err := checkpointed(opts, "table1/"+wls[i].Dataset.Name, func() (core.Table1Row, error) {
+			p, err := opts.prepare(wls[i])
+			if err != nil {
+				return core.Table1Row{}, err
+			}
+			return core.Table1(p, prof.SystemConfig())
+		})
 		if err != nil {
 			return row, err
 		}
@@ -211,23 +264,30 @@ func Table3(prof core.Profile, w io.Writer, opts Options) error {
 		fmt.Sprintf("Table 3: graph datasets (paper scale, generated at scale %.4g for profile %s)", prof.Scale, prof.Name),
 		"Graph", "Vertices", "Edges", "Heap (paper)", "V (scaled)", "E (scaled)")
 	progress := opts.progressFor(len(graph.Datasets))
-	type scaled struct{ v, e int }
-	rows, err := runner.MapB(context.Background(), opts.Workers, opts.Jobs, len(graph.Datasets), func(_ context.Context, i int) (scaled, error) {
+	// Exported fields so the cell round-trips through checkpoint JSON.
+	type scaled struct{ V, E int }
+	rows, err := runner.MapB(opts.ctx(), opts.Workers, opts.Jobs, len(graph.Datasets), func(_ context.Context, i int) (scaled, error) {
 		d := graph.Datasets[i]
-		g, err := d.Generate(prof.Scale, 42)
+		row, err := checkpointed(opts, "table3/"+d.Name, func() (scaled, error) {
+			g, err := d.Generate(prof.Scale, 42)
+			if err != nil {
+				return scaled{}, err
+			}
+			return scaled{g.V, g.E()}, nil
+		})
 		if err != nil {
 			return scaled{}, err
 		}
 		opts.cellDone()
-		progress.log("table3 %s: V=%d E=%d", d.Name, g.V, g.E())
-		return scaled{g.V, g.E()}, nil
+		progress.log("table3 %s: V=%d E=%d", d.Name, row.V, row.E)
+		return row, nil
 	})
 	if err != nil {
 		return err
 	}
 	for i, d := range graph.Datasets {
 		t.MustAddRow(d.Name, fmt.Sprintf("%d", d.Vertices), fmt.Sprintf("%d", d.Edges),
-			results.Bytes(d.HeapBytes), fmt.Sprintf("%d", rows[i].v), fmt.Sprintf("%d", rows[i].e))
+			results.Bytes(d.HeapBytes), fmt.Sprintf("%d", rows[i].V), fmt.Sprintf("%d", rows[i].E))
 	}
 	return t.WriteASCII(w)
 }
@@ -253,36 +313,44 @@ func Figure8And9(prof core.Profile, w io.Writer, opts Options) error {
 		head9...)
 	wls := prof.Workloads()
 	progress := opts.progressFor(len(wls))
+	// Exported fields so the cell round-trips through checkpoint JSON.
 	type pair struct {
-		cell core.Figure8Cell
-		fig9 core.Figure9Cell
+		Cell core.Figure8Cell
+		Fig9 core.Figure9Cell
 	}
 	// Parallelism is across cells; each cell runs its seven modes
 	// sequentially so a full sweep never has more than Jobs runs in
 	// flight.
-	cells, err := runner.MapB(context.Background(), opts.Workers, opts.Jobs, len(wls), func(ctx context.Context, i int) (pair, error) {
-		p, err := opts.prepare(wls[i])
+	cells, err := runner.MapB(opts.ctx(), opts.Workers, opts.Jobs, len(wls), func(ctx context.Context, i int) (pair, error) {
+		pr, err := checkpointed(opts, "fig8/"+wls[i].Algorithm+"/"+wls[i].Dataset.Name, func() (pair, error) {
+			p, err := opts.prepare(wls[i])
+			if err != nil {
+				return pair{}, err
+			}
+			cell, err := core.Figure8Ctx(ctx, p, opts.system(prof), 1)
+			if err != nil {
+				return pair{}, err
+			}
+			fig9, err := core.Figure9(cell)
+			if err != nil {
+				return pair{}, err
+			}
+			return pair{cell, fig9}, nil
+		})
 		if err != nil {
 			return pair{}, err
 		}
-		cell, err := core.Figure8Ctx(ctx, p, opts.system(prof), 1)
-		if err != nil {
-			return pair{}, err
-		}
+		cell := pr.Cell
 		for _, m := range modes {
 			if err := opts.collect(cell.Results[m]); err != nil {
 				return pair{}, fmt.Errorf("fig8 %s/%s %v: %w", cell.Algorithm, cell.Dataset, m, err)
 			}
 		}
 		opts.cellDone()
-		fig9, err := core.Figure9(cell)
-		if err != nil {
-			return pair{}, err
-		}
 		progress.log("fig8 %s/%s: 4K %.2fx PE %.3fx PE+ %.3fx BM %.2fx",
 			cell.Algorithm, cell.Dataset, cell.Normalized[core.ModeConv4K],
 			cell.Normalized[core.ModeDVMPE], cell.Normalized[core.ModeDVMPEPlus], cell.Normalized[core.ModeDVMBM])
-		return pair{cell, fig9}, nil
+		return pr, nil
 	})
 	if err != nil {
 		return err
@@ -290,14 +358,14 @@ func Figure8And9(prof core.Profile, w io.Writer, opts Options) error {
 	sums8 := make(map[core.Mode]float64)
 	sums9 := make(map[core.Mode]float64)
 	for _, c := range cells {
-		row8 := []string{c.cell.Algorithm, c.cell.Dataset}
-		row9 := []string{c.cell.Algorithm, c.cell.Dataset}
+		row8 := []string{c.Cell.Algorithm, c.Cell.Dataset}
+		row9 := []string{c.Cell.Algorithm, c.Cell.Dataset}
 		for _, m := range modes {
-			row8 = append(row8, results.F(c.cell.Normalized[m], 3))
-			sums8[m] += c.cell.Normalized[m]
+			row8 = append(row8, results.F(c.Cell.Normalized[m], 3))
+			sums8[m] += c.Cell.Normalized[m]
 			if m != core.ModeIdeal {
-				row9 = append(row9, results.F(c.fig9.Normalized[m], 3))
-				sums9[m] += c.fig9.Normalized[m]
+				row9 = append(row9, results.F(c.Fig9.Normalized[m], 3))
+				sums9[m] += c.Fig9.Normalized[m]
 			}
 		}
 		t8.MustAddRow(row8...)
@@ -339,15 +407,21 @@ func Table4(w io.Writer, opts Options) error {
 		}
 	}
 	progress := opts.progressFor(len(cellsIn))
-	pcts, err := runner.MapB(context.Background(), opts.Workers, opts.Jobs, len(cellsIn), func(_ context.Context, i int) (float64, error) {
+	pcts, err := runner.MapB(opts.ctx(), opts.Workers, opts.Jobs, len(cellsIn), func(_ context.Context, i int) (float64, error) {
 		c := cellsIn[i]
-		r, err := shbench.Run(c.exp, c.mem)
+		pct, err := checkpointed(opts, fmt.Sprintf("table4/%d/%d", c.exp.ID, c.mem), func() (float64, error) {
+			r, err := shbench.Run(c.exp, c.mem)
+			if err != nil {
+				return 0, err
+			}
+			return r.Percent, nil
+		})
 		if err != nil {
 			return 0, err
 		}
 		opts.cellDone()
-		progress.log("table4 expt %d %s: %.1f%%", c.exp.ID, results.Bytes(c.mem), r.Percent)
-		return r.Percent, nil
+		progress.log("table4 expt %d %s: %.1f%%", c.exp.ID, results.Bytes(c.mem), pct)
+		return pct, nil
 	})
 	if err != nil {
 		return err
@@ -375,8 +449,10 @@ func Figure10(w io.Writer, opts Options) error {
 		"Figure 10: CPU VM overheads vs ideal (paper avgs: 4K 29%, THP 13%, cDVM ~5%; xsbench 4K 84%)",
 		"Workload", "4K", "THP", "cDVM")
 	progress := opts.progressFor(len(cpu.Workloads))
-	rows, err := runner.MapB(context.Background(), opts.Workers, opts.Jobs, len(cpu.Workloads), func(_ context.Context, i int) (cpu.Result, error) {
-		r, err := cpu.Run(cpu.Workloads[i], cpu.Config{})
+	rows, err := runner.MapB(opts.ctx(), opts.Workers, opts.Jobs, len(cpu.Workloads), func(_ context.Context, i int) (cpu.Result, error) {
+		r, err := checkpointed(opts, "fig10/"+cpu.Workloads[i].Name, func() (cpu.Result, error) {
+			return cpu.Run(cpu.Workloads[i], cpu.Config{})
+		})
 		if err != nil {
 			return cpu.Result{}, err
 		}
@@ -464,7 +540,9 @@ func Ablations(prof core.Profile, w io.Writer, opts Options) error {
 		{core.ModeDVMPE, 1, "cached (AVC)"},
 	}
 	progress := opts.progressFor(1 + len(fanouts) + len(capacities) + len(toggles))
-	ideal, err := p.Run(core.ModeIdeal, opts.system(prof))
+	ideal, err := checkpointed(opts, "ablations/ideal", func() (core.RunResult, error) {
+		return p.Run(core.ModeIdeal, opts.system(prof))
+	})
 	if err != nil {
 		return err
 	}
@@ -481,10 +559,12 @@ func Ablations(prof core.Profile, w io.Writer, opts Options) error {
 	tf := results.NewTable(
 		fmt.Sprintf("Ablation A: PE fan-out (PageRank/Wiki, profile %s, DVM-PE)", prof.Name),
 		"PE fields", "Normalized time", "AVC hit rate", "Page table")
-	fanRows, err := runner.MapB(context.Background(), opts.Workers, opts.Jobs, len(fanouts), func(_ context.Context, i int) (core.RunResult, error) {
-		cfg := opts.system(prof)
-		cfg.PEFields = fanouts[i]
-		r, err := p.Run(core.ModeDVMPE, cfg)
+	fanRows, err := runner.MapB(opts.ctx(), opts.Workers, opts.Jobs, len(fanouts), func(_ context.Context, i int) (core.RunResult, error) {
+		r, err := checkpointed(opts, fmt.Sprintf("ablations/pe-fields/%d", fanouts[i]), func() (core.RunResult, error) {
+			cfg := opts.system(prof)
+			cfg.PEFields = fanouts[i]
+			return p.Run(core.ModeDVMPE, cfg)
+		})
 		if err != nil {
 			return r, err
 		}
@@ -518,15 +598,17 @@ func Ablations(prof core.Profile, w io.Writer, opts Options) error {
 	ts := results.NewTable(
 		fmt.Sprintf("Ablation B: AVC capacity (PageRank/Wiki, profile %s, DVM-PE, direct-mapped below 256 B)", prof.Name),
 		"AVC bytes", "Normalized time", "AVC hit rate")
-	capRows, err := runner.MapB(context.Background(), opts.Workers, opts.Jobs, len(capacities), func(_ context.Context, i int) (core.RunResult, error) {
+	capRows, err := runner.MapB(opts.ctx(), opts.Workers, opts.Jobs, len(capacities), func(_ context.Context, i int) (core.RunResult, error) {
 		capBytes := capacities[i]
-		cfg := opts.system(prof)
-		cfg.AVC.CapacityBytes = capBytes
-		cfg.AVC.MinLevel = 1
-		if capBytes < 256 {
-			cfg.AVC.Ways = 1
-		}
-		r, err := p.Run(core.ModeDVMPE, cfg)
+		r, err := checkpointed(opts, fmt.Sprintf("ablations/avc/%d", capBytes), func() (core.RunResult, error) {
+			cfg := opts.system(prof)
+			cfg.AVC.CapacityBytes = capBytes
+			cfg.AVC.MinLevel = 1
+			if capBytes < 256 {
+				cfg.AVC.Ways = 1
+			}
+			return p.Run(core.ModeDVMPE, cfg)
+		})
 		if err != nil {
 			return r, err
 		}
@@ -560,15 +642,17 @@ func Ablations(prof core.Profile, w io.Writer, opts Options) error {
 	tl := results.NewTable(
 		fmt.Sprintf("Ablation C: caching leaf PTE lines in the 1 KB walker cache (PageRank/Wiki, profile %s)", prof.Name),
 		"Mode", "Leaf lines", "Normalized time", "Walker-cache hit rate")
-	togRows, err := runner.MapB(context.Background(), opts.Workers, opts.Jobs, len(toggles), func(_ context.Context, i int) (core.RunResult, error) {
+	togRows, err := runner.MapB(opts.ctx(), opts.Workers, opts.Jobs, len(toggles), func(_ context.Context, i int) (core.RunResult, error) {
 		x := toggles[i]
-		cfg := opts.system(prof)
-		if x.mode == core.ModeConv4K {
-			cfg.PWC = mmuPTECacheConfig(x.minLevel)
-		} else {
-			cfg.AVC = mmuPTECacheConfig(x.minLevel)
-		}
-		r, err := p.Run(x.mode, cfg)
+		r, err := checkpointed(opts, fmt.Sprintf("ablations/leaf/%v/%d", x.mode, x.minLevel), func() (core.RunResult, error) {
+			cfg := opts.system(prof)
+			if x.mode == core.ModeConv4K {
+				cfg.PWC = mmuPTECacheConfig(x.minLevel)
+			} else {
+				cfg.AVC = mmuPTECacheConfig(x.minLevel)
+			}
+			return p.Run(x.mode, cfg)
+		})
 		if err != nil {
 			return r, err
 		}
@@ -607,8 +691,10 @@ func Virtualization(w io.Writer, opts Options) error {
 		{virt.SchemeFullDVM, "DVM", "none (gVA==sPA)"},
 	}
 	progress := opts.progressFor(len(rows))
-	res, err := runner.MapB(context.Background(), opts.Workers, opts.Jobs, len(rows), func(_ context.Context, i int) (virt.Result, error) {
-		r, err := virt.Measure(rows[i].scheme, virt.Config{}, 200_000, 7)
+	res, err := runner.MapB(opts.ctx(), opts.Workers, opts.Jobs, len(rows), func(_ context.Context, i int) (virt.Result, error) {
+		r, err := checkpointed(opts, "virt/"+rows[i].scheme.String(), func() (virt.Result, error) {
+			return virt.Measure(rows[i].scheme, virt.Config{}, 200_000, 7)
+		})
 		if err != nil {
 			return virt.Result{}, err
 		}

@@ -1,0 +1,206 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// CellError is the failure of one cell of a Map/MapOpts matrix. The
+// runner guarantees every panic and every watchdog timeout surfaces as
+// a *CellError naming the cell index, so a sweep failure always says
+// which simulation broke — essential when a 105-cell sweep dies nine
+// minutes in.
+type CellError struct {
+	// Index is the cell that failed.
+	Index int
+	// Err is the underlying failure (for panics, a synthesized error
+	// carrying the panic value).
+	Err error
+	// Panicked reports that the cell panicked rather than returned.
+	Panicked bool
+	// Stack is the panicking goroutine's stack trace (nil unless
+	// Panicked).
+	Stack []byte
+}
+
+// Error implements error.
+func (e *CellError) Error() string {
+	if e.Panicked {
+		return fmt.Sprintf("runner: cell %d panicked: %v\n%s", e.Index, e.Err, e.Stack)
+	}
+	return fmt.Sprintf("runner: cell %d: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// transientError marks an error as transient for retry classification.
+type transientError struct{ err error }
+
+func (t *transientError) Error() string { return t.err.Error() }
+func (t *transientError) Unwrap() error { return t.err }
+
+// MarkTransient wraps err so IsTransient reports true: the failure is
+// a fault-class the caller believes a retry can clear (an injected
+// fault, a flaky external resource), as opposed to a deterministic
+// simulation error that will recur on every attempt.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) was marked
+// with MarkTransient. It is the default retry classifier: deliberately
+// conservative, since retrying a deterministic failure only multiplies
+// the wall-clock cost of reporting it.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// RetryPolicy controls per-cell retry of classified-transient failures.
+// The zero value disables retry.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per cell (<= 1 means a
+	// single attempt, i.e. no retry).
+	MaxAttempts int
+	// Backoff is the delay before the first retry (default 10ms),
+	// doubling per attempt.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (default 1s).
+	MaxBackoff time.Duration
+	// Classify decides whether an error is worth retrying; nil means
+	// IsTransient. Panics and watchdog timeouts are never retried —
+	// a cell that crashed or hung once has forfeited determinism.
+	Classify func(error) bool
+}
+
+// Options configures MapOpts beyond the plain MapB knobs.
+type Options struct {
+	// Jobs bounds concurrent cells (<= 0: one per CPU).
+	Jobs int
+	// Budget is the shared extra-worker token pool (nil: unbounded, as
+	// plain Map).
+	Budget *Budget
+	// CellTimeout, when positive, puts every cell under a watchdog: a
+	// cell running longer is abandoned and reported as a *CellError
+	// wrapping context.DeadlineExceeded. The abandoned goroutine keeps
+	// running until its context cancellation is noticed — the runner
+	// cannot preempt it — but its result is discarded and its worker
+	// slot moves on.
+	CellTimeout time.Duration
+	// Retry re-runs cells whose error the policy classifies transient.
+	Retry RetryPolicy
+}
+
+// callCell invokes fn for one cell, converting a panic into a
+// *CellError instead of letting it unwind the worker: one exploding
+// cell fails the sweep with a precise report, rather than killing the
+// process and every other in-flight cell's work. The recover also lets
+// the worker's budget-token release defer complete normally.
+func callCell[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (r T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &CellError{
+				Index:    i,
+				Err:      fmt.Errorf("%v", p),
+				Panicked: true,
+				Stack:    debug.Stack(),
+			}
+		}
+	}()
+	return fn(ctx, i)
+}
+
+// runCellOnce executes one attempt of cell i, under the watchdog when a
+// CellTimeout is set.
+func runCellOnce[T any](ctx context.Context, opts Options, i int, fn func(ctx context.Context, i int) (T, error)) (T, error) {
+	if opts.CellTimeout <= 0 {
+		return callCell(ctx, i, fn)
+	}
+	cctx, cancel := context.WithTimeout(ctx, opts.CellTimeout)
+	defer cancel()
+	type outcome struct {
+		r   T
+		err error
+	}
+	// Buffered so an abandoned cell's late send never blocks its
+	// goroutine forever.
+	ch := make(chan outcome, 1)
+	go func() {
+		r, err := callCell(cctx, i, fn)
+		ch <- outcome{r, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.r, o.err
+	case <-cctx.Done():
+		var zero T
+		if ctx.Err() != nil {
+			// The sweep itself was cancelled; report that, not a
+			// timeout.
+			return zero, ctx.Err()
+		}
+		return zero, &CellError{
+			Index: i,
+			Err:   fmt.Errorf("cell exceeded %v watchdog: %w", opts.CellTimeout, context.DeadlineExceeded),
+		}
+	}
+}
+
+// runCell executes cell i under the full policy: watchdog per attempt,
+// classified retry with capped exponential backoff between attempts.
+func runCell[T any](ctx context.Context, opts Options, i int, fn func(ctx context.Context, i int) (T, error)) (T, error) {
+	attempts := opts.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	classify := opts.Retry.Classify
+	if classify == nil {
+		classify = IsTransient
+	}
+	backoff := opts.Retry.Backoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	maxBackoff := opts.Retry.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = time.Second
+	}
+	for attempt := 1; ; attempt++ {
+		r, err := runCellOnce(ctx, opts, i, fn)
+		if err == nil || attempt >= attempts || ctx.Err() != nil {
+			return r, err
+		}
+		var ce *CellError
+		if errors.As(err, &ce) && (ce.Panicked || errors.Is(ce.Err, context.DeadlineExceeded)) {
+			// Crashed or hung: not retryable by policy.
+			return r, err
+		}
+		if !classify(err) {
+			return r, err
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return r, err
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// MapOpts is MapB with the full resilience policy: per-cell panic
+// isolation (always on), a per-cell watchdog deadline and classified
+// retry when Options asks for them. Results are collected by cell
+// index; output is byte-identical at every Jobs value and budget
+// population, exactly as Map/MapB.
+func MapOpts[T any](ctx context.Context, opts Options, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return mapCells(ctx, opts, n, fn)
+}

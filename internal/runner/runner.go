@@ -51,6 +51,16 @@ func Map[T any](ctx context.Context, jobs, n int, fn func(ctx context.Context, i
 // like Map — the output is byte-identical at every jobs value and every
 // budget population.
 func MapB[T any](ctx context.Context, b *Budget, jobs, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return mapCells(ctx, Options{Jobs: jobs, Budget: b}, n, fn)
+}
+
+// mapCells is the worker-pool core shared by Map, MapB and MapOpts.
+// Every cell runs through runCell, so panic isolation holds on every
+// path: a panicking cell becomes a *CellError carrying its index and
+// stack, the worker's budget-token release defer completes normally
+// (no token is ever leaked by a failed, cancelled or panicking cell),
+// and the remaining in-flight cells finish before the error returns.
+func mapCells[T any](ctx context.Context, opts Options, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("runner: negative cell count %d", n)
 	}
@@ -58,10 +68,11 @@ func MapB[T any](ctx context.Context, b *Budget, jobs, n int, fn func(ctx contex
 	if n == 0 {
 		return out, ctx.Err()
 	}
-	jobs = DefaultJobs(jobs)
+	jobs := DefaultJobs(opts.Jobs)
 	if jobs > n {
 		jobs = n
 	}
+	b := opts.Budget
 	extra := 0
 	if jobs > 1 && b != nil {
 		extra = b.TryAcquire(jobs - 1)
@@ -72,7 +83,7 @@ func MapB[T any](ctx context.Context, b *Budget, jobs, n int, fn func(ctx contex
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			r, err := fn(ctx, i)
+			r, err := runCell(ctx, opts, i, fn)
 			if err != nil {
 				return nil, err
 			}
@@ -95,6 +106,8 @@ func MapB[T any](ctx context.Context, b *Budget, jobs, n int, fn func(ctx contex
 		wg.Add(1)
 		// Workers beyond the first each hold one budget token; it goes
 		// back to the pool the moment the worker finds no more cells.
+		// runCell recovers cell panics, so this defer chain always
+		// completes and the token always returns.
 		borrowed := w > 0 && b != nil
 		go func() {
 			defer wg.Done()
@@ -106,7 +119,7 @@ func MapB[T any](ctx context.Context, b *Budget, jobs, n int, fn func(ctx contex
 				if i >= n || ctx.Err() != nil {
 					return
 				}
-				r, err := fn(ctx, i)
+				r, err := runCell(ctx, opts, i, fn)
 				if err != nil {
 					mu.Lock()
 					if firstIdx == -1 || i < firstIdx {

@@ -238,6 +238,11 @@ type Plan struct {
 	SPA addr.PA
 	// Fault reports a failed translation/validation.
 	Fault bool
+	// FaultKind refines Fault with the walker's typed classification
+	// (FaultCorrupt/FaultBadPE for structurally damaged tables,
+	// FaultUnmapped for ordinary page faults, FaultNone for a plain
+	// permission denial on an otherwise valid translation).
+	FaultKind pagetable.FaultKind
 	// ProbeCycles and MemRefs are the serial structure probes and walk
 	// memory references incurred.
 	ProbeCycles uint64
@@ -275,6 +280,7 @@ func (m *Machine) Translate(gva addr.VA, kind addr.AccessKind) Plan {
 		entrySPA, fault := m.resolveHost(addr.VA(step.EntryPA), &p)
 		if fault {
 			p.Fault = true
+			p.FaultKind = m.hostWalk.Fault
 			m.ctr.Faults++
 			return p
 		}
@@ -294,6 +300,7 @@ func (m *Machine) Translate(gva addr.VA, kind addr.AccessKind) Plan {
 	}
 	if m.guestWalk.Outcome == pagetable.WalkFault || !m.guestWalk.Perm.Allows(kind) {
 		p.Fault = true
+		p.FaultKind = m.guestWalk.Fault
 		m.ctr.Faults++
 		return p
 	}
@@ -302,6 +309,7 @@ func (m *Machine) Translate(gva addr.VA, kind addr.AccessKind) Plan {
 	spa, fault := m.resolveHost(addr.VA(gpa), &p)
 	if fault {
 		p.Fault = true
+		p.FaultKind = m.hostWalk.Fault
 		m.ctr.Faults++
 		return p
 	}
@@ -365,7 +373,7 @@ func Measure(scheme Scheme, cfg Config, accesses int, seed int64) (Result, error
 		gva := m.heapGVA + addr.VA(rng.Uint64()%c.HeapBytes)
 		p := m.Translate(gva, addr.Read)
 		if p.Fault {
-			return res, fmt.Errorf("virt: unexpected fault at %#x under %v", uint64(gva), scheme)
+			return res, fmt.Errorf("virt: unexpected %v fault at %#x under %v", p.FaultKind, uint64(gva), scheme)
 		}
 		if i == 0 {
 			res.ColdWalkRefs = p.MemRefs
