@@ -286,6 +286,8 @@ func microBenches(prof core.Profile) []struct {
 		{"run/dvm-pe", perMode(core.ModeDVMPE)},
 		{"run/dvm-pe+", perMode(core.ModeDVMPEPlus)},
 		{"run/ideal", perMode(core.ModeIdeal)},
+		{"run/sparta", perMode(core.ModeSPARTA)},
+		{"run/vbi", perMode(core.ModeVBI)},
 		{"prepare", func(b *testing.B) {
 			d, err := graph.DatasetByName("Wiki")
 			if err != nil {

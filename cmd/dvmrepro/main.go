@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dvmrepro [-profile tiny|small|medium|paper] [-j N]
+//	dvmrepro [-profile tiny|small|medium|paper] [-j N] [-modes paper|extended]
 //	         [-only fig2,table1,table3,fig8,fig9,table4,fig10,table5,ablations,virt]
 //	         [-checkpoint file [-resume]] [-chaos-rate p -chaos-seed N]
 //	         [-metrics file] [-trace file] [-trace-mask comps] [-pprof addr] [-q]
@@ -57,12 +57,13 @@ var artifactKeys = []string{"table3", "fig2", "table1", "fig8", "fig9", "table4"
 func main() {
 	profileName := flag.String("profile", "small", "experiment profile: tiny|small|medium|paper (see DESIGN.md §6)")
 	only := flag.String("only", "", "comma-separated subset: "+strings.Join(artifactKeys, ","))
+	modesName := flag.String("modes", "paper", "mode set for the fig8/fig9 matrix: paper (the seven paper columns, the byte-stable artifact) or extended (paper + SPARTA + VBI columns)")
 	jobs := flag.Int("j", 0, "max concurrent experiment cells (0 = one per CPU, 1 = sequential)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.BoolVar(quiet, "q", false, "shorthand for -quiet")
 	metricsPath := flag.String("metrics", "", "write the merged metrics-registry snapshot as JSON to this file")
 	tracePath := flag.String("trace", "", "write a JSONL event trace to this file (see -trace-mask, -trace-cap)")
-	traceMask := flag.String("trace-mask", "all", "comma-separated components to trace: iommu,tlb,pwc,avc,bmcache,bitmap,engine,chaos or 'all'")
+	traceMask := flag.String("trace-mask", "all", "comma-separated components to trace: iommu,tlb,pwc,avc,bmcache,bitmap,engine,chaos,block or 'all'")
 	traceCap := flag.Int("trace-cap", 0, "event ring capacity (0 = default 65536; older events are overwritten)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	ckPath := flag.String("checkpoint", "", "persist completed experiment cells to this JSONL file (enables -resume)")
@@ -102,10 +103,20 @@ func main() {
 		tracer = obs.NewTracer(*traceCap, mask)
 		opts.Tracer = tracer
 	}
-	// The checkpoint identity includes the chaos configuration: cells
-	// simulated under fault injection must never satisfy a clean run's
-	// resume (or vice versa).
+	// The checkpoint identity includes the chaos configuration and the
+	// mode set: cells simulated under fault injection (or with extra
+	// mode columns) must never satisfy a default run's resume (or vice
+	// versa).
 	ckProfile := prof.Name
+	switch *modesName {
+	case "paper":
+		// opts.Modes nil: the seven-column byte-stable artifact.
+	case "extended":
+		opts.Modes = core.RegisteredModes()
+		ckProfile += "+modes(extended)"
+	default:
+		lg.Exitf(2, "unknown -modes %q (paper|extended)", *modesName)
+	}
 	if *chaosRate > 0 {
 		opts.Chaos = &chaos.Config{Seed: *chaosSeed, Rate: *chaosRate}
 		ckProfile = fmt.Sprintf("%s+chaos(seed=%d,rate=%g)", prof.Name, *chaosSeed, *chaosRate)

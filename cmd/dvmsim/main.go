@@ -8,7 +8,10 @@
 //	       [-chaos-rate p -chaos-seed N]
 //	       [-metrics file] [-trace file] [-trace-mask comps] [-pprof addr] [-q]
 //
-// Omitting -mode runs all seven configurations and prints a comparison;
+// Omitting -mode runs all seven paper configurations and prints a
+// comparison; -mode accepts a comma-separated list of registered mode
+// names or aliases (case-insensitive), plus the keywords "all" (paper
+// set) and "extended" (paper set + SPARTA + VBI).
 // -j bounds how many of those runs execute concurrently (default: one per
 // CPU; the printed table is identical at any -j). -metrics writes the
 // merged counter-registry snapshot of all runs as JSON; -trace writes a
@@ -22,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,14 +40,14 @@ import (
 func main() {
 	alg := flag.String("alg", "PageRank", "algorithm: BFS|PageRank|SSSP|CF")
 	dataset := flag.String("dataset", "Wiki", "dataset: FR|Wiki|LJ|S24|NF|Bip1|Bip2")
-	modeName := flag.String("mode", "", "mode (default: all): Ideal|4K,TLB+PWC|2M,TLB+PWC|1G,TLB+PWC|DVM-BM|DVM-PE|DVM-PE+")
+	modeName := flag.String("mode", "", "comma-separated mode list (default: the seven paper modes); names/aliases are case-insensitive (e.g. 4K|DVM-BM|pe+|SPARTA|VBI), plus 'all' (paper set) and 'extended' (paper + SPARTA + VBI)")
 	profileName := flag.String("profile", "small", "experiment profile: tiny|small|medium|paper")
 	seed := flag.Int64("seed", 42, "graph generation seed")
 	jobs := flag.Int("j", 0, "max concurrent mode runs (0 = one per CPU, 1 = sequential)")
 	quiet := flag.Bool("q", false, "suppress status output")
 	metricsPath := flag.String("metrics", "", "write the merged metrics-registry snapshot as JSON to this file")
 	tracePath := flag.String("trace", "", "write a JSONL event trace to this file (see -trace-mask, -trace-cap)")
-	traceMask := flag.String("trace-mask", "all", "comma-separated components to trace: iommu,tlb,pwc,avc,bmcache,bitmap,engine,chaos or 'all'")
+	traceMask := flag.String("trace-mask", "all", "comma-separated components to trace: iommu,tlb,pwc,avc,bmcache,bitmap,engine,chaos,block or 'all'")
 	traceCap := flag.Int("trace-cap", 0, "event ring capacity (0 = default 65536; older events are overwritten)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	chaosRate := flag.Float64("chaos-rate", 0, "fault-injection probability per injection site (0 disables; results are not paper artifacts)")
@@ -79,17 +83,9 @@ func main() {
 	}
 	fmt.Printf("%s on %s: %d vertices, %d edges (scale %.4g)\n\n", *alg, *dataset, p.G.V, p.G.E(), prof.Scale)
 
-	modes := core.AllModes
-	if *modeName != "" {
-		modes = nil
-		for _, m := range core.AllModes {
-			if m.String() == *modeName {
-				modes = []core.Mode{m}
-			}
-		}
-		if modes == nil {
-			lg.Exitf(1, "unknown mode %q", *modeName)
-		}
+	modes, err := parseModes(*modeName)
+	if err != nil {
+		lg.Exitf(2, "%v", err)
 	}
 
 	cfg := prof.SystemConfig()
@@ -172,6 +168,42 @@ func main() {
 		lg.Statusf("trace written to %s (%d events emitted, %d retained)",
 			*tracePath, tracer.Total(), len(tracer.Events()))
 	}
+}
+
+// parseModes resolves the -mode flag through the backend registry: a
+// comma-separated list of registered names/aliases (case-insensitive),
+// or the keywords "all" (the seven paper modes) and "extended" (paper
+// set plus the registered extras). Empty selects the paper set. Unknown
+// names error, listing the registered vocabulary.
+func parseModes(spec string) ([]core.Mode, error) {
+	if spec == "" {
+		return core.AllModes, nil
+	}
+	var modes []core.Mode
+	seen := map[core.Mode]bool{}
+	add := func(ms ...core.Mode) {
+		for _, m := range ms {
+			if !seen[m] {
+				seen[m] = true
+				modes = append(modes, m)
+			}
+		}
+	}
+	for _, name := range strings.Split(spec, ",") {
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "all":
+			add(core.AllModes...)
+		case "extended":
+			add(core.RegisteredModes()...)
+		default:
+			m, err := core.ModeByName(name)
+			if err != nil {
+				return nil, err
+			}
+			add(m)
+		}
+	}
+	return modes, nil
 }
 
 func writeSnapshot(path string, coll *obs.Collector) error {

@@ -19,7 +19,10 @@
 //     construction).
 //   - Mode and the IOMMU configurations: the seven memory-management
 //     schemes of the paper's evaluation (conventional 4K/2M/1G paging,
-//     DVM-BM, DVM-PE, DVM-PE+ and Ideal).
+//     DVM-BM, DVM-PE, DVM-PE+ and Ideal), plus two registered extra
+//     designs from related work — SPARTA (partitioned translation) and
+//     VBI (variable-size virtual blocks). New designs plug in through
+//     the mmu backend registry (DESIGN.md §11).
 //   - Program / Engine: the Graphicionado-style accelerator with its
 //     vertex-programming abstraction (BFS, PageRank, SSSP, CF built in).
 //   - Workload / Prepare / Profile: the experiment harness that
@@ -140,10 +143,11 @@ func NewPermBitmap() *PermBitmap { return mmu.NewPermBitmap() }
 // to the paper's 4-channel, 51.2 GB/s system.
 func NewMemController(cfg MemConfig) (*MemController, error) { return memsys.NewController(cfg) }
 
-// Memory-management modes (the paper's seven configurations).
+// Memory-management modes (the paper's seven configurations plus the
+// registered extra designs).
 type Mode = core.Mode
 
-// Modes, in the paper's presentation order (Ideal last).
+// Modes, in the paper's presentation order (Ideal last), plus the extras.
 const (
 	ModeConv4K    = core.ModeConv4K
 	ModeConv2M    = core.ModeConv2M
@@ -152,10 +156,19 @@ const (
 	ModeDVMPE     = core.ModeDVMPE
 	ModeDVMPEPlus = core.ModeDVMPEPlus
 	ModeIdeal     = core.ModeIdeal
+	ModeSPARTA    = core.ModeSPARTA
+	ModeVBI       = core.ModeVBI
 )
 
-// AllModes lists every mode.
-var AllModes = core.AllModes
+// AllModes lists the paper's seven modes; the registry views expose the
+// full set including extras and resolve CLI-style names.
+var (
+	AllModes        = core.AllModes
+	RegisteredModes = core.RegisteredModes
+	ExtraModes      = core.ExtraModes
+	ModeNames       = core.ModeNames
+	ModeByName      = core.ModeByName
+)
 
 // Accelerator.
 type (

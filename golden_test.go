@@ -69,3 +69,50 @@ func TestGoldenTinyProfile(t *testing.T) {
 			out.Len(), len(want))
 	}
 }
+
+// TestGoldenTinyExtendedModes pins the registry-driven extra columns:
+// the Figure 8/9 matrix with every registered mode (paper set + SPARTA +
+// VBI) must match testdata/golden_tiny_extended.txt byte-for-byte — the
+// exact stdout of
+//
+//	dvmrepro -profile tiny -j 1 -q -modes extended -only fig8
+//
+// at both -j 1 and a fanned-out -j 8 (parallel cells must not reorder or
+// change a digit). The seven paper columns inside this table are also
+// implicitly pinned against the main golden: a backend-registry change
+// that altered them would diverge both files.
+//
+// Refresh (only when an intentional modeling change lands):
+//
+//	go run ./cmd/dvmrepro -profile tiny -j 1 -q -modes extended -only fig8 > testdata/golden_tiny_extended.txt
+func TestGoldenTinyExtendedModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny-profile regeneration; skipped with -short")
+	}
+	want, err := os.ReadFile("testdata/golden_tiny_extended.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := core.ProfileByName("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{1, 8} {
+		opts := report.Options{
+			Jobs:     jobs,
+			Metrics:  &obs.Collector{},
+			Prepared: core.NewPreparedCache(),
+			Modes:    core.RegisteredModes(),
+		}
+		var out bytes.Buffer
+		if err := report.Figure8And9(prof, &out, opts); err != nil {
+			t.Fatalf("-j %d: %v", jobs, err)
+		}
+		fmt.Fprintln(&out) // dvmrepro prints a blank line after each artifact
+		if !bytes.Equal(out.Bytes(), want) {
+			t.Fatalf("-j %d: extended fig8/9 diverged from testdata/golden_tiny_extended.txt (got %d bytes, want %d); "+
+				"if a modeling change is intentional, refresh per the comment above",
+				jobs, out.Len(), len(want))
+		}
+	}
+}

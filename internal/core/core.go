@@ -28,7 +28,8 @@ import (
 // package.
 type Mode = mmu.Mode
 
-// The evaluated configurations, in the paper's presentation order.
+// The evaluated configurations, in the paper's presentation order, plus
+// the registered extra designs (SPARTA, VBI).
 const (
 	ModeConv4K    = mmu.ModeConv4K
 	ModeConv2M    = mmu.ModeConv2M
@@ -37,10 +38,23 @@ const (
 	ModeDVMPE     = mmu.ModeDVMPE
 	ModeDVMPEPlus = mmu.ModeDVMPEPlus
 	ModeIdeal     = mmu.ModeIdeal
+	ModeSPARTA    = mmu.ModeSPARTA
+	ModeVBI       = mmu.ModeVBI
 )
 
-// AllModes lists every mode, Ideal last.
+// AllModes lists the paper's seven modes, Ideal last.
 var AllModes = mmu.AllModes
+
+// RegisteredModes, ExtraModes, ModeNames and ModeByName re-export the
+// mmu backend registry for the CLI and report layers: the full mode list
+// (paper + extras, presentation order), the non-paper extras, the
+// canonical name vocabulary and case-insensitive name/alias resolution.
+var (
+	RegisteredModes = mmu.RegisteredModes
+	ExtraModes      = mmu.ExtraModes
+	ModeNames       = mmu.ModeNames
+	ModeByName      = mmu.ModeByName
+)
 
 // SystemConfig sets the simulated machine (defaults = the paper's Table 2).
 type SystemConfig struct {
@@ -157,20 +171,14 @@ type machineKey struct {
 	seed     int64
 }
 
-// tableKind names the distinct page tables a workload can need. Conv4K
-// and DVM-BM walk the same canonical 4K table.
-type tableKind int
-
-const (
-	tableCanonical tableKind = iota // 4K canonical (Conv4K, DVM-BM)
-	tableHuge2M
-	tableHuge1G
-	tablePE // canonical with Permission Entries, keyed by fan-out
-)
-
+// tableKey identifies one distinct page table a workload can need, keyed
+// by the registered descriptor's declared table need: every
+// TableCanonical mode (Conv4K, DVM-BM, SPARTA, VBI) shares the same 4K
+// canonical table, TableHuge splits by page size, TablePE by PE fan-out.
 type tableKey struct {
-	kind     tableKind
-	peFields int // tablePE only; 0 otherwise
+	need     mmu.TableNeed
+	pageSize uint64 // TableHuge only; 0 otherwise
+	peFields int    // TablePE only; 0 otherwise
 }
 
 // machineState is the cached machine for one machineKey. Tables build
@@ -179,12 +187,14 @@ type tableKey struct {
 // builds of one workload) construct them concurrently — each build only
 // reads the immutable process state.
 type machineState struct {
-	proc   *osmodel.Process
-	lay    accel.Layout
-	mu     sync.Mutex // guards the tables map, not the builds
-	tables map[tableKey]*tableEntry
-	bmOnce sync.Once
-	bm     *mmu.PermBitmap // DVM-BM bitmap, built once on first use
+	proc       *osmodel.Process
+	lay        accel.Layout
+	mu         sync.Mutex // guards the tables map, not the builds
+	tables     map[tableKey]*tableEntry
+	bmOnce     sync.Once
+	bm         *mmu.PermBitmap // DVM-BM bitmap, built once on first use
+	blocksOnce sync.Once
+	blocks     *mmu.BlockTable // VBI block table, built once on first use
 }
 
 // tableEntry is the single-flight slot for one page table: whoever
@@ -222,57 +232,68 @@ func (p *Prepared) machine(cfg SystemConfig) (*machineState, error) {
 	return st, nil
 }
 
-// tableFor returns (building on first use) the shared page table and, for
-// DVM-BM, the permission bitmap for the mode. Builds are single-flight
-// per table kind — -j workers racing on the same cell never build the
-// same table twice, and workers needing different tables build them in
-// parallel instead of queueing on one lock.
-func (p *Prepared) tableFor(st *machineState, mode Mode, peFields int) (*pagetable.Table, *mmu.PermBitmap, error) {
-	var key tableKey
-	switch mode {
-	case mmu.ModeIdeal:
-		return nil, nil, nil
-	case mmu.ModeConv2M:
-		key = tableKey{kind: tableHuge2M}
-	case mmu.ModeConv1G:
-		key = tableKey{kind: tableHuge1G}
-	case mmu.ModeDVMPE, mmu.ModeDVMPEPlus:
-		if peFields == 0 {
-			peFields = pagetable.DefaultPEFields
-		}
-		key = tableKey{kind: tablePE, peFields: peFields}
-	default: // ModeConv4K, ModeDVMBM
-		key = tableKey{kind: tableCanonical}
-	}
-	st.mu.Lock()
-	entry, ok := st.tables[key]
+// stateFor returns (building on first use) the OS-model translation state
+// the mode's registered descriptor declares — the shared page table, the
+// DVM-BM permission bitmap and/or the VBI block table. Table builds are
+// single-flight per table key — -j workers racing on the same cell never
+// build the same table twice, and workers needing different tables build
+// them in parallel instead of queueing on one lock.
+func (p *Prepared) stateFor(st *machineState, mode Mode, peFields int) (mmu.State, error) {
+	d, ok := mmu.DescriptorOf(mode)
 	if !ok {
-		entry = &tableEntry{}
-		st.tables[key] = entry
+		return mmu.State{}, fmt.Errorf("core: unknown mode %v", mode)
 	}
-	st.mu.Unlock()
-	entry.once.Do(func() {
-		switch key.kind {
-		case tableHuge2M, tableHuge1G:
-			entry.table, entry.err = st.proc.BuildHugeTable(mode.PageSize())
-		case tablePE:
-			entry.table, entry.err = buildPETable(st.proc, key.peFields)
-		default:
-			entry.table, entry.err = st.proc.BuildCanonicalTable(false)
+	var out mmu.State
+	if d.Table != mmu.TableNone {
+		key := tableKey{need: d.Table}
+		switch d.Table {
+		case mmu.TableHuge:
+			key.pageSize = d.PageSize
+		case mmu.TablePE:
+			if peFields == 0 {
+				peFields = pagetable.DefaultPEFields
+			}
+			key.peFields = peFields
 		}
-	})
-	if entry.err != nil {
-		return nil, nil, entry.err
+		st.mu.Lock()
+		entry, ok := st.tables[key]
+		if !ok {
+			entry = &tableEntry{}
+			st.tables[key] = entry
+		}
+		st.mu.Unlock()
+		entry.once.Do(func() {
+			switch d.Table {
+			case mmu.TableHuge:
+				entry.table, entry.err = st.proc.BuildHugeTable(key.pageSize)
+			case mmu.TablePE:
+				entry.table, entry.err = buildPETable(st.proc, key.peFields)
+			default:
+				entry.table, entry.err = st.proc.BuildCanonicalTable(false)
+			}
+		})
+		if entry.err != nil {
+			return mmu.State{}, entry.err
+		}
+		out.Table = entry.table
 	}
-	var bm *mmu.PermBitmap
-	if mode == mmu.ModeDVMBM {
+	if d.NeedsBitmap {
 		st.bmOnce.Do(func() {
 			st.bm = mmu.NewPermBitmap()
 			st.proc.ForEachIdentityPage(st.bm.Set)
 		})
-		bm = st.bm
+		out.Bitmap = st.bm
 	}
-	return entry.table, bm, nil
+	if d.NeedsBlocks {
+		st.blocksOnce.Do(func() {
+			bt := mmu.NewBlockTable()
+			st.proc.ForEachBlock(bt.Add)
+			bt.Seal()
+			st.blocks = bt
+		})
+		out.Blocks = st.blocks
+	}
+	return out, nil
 }
 
 // Prepare generates the dataset once; runs under different modes share it.
@@ -376,21 +397,21 @@ func (p *Prepared) Run(mode Mode, cfg SystemConfig) (RunResult, error) {
 	res.HeapBytes = lay.HeapBytes
 	res.IdentityMapped = lay.IdentityMapped
 
-	table, bm, err := p.tableFor(st, mode, cfg.PEFields)
+	state, err := p.stateFor(st, mode, cfg.PEFields)
 	if err != nil {
 		return res, err
 	}
-	if table != nil {
-		res.PageTableBytes = table.SizeStats().Bytes
+	if state.Table != nil {
+		res.PageTableBytes = state.Table.SizeStats().Bytes
 	}
 
-	iommu, err := mmu.New(mmu.Config{
+	iommu, err := mmu.NewState(mmu.Config{
 		Mode:       mode,
 		TLBEntries: cfg.TLBEntries,
 		AVC:        cfg.AVC,
 		PWC:        cfg.PWC,
 		Chaos:      inj,
-	}, table, bm)
+	}, state)
 	if err != nil {
 		return res, err
 	}
@@ -426,23 +447,15 @@ func (p *Prepared) Run(mode Mode, cfg SystemConfig) (RunResult, error) {
 	res.IOMMU = iommu.Counters()
 	res.DRAM = mem.Snapshot()
 
-	if tlb := iommu.TLB(); tlb != nil {
-		res.TLBMissRate = tlb.MissRate()
-		res.TLBLookups = tlb.Lookups()
-		res.EnergyEvents.TLBLookupsFA = tlb.Lookups()
-	}
-	if pwc := iommu.PWC(); pwc != nil {
-		res.EnergyEvents.CacheLookups += pwc.Lookups()
-		res.StructHitRate = pwc.HitRate()
-	}
-	if avc := iommu.AVC(); avc != nil {
-		res.EnergyEvents.CacheLookups += avc.Lookups()
-		res.StructHitRate = avc.HitRate()
-	}
-	if bmc := iommu.BMCache(); bmc != nil {
-		res.EnergyEvents.CacheLookups += bmc.Lookups()
-		res.StructHitRate = 1 - bmc.MissRate()
-	}
+	// The backend reports its own headline statistics with the same
+	// formulas the pre-registry accessor code used, so rendered tables
+	// are byte-identical across the refactor.
+	bs := iommu.Stats()
+	res.TLBMissRate = bs.TLBMissRate
+	res.TLBLookups = bs.TLBLookups
+	res.StructHitRate = bs.StructHitRate
+	res.EnergyEvents.TLBLookupsFA = bs.TLBLookupsFA
+	res.EnergyEvents.CacheLookups = bs.CacheLookups
 	res.EnergyEvents.WalkMemRefs = res.IOMMU.WalkMemRefs
 	res.EnergyEvents.SquashedPreloads = res.IOMMU.SquashedPreloads
 	res.Energy = energy.Compute(energy.DefaultParams(), res.EnergyEvents)
@@ -475,6 +488,13 @@ func (p *Prepared) chaosMachine(cfg SystemConfig, inj *chaos.Injector) (*machine
 // snapshot, so a divergence between what a component counted and what
 // a table prints fails loudly instead of silently skewing a figure.
 func CrossCheck(r RunResult) error {
+	// The TLB headline is checked against the mode's declared metric
+	// namespace: mmu.tlb.* for the builtin designs, mmu.sparta.tlb.* /
+	// mmu.vbi.tlb.* for the registered extras.
+	tlbPrefix := "mmu.tlb"
+	if d, ok := mmu.DescriptorOf(r.Mode); ok && d.TLBMetricPrefix != "" {
+		tlbPrefix = d.TLBMetricPrefix
+	}
 	checks := []struct {
 		name          string
 		table, metric uint64
@@ -486,7 +506,7 @@ func CrossCheck(r RunResult) error {
 		{"iommu.preload.squashed", r.IOMMU.SquashedPreloads, r.Metrics.Get("iommu.preload.squashed")},
 		{"iommu.faults", r.IOMMU.Faults, r.Metrics.Get("iommu.faults")},
 		{"iommu.faults.corrupt", r.IOMMU.CorruptFaults, r.Metrics.Get("iommu.faults.corrupt")},
-		{"mmu.tlb lookups", r.TLBLookups, r.Metrics.Get("mmu.tlb.hits") + r.Metrics.Get("mmu.tlb.misses")},
+		{tlbPrefix + " lookups", r.TLBLookups, r.Metrics.Get(tlbPrefix+".hits") + r.Metrics.Get(tlbPrefix+".misses")},
 		{"accel.cycles", r.Stats.Cycles, r.Metrics.Get("accel.cycles")},
 		{"accel.accesses", r.Stats.Accesses, r.Metrics.Get("accel.accesses")},
 		{"accel.faults", r.Stats.Faults, r.Metrics.Get("accel.faults")},
@@ -542,8 +562,15 @@ func (p *Prepared) RunAll(cfg SystemConfig) (map[Mode]RunResult, error) {
 // read-only after Prepare, so concurrent modes never interact; results are
 // keyed by mode, independent of completion order.
 func (p *Prepared) RunAllCtx(ctx context.Context, cfg SystemConfig, jobs int) (map[Mode]RunResult, error) {
-	results, err := runner.MapB(ctx, cfg.Workers, jobs, len(AllModes), func(_ context.Context, i int) (RunResult, error) {
-		m := AllModes[i]
+	return p.RunModesCtx(ctx, AllModes, cfg, jobs)
+}
+
+// RunModesCtx is RunAllCtx restricted to an explicit mode list — how the
+// report layer runs extended sets (the seven paper modes plus SPARTA and
+// VBI) without changing the default artifact.
+func (p *Prepared) RunModesCtx(ctx context.Context, modes []Mode, cfg SystemConfig, jobs int) (map[Mode]RunResult, error) {
+	results, err := runner.MapB(ctx, cfg.Workers, jobs, len(modes), func(_ context.Context, i int) (RunResult, error) {
+		m := modes[i]
 		r, err := p.Run(m, cfg)
 		if err != nil {
 			return r, fmt.Errorf("core: %s/%s under %v: %w", p.Workload.Algorithm, p.G.Name, m, err)
@@ -553,8 +580,8 @@ func (p *Prepared) RunAllCtx(ctx context.Context, cfg SystemConfig, jobs int) (m
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[Mode]RunResult, len(AllModes))
-	for i, m := range AllModes {
+	out := make(map[Mode]RunResult, len(modes))
+	for i, m := range modes {
 		out[m] = results[i]
 	}
 	return out, nil

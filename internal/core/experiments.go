@@ -176,13 +176,20 @@ func Figure8(p *Prepared, cfg SystemConfig) (Figure8Cell, error) {
 // flight; any jobs value yields the exact RunResults of the sequential
 // sweep (enforced by TestFigure8ParallelismIsDeterministic).
 func Figure8Ctx(ctx context.Context, p *Prepared, cfg SystemConfig, jobs int) (Figure8Cell, error) {
+	return Figure8ModesCtx(ctx, p, AllModes, cfg, jobs)
+}
+
+// Figure8ModesCtx is Figure8Ctx over an explicit mode list — extended
+// sweeps add SPARTA/VBI columns this way. The list must include
+// ModeIdeal (the normalization baseline).
+func Figure8ModesCtx(ctx context.Context, p *Prepared, modes []Mode, cfg SystemConfig, jobs int) (Figure8Cell, error) {
 	cell := Figure8Cell{
 		Algorithm:  p.Workload.Algorithm,
 		Dataset:    p.G.Name,
 		Cycles:     map[Mode]uint64{},
 		Normalized: map[Mode]float64{},
 	}
-	results, err := p.RunAllCtx(ctx, cfg, jobs)
+	results, err := p.RunModesCtx(ctx, modes, cfg, jobs)
 	if err != nil {
 		return cell, err
 	}
@@ -220,8 +227,18 @@ func Figure9(cell Figure8Cell) (Figure9Cell, error) {
 	if base == 0 {
 		return out, fmt.Errorf("core: 4K baseline consumed zero MMU energy")
 	}
-	for _, m := range []Mode{ModeConv2M, ModeConv1G, ModeDVMBM, ModeDVMPE, ModeDVMPEPlus} {
-		e := cell.Results[m].Energy.Total
+	// Every mode the cell actually ran gets an energy column (registry
+	// order); the 4K baseline is handled below and Ideal consumes no MMU
+	// energy by definition, as in the paper.
+	for _, m := range RegisteredModes() {
+		if m == ModeConv4K || m == ModeIdeal {
+			continue
+		}
+		r, ok := cell.Results[m]
+		if !ok {
+			continue
+		}
+		e := r.Energy.Total
 		out.EnergyPJ[m] = e
 		out.Normalized[m] = e / base
 	}

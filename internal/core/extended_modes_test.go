@@ -1,0 +1,155 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/dvm-sim/dvm/internal/chaos"
+)
+
+// These tests hold every registered mode — the seven paper columns plus
+// the SPARTA/VBI extras — to the same end-to-end bar the paper set
+// already meets: clean runs, passing cross-checks (including the
+// per-design TLB metric prefixes), fixed-seed determinism, and a rate-0
+// chaos config that changes nothing.
+
+// TestRegisteredModeListShape pins the registry-derived lists core
+// re-exports: the paper set is exactly AllModes, and the extras slot in
+// before Ideal.
+func TestRegisteredModeListShape(t *testing.T) {
+	want := []Mode{ModeConv4K, ModeConv2M, ModeConv1G, ModeDVMBM, ModeDVMPE, ModeDVMPEPlus, ModeSPARTA, ModeVBI, ModeIdeal}
+	if got := RegisteredModes(); !reflect.DeepEqual(got, want) {
+		t.Errorf("RegisteredModes() = %v, want %v", got, want)
+	}
+	if got := ExtraModes(); !reflect.DeepEqual(got, []Mode{ModeSPARTA, ModeVBI}) {
+		t.Errorf("ExtraModes() = %v, want [SPARTA VBI]", got)
+	}
+	for _, name := range []string{"sparta", "VBI"} {
+		if _, err := ModeByName(name); err != nil {
+			t.Errorf("ModeByName(%q): %v", name, err)
+		}
+	}
+}
+
+// TestRunRegisteredModes runs every registered design end-to-end on a
+// tiny workload: no faults, identical work, and a passing CrossCheck —
+// which for SPARTA/VBI exercises the mmu.sparta.*/mmu.vbi.* metric
+// prefixes declared by their descriptors.
+func TestRunRegisteredModes(t *testing.T) {
+	p, err := Prepare(wikiTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ProfileTiny.SystemConfig()
+	ideal, err := p.Run(ModeIdeal, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range RegisteredModes() {
+		r, err := p.Run(m, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if err := CrossCheck(r); err != nil {
+			t.Errorf("%v: %v", m, err)
+		}
+		if r.Stats.Faults != 0 {
+			t.Errorf("%v: %d faults on a clean workload", m, r.Stats.Faults)
+		}
+		if r.Stats.EdgesProcessed != ideal.Stats.EdgesProcessed || r.Stats.Accesses != ideal.Stats.Accesses {
+			t.Errorf("%v: work differs from ideal", m)
+		}
+		if m != ModeIdeal && r.Stats.Cycles < ideal.Stats.Cycles {
+			t.Errorf("%v: cheaper than Ideal (%d < %d cycles)", m, r.Stats.Cycles, ideal.Stats.Cycles)
+		}
+	}
+}
+
+// TestExtraModeCounters sanity-checks the extras' design signatures on a
+// DVM-style identity heap: SPARTA translates through its shard TLBs, and
+// VBI validates nearly everything as an identity block.
+func TestExtraModeCounters(t *testing.T) {
+	p, err := Prepare(wikiTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ProfileTiny.SystemConfig()
+
+	sparta, err := p.Run(ModeSPARTA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparta.TLBLookups == 0 {
+		t.Error("SPARTA: no shard TLB lookups recorded")
+	}
+	if got := sparta.Metrics.Get("mmu.sparta.tlb.hits") + sparta.Metrics.Get("mmu.sparta.tlb.misses"); got != sparta.TLBLookups {
+		t.Errorf("SPARTA: registry lookups %d != table %d", got, sparta.TLBLookups)
+	}
+
+	vbi, err := p.Run(ModeVBI, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := vbi.IOMMU
+	if c.DAVIdentity == 0 {
+		t.Error("VBI: no identity-block validations")
+	}
+	if c.FallbackTranslations > c.DAVIdentity/10 {
+		t.Errorf("VBI: too many fallbacks: %d vs %d identity", c.FallbackTranslations, c.DAVIdentity)
+	}
+	if vbi.Metrics.Get("mmu.vbi.blockcache.hits") == 0 {
+		t.Error("VBI: block cache never hit")
+	}
+}
+
+// TestExtraModeDeterminism: two runs of the same prepared workload are
+// identical for the extra designs, metrics registry included.
+func TestExtraModeDeterminism(t *testing.T) {
+	p, err := Prepare(wikiTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ProfileTiny.SystemConfig()
+	for _, m := range ExtraModes() {
+		a, err := p.Run(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := p.Run(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Stats != b.Stats || a.IOMMU != b.IOMMU || a.TLBMissRate != b.TLBMissRate || a.Energy != b.Energy {
+			t.Errorf("%v: repeated runs differ", m)
+		}
+		if !reflect.DeepEqual(a.Metrics.Counters, b.Metrics.Counters) {
+			t.Errorf("%v: repeated runs differ in metrics", m)
+		}
+	}
+}
+
+// TestExtraModeChaosRateZero: arming the injector at rate 0 must be
+// bit-identical to a clean run for the new backends, like it is for the
+// paper set (TestChaosDisabledIsBitIdentical).
+func TestExtraModeChaosRateZero(t *testing.T) {
+	p, err := Prepare(wikiTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := ProfileTiny.SystemConfig()
+	zero := ProfileTiny.SystemConfig()
+	zero.Chaos = &chaos.Config{Seed: 7, Rate: 0}
+	for _, m := range ExtraModes() {
+		a, err := p.Run(m, clean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := p.Run(m, zero)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Stats != b.Stats || a.IOMMU != b.IOMMU || !reflect.DeepEqual(a.Metrics.Counters, b.Metrics.Counters) {
+			t.Errorf("%v: rate-0 chaos config changed the simulation", m)
+		}
+	}
+}

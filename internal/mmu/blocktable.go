@@ -1,0 +1,178 @@
+package mmu
+
+import (
+	"sort"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+	"github.com/dvm-sim/dvm/internal/obs"
+)
+
+// Block is one variable-size virtual block of the VBI design: a
+// contiguous VA range with one permission and one translation state.
+// Identity blocks are directly backed (PA == VA, the DVM invariant);
+// non-identity blocks carry no flat base offset in this OS model — their
+// frames are demand-paged and non-contiguous — so their per-block state
+// says "translated" and accesses take the DVM fallback path through the
+// canonical page table.
+type Block struct {
+	// R is the block's virtual range.
+	R addr.VRange
+	// Perm is the block-granular permission — VBI validates accesses at
+	// block granularity, not per page.
+	Perm addr.Perm
+	// Identity reports the block is identity mapped (PA == VA).
+	Identity bool
+}
+
+// blockTableRegion is where the block table lives in simulated PM: above
+// the bitmap region.
+const blockTableRegion = uint64(1)<<46 + uint64(1)<<45 + uint64(1)<<44
+
+// blockEntryBytes is the size of one in-memory block descriptor (base,
+// size, permission and translation state fit one cache line).
+const blockEntryBytes = 64
+
+// BlockTable is the OS-built table of a process's virtual blocks, sorted
+// by base address. It lives in simulated physical memory at Base: a block
+// whose descriptor is not cached costs one memory reference to its entry.
+// The table is read-only during a run and may be shared across concurrent
+// runs, like the page tables.
+type BlockTable struct {
+	// Base is the simulated physical address of the table.
+	Base   addr.PA
+	blocks []Block
+}
+
+// NewBlockTable creates an empty block table.
+func NewBlockTable() *BlockTable {
+	return &BlockTable{Base: addr.PA(blockTableRegion)}
+}
+
+// Add appends one block. Call Seal after the last Add.
+func (t *BlockTable) Add(r addr.VRange, perm addr.Perm, identity bool) {
+	t.blocks = append(t.blocks, Block{R: r, Perm: perm, Identity: identity})
+}
+
+// Seal sorts the blocks by base address, enabling Find's binary search.
+func (t *BlockTable) Seal() {
+	sort.Slice(t.blocks, func(i, j int) bool { return t.blocks[i].R.Start < t.blocks[j].R.Start })
+}
+
+// Len returns the number of blocks.
+func (t *BlockTable) Len() int { return len(t.blocks) }
+
+// Find resolves va to its block by binary search (the hardware analog is
+// slicing the block id out of the VA's upper bits, so the search itself
+// costs nothing in the timing model). It returns the block index and
+// descriptor, or (-1, nil) when va falls in no block.
+func (t *BlockTable) Find(va addr.VA) (int, *Block) {
+	lo, hi := 0, len(t.blocks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.blocks[mid].R.Start <= va {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return -1, nil
+	}
+	b := &t.blocks[lo-1]
+	if !b.R.Contains(va) {
+		return -1, nil
+	}
+	return lo - 1, b
+}
+
+// EntryPA returns the simulated physical address of block i's descriptor.
+func (t *BlockTable) EntryPA(i int) addr.PA {
+	return t.Base + addr.PA(uint64(i)*blockEntryBytes)
+}
+
+// blockCache is VBI's per-block translation-state cache: a small fully
+// associative LRU cache of block ids. A hit means the block's descriptor
+// (permission + translation state) is on chip; a miss costs one memory
+// reference to the block-table entry.
+type blockCache struct {
+	entries []bcEntry
+	clock   uint64
+	hits    uint64
+	misses  uint64
+
+	tr   *obs.Tracer
+	comp obs.Component
+}
+
+type bcEntry struct {
+	valid   bool
+	id      int
+	lastUse uint64
+}
+
+func newBlockCache(entries int) *blockCache {
+	return &blockCache{entries: make([]bcEntry, entries)}
+}
+
+// Lookup probes the cache for a block id.
+func (c *blockCache) Lookup(id int) bool {
+	c.clock++
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.valid && e.id == id {
+			e.lastUse = c.clock
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Insert caches a block id, evicting the LRU entry if full.
+func (c *blockCache) Insert(id int) {
+	c.clock++
+	victim := 0
+	for i := range c.entries {
+		e := &c.entries[i]
+		if !e.valid {
+			victim = i
+			break
+		}
+		if e.lastUse < c.entries[victim].lastUse {
+			victim = i
+		}
+	}
+	if c.tr.Wants(c.comp) {
+		if v := &c.entries[victim]; v.valid {
+			c.tr.Emit(c.comp, obs.EvEvict, 0, 0, uint64(v.id))
+		}
+		c.tr.Emit(c.comp, obs.EvFill, 0, 0, uint64(id))
+	}
+	c.entries[victim] = bcEntry{valid: true, id: id, lastUse: c.clock}
+}
+
+// Invalidate removes all entries (context switch).
+func (c *blockCache) Invalidate() {
+	for i := range c.entries {
+		c.entries[i] = bcEntry{}
+	}
+}
+
+// Snapshot returns the statistics per the CacheStats contract.
+func (c *blockCache) Snapshot() CacheStats { return CacheStats{Hits: c.hits, Misses: c.misses} }
+
+// Reset zeroes the statistical counters, preserving contents and recency.
+func (c *blockCache) Reset() { c.hits, c.misses = 0, 0 }
+
+// RegisterMetrics publishes the cache's counters under prefix.
+func (c *blockCache) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.RegisterCounter(prefix+".hits", &c.hits)
+	reg.RegisterCounter(prefix+".misses", &c.misses)
+}
+
+// SetTrace attaches an event tracer; fills and evictions are emitted as
+// the given component. A nil tracer detaches.
+func (c *blockCache) SetTrace(tr *obs.Tracer, comp obs.Component) {
+	c.tr, c.comp = tr, comp
+}

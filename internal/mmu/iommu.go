@@ -9,11 +9,14 @@ import (
 	"github.com/dvm-sim/dvm/internal/pagetable"
 )
 
-// Mode selects the memory-management scheme the IOMMU implements — the
-// seven configurations evaluated in the paper's Section 6.3.
+// Mode selects the memory-management scheme the IOMMU implements. The
+// paper's Section 6.3 evaluates seven configurations; further designs
+// (SPARTA, VBI, user registrations) plug in through the backend registry
+// (backend.go) without touching this file.
 type Mode int
 
-// Evaluated configurations.
+// Registered configurations. The first seven are the paper's evaluated
+// set; SPARTA and VBI are the registry's first extra designs.
 const (
 	// ModeIdeal: direct physical access, no translation or protection.
 	ModeIdeal Mode = iota
@@ -31,56 +34,44 @@ const (
 	// ModeDVMPEPlus: ModeDVMPE plus preload-on-read (DAV overlapped with
 	// the data fetch).
 	ModeDVMPEPlus
+	// ModeSPARTA: partitioned translation — each memory controller
+	// translates its own VA shard with private structures (Picorel et
+	// al., see PAPERS.md).
+	ModeSPARTA
+	// ModeVBI: variable-size virtual blocks with per-block translation
+	// state (Hajinazar et al., see PAPERS.md).
+	ModeVBI
 )
 
-// String returns the paper's name for the configuration.
+// String returns the registered (paper) name for the configuration.
 func (m Mode) String() string {
-	switch m {
-	case ModeIdeal:
-		return "Ideal"
-	case ModeConv4K:
-		return "4K,TLB+PWC"
-	case ModeConv2M:
-		return "2M,TLB+PWC"
-	case ModeConv1G:
-		return "1G,TLB+PWC"
-	case ModeDVMBM:
-		return "DVM-BM"
-	case ModeDVMPE:
-		return "DVM-PE"
-	case ModeDVMPEPlus:
-		return "DVM-PE+"
-	default:
-		return fmt.Sprintf("Mode(%d)", int(m))
+	if d, ok := DescriptorOf(m); ok {
+		return d.Name
 	}
+	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
 // PageSize returns the translation page size the mode's page table is
 // built with.
 func (m Mode) PageSize() uint64 {
-	switch m {
-	case ModeConv2M:
-		return addr.PageSize2M
-	case ModeConv1G:
-		return addr.PageSize1G
-	default:
-		return addr.PageSize4K
+	if d, ok := DescriptorOf(m); ok && d.PageSize != 0 {
+		return d.PageSize
 	}
+	return addr.PageSize4K
 }
 
 // UsesPE reports whether the mode's page table should be compacted with
 // Permission Entries.
-func (m Mode) UsesPE() bool { return m == ModeDVMPE || m == ModeDVMPEPlus }
-
-// AllModes lists every mode in evaluation order (Figure 8's legend order,
-// with Ideal last as the normalization baseline).
-var AllModes = []Mode{ModeConv4K, ModeConv2M, ModeConv1G, ModeDVMBM, ModeDVMPE, ModeDVMPEPlus, ModeIdeal}
+func (m Mode) UsesPE() bool {
+	d, ok := DescriptorOf(m)
+	return ok && d.UsesPE
+}
 
 // Config assembles an IOMMU.
 type Config struct {
 	Mode Mode
-	// TLBEntries is the TLB size for conventional modes and the DVM-BM
-	// fallback TLB; default 128.
+	// TLBEntries is the TLB size for conventional modes and the DVM-BM /
+	// VBI fallback TLBs (SPARTA partitions it across shards); default 128.
 	TLBEntries int
 	// TLBWays: 0 = fully associative (the paper's accelerator IOMMU).
 	TLBWays int
@@ -96,6 +87,14 @@ type Config struct {
 	// AVC, due to ... use of 4KB pages instead of 128KB or larger
 	// regions".
 	BMCacheEntries int
+	// Shards is SPARTA's partition count — one translation shard per
+	// memory controller; default 4 (the paper machine's channel count).
+	// Must be a power of two.
+	Shards int
+	// BlockCacheEntries sizes VBI's per-block translation-state cache;
+	// default 16 (block tables hold a handful of VMA-sized entries, so a
+	// small fully-associative cache covers them).
+	BlockCacheEntries int
 	// ProbeCycles is the latency of one structure probe (TLB, PWC, AVC
 	// or bitmap-cache); default 1 cycle (Table 2).
 	ProbeCycles uint64
@@ -111,8 +110,8 @@ type Config struct {
 type Counters struct {
 	// Accesses is the number of memory requests validated/translated.
 	Accesses uint64
-	// WalkMemRefs is the number of page-walk (or bitmap) memory
-	// references issued.
+	// WalkMemRefs is the number of page-walk (or bitmap / block-table)
+	// memory references issued.
 	WalkMemRefs uint64
 	// DAVIdentity counts accesses validated as identity mapped (PA==VA).
 	DAVIdentity uint64
@@ -172,19 +171,17 @@ func (p *Plan) reset() {
 }
 
 // IOMMU validates and translates accelerator memory accesses per its
-// configured Mode. It owns the translation structures (TLB/PWC or AVC or
-// bitmap cache) but not the page table, which belongs to the OS model.
+// configured Mode. It is the front-end over a registered Backend: the
+// IOMMU owns what every design shares — the activity counters, the
+// tracer, the reusable walk buffer and the OS-model state pointers — and
+// the backend owns the design's hardware structures and decision logic.
 type IOMMU struct {
-	cfg   Config
-	table *pagetable.Table
-	bm    *PermBitmap
+	cfg    Config
+	table  *pagetable.Table
+	bm     *PermBitmap
+	blocks *BlockTable
 
-	tlb *TLB
-	pwc *PTECache
-	avc *PTECache
-	// bmCache is the DVM-BM permission cache: page-granular entries
-	// (vpn -> perm), modelled as a TLB whose "translation" is identity.
-	bmCache *TLB
+	be Backend
 
 	walk pagetable.WalkResult
 	ctr  Counters
@@ -193,53 +190,32 @@ type IOMMU struct {
 
 // New creates an IOMMU over the given page table (built by the OS model
 // with the mode's page size / PE layout) and, for ModeDVMBM, the permission
-// bitmap (nil otherwise).
+// bitmap (nil otherwise). Designs needing more state (VBI's block table)
+// are constructed via NewState.
 func New(cfg Config, table *pagetable.Table, bm *PermBitmap) (*IOMMU, error) {
+	return NewState(cfg, State{Table: table, Bitmap: bm})
+}
+
+// NewState creates an IOMMU over the full OS-model state bundle. The
+// mode's registered descriptor declares which State fields it needs; its
+// backend constructor enforces them.
+func NewState(cfg Config, st State) (*IOMMU, error) {
 	if cfg.TLBEntries == 0 {
 		cfg.TLBEntries = 128
 	}
 	if cfg.ProbeCycles == 0 {
 		cfg.ProbeCycles = 1
 	}
-	u := &IOMMU{cfg: cfg, table: table, bm: bm}
-	switch cfg.Mode {
-	case ModeIdeal:
-		// No structures at all.
-	case ModeConv4K, ModeConv2M, ModeConv1G:
-		u.tlb = MustNewTLB(TLBConfig{Entries: cfg.TLBEntries, Ways: cfg.TLBWays, PageSize: cfg.Mode.PageSize()})
-		pwcCfg := cfg.PWC
-		if pwcCfg.MinLevel == 0 {
-			pwcCfg = DefaultPWCConfig()
-		}
-		u.pwc = MustNewPTECache(pwcCfg)
-	case ModeDVMBM:
-		if bm == nil {
-			return nil, fmt.Errorf("mmu: ModeDVMBM requires a permission bitmap")
-		}
-		u.tlb = MustNewTLB(TLBConfig{Entries: cfg.TLBEntries, Ways: cfg.TLBWays, PageSize: addr.PageSize4K})
-		pwcCfg := cfg.PWC
-		if pwcCfg.MinLevel == 0 {
-			pwcCfg = DefaultPWCConfig()
-		}
-		u.pwc = MustNewPTECache(pwcCfg)
-		// The bitmap cache: 128 page-granular permission entries.
-		bmEntries := cfg.BMCacheEntries
-		if bmEntries == 0 {
-			bmEntries = 128
-		}
-		u.bmCache = MustNewTLB(TLBConfig{Entries: bmEntries, Ways: 4, PageSize: addr.PageSize4K})
-	case ModeDVMPE, ModeDVMPEPlus:
-		avcCfg := cfg.AVC
-		if avcCfg.MinLevel == 0 {
-			avcCfg = DefaultAVCConfig()
-		}
-		u.avc = MustNewPTECache(avcCfg)
-	default:
+	d, ok := DescriptorOf(cfg.Mode)
+	if !ok {
 		return nil, fmt.Errorf("mmu: unknown mode %v", cfg.Mode)
 	}
-	if cfg.Mode != ModeIdeal && table == nil {
-		return nil, fmt.Errorf("mmu: mode %v requires a page table", cfg.Mode)
+	u := &IOMMU{cfg: cfg, table: st.Table, bm: st.Bitmap, blocks: st.Blocks}
+	be, err := d.New(u)
+	if err != nil {
+		return nil, err
 	}
+	u.be = be
 	return u, nil
 }
 
@@ -258,21 +234,59 @@ func (u *IOMMU) Mode() Mode { return u.cfg.Mode }
 // Counters returns a copy of the activity counters.
 func (u *IOMMU) Counters() Counters { return u.ctr }
 
-// TLB returns the IOMMU's TLB (nil for PE/Ideal modes).
-func (u *IOMMU) TLB() *TLB { return u.tlb }
+// Backend returns the mode's translation backend.
+func (u *IOMMU) Backend() Backend { return u.be }
 
-// PWC returns the page-walk cache (nil for PE/Ideal modes).
-func (u *IOMMU) PWC() *PTECache { return u.pwc }
+// Stats returns the backend's headline statistics (the numbers the report
+// tables and the energy model consume).
+func (u *IOMMU) Stats() BackendStats { return u.be.Stats() }
+
+// TLB returns the IOMMU's TLB (nil for designs without one).
+func (u *IOMMU) TLB() *TLB {
+	switch b := u.be.(type) {
+	case *convBackend:
+		return b.tlb
+	case *bmBackend:
+		return b.tlb
+	case *vbiBackend:
+		return b.tlb
+	}
+	return nil
+}
+
+// PWC returns the page-walk cache (nil for designs without one).
+func (u *IOMMU) PWC() *PTECache {
+	switch b := u.be.(type) {
+	case *convBackend:
+		return b.pwc
+	case *bmBackend:
+		return b.pwc
+	case *vbiBackend:
+		return b.pwc
+	}
+	return nil
+}
 
 // AVC returns the Access Validation Cache (nil unless a PE mode).
-func (u *IOMMU) AVC() *PTECache { return u.avc }
+func (u *IOMMU) AVC() *PTECache {
+	if b, ok := u.be.(*peBackend); ok {
+		return b.avc
+	}
+	return nil
+}
 
 // BMCache returns the bitmap cache (nil unless ModeDVMBM).
-func (u *IOMMU) BMCache() *TLB { return u.bmCache }
+func (u *IOMMU) BMCache() *TLB {
+	if b, ok := u.be.(*bmBackend); ok {
+		return b.bmCache
+	}
+	return nil
+}
 
 // RegisterMetrics publishes the IOMMU's activity counters and those of
-// every structure it owns into reg, under the repository's standard
-// names (iommu.*, mmu.tlb.*, mmu.pwc.*, mmu.avc.*, mmu.bmcache.*).
+// every structure the backend owns into reg, under the repository's
+// standard names (iommu.*, then the backend's namespace: mmu.tlb.*,
+// mmu.pwc.*, mmu.avc.*, mmu.bmcache.*, mmu.sparta.*, mmu.vbi.*).
 // Registration is pointer-based: the hot translation path keeps
 // incrementing the same fields it always has, so observability adds no
 // allocation and no indirection there. The Counters() accessor remains
@@ -286,68 +300,40 @@ func (u *IOMMU) RegisterMetrics(reg *obs.Registry) {
 	reg.RegisterCounter("iommu.faults", &u.ctr.Faults)
 	reg.RegisterCounter("iommu.faults.corrupt", &u.ctr.CorruptFaults)
 	reg.RegisterCounter("iommu.ctxswitches", &u.ctr.ContextSwitches)
-	if u.tlb != nil {
-		u.tlb.RegisterMetrics(reg, "mmu.tlb")
-	}
-	if u.pwc != nil {
-		u.pwc.RegisterMetrics(reg, "mmu.pwc")
-	}
-	if u.avc != nil {
-		u.avc.RegisterMetrics(reg, "mmu.avc")
-	}
-	if u.bmCache != nil {
-		u.bmCache.RegisterMetrics(reg, "mmu.bmcache")
-	}
+	u.be.RegisterMetrics(reg)
 }
 
 // SetTracer attaches an event tracer to the IOMMU and every structure
-// it owns; nil detaches. Tracing never changes results — events are
-// emitted after the fact and the tracer only records.
+// the backend owns; nil detaches. Tracing never changes results — events
+// are emitted after the fact and the tracer only records.
 func (u *IOMMU) SetTracer(tr *obs.Tracer) {
 	u.tr = tr
-	if u.tlb != nil {
-		u.tlb.SetTrace(tr, obs.CompTLB)
-	}
-	if u.pwc != nil {
-		u.pwc.SetTrace(tr, obs.CompPWC)
-	}
-	if u.avc != nil {
-		u.avc.SetTrace(tr, obs.CompAVC)
-	}
-	if u.bmCache != nil {
-		u.bmCache.SetTrace(tr, obs.CompBMCache)
-	}
+	u.be.SetTracer(tr)
 }
 
 // SwitchContext retargets the IOMMU at another process's translation state
 // — the accelerator-multiplexing path ("similar protection guarantees are
 // needed when accelerators are multiplexed among multiple processes",
-// §1). The TLB and the bitmap cache hold per-address-space state and are
-// flushed; the PWC/AVC are physically indexed and tagged, so lines of the
-// old table are harmlessly distinct from the new table's and need no
-// invalidation — one of the AVC's quiet advantages on context switches.
+// §1). Designs needing more state than a table and a bitmap (VBI) switch
+// via SwitchContextState.
 func (u *IOMMU) SwitchContext(table *pagetable.Table, bm *PermBitmap) error {
-	switch u.cfg.Mode {
-	case ModeIdeal:
-		// Nothing to switch: direct physical access has no state (and
-		// no protection — the reason Ideal is not deployable).
-	case ModeDVMBM:
-		if table == nil || bm == nil {
-			return fmt.Errorf("mmu: %v context needs a table and a bitmap", u.cfg.Mode)
-		}
-	default:
-		if table == nil {
-			return fmt.Errorf("mmu: %v context needs a page table", u.cfg.Mode)
-		}
+	return u.SwitchContextState(State{Table: table, Bitmap: bm})
+}
+
+// SwitchContextState retargets the IOMMU at another address space. The
+// backend validates the state and flushes exactly its per-address-space
+// structures (the TLBs and the bitmap/block caches); physically indexed
+// and tagged caches (PWC/AVC, shard walker caches) keep their contents —
+// lines of the old table are harmlessly distinct from the new table's
+// and need no invalidation, one of the AVC's quiet advantages on context
+// switches.
+func (u *IOMMU) SwitchContextState(st State) error {
+	if err := u.be.SwitchContext(st); err != nil {
+		return err
 	}
-	u.table = table
-	u.bm = bm
-	if u.tlb != nil {
-		u.tlb.Invalidate()
-	}
-	if u.bmCache != nil {
-		u.bmCache.Invalidate()
-	}
+	u.table = st.Table
+	u.bm = st.Bitmap
+	u.blocks = st.Blocks
 	u.ctr.ContextSwitches++
 	u.tr.Emit(obs.CompIOMMU, obs.EvCtxSwitch, 0, 0, u.ctr.ContextSwitches)
 	return nil
@@ -365,154 +351,30 @@ func (u *IOMMU) Translate(va addr.VA, kind addr.AccessKind) Plan {
 func (u *IOMMU) TranslateInto(va addr.VA, kind addr.AccessKind, p *Plan) {
 	p.reset()
 	u.ctr.Accesses++
-	switch u.cfg.Mode {
-	case ModeIdeal:
-		// Direct physical access: unsafe, free.
-		p.PA = addr.PA(va)
-	case ModeConv4K, ModeConv2M, ModeConv1G:
-		u.conventional(va, kind, p)
-	case ModeDVMBM:
-		u.davBitmap(va, kind, p)
-	case ModeDVMPE, ModeDVMPEPlus:
-		u.davPE(va, kind, p)
-	}
-}
-
-// conventional is the TLB + PWC + page-walk path.
-func (u *IOMMU) conventional(va addr.VA, kind addr.AccessKind, p *Plan) {
-	p.ProbeCycles += u.cfg.ProbeCycles
-	if pa, perm, hit := u.tlb.Lookup(va); hit {
-		u.finishTranslated(pa, perm, kind, p)
-		return
-	}
-	u.walkTable(va, p, u.pwc)
-	if u.walk.Outcome == pagetable.WalkFault {
-		u.fault(p, u.walk.Fault)
-		return
-	}
-	u.tlb.Insert(u.walk.MapBase, u.walk.PA-addr.PA(uint64(va)-uint64(u.walk.MapBase)), u.walk.Perm)
-	u.finishTranslated(u.walk.PA, u.walk.Perm, kind, p)
-}
-
-// davPE is Devirtualized Access Validation via PE page tables + AVC.
-func (u *IOMMU) davPE(va addr.VA, kind addr.AccessKind, p *Plan) {
-	trace := u.tr.Wants(obs.CompIOMMU)
-	if trace {
-		u.tr.Emit(obs.CompIOMMU, obs.EvDAVCheck, uint64(va), 0, uint64(kind))
-	}
-	u.walkTable(va, p, u.avc)
-	switch u.walk.Outcome {
-	case pagetable.WalkFault:
-		u.fault(p, u.walk.Fault)
-		return
-	case pagetable.WalkPE:
-		u.ctr.DAVIdentity++
-		if u.cfg.Mode == ModeDVMPEPlus && kind == addr.Read {
-			p.OverlapData = true
-		}
-		if trace {
-			u.tr.Emit(obs.CompIOMMU, obs.EvDAVIdentity, uint64(va), uint64(u.walk.PA), uint64(kind))
-			if p.OverlapData {
-				u.tr.Emit(obs.CompIOMMU, obs.EvPreloadIssue, uint64(va), uint64(va), 0)
-			}
-		}
-		u.finishTranslated(u.walk.PA, u.walk.Perm, kind, p)
-	case pagetable.WalkLeaf:
-		// Fallback: the page is not identity mapped; the same walk
-		// that validated the access also yields the translation, so
-		// the cost is no worse than conventional VM.
-		if u.walk.Identity {
-			u.ctr.DAVIdentity++
-			if u.cfg.Mode == ModeDVMPEPlus && kind == addr.Read {
-				p.OverlapData = true
-			}
-			if trace {
-				u.tr.Emit(obs.CompIOMMU, obs.EvDAVIdentity, uint64(va), uint64(u.walk.PA), uint64(kind))
-				if p.OverlapData {
-					u.tr.Emit(obs.CompIOMMU, obs.EvPreloadIssue, uint64(va), uint64(va), 0)
-				}
-			}
-		} else {
-			u.ctr.FallbackTranslations++
-			if trace {
-				u.tr.Emit(obs.CompIOMMU, obs.EvDAVFallback, uint64(va), uint64(u.walk.PA), uint64(kind))
-			}
-			if u.cfg.Mode == ModeDVMPEPlus && kind == addr.Read {
-				// The preload predicted PA==VA and was wrong:
-				// squash and retry at the translated address.
-				p.SquashedPreload = true
-				u.ctr.SquashedPreloads++
-				if trace {
-					u.tr.Emit(obs.CompIOMMU, obs.EvPreloadSquash, uint64(va), uint64(u.walk.PA), uint64(va))
-				}
-			}
-		}
-		u.finishTranslated(u.walk.PA, u.walk.Perm, kind, p)
-	}
-}
-
-// davBitmap is DAV via the flat permission bitmap (DVM-BM).
-func (u *IOMMU) davBitmap(va addr.VA, kind addr.AccessKind, p *Plan) {
-	trace := u.tr.Wants(obs.CompIOMMU)
-	if trace {
-		u.tr.Emit(obs.CompIOMMU, obs.EvDAVCheck, uint64(va), 0, uint64(kind))
-	}
-	p.ProbeCycles += u.cfg.ProbeCycles
-	perm, cached := u.lookupBitmap(va, p)
-	_ = cached
-	if perm != addr.NoPerm {
-		// Identity-mapped heap page: validate and go.
-		u.ctr.DAVIdentity++
-		if trace {
-			u.tr.Emit(obs.CompIOMMU, obs.EvDAVIdentity, uint64(va), uint64(va), uint64(kind))
-		}
-		u.finishTranslated(addr.PA(va), perm, kind, p)
-		return
-	}
-	// 00 in the bitmap: not identity mapped — full translation,
-	// expedited by the fallback TLB.
-	u.ctr.FallbackTranslations++
-	if trace {
-		u.tr.Emit(obs.CompIOMMU, obs.EvDAVFallback, uint64(va), 0, uint64(kind))
-	}
-	p.ProbeCycles += u.cfg.ProbeCycles
-	if pa, tlbPerm, hit := u.tlb.Lookup(va); hit {
-		u.finishTranslated(pa, tlbPerm, kind, p)
-		return
-	}
-	u.walkTable(va, p, u.pwc)
-	if u.walk.Outcome == pagetable.WalkFault {
-		u.fault(p, u.walk.Fault)
-		return
-	}
-	u.tlb.Insert(u.walk.MapBase, u.walk.PA-addr.PA(uint64(va)-uint64(u.walk.MapBase)), u.walk.Perm)
-	u.finishTranslated(u.walk.PA, u.walk.Perm, kind, p)
-}
-
-// lookupBitmap resolves a page's 2-bit permission through the bitmap
-// cache, charging one memory reference for the bitmap line on a miss.
-func (u *IOMMU) lookupBitmap(va addr.VA, p *Plan) (addr.Perm, bool) {
-	base := va.PageDown()
-	if _, perm, hit := u.bmCache.Lookup(va); hit {
-		return perm, true
-	}
-	perm, linePA := u.bm.Lookup(va)
-	p.MemRefs = append(p.MemRefs, linePA)
-	u.ctr.WalkMemRefs++
-	u.tr.Emit(obs.CompBitmap, obs.EvMemRef, uint64(va), uint64(linePA), 0)
-	u.bmCache.Insert(base, addr.PA(base), perm)
-	return perm, false
+	u.be.TranslateInto(va, kind, p)
 }
 
 // walkTable performs the hardware page walk, charging structure probes for
 // cacheable levels and memory references for the rest.
 func (u *IOMMU) walkTable(va addr.VA, p *Plan, cache *PTECache) {
+	u.walkTableSkip(va, p, cache, 0)
+}
+
+// walkTableSkip is walkTable with the first skip root-side steps neither
+// probed nor billed — SPARTA's partitioned walkers start at their shard's
+// subtree, so the root radix level is resolved by the partition function
+// instead of a dependent memory reference.
+func (u *IOMMU) walkTableSkip(va addr.VA, p *Plan, cache *PTECache, skip int) {
 	u.table.WalkInto(va, &u.walk)
 	if u.cfg.Chaos != nil {
 		u.injectWalkChaos(va)
 	}
+	steps := u.walk.Steps
+	if skip > len(steps) {
+		skip = len(steps)
+	}
 	var refs uint64
-	for _, step := range u.walk.Steps {
+	for _, step := range steps[skip:] {
 		if cache.Caches(step.Level) {
 			p.ProbeCycles += u.cfg.ProbeCycles
 			if cache.Lookup(step.EntryPA, step.Level) {
@@ -562,15 +424,30 @@ func (u *IOMMU) injectWalkChaos(va addr.VA) {
 }
 
 // finishTranslated applies the permission check and fills the plan.
-func (u *IOMMU) finishTranslated(pa addr.PA, perm addr.Perm, kind addr.AccessKind, p *Plan) {
+func (u *IOMMU) finishTranslated(va addr.VA, pa addr.PA, perm addr.Perm, kind addr.AccessKind, p *Plan) {
 	if !perm.Allows(kind) {
-		u.fault(p, pagetable.FaultNone)
+		u.fault(p, pagetable.FaultNone, va, pa)
 		return
 	}
 	p.PA = pa
 }
 
-func (u *IOMMU) fault(p *Plan, kind pagetable.FaultKind) {
+// walkFault faults the plan from the just-completed walk, localizing the
+// event at the faulting VA and the physical address of the page-table
+// entry the walk died on.
+func (u *IOMMU) walkFault(p *Plan, va addr.VA) {
+	var entryPA addr.PA
+	if n := len(u.walk.Steps); n > 0 {
+		entryPA = u.walk.Steps[n-1].EntryPA
+	}
+	u.fault(p, u.walk.Fault, va, entryPA)
+}
+
+// fault drops the access and records the exception. The trace event
+// carries the faulting VA and, when available, the physical address the
+// failure was detected at (the terminal walk entry, or the translated PA
+// of a permission denial) so -trace output can localize the fault.
+func (u *IOMMU) fault(p *Plan, kind pagetable.FaultKind, va addr.VA, pa addr.PA) {
 	p.Fault = true
 	p.FaultKind = kind
 	p.OverlapData = false
@@ -578,5 +455,5 @@ func (u *IOMMU) fault(p *Plan, kind pagetable.FaultKind) {
 	if kind == pagetable.FaultCorrupt || kind == pagetable.FaultBadPE {
 		u.ctr.CorruptFaults++
 	}
-	u.tr.Emit(obs.CompIOMMU, obs.EvFault, 0, 0, uint64(kind))
+	u.tr.Emit(obs.CompIOMMU, obs.EvFault, uint64(va), uint64(pa), uint64(kind))
 }

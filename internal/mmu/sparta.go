@@ -1,0 +1,177 @@
+package mmu
+
+import (
+	"fmt"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+	"github.com/dvm-sim/dvm/internal/obs"
+	"github.com/dvm-sim/dvm/internal/pagetable"
+)
+
+// spartaBackend models SPARTA-style partitioned translation (Picorel et
+// al., see PAPERS.md): the virtual address space is partitioned across
+// the memory controllers, and each controller translates only its own
+// shard with private structures — there is no centralized IOMMU walk to
+// serialize behind.
+//
+// Timing model:
+//
+//   - The partition function is a bit-slice of the virtual page number
+//     (page-granular interleaving across cfg.Shards controllers), which
+//     is combinational hardware and costs nothing; the access pays the
+//     usual single probe cycle for its shard's TLB lookup.
+//   - Each shard owns a private TLB (an equal slice of cfg.TLBEntries)
+//     and a private walker cache, so shards never contend and context
+//     distinct working sets never thrash one shared structure.
+//   - A shard's walker resolves only its partition of the VA space: the
+//     root radix level is implied by the partition function (each
+//     controller holds its partition's subtree root), so the walk's
+//     dependent memory-reference chain is one level shorter than a
+//     centralized walk — the design's "divide and conquer" lever.
+//
+// Chaos sites: the shard walkers go through the shared walk path, so
+// SitePTECorrupt/SitePTETruncate inject there; SitePEPermBad never fires
+// (SPARTA walks no PE tables) and is explicitly unsupported.
+type spartaBackend struct {
+	u      *IOMMU
+	shards []spartaShard
+	mask   uint64
+}
+
+type spartaShard struct {
+	tlb *TLB
+	pwc *PTECache
+}
+
+// registerSPARTA installs the SPARTA design as a non-paper extra column.
+func registerSPARTA() {
+	Register(Descriptor{
+		Mode:            ModeSPARTA,
+		Name:            "SPARTA",
+		Aliases:         []string{"sparta"},
+		Order:           70,
+		PageSize:        addr.PageSize4K,
+		Table:           TableCanonical,
+		TLBMetricPrefix: "mmu.sparta.tlb",
+		New:             newSPARTABackend,
+	})
+}
+
+func newSPARTABackend(u *IOMMU) (Backend, error) {
+	if u.table == nil {
+		return nil, fmt.Errorf("mmu: mode %v requires a page table", u.cfg.Mode)
+	}
+	shards := u.cfg.Shards
+	if shards == 0 {
+		shards = 4
+	}
+	if shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("mmu: SPARTA shard count %d is not a power of two", shards)
+	}
+	perShard := u.cfg.TLBEntries / shards
+	if perShard == 0 {
+		perShard = 1
+	}
+	pwcCfg := u.cfg.PWC
+	if pwcCfg.MinLevel == 0 {
+		pwcCfg = DefaultPWCConfig()
+	}
+	b := &spartaBackend{u: u, shards: make([]spartaShard, shards), mask: uint64(shards) - 1}
+	for i := range b.shards {
+		b.shards[i] = spartaShard{
+			tlb: MustNewTLB(TLBConfig{Entries: perShard, Ways: u.cfg.TLBWays, PageSize: addr.PageSize4K}),
+			pwc: MustNewPTECache(pwcCfg),
+		}
+	}
+	return b, nil
+}
+
+// shardFor slices the shard index out of the virtual page number —
+// page-granular interleaving across memory controllers.
+func (b *spartaBackend) shardFor(va addr.VA) *spartaShard {
+	return &b.shards[(uint64(va)>>addr.PageShift4K)&b.mask]
+}
+
+func (b *spartaBackend) TranslateInto(va addr.VA, kind addr.AccessKind, p *Plan) {
+	u := b.u
+	sh := b.shardFor(va)
+	p.ProbeCycles += u.cfg.ProbeCycles
+	if pa, perm, hit := sh.tlb.Lookup(va); hit {
+		u.finishTranslated(va, pa, perm, kind, p)
+		return
+	}
+	// The shard's walker skips the root level: the partition function
+	// already selected the per-controller subtree.
+	u.walkTableSkip(va, p, sh.pwc, 1)
+	if u.walk.Outcome == pagetable.WalkFault {
+		u.walkFault(p, va)
+		return
+	}
+	sh.tlb.Insert(u.walk.MapBase, u.walk.PA-addr.PA(uint64(va)-uint64(u.walk.MapBase)), u.walk.Perm)
+	u.finishTranslated(va, u.walk.PA, u.walk.Perm, kind, p)
+}
+
+// SwitchContext flushes every shard's TLB (per-address-space state); the
+// shard walker caches are physically indexed and survive.
+func (b *spartaBackend) SwitchContext(st State) error {
+	if st.Table == nil {
+		return fmt.Errorf("mmu: %v context needs a page table", b.u.cfg.Mode)
+	}
+	for i := range b.shards {
+		b.shards[i].tlb.Invalidate()
+	}
+	return nil
+}
+
+// RegisterMetrics publishes shard-aggregate counters under mmu.sparta.*.
+// The per-shard structures keep incrementing their own fields; the sums
+// are computed only at snapshot time (obs.Registry.RegisterFunc), so the
+// hot path stays untouched.
+func (b *spartaBackend) RegisterMetrics(reg *obs.Registry) {
+	sum := func(read func(*spartaShard) uint64) func() uint64 {
+		return func() uint64 {
+			var n uint64
+			for i := range b.shards {
+				n += read(&b.shards[i])
+			}
+			return n
+		}
+	}
+	reg.RegisterFunc("mmu.sparta.tlb.hits", sum(func(s *spartaShard) uint64 { return s.tlb.Hits() }))
+	reg.RegisterFunc("mmu.sparta.tlb.misses", sum(func(s *spartaShard) uint64 { return s.tlb.Misses() }))
+	reg.RegisterFunc("mmu.sparta.pwc.hits", sum(func(s *spartaShard) uint64 { return s.pwc.Snapshot().Hits }))
+	reg.RegisterFunc("mmu.sparta.pwc.misses", sum(func(s *spartaShard) uint64 { return s.pwc.Snapshot().Misses }))
+}
+
+func (b *spartaBackend) SetTracer(tr *obs.Tracer) {
+	for i := range b.shards {
+		b.shards[i].tlb.SetTrace(tr, obs.CompTLB)
+		b.shards[i].pwc.SetTrace(tr, obs.CompPWC)
+	}
+}
+
+func (b *spartaBackend) Stats() BackendStats {
+	var tlb, pwc CacheStats
+	for i := range b.shards {
+		t := b.shards[i].tlb.Snapshot()
+		w := b.shards[i].pwc.Snapshot()
+		tlb.Hits += t.Hits
+		tlb.Misses += t.Misses
+		pwc.Hits += w.Hits
+		pwc.Misses += w.Misses
+	}
+	return BackendStats{
+		TLBLookups:    tlb.Lookups(),
+		TLBMissRate:   tlb.MissRate(),
+		TLBLookupsFA:  tlb.Lookups(),
+		CacheLookups:  pwc.Lookups(),
+		StructHitRate: pwc.HitRate(),
+	}
+}
+
+func (b *spartaBackend) Reset() {
+	for i := range b.shards {
+		b.shards[i].tlb.Reset()
+		b.shards[i].pwc.Reset()
+	}
+}

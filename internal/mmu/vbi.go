@@ -1,0 +1,175 @@
+package mmu
+
+import (
+	"fmt"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+	"github.com/dvm-sim/dvm/internal/obs"
+	"github.com/dvm-sim/dvm/internal/pagetable"
+)
+
+// vbiBackend models the Virtual Block Interface (Hajinazar et al., see
+// PAPERS.md): the process's address space is a set of variable-size
+// virtual blocks, each carrying one permission and one translation state,
+// replacing per-page tables for the common case.
+//
+// Timing model:
+//
+//   - Every access probes the block cache (one probe cycle). The block id
+//     itself comes from the VA's upper bits, so locating the block is
+//     free; what costs is fetching its descriptor.
+//   - A block-cache miss charges one dependent memory reference to the
+//     block-table entry (the block-table lookup cost).
+//   - Permission validation is block-granular: the block's permission
+//     gates the access, not a per-page entry.
+//   - Identity blocks (the DVM invariant, PA == VA) complete right there
+//     — the counters record a DAV identity validation.
+//   - Non-identity blocks carry no flat base offset in this OS model
+//     (their frames are demand-paged and non-contiguous), so their
+//     per-block state marks them "translated" and the access takes the
+//     DVM fallback path: fallback TLB, then a canonical page walk.
+//
+// Chaos sites: the fallback walk passes through the shared walk path, so
+// SitePTECorrupt/SitePTETruncate inject there; SitePEPermBad never fires
+// (VBI walks no PE tables) and the identity-block path has no injection
+// site — both are explicitly unsupported for this backend.
+type vbiBackend struct {
+	u      *IOMMU
+	bcache *blockCache
+	tlb    *TLB
+	pwc    *PTECache
+}
+
+// registerVBI installs the VBI design as a non-paper extra column.
+func registerVBI() {
+	Register(Descriptor{
+		Mode:            ModeVBI,
+		Name:            "VBI",
+		Aliases:         []string{"vbi"},
+		Order:           80,
+		PageSize:        addr.PageSize4K,
+		Table:           TableCanonical,
+		NeedsBlocks:     true,
+		TLBMetricPrefix: "mmu.vbi.tlb",
+		New:             newVBIBackend,
+	})
+}
+
+func newVBIBackend(u *IOMMU) (Backend, error) {
+	if u.blocks == nil {
+		return nil, fmt.Errorf("mmu: ModeVBI requires a block table")
+	}
+	if u.table == nil {
+		return nil, fmt.Errorf("mmu: mode %v requires a page table", u.cfg.Mode)
+	}
+	entries := u.cfg.BlockCacheEntries
+	if entries == 0 {
+		entries = 16
+	}
+	pwcCfg := u.cfg.PWC
+	if pwcCfg.MinLevel == 0 {
+		pwcCfg = DefaultPWCConfig()
+	}
+	return &vbiBackend{
+		u:      u,
+		bcache: newBlockCache(entries),
+		tlb:    MustNewTLB(TLBConfig{Entries: u.cfg.TLBEntries, Ways: u.cfg.TLBWays, PageSize: addr.PageSize4K}),
+		pwc:    MustNewPTECache(pwcCfg),
+	}, nil
+}
+
+func (b *vbiBackend) TranslateInto(va addr.VA, kind addr.AccessKind, p *Plan) {
+	u := b.u
+	trace := u.tr.Wants(obs.CompIOMMU)
+	if trace {
+		u.tr.Emit(obs.CompIOMMU, obs.EvDAVCheck, uint64(va), 0, uint64(kind))
+	}
+	p.ProbeCycles += u.cfg.ProbeCycles
+	idx, blk := u.blocks.Find(va)
+	if blk == nil {
+		u.fault(p, pagetable.FaultUnmapped, va, 0)
+		return
+	}
+	if !b.bcache.Lookup(idx) {
+		// Fetch the block descriptor from the in-memory block table.
+		entryPA := u.blocks.EntryPA(idx)
+		p.MemRefs = append(p.MemRefs, entryPA)
+		u.ctr.WalkMemRefs++
+		u.tr.Emit(obs.CompBlock, obs.EvMemRef, uint64(va), uint64(entryPA), uint64(idx))
+		b.bcache.Insert(idx)
+	}
+	// Block-granular permission validation.
+	if !blk.Perm.Allows(kind) {
+		u.fault(p, pagetable.FaultNone, va, 0)
+		return
+	}
+	if blk.Identity {
+		u.ctr.DAVIdentity++
+		if trace {
+			u.tr.Emit(obs.CompIOMMU, obs.EvDAVIdentity, uint64(va), uint64(va), uint64(kind))
+		}
+		p.PA = addr.PA(va)
+		return
+	}
+	// Translated block: DVM fallback through the fallback TLB and the
+	// canonical table.
+	u.ctr.FallbackTranslations++
+	if trace {
+		u.tr.Emit(obs.CompIOMMU, obs.EvDAVFallback, uint64(va), 0, uint64(kind))
+	}
+	p.ProbeCycles += u.cfg.ProbeCycles
+	if pa, tlbPerm, hit := b.tlb.Lookup(va); hit {
+		u.finishTranslated(va, pa, tlbPerm, kind, p)
+		return
+	}
+	u.walkTable(va, p, b.pwc)
+	if u.walk.Outcome == pagetable.WalkFault {
+		u.walkFault(p, va)
+		return
+	}
+	b.tlb.Insert(u.walk.MapBase, u.walk.PA-addr.PA(uint64(va)-uint64(u.walk.MapBase)), u.walk.Perm)
+	u.finishTranslated(va, u.walk.PA, u.walk.Perm, kind, p)
+}
+
+// SwitchContext flushes the per-address-space structures — the block
+// cache (block ids are per-AS) and the fallback TLB; the fallback walker
+// cache is physically indexed and survives.
+func (b *vbiBackend) SwitchContext(st State) error {
+	if st.Table == nil || st.Blocks == nil {
+		return fmt.Errorf("mmu: %v context needs a page table and a block table", b.u.cfg.Mode)
+	}
+	b.bcache.Invalidate()
+	b.tlb.Invalidate()
+	return nil
+}
+
+func (b *vbiBackend) RegisterMetrics(reg *obs.Registry) {
+	b.bcache.RegisterMetrics(reg, "mmu.vbi.blockcache")
+	b.tlb.RegisterMetrics(reg, "mmu.vbi.tlb")
+	b.pwc.RegisterMetrics(reg, "mmu.vbi.pwc")
+}
+
+func (b *vbiBackend) SetTracer(tr *obs.Tracer) {
+	b.bcache.SetTrace(tr, obs.CompBlock)
+	b.tlb.SetTrace(tr, obs.CompTLB)
+	b.pwc.SetTrace(tr, obs.CompPWC)
+}
+
+func (b *vbiBackend) Stats() BackendStats {
+	bc := b.bcache.Snapshot()
+	tlb := b.tlb.Snapshot()
+	pwc := b.pwc.Snapshot()
+	return BackendStats{
+		TLBLookups:    tlb.Lookups(),
+		TLBMissRate:   tlb.MissRate(),
+		TLBLookupsFA:  tlb.Lookups(),
+		CacheLookups:  bc.Lookups() + pwc.Lookups(),
+		StructHitRate: bc.HitRate(),
+	}
+}
+
+func (b *vbiBackend) Reset() {
+	b.bcache.Reset()
+	b.tlb.Reset()
+	b.pwc.Reset()
+}

@@ -37,6 +37,7 @@ import (
 // the components of one simulation.
 type Registry struct {
 	counters map[string]*uint64
+	funcs    map[string]func() uint64
 }
 
 // NewRegistry creates an empty registry.
@@ -56,6 +57,22 @@ func (r *Registry) RegisterCounter(name string, v *uint64) {
 	r.counters[name] = v
 }
 
+// RegisterFunc attaches a computed counter: fn is called at snapshot
+// time and its result exported under name. Use it for values that are
+// aggregates of several hot-path counters (e.g. a sum across SPARTA's
+// per-shard TLBs) — the aggregation cost is paid per snapshot, never on
+// the translation path. A func and a pointer counter under the same
+// name resolve in favor of the func.
+func (r *Registry) RegisterFunc(name string, fn func() uint64) {
+	if r == nil || fn == nil {
+		return
+	}
+	if r.funcs == nil {
+		r.funcs = make(map[string]func() uint64)
+	}
+	r.funcs[name] = fn
+}
+
 // Counter registers and returns a registry-owned counter, for callers
 // that have no field of their own to expose.
 func (r *Registry) Counter(name string) *uint64 {
@@ -73,9 +90,12 @@ func (r *Registry) Counter(name string) *uint64 {
 // Snapshot reads every registered counter. The result is a value type:
 // safe to retain, diff, merge and export after the run has ended.
 func (r *Registry) Snapshot() Snapshot {
-	s := Snapshot{Counters: make(map[string]uint64, len(r.counters))}
+	s := Snapshot{Counters: make(map[string]uint64, len(r.counters)+len(r.funcs))}
 	for name, v := range r.counters {
 		s.Counters[name] = *v
+	}
+	for name, fn := range r.funcs {
+		s.Counters[name] = fn()
 	}
 	return s
 }

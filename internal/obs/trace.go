@@ -28,7 +28,17 @@ const (
 	CompEngine
 	// CompChaos is the fault-injection layer (internal/chaos).
 	CompChaos
+	// CompBlock is the VBI block-translation cache and block table.
+	CompBlock
 	numComponents
+)
+
+// Aux flag bits shared by DAV events. The low bits of Aux carry the
+// access kind; flags above bit 8 qualify the event.
+const (
+	// AuxBMCacheHit marks a DVM-BM DAV outcome that was resolved from the
+	// bitmap cache (no in-memory bitmap reference was needed).
+	AuxBMCacheHit uint64 = 1 << 8
 )
 
 // String returns the component's registry-style name.
@@ -50,6 +60,8 @@ func (c Component) String() string {
 		return "engine"
 	case CompChaos:
 		return "chaos"
+	case CompBlock:
+		return "block"
 	default:
 		return fmt.Sprintf("comp(%d)", uint8(c))
 	}
@@ -93,7 +105,7 @@ func ParseMask(s string) (Mask, error) {
 			}
 		}
 		if !found {
-			return 0, fmt.Errorf("obs: unknown trace component %q (have iommu,tlb,pwc,avc,bmcache,bitmap,engine,chaos,all)", name)
+			return 0, fmt.Errorf("obs: unknown trace component %q (have iommu,tlb,pwc,avc,bmcache,bitmap,engine,chaos,block,all)", name)
 		}
 	}
 	return m, nil

@@ -79,6 +79,16 @@ func (p *Process) ForEachIdentityPage(fn func(va addr.VA, perm addr.Perm)) {
 	}
 }
 
+// ForEachBlock calls fn for every VMA as one variable-size virtual block
+// — the per-VMA range, permission and identity state a VBI-style block
+// table stores. Blocks are visited in allocation order; callers that need
+// address order sort afterwards.
+func (p *Process) ForEachBlock(fn func(r addr.VRange, perm addr.Perm, identity bool)) {
+	for _, v := range p.vmas {
+		fn(v.R, v.Perm, v.Identity)
+	}
+}
+
 // MappedBytes returns the total bytes of live mappings and how many of them
 // are identity mapped — the Table 4 numerator/denominator.
 func (p *Process) MappedBytes() (total, identity uint64) {

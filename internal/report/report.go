@@ -94,6 +94,14 @@ type Options struct {
 	// core.SystemConfig.Chaos). Nil or rate 0 is the clean path,
 	// bit-for-bit.
 	Chaos *chaos.Config
+	// Modes, when non-nil, selects which registered modes the mode-matrix
+	// artifacts (Figure 8/9) run and render as columns, in the given
+	// order; the list must include core.ModeIdeal (the normalization
+	// baseline). Nil runs core.AllModes — the paper's seven columns,
+	// byte-identical to the historical artifact. Callers mixing mode sets
+	// against one checkpoint directory must namespace it per set (the
+	// commands fold the set into the checkpoint profile).
+	Modes []core.Mode
 }
 
 // ctx returns the sweep context (Background when unset).
@@ -296,7 +304,10 @@ func Table3(prof core.Profile, w io.Writer, opts Options) error {
 // normalized-execution-time figure (8) and the normalized-energy figure
 // (9).
 func Figure8And9(prof core.Profile, w io.Writer, opts Options) error {
-	modes := core.AllModes
+	modes := opts.Modes
+	if modes == nil {
+		modes = core.AllModes
+	}
 	head8 := []string{"Workload", "Input"}
 	head9 := []string{"Workload", "Input"}
 	for _, m := range modes {
@@ -318,16 +329,15 @@ func Figure8And9(prof core.Profile, w io.Writer, opts Options) error {
 		Cell core.Figure8Cell
 		Fig9 core.Figure9Cell
 	}
-	// Parallelism is across cells; each cell runs its seven modes
-	// sequentially so a full sweep never has more than Jobs runs in
-	// flight.
+	// Parallelism is across cells; each cell runs its modes sequentially
+	// so a full sweep never has more than Jobs runs in flight.
 	cells, err := runner.MapB(opts.ctx(), opts.Workers, opts.Jobs, len(wls), func(ctx context.Context, i int) (pair, error) {
 		pr, err := checkpointed(opts, "fig8/"+wls[i].Algorithm+"/"+wls[i].Dataset.Name, func() (pair, error) {
 			p, err := opts.prepare(wls[i])
 			if err != nil {
 				return pair{}, err
 			}
-			cell, err := core.Figure8Ctx(ctx, p, opts.system(prof), 1)
+			cell, err := core.Figure8ModesCtx(ctx, p, modes, opts.system(prof), 1)
 			if err != nil {
 				return pair{}, err
 			}
