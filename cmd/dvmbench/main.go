@@ -46,6 +46,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -85,6 +86,11 @@ type Measurement struct {
 type BenchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// P99WalkMemRefs is the p99 of the per-translation walk-memref
+	// distribution of the benchmark's last run (run/* benchmarks only;
+	// 0 for modes that walk nothing). Simulated-time data: recorded for
+	// trend visibility, not gated — the gate ignores unknown fields.
+	P99WalkMemRefs uint64 `json:"p99_walk_memrefs,omitempty"`
 }
 
 // File is the committed trajectory format.
@@ -113,9 +119,23 @@ func main() {
 	jobs := flag.Int("j", 1, "worker processes for artifact timings (default 1: sequential, comparable across files)")
 	label := flag.String("label", "", "label recorded with the measurement")
 	quiet := flag.Bool("q", false, "suppress progress output")
+	httpAddr := flag.String("http", "", "serve the live observability surface (/metrics, /progress, /debug/pprof/) on this address")
+	flag.StringVar(httpAddr, "pprof", "", "deprecated alias of -http")
 	flag.Parse()
 
 	lg := obs.NewLogger(os.Stderr, "dvmbench", *quiet)
+	coll := &obs.Collector{}
+	board := &runner.ProgressBoard{}
+	if *httpAddr != "" {
+		_, err := obs.StartHTTP(*httpAddr, lg, obs.HTTPOptions{
+			Metrics:  coll.Snapshot,
+			Volatile: coll.VolatileSnapshot,
+			Progress: board.Probe(),
+		})
+		if err != nil {
+			lg.Exitf(2, "%v", err)
+		}
+	}
 	if (*out == "") == (*against == "") {
 		lg.Exitf(2, "exactly one of -o or -against is required")
 	}
@@ -130,7 +150,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	m, err := measure(ctx, prof, *label, *jobs, lg)
+	m, err := measure(ctx, prof, *label, *jobs, lg, coll, board)
 	if err != nil {
 		if ctx.Err() != nil {
 			lg.Statusf("interrupted; no file written")
@@ -204,7 +224,7 @@ func artifacts(prof core.Profile, opts report.Options) []struct {
 // measure runs the suite: every artifact end-to-end at -j jobs (default
 // 1: stable, comparable across runs and against committed files), then
 // the micro-benchmarks (always sequential).
-func measure(ctx context.Context, prof core.Profile, label string, jobs int, lg *obs.Logger) (*Measurement, error) {
+func measure(ctx context.Context, prof core.Profile, label string, jobs int, lg *obs.Logger, coll *obs.Collector, board *runner.ProgressBoard) (*Measurement, error) {
 	jobs = runner.DefaultJobs(jobs)
 	m := &Measurement{
 		Label:            label,
@@ -219,7 +239,8 @@ func measure(ctx context.Context, prof core.Profile, label string, jobs int, lg 
 		Ctx:      ctx,
 		Jobs:     jobs,
 		Workers:  runner.BudgetFor(jobs),
-		Metrics:  &obs.Collector{},
+		Metrics:  coll,
+		Board:    board,
 		Prepared: core.NewPreparedCache(),
 	}
 	for _, a := range artifacts(prof, opts) {
@@ -235,18 +256,27 @@ func measure(ctx context.Context, prof core.Profile, label string, jobs int, lg 
 	for _, b := range microBenches(prof) {
 		r := testing.Benchmark(b.fn)
 		br := BenchResult{NsPerOp: float64(r.T.Nanoseconds()) / float64(r.N), AllocsPerOp: r.AllocsPerOp()}
+		if b.p99 != nil {
+			br.P99WalkMemRefs = b.p99()
+		}
 		m.Benchmarks[b.name] = br
 		lg.Statusf("bench %s: %.0f ns/op %d allocs/op", b.name, br.NsPerOp, br.AllocsPerOp)
 	}
 	return m, nil
 }
 
-// microBenches is the tracked micro-benchmark suite. Names are stable:
-// the CI gate joins on them.
-func microBenches(prof core.Profile) []struct {
+// microBench is one tracked micro-benchmark; p99, when non-nil, reports
+// the p99 walk-memrefs of the benchmark's most recent run after fn has
+// executed (recorded into the trajectory file, not gated).
+type microBench struct {
 	name string
 	fn   func(b *testing.B)
-} {
+	p99  func() uint64
+}
+
+// microBenches is the tracked micro-benchmark suite. Names are stable:
+// the CI gate joins on them.
+func microBenches(prof core.Profile) []microBench {
 	cfg := prof.SystemConfig()
 	var prep *core.Prepared
 	prepare := func(b *testing.B) *core.Prepared {
@@ -265,30 +295,34 @@ func microBenches(prof core.Profile) []struct {
 		}
 		return prep
 	}
-	perMode := func(mode core.Mode) func(b *testing.B) {
-		return func(b *testing.B) {
-			p := prepare(b)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := p.Run(mode, cfg); err != nil {
-					b.Fatal(err)
+	perMode := func(name string, mode core.Mode) microBench {
+		var last core.RunResult
+		return microBench{
+			name: name,
+			fn: func(b *testing.B) {
+				p := prepare(b)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r, err := p.Run(mode, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = r
 				}
-			}
+			},
+			p99: func() uint64 { return p99WalkMemRefs(last) },
 		}
 	}
-	return []struct {
-		name string
-		fn   func(b *testing.B)
-	}{
-		{"run/conv4k", perMode(core.ModeConv4K)},
-		{"run/dvm-bm", perMode(core.ModeDVMBM)},
-		{"run/dvm-pe", perMode(core.ModeDVMPE)},
-		{"run/dvm-pe+", perMode(core.ModeDVMPEPlus)},
-		{"run/ideal", perMode(core.ModeIdeal)},
-		{"run/sparta", perMode(core.ModeSPARTA)},
-		{"run/vbi", perMode(core.ModeVBI)},
-		{"prepare", func(b *testing.B) {
+	return []microBench{
+		perMode("run/conv4k", core.ModeConv4K),
+		perMode("run/dvm-bm", core.ModeDVMBM),
+		perMode("run/dvm-pe", core.ModeDVMPE),
+		perMode("run/dvm-pe+", core.ModeDVMPEPlus),
+		perMode("run/ideal", core.ModeIdeal),
+		perMode("run/sparta", core.ModeSPARTA),
+		perMode("run/vbi", core.ModeVBI),
+		{name: "prepare", fn: func(b *testing.B) {
 			d, err := graph.DatasetByName("Wiki")
 			if err != nil {
 				b.Fatal(err)
@@ -305,7 +339,7 @@ func microBenches(prof core.Profile) []struct {
 				}
 			}
 		}},
-		{"memsys/access", func(b *testing.B) {
+		{name: "memsys/access", fn: func(b *testing.B) {
 			ctl := memsys.MustNewController(memsys.Config{})
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -315,6 +349,18 @@ func microBenches(prof core.Profile) []struct {
 			}
 		}},
 	}
+}
+
+// p99WalkMemRefs pulls the p99 of the mode's walk-memref distribution
+// out of a run's metrics snapshot (0 when the mode walks nothing, e.g.
+// Ideal).
+func p99WalkMemRefs(r core.RunResult) uint64 {
+	for name, h := range r.Metrics.Hists {
+		if strings.HasSuffix(name, ".walk.memrefs") {
+			return h.P99
+		}
+	}
+	return 0
 }
 
 // gate compares a fresh measurement against the committed contract.

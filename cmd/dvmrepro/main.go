@@ -7,7 +7,8 @@
 //	dvmrepro [-profile tiny|small|medium|paper] [-j N] [-modes paper|extended]
 //	         [-only fig2,table1,table3,fig8,fig9,table4,fig10,table5,ablations,virt]
 //	         [-checkpoint file [-resume]] [-chaos-rate p -chaos-seed N]
-//	         [-metrics file] [-trace file] [-trace-mask comps] [-pprof addr] [-q]
+//	         [-metrics file] [-trace file] [-trace-mask comps]
+//	         [-http addr] [-spans file] [-q]
 //
 // With no -only flag every artifact is regenerated in paper order. Output
 // goes to stdout; progress lines go to stderr unless -q is set. The
@@ -26,11 +27,16 @@
 // -chaos-seed fixes the fault schedule, so two runs with the same seed
 // report identical chaos.* counters and identical typed errors.
 //
-// Observability: -metrics writes the merged per-run counter registry
-// snapshot as JSON (byte-identical at any -j — snapshots merge by
-// commutative sum); -trace writes a JSONL event trace bounded by
-// -trace-cap, filtered to the -trace-mask components; -pprof serves
-// net/http/pprof for live CPU/heap profiles.
+// Observability: -metrics writes the merged per-run registry snapshot
+// (counters and latency histograms) as JSON (byte-identical at any -j —
+// snapshots merge by commutative sum); -trace writes a JSONL event trace
+// bounded by -trace-cap, filtered to the -trace-mask components; -spans
+// writes the sweep's phase spans (prepare, page-table builds, cells,
+// trace generation, timing replay) as Chrome trace-event JSON loadable
+// in ui.perfetto.dev; -http serves the live surface — net/http/pprof
+// under /debug/pprof/, the merged metrics in Prometheus text exposition
+// format at /metrics, and the sweep progress as JSON at /progress
+// (-pprof is the deprecated alias of -http).
 package main
 
 import (
@@ -65,7 +71,9 @@ func main() {
 	tracePath := flag.String("trace", "", "write a JSONL event trace to this file (see -trace-mask, -trace-cap)")
 	traceMask := flag.String("trace-mask", "all", "comma-separated components to trace: iommu,tlb,pwc,avc,bmcache,bitmap,engine,chaos,block or 'all'")
 	traceCap := flag.Int("trace-cap", 0, "event ring capacity (0 = default 65536; older events are overwritten)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	httpAddr := flag.String("http", "", "serve the live observability surface (/metrics, /progress, /debug/pprof/) on this address (e.g. localhost:6060)")
+	flag.StringVar(httpAddr, "pprof", "", "deprecated alias of -http")
+	spansPath := flag.String("spans", "", "write phase spans as Chrome trace-event JSON to this file (load in ui.perfetto.dev)")
 	ckPath := flag.String("checkpoint", "", "persist completed experiment cells to this JSONL file (enables -resume)")
 	resume := flag.Bool("resume", false, "with -checkpoint: skip cells a previous interrupted run completed")
 	chaosRate := flag.Float64("chaos-rate", 0, "fault-injection probability per injection site (0 disables; results are not paper artifacts)")
@@ -73,8 +81,15 @@ func main() {
 	flag.Parse()
 
 	lg := obs.NewLogger(os.Stderr, "dvmrepro", *quiet)
-	if *pprofAddr != "" {
-		if _, err := obs.StartPprof(*pprofAddr, lg); err != nil {
+	coll := &obs.Collector{}
+	board := &runner.ProgressBoard{}
+	if *httpAddr != "" {
+		_, err := obs.StartHTTP(*httpAddr, lg, obs.HTTPOptions{
+			Metrics:  coll.Snapshot,
+			Volatile: coll.VolatileSnapshot,
+			Progress: board.Probe(),
+		})
+		if err != nil {
 			lg.Exitf(2, "%v", err)
 		}
 	}
@@ -90,9 +105,19 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	opts := report.Options{Ctx: ctx, Jobs: *jobs, Metrics: &obs.Collector{}, Prepared: core.NewPreparedCache(), Workers: runner.BudgetFor(*jobs)}
+	opts := report.Options{Ctx: ctx, Jobs: *jobs, Metrics: coll, Prepared: core.NewPreparedCache(), Workers: runner.BudgetFor(*jobs)}
 	if !lg.Quiet() {
 		opts.Progress = lg.Statusf
+	}
+	if *httpAddr != "" {
+		// The board feeds /progress; it forces progress accounting on
+		// even under -q (the no-op line sink).
+		opts.Board = board
+	}
+	var spans *obs.SpanRecorder
+	if *spansPath != "" {
+		spans = obs.NewSpanRecorder()
+		opts.Spans = spans
 	}
 	var tracer *obs.Tracer
 	if *tracePath != "" {
@@ -178,6 +203,12 @@ func main() {
 		if err := ck.Close(); err != nil {
 			lg.Statusf("checkpoint close: %v", err)
 		}
+		if tracer != nil {
+			// The final drop count is folded in only at flush time: a
+			// tracer is shared across cells, so a mid-sweep reading
+			// would depend on completion order.
+			opts.Metrics.Inc("trace.dropped", tracer.Dropped())
+		}
 		if *metricsPath != "" {
 			if err := writeMetrics(*metricsPath, opts.Metrics); err != nil {
 				lg.Statusf("partial metrics: %v", err)
@@ -188,6 +219,13 @@ func main() {
 		if tracer != nil {
 			if err := writeTrace(*tracePath, tracer); err != nil {
 				lg.Statusf("partial trace: %v", err)
+			}
+		}
+		if spans != nil {
+			if err := writeSpans(*spansPath, spans); err != nil {
+				lg.Statusf("partial spans: %v", err)
+			} else {
+				lg.Statusf("partial spans written to %s", *spansPath)
 			}
 		}
 		if *ckPath != "" {
@@ -236,6 +274,10 @@ func main() {
 	if err := ck.Close(); err != nil {
 		lg.Exitf(1, "checkpoint: %v", err)
 	}
+	if tracer != nil {
+		// Fold the final drop count in at flush time (see interrupted).
+		opts.Metrics.Inc("trace.dropped", tracer.Dropped())
+	}
 	if *metricsPath != "" {
 		if err := writeMetrics(*metricsPath, opts.Metrics); err != nil {
 			lg.Exitf(1, "%v", err)
@@ -248,6 +290,13 @@ func main() {
 		}
 		lg.Statusf("trace written to %s (%d events emitted, %d retained)",
 			*tracePath, tracer.Total(), len(tracer.Events()))
+	}
+	if spans != nil {
+		if err := writeSpans(*spansPath, spans); err != nil {
+			lg.Exitf(1, "%v", err)
+		}
+		lg.Statusf("spans written to %s (%d recorded, %d dropped); load in ui.perfetto.dev",
+			*spansPath, len(spans.Spans()), spans.Dropped())
 	}
 }
 
@@ -269,6 +318,18 @@ func writeTrace(path string, tr *obs.Tracer) error {
 		return err
 	}
 	if err := tr.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeSpans(path string, sp *obs.SpanRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sp.WriteChromeTrace(f); err != nil {
 		f.Close()
 		return err
 	}

@@ -6,7 +6,8 @@
 //
 //	dvmsim -alg PageRank -dataset Wiki [-mode DVM-PE+] [-profile small] [-seed 42] [-j N]
 //	       [-chaos-rate p -chaos-seed N]
-//	       [-metrics file] [-trace file] [-trace-mask comps] [-pprof addr] [-q]
+//	       [-metrics file] [-trace file] [-trace-mask comps]
+//	       [-http addr] [-spans file] [-q]
 //
 // Omitting -mode runs all seven paper configurations and prints a
 // comparison; -mode accepts a comma-separated list of registered mode
@@ -14,9 +15,11 @@
 // set) and "extended" (paper set + SPARTA + VBI).
 // -j bounds how many of those runs execute concurrently (default: one per
 // CPU; the printed table is identical at any -j). -metrics writes the
-// merged counter-registry snapshot of all runs as JSON; -trace writes a
-// JSONL event trace of the translation path; -pprof serves
-// net/http/pprof.
+// merged registry snapshot (counters and histograms) of all runs as JSON;
+// -trace writes a JSONL event trace of the translation path; -spans
+// writes phase spans as Chrome trace-event JSON (ui.perfetto.dev); -http
+// serves the live surface (/metrics, /progress, /debug/pprof/; -pprof is
+// the deprecated alias).
 package main
 
 import (
@@ -49,14 +52,23 @@ func main() {
 	tracePath := flag.String("trace", "", "write a JSONL event trace to this file (see -trace-mask, -trace-cap)")
 	traceMask := flag.String("trace-mask", "all", "comma-separated components to trace: iommu,tlb,pwc,avc,bmcache,bitmap,engine,chaos,block or 'all'")
 	traceCap := flag.Int("trace-cap", 0, "event ring capacity (0 = default 65536; older events are overwritten)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	httpAddr := flag.String("http", "", "serve the live observability surface (/metrics, /progress, /debug/pprof/) on this address (e.g. localhost:6060)")
+	flag.StringVar(httpAddr, "pprof", "", "deprecated alias of -http")
+	spansPath := flag.String("spans", "", "write phase spans as Chrome trace-event JSON to this file (load in ui.perfetto.dev)")
 	chaosRate := flag.Float64("chaos-rate", 0, "fault-injection probability per injection site (0 disables; results are not paper artifacts)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection PRNG seed (fixed seed = deterministic fault schedule)")
 	flag.Parse()
 
 	lg := obs.NewLogger(os.Stderr, "dvmsim", *quiet)
-	if *pprofAddr != "" {
-		if _, err := obs.StartPprof(*pprofAddr, lg); err != nil {
+	coll := &obs.Collector{}
+	board := &runner.ProgressBoard{}
+	if *httpAddr != "" {
+		_, err := obs.StartHTTP(*httpAddr, lg, obs.HTTPOptions{
+			Metrics:  coll.Snapshot,
+			Volatile: coll.VolatileSnapshot,
+			Progress: board.Probe(),
+		})
+		if err != nil {
 			lg.Exitf(2, "%v", err)
 		}
 	}
@@ -103,12 +115,17 @@ func main() {
 		tracer = obs.NewTracer(*traceCap, mask)
 		cfg.Tracer = tracer
 	}
+	var spans *obs.SpanRecorder
+	if *spansPath != "" {
+		spans = obs.NewSpanRecorder()
+		cfg.Spans = spans
+	}
 	// Ctrl-C cancels the mode sweep cleanly; the partial metrics
 	// snapshot is still flushed below before exiting 130.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	coll := &obs.Collector{}
 	progress := runner.NewProgress(len(modes), runner.Logf(lg.Statusf))
+	board.Set(progress)
 	rows, err := runner.MapB(ctx, workers, *jobs, len(modes), func(_ context.Context, i int) (core.RunResult, error) {
 		r, err := p.Run(modes[i], cfg)
 		if err != nil {
@@ -118,14 +135,25 @@ func main() {
 			return r, err
 		}
 		coll.Add(r.Metrics)
+		// Host wall time is nondeterministic: volatile side only, served
+		// by /metrics, never part of the -metrics export.
+		coll.Observe("runner.cell.wall.us", uint64(r.Wall.Microseconds()))
 		progress.Done("%v: %d cycles in %v", modes[i], r.Stats.Cycles, r.Wall.Round(time.Millisecond))
 		return r, nil
 	})
 	if err != nil {
 		if ctx.Err() != nil {
+			if tracer != nil {
+				coll.Inc("trace.dropped", tracer.Dropped())
+			}
 			if *metricsPath != "" {
 				if werr := writeSnapshot(*metricsPath, coll); werr == nil {
 					lg.Statusf("partial metrics written to %s", *metricsPath)
+				}
+			}
+			if spans != nil {
+				if werr := writeSpans(*spansPath, spans); werr == nil {
+					lg.Statusf("partial spans written to %s", *spansPath)
 				}
 			}
 			lg.Statusf("interrupted")
@@ -148,6 +176,12 @@ func main() {
 		lg.Exitf(1, "%v", err)
 	}
 
+	if tracer != nil {
+		// The final drop count is folded in only at flush time: the
+		// tracer is shared across mode runs, so a mid-sweep reading
+		// would depend on completion order.
+		coll.Inc("trace.dropped", tracer.Dropped())
+	}
 	if *metricsPath != "" {
 		if err := writeSnapshot(*metricsPath, coll); err != nil {
 			lg.Exitf(1, "%v", err)
@@ -167,6 +201,13 @@ func main() {
 		}
 		lg.Statusf("trace written to %s (%d events emitted, %d retained)",
 			*tracePath, tracer.Total(), len(tracer.Events()))
+	}
+	if spans != nil {
+		if err := writeSpans(*spansPath, spans); err != nil {
+			lg.Exitf(1, "%v", err)
+		}
+		lg.Statusf("spans written to %s (%d recorded, %d dropped); load in ui.perfetto.dev",
+			*spansPath, len(spans.Spans()), spans.Dropped())
 	}
 }
 
@@ -212,6 +253,18 @@ func writeSnapshot(path string, coll *obs.Collector) error {
 		return err
 	}
 	if err := coll.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeSpans(path string, sp *obs.SpanRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sp.WriteChromeTrace(f); err != nil {
 		f.Close()
 		return err
 	}

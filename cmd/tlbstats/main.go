@@ -4,10 +4,12 @@
 // Usage:
 //
 //	tlbstats [-profile small] [-j N] [-sweep] [-alg PageRank -dataset Wiki]
-//	         [-metrics file] [-pprof addr] [-q]
+//	         [-metrics file] [-http addr] [-q]
 //
-// -metrics writes the merged counter-registry snapshot of the Figure 2
-// runs as JSON (byte-identical at any -j); -pprof serves net/http/pprof.
+// -metrics writes the merged registry snapshot (counters and histograms)
+// of the Figure 2 runs as JSON (byte-identical at any -j); -http serves
+// the live observability surface (/metrics in Prometheus exposition
+// format, /progress, /debug/pprof/; -pprof is the deprecated alias).
 package main
 
 import (
@@ -33,12 +35,20 @@ func main() {
 	jobs := flag.Int("j", 0, "max concurrent experiment cells (0 = one per CPU, 1 = sequential)")
 	quiet := flag.Bool("q", false, "suppress status output")
 	metricsPath := flag.String("metrics", "", "write the merged metrics-registry snapshot as JSON to this file")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	httpAddr := flag.String("http", "", "serve the live observability surface (/metrics, /progress, /debug/pprof/) on this address (e.g. localhost:6060)")
+	flag.StringVar(httpAddr, "pprof", "", "deprecated alias of -http")
 	flag.Parse()
 
 	lg := obs.NewLogger(os.Stderr, "tlbstats", *quiet)
-	if *pprofAddr != "" {
-		if _, err := obs.StartPprof(*pprofAddr, lg); err != nil {
+	coll := &obs.Collector{}
+	board := &runner.ProgressBoard{}
+	if *httpAddr != "" {
+		_, err := obs.StartHTTP(*httpAddr, lg, obs.HTTPOptions{
+			Metrics:  coll.Snapshot,
+			Volatile: coll.VolatileSnapshot,
+			Progress: board.Probe(),
+		})
+		if err != nil {
 			lg.Exitf(2, "%v", err)
 		}
 	}
@@ -47,11 +57,13 @@ func main() {
 	if err != nil {
 		lg.Exitf(1, "%v", err)
 	}
-	coll := &obs.Collector{}
 	if !*sweep {
 		opts := report.Options{Jobs: *jobs, Metrics: coll, Workers: runner.BudgetFor(*jobs)}
 		if !lg.Quiet() {
 			opts.Progress = lg.Statusf
+		}
+		if *httpAddr != "" {
+			opts.Board = board
 		}
 		if err := report.Figure2(prof, os.Stdout, opts); err != nil {
 			lg.Exitf(1, "%v", err)

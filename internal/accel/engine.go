@@ -96,9 +96,22 @@ type Engine struct {
 	stats RunStats
 	plan  mmu.Plan
 	now   uint64 // global barrier time
+	// mlpHist is the MLP ring-occupancy distribution: how many of the
+	// issuing PE's MLP slots were still outstanding at each issue. A
+	// value field observed with fixed-size arithmetic, so the replay
+	// loop stays allocation-free.
+	mlpHist obs.Histogram
 
 	// observer receives every priced access during RunRecorded.
 	observer *TraceWriter
+
+	// spans, when non-nil, records replay/trace-generation phase spans
+	// (wall time, a debugging artifact; never part of results).
+	spans *obs.SpanRecorder
+	// genLabels are the precomputed per-PE trace-generation span names,
+	// built when the two-phase streams are allocated so producers never
+	// format strings on the fly.
+	genLabels []string
 }
 
 // NewEngine assembles an engine. The layout must have been built with the
@@ -136,6 +149,10 @@ func (e *Engine) Props() []float64 { return e.props }
 // byte-identical; the budget only changes wall-clock time.
 func (e *Engine) SetWorkers(b *runner.Budget) { e.workers = b }
 
+// SetSpans attaches a phase-span recorder; nil (the default) disables
+// span recording at the cost of one nil check per phase.
+func (e *Engine) SetSpans(sp *obs.SpanRecorder) { e.spans = sp }
+
 // Stats returns the statistics accumulated so far.
 func (e *Engine) Stats() RunStats { return e.stats }
 
@@ -152,6 +169,7 @@ func (e *Engine) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.RegisterCounter(prefix+".edges", &e.stats.EdgesProcessed)
 	reg.RegisterCounter(prefix+".vertices.applied", &e.stats.VerticesApplied)
 	reg.RegisterCounter(prefix+".faults", &e.stats.Faults)
+	reg.RegisterHistogram(prefix+".mlp.occupancy", &e.mlpHist)
 }
 
 // access is one accelerator memory request.
@@ -211,14 +229,16 @@ func (e *Engine) runIteration(iter int) {
 		if pe < async {
 			g := &e.genScatterBuf[pe]
 			*g = scatterGen{e: e, stride: npe, vi: pe}
-			streams[pe] = e.startProducer(&e.tstreams[pe], g)
+			streams[pe] = e.startProducer(&e.tstreams[pe], g, e.genLabels[pe])
 		} else {
 			scatter[pe] = scatterStream{e: e, pe: pe, stride: npe, vi: pe}
 			streams[pe] = &scatter[pe]
 		}
 	}
+	scatterSpan := e.spans.Begin("replay:scatter")
 	e.runStreams(streams)
 	e.reclaimChunks(async)
+	scatterSpan.End()
 
 	// Apply: over all vertices (AllActive programs that request it via
 	// ApplyAll semantics — PageRank) or over the touched destinations.
@@ -248,14 +268,16 @@ func (e *Engine) runIteration(iter int) {
 		if pe < async {
 			g := &e.genApplyBuf[pe]
 			*g = applyGen{e: e, verts: applyList[lo:hi], collect: !e.prog.AllActive, activated: &results[pe]}
-			streams[pe] = e.startProducer(&e.tstreams[pe], g)
+			streams[pe] = e.startProducer(&e.tstreams[pe], g, e.genLabels[pe])
 		} else {
 			apply[pe] = applyStream{e: e, verts: applyList[lo:hi], collect: !e.prog.AllActive, activated: &results[pe]}
 			streams[pe] = &apply[pe]
 		}
 	}
+	applySpan := e.spans.Begin("replay:apply")
 	e.runStreams(streams)
 	e.reclaimChunks(async)
+	applySpan.End()
 	// Reset temporaries of touched vertices and clear marks.
 	for _, v := range e.touched {
 		e.temps[v] = e.prog.ReduceIdentity
@@ -381,6 +403,17 @@ func (e *Engine) runStreams(streams []stream) {
 		best := e.heap[0]
 		p := &pes[best]
 		bestT := p.ready
+		// MLP ring occupancy at issue: how many of this PE's slots are
+		// still outstanding at the issue cycle. Pure simulated-time
+		// arithmetic (at most MLP compares), so the distribution is
+		// deterministic and the loop stays allocation-free.
+		occ := uint64(0)
+		for _, c := range p.ring {
+			if c > bestT {
+				occ++
+			}
+		}
+		e.mlpHist.Observe(occ)
 		if e.observer != nil {
 			e.observer.Record(TraceRecord{PE: uint8(best), Kind: p.pending.kind, VA: p.pending.va})
 		}

@@ -1,6 +1,8 @@
 package accel
 
 import (
+	"fmt"
+
 	"github.com/dvm-sim/dvm/internal/addr"
 )
 
@@ -269,7 +271,9 @@ func (e *Engine) takeChunk() []traceEntry {
 // pooled chunks ahead of the replay, double-buffered through the free
 // list. The producer owns one budget token and returns it the moment its
 // generation completes, so tail-phase tokens migrate to other runs.
-func (e *Engine) startProducer(s *traceStream, gen traceGen) stream {
+// label is the producer's precomputed span name (asyncWorkers builds the
+// per-PE labels once, so the phase hot path never formats strings).
+func (e *Engine) startProducer(s *traceStream, gen traceGen, label string) stream {
 	ch := make(chan []traceEntry, 1)
 	free := make(chan []traceEntry, chunkBuffers)
 	for i := 0; i < chunkBuffers; i++ {
@@ -278,6 +282,8 @@ func (e *Engine) startProducer(s *traceStream, gen traceGen) stream {
 	*s = traceStream{e: e, ch: ch, free: free}
 	go func() {
 		defer e.workers.Release(1)
+		sp := e.spans.Begin(label)
+		defer sp.End()
 		for {
 			buf := <-free
 			n, done := gen.fill(buf[:cap(buf)])
@@ -329,6 +335,10 @@ func (e *Engine) asyncWorkers(estEntries int) int {
 		e.tstreams = make([]traceStream, e.cfg.PEs)
 		e.genScatterBuf = make([]scatterGen, e.cfg.PEs)
 		e.genApplyBuf = make([]applyGen, e.cfg.PEs)
+		e.genLabels = make([]string, e.cfg.PEs)
+		for pe := range e.genLabels {
+			e.genLabels[pe] = fmt.Sprintf("tracegen:pe%d", pe)
+		}
 	}
 	return n
 }

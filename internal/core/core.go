@@ -80,6 +80,11 @@ type SystemConfig struct {
 	// checks, fills/evictions, walks, faults) from every structure of
 	// the run. Tracing only records; results are unchanged.
 	Tracer *obs.Tracer
+	// Spans, when non-nil, records wall-clock phase spans (cell
+	// execution, page-table builds, trace generation, timing replay)
+	// for Perfetto export. Spans are a debugging artifact: wall time is
+	// nondeterministic, so they never feed results or metrics.
+	Spans *obs.SpanRecorder
 	// Workers is the shared extra-worker pool intra-run parallelism
 	// draws on: the engine's trace generators (accel two-phase mode)
 	// and concurrent page-table builds borrow tokens from it. It is
@@ -238,7 +243,7 @@ func (p *Prepared) machine(cfg SystemConfig) (*machineState, error) {
 // single-flight per table key — -j workers racing on the same cell never
 // build the same table twice, and workers needing different tables build
 // them in parallel instead of queueing on one lock.
-func (p *Prepared) stateFor(st *machineState, mode Mode, peFields int) (mmu.State, error) {
+func (p *Prepared) stateFor(st *machineState, mode Mode, peFields int, spans *obs.SpanRecorder) (mmu.State, error) {
 	d, ok := mmu.DescriptorOf(mode)
 	if !ok {
 		return mmu.State{}, fmt.Errorf("core: unknown mode %v", mode)
@@ -263,6 +268,11 @@ func (p *Prepared) stateFor(st *machineState, mode Mode, peFields int) (mmu.Stat
 		}
 		st.mu.Unlock()
 		entry.once.Do(func() {
+			// The span is named after the mode whose run arrived first;
+			// sibling modes sharing the table block on the Once and show
+			// no build span of their own.
+			sp := spans.Begin("ptbuild:" + d.Slug)
+			defer sp.End()
 			switch d.Table {
 			case mmu.TableHuge:
 				entry.table, entry.err = st.proc.BuildHugeTable(key.pageSize)
@@ -369,6 +379,8 @@ func (p *Prepared) Run(mode Mode, cfg SystemConfig) (RunResult, error) {
 	start := time.Now()
 	cfg = cfg.withDefaults()
 	res := RunResult{Mode: mode}
+	cellSpan := cfg.Spans.Begin("cell:" + p.Workload.Algorithm + "/" + p.G.Name + "/" + mode.String())
+	defer cellSpan.End()
 
 	// Derive the run's fault injector (nil when chaos is off). The
 	// labels make each cell's fault stream independent of execution
@@ -397,7 +409,7 @@ func (p *Prepared) Run(mode Mode, cfg SystemConfig) (RunResult, error) {
 	res.HeapBytes = lay.HeapBytes
 	res.IdentityMapped = lay.IdentityMapped
 
-	state, err := p.stateFor(st, mode, cfg.PEFields)
+	state, err := p.stateFor(st, mode, cfg.PEFields, cfg.Spans)
 	if err != nil {
 		return res, err
 	}
@@ -427,6 +439,7 @@ func (p *Prepared) Run(mode Mode, cfg SystemConfig) (RunResult, error) {
 	// Two-phase mode: the engine borrows trace-generation workers from
 	// the shared pool when tokens are free (byte-identical either way).
 	eng.SetWorkers(cfg.Workers)
+	eng.SetSpans(cfg.Spans)
 	// Every run reports through its own registry; the components keep
 	// incrementing the same fields they always have (pointer-based
 	// registration), so the hot path is unchanged and the snapshot
@@ -518,7 +531,35 @@ func CrossCheck(r RunResult) error {
 				r.Mode, c.name, c.table, c.metric)
 		}
 	}
-	return nil
+	// Histogram invariants: every distribution in the snapshot must agree
+	// with the counter that paces it — the walk-memref histogram observes
+	// len(Plan.MemRefs) exactly once per translation (so its sum is the
+	// walk-memref counter), the latency histogram once per DRAM access,
+	// the MLP-occupancy histogram once per accelerator issue.
+	checkHist := func(name string, wantCount uint64, wantSum uint64, checkSum bool) error {
+		h, found := r.Metrics.Hists[name]
+		if !found {
+			return nil
+		}
+		if h.Count != wantCount {
+			return fmt.Errorf("core: %v: histogram %s has %d observations but its pacing counter reads %d",
+				r.Mode, name, h.Count, wantCount)
+		}
+		if checkSum && h.Sum != wantSum {
+			return fmt.Errorf("core: %v: histogram %s sums to %d but its pacing counter reads %d",
+				r.Mode, name, h.Sum, wantSum)
+		}
+		return nil
+	}
+	if d, ok := mmu.DescriptorOf(r.Mode); ok {
+		if err := checkHist("mmu."+d.Slug+".walk.memrefs", r.IOMMU.Accesses, r.IOMMU.WalkMemRefs, true); err != nil {
+			return err
+		}
+	}
+	if err := checkHist("memsys.latency.cycles", r.DRAM.Accesses, 0, false); err != nil {
+		return err
+	}
+	return checkHist("accel.mlp.occupancy", r.Stats.Accesses, 0, false)
 }
 
 // buildPETable builds the canonical table with a custom PE fan-out.

@@ -78,6 +78,11 @@ type Controller struct {
 	chanMask int64
 	accesses uint64
 	waitSum  uint64
+	// lat is the per-access completion-latency distribution in cycles
+	// (queueing + burst + fixed latency + injected spikes). Simulated
+	// time, so fully deterministic; observing is pure arithmetic on a
+	// fixed-size field.
+	lat obs.Histogram
 	// inj, when non-nil, injects contention spikes into Access. Peek
 	// never consults it: an estimate must not consume injector draws,
 	// or estimating would perturb where real faults land.
@@ -149,6 +154,7 @@ func (c *Controller) Access(pa addr.PA, now uint64) uint64 {
 	c.busyUntil[ch] = start + c.cfg.BurstCycles
 	c.accesses++
 	c.waitSum += start - now
+	c.lat.Observe(done - now)
 	return done
 }
 
@@ -171,6 +177,7 @@ func (c *Controller) Reset() {
 	}
 	c.accesses = 0
 	c.waitSum = 0
+	c.lat.Reset()
 }
 
 // RegisterMetrics publishes the controller's counters under prefix
@@ -181,6 +188,7 @@ func (c *Controller) Reset() {
 func (c *Controller) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.RegisterCounter(prefix+".accesses", &c.accesses)
 	reg.RegisterCounter(prefix+".queue.cycles", &c.waitSum)
+	reg.RegisterHistogram(prefix+".latency.cycles", &c.lat)
 }
 
 // Stats reports aggregate controller activity.

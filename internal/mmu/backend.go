@@ -105,6 +105,11 @@ type Descriptor struct {
 	Mode Mode
 	// Name is the canonical (paper) name rendered in table headers.
 	Name string
+	// Slug is the mode's metric-namespace segment: the front-end
+	// publishes per-mode distributions under "mmu.<slug>." (e.g.
+	// mmu.sparta.walk.memrefs). Empty derives it from Name by dropping
+	// every character outside [a-z0-9] of the lowercased name.
+	Slug string
 	// Aliases are additional accepted spellings; all name matching is
 	// case-insensitive.
 	Aliases []string
@@ -163,6 +168,9 @@ func Register(d Descriptor) {
 	if _, dup := backendRegistry[d.Mode]; dup {
 		panic(fmt.Sprintf("mmu: Register(%q): mode %d already registered", d.Name, int(d.Mode)))
 	}
+	if d.Slug == "" {
+		d.Slug = slugify(d.Name)
+	}
 	desc := d
 	backendRegistry[d.Mode] = &desc
 	for _, name := range append([]string{d.Name}, d.Aliases...) {
@@ -173,6 +181,18 @@ func Register(d Descriptor) {
 		backendNames[key] = d.Mode
 	}
 	AllModes = modesWhere(func(dd *Descriptor) bool { return dd.Paper })
+}
+
+// slugify derives a metric-namespace segment from a mode name:
+// lowercase, keeping only [a-z0-9] ("DVM-PE+" -> "dvmpe").
+func slugify(name string) string {
+	var b strings.Builder
+	for _, c := range strings.ToLower(name) {
+		if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') {
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
 }
 
 // modesWhere returns the registered modes matching keep, sorted by Order.

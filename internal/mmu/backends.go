@@ -17,37 +17,37 @@ import (
 // registerBuiltins installs the paper's seven-configuration set.
 func registerBuiltins() {
 	Register(Descriptor{
-		Mode: ModeConv4K, Name: "4K,TLB+PWC", Aliases: []string{"4k", "conv4k"},
+		Mode: ModeConv4K, Name: "4K,TLB+PWC", Slug: "conv4k", Aliases: []string{"4k", "conv4k"},
 		Paper: true, Order: 10, PageSize: addr.PageSize4K, Table: TableCanonical,
 		New: func(u *IOMMU) (Backend, error) { return newConvBackend(u) },
 	})
 	Register(Descriptor{
-		Mode: ModeConv2M, Name: "2M,TLB+PWC", Aliases: []string{"2m", "conv2m"},
+		Mode: ModeConv2M, Name: "2M,TLB+PWC", Slug: "conv2m", Aliases: []string{"2m", "conv2m"},
 		Paper: true, Order: 20, PageSize: addr.PageSize2M, Table: TableHuge,
 		New: func(u *IOMMU) (Backend, error) { return newConvBackend(u) },
 	})
 	Register(Descriptor{
-		Mode: ModeConv1G, Name: "1G,TLB+PWC", Aliases: []string{"1g", "conv1g"},
+		Mode: ModeConv1G, Name: "1G,TLB+PWC", Slug: "conv1g", Aliases: []string{"1g", "conv1g"},
 		Paper: true, Order: 30, PageSize: addr.PageSize1G, Table: TableHuge,
 		New: func(u *IOMMU) (Backend, error) { return newConvBackend(u) },
 	})
 	Register(Descriptor{
-		Mode: ModeDVMBM, Name: "DVM-BM", Aliases: []string{"bm", "dvmbm"},
+		Mode: ModeDVMBM, Name: "DVM-BM", Slug: "dvmbm", Aliases: []string{"bm", "dvmbm"},
 		Paper: true, Order: 40, PageSize: addr.PageSize4K, Table: TableCanonical, NeedsBitmap: true,
 		New: newBMBackend,
 	})
 	Register(Descriptor{
-		Mode: ModeDVMPE, Name: "DVM-PE", Aliases: []string{"pe", "dvmpe"},
+		Mode: ModeDVMPE, Name: "DVM-PE", Slug: "dvmpe", Aliases: []string{"pe", "dvmpe"},
 		Paper: true, Order: 50, PageSize: addr.PageSize4K, UsesPE: true, Table: TablePE,
 		New: func(u *IOMMU) (Backend, error) { return newPEBackend(u, false) },
 	})
 	Register(Descriptor{
-		Mode: ModeDVMPEPlus, Name: "DVM-PE+", Aliases: []string{"pe+", "dvmpeplus", "dvm-pe-plus"},
+		Mode: ModeDVMPEPlus, Name: "DVM-PE+", Slug: "dvmpeplus", Aliases: []string{"pe+", "dvmpeplus", "dvm-pe-plus"},
 		Paper: true, Order: 60, PageSize: addr.PageSize4K, UsesPE: true, Table: TablePE,
 		New: func(u *IOMMU) (Backend, error) { return newPEBackend(u, true) },
 	})
 	Register(Descriptor{
-		Mode: ModeIdeal, Name: "Ideal", Aliases: []string{"ideal"},
+		Mode: ModeIdeal, Name: "Ideal", Slug: "ideal", Aliases: []string{"ideal"},
 		Paper: true, Order: 100, PageSize: addr.PageSize4K, Table: TableNone,
 		New: func(u *IOMMU) (Backend, error) { return &idealBackend{}, nil },
 	})

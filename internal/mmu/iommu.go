@@ -185,7 +185,13 @@ type IOMMU struct {
 
 	walk pagetable.WalkResult
 	ctr  Counters
-	tr   *obs.Tracer
+	// walkHist is the per-translation walk-memory-reference
+	// distribution: every TranslateInto observes len(p.MemRefs), so its
+	// count equals ctr.Accesses and its sum equals ctr.WalkMemRefs
+	// (core.CrossCheck pins both). A plain struct field — observing is
+	// shift/compare arithmetic, keeping the hot path allocation-free.
+	walkHist obs.Histogram
+	tr       *obs.Tracer
 }
 
 // New creates an IOMMU over the given page table (built by the OS model
@@ -300,6 +306,13 @@ func (u *IOMMU) RegisterMetrics(reg *obs.Registry) {
 	reg.RegisterCounter("iommu.faults", &u.ctr.Faults)
 	reg.RegisterCounter("iommu.faults.corrupt", &u.ctr.CorruptFaults)
 	reg.RegisterCounter("iommu.ctxswitches", &u.ctr.ContextSwitches)
+	// The walk distribution is published per mode under the descriptor's
+	// slug (mmu.conv4k.walk.memrefs, mmu.sparta.walk.memrefs, ...).
+	// Ideal walks nothing, so its all-zero distribution is not exported;
+	// the field is still observed, which costs nothing measurable.
+	if d, ok := DescriptorOf(u.cfg.Mode); ok && d.Table != TableNone {
+		reg.RegisterHistogram("mmu."+d.Slug+".walk.memrefs", &u.walkHist)
+	}
 	u.be.RegisterMetrics(reg)
 }
 
@@ -352,6 +365,11 @@ func (u *IOMMU) TranslateInto(va addr.VA, kind addr.AccessKind, p *Plan) {
 	p.reset()
 	u.ctr.Accesses++
 	u.be.TranslateInto(va, kind, p)
+	// Every backend accumulates its walk-path memory references into
+	// p.MemRefs (table walks, bitmap lines, block-table entries), so the
+	// plan length is the per-translation walk-memref distribution for
+	// every design uniformly.
+	u.walkHist.Observe(uint64(len(p.MemRefs)))
 }
 
 // walkTable performs the hardware page walk, charging structure probes for

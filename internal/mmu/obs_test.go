@@ -173,6 +173,20 @@ func TestTranslateIntoZeroAlloc(t *testing.T) {
 	if allocs != 0 {
 		t.Errorf("TranslateInto allocates %.1f objects/op with registry attached, want 0", allocs)
 	}
+	// The walk histogram counts every translation under the mode slug
+	// and its sum reconciles with the walk-memref counter, at zero
+	// additional allocation (core.CrossCheck enforces the same pair).
+	s := reg.Snapshot()
+	h, ok := s.Hists["mmu.dvmpe.walk.memrefs"]
+	if !ok {
+		t.Fatalf("walk histogram not registered; hists = %v", s.Hists)
+	}
+	if h.Count != s.Get("iommu.accesses") {
+		t.Errorf("walk hist count %d != iommu.accesses %d", h.Count, s.Get("iommu.accesses"))
+	}
+	if h.Sum != s.Get("iommu.walk.memrefs") {
+		t.Errorf("walk hist sum %d != iommu.walk.memrefs %d", h.Sum, s.Get("iommu.walk.memrefs"))
+	}
 }
 
 // BenchmarkIOMMUDVMPEWithRegistry is BenchmarkIOMMUDVMPE plus a live

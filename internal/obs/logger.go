@@ -3,9 +3,6 @@ package obs
 import (
 	"fmt"
 	"io"
-	"net"
-	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof handlers on the default mux
 	"os"
 	"sync"
 )
@@ -64,24 +61,9 @@ func (l *Logger) write(format string, args ...interface{}) {
 }
 
 // StartPprof serves net/http/pprof on addr (e.g. "localhost:6060") in
-// the background and returns the bound address, so harness commands
-// can expose live CPU/heap profiles with a -pprof flag. The listener
-// runs for the life of the process.
+// the background and returns the bound address. It is the historical
+// -pprof entry point, now a thin wrapper over StartHTTP with no
+// metrics/progress sources wired.
 func StartPprof(addr string, lg *Logger) (string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", fmt.Errorf("obs: pprof listen %s: %w", addr, err)
-	}
-	go func() {
-		// Serve on the default mux, where net/http/pprof registered its
-		// handlers; the error is terminal for the listener only.
-		if err := http.Serve(ln, nil); err != nil && lg != nil {
-			lg.Errorf("pprof server: %v", err)
-		}
-	}()
-	bound := ln.Addr().String()
-	if lg != nil {
-		lg.Statusf("pprof listening on http://%s/debug/pprof/", bound)
-	}
-	return bound, nil
+	return StartHTTP(addr, lg, HTTPOptions{})
 }

@@ -38,6 +38,7 @@ import (
 type Registry struct {
 	counters map[string]*uint64
 	funcs    map[string]func() uint64
+	hists    map[string]*Histogram
 }
 
 // NewRegistry creates an empty registry.
@@ -73,6 +74,21 @@ func (r *Registry) RegisterFunc(name string, fn func() uint64) {
 	r.funcs[name] = fn
 }
 
+// RegisterHistogram attaches an externally-owned histogram under name.
+// Like RegisterCounter it is pull-based: the component keeps observing
+// into its own fixed-size field and the registry reads the buckets only
+// at snapshot time, so a registered histogram costs the hot path
+// exactly one Observe (shift/compare arithmetic, no allocation).
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	if r.hists == nil {
+		r.hists = make(map[string]*Histogram)
+	}
+	r.hists[name] = h
+}
+
 // Counter registers and returns a registry-owned counter, for callers
 // that have no field of their own to expose.
 func (r *Registry) Counter(name string) *uint64 {
@@ -97,13 +113,22 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, fn := range r.funcs {
 		s.Counters[name] = fn()
 	}
+	if len(r.hists) > 0 {
+		s.Hists = make(map[string]HistSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Hists[name] = h.Snapshot()
+		}
+	}
 	return s
 }
 
 // Snapshot is a point-in-time reading of a registry (or a merge of
-// several). The zero value is an empty snapshot.
+// several). The zero value is an empty snapshot. Hists is omitted from
+// the JSON export when no histograms are registered, keeping
+// counter-only snapshots byte-identical to the historical format.
 type Snapshot struct {
-	Counters map[string]uint64 `json:"counters"`
+	Counters map[string]uint64       `json:"counters"`
+	Hists    map[string]HistSnapshot `json:"histograms,omitempty"`
 }
 
 // Get returns a counter's value; missing names read as zero, so
@@ -111,8 +136,13 @@ type Snapshot struct {
 // casing in cross-checks.
 func (s Snapshot) Get(name string) uint64 { return s.Counters[name] }
 
+// Hist returns a histogram's snapshot; missing names read as the zero
+// distribution, mirroring Get.
+func (s Snapshot) Hist(name string) HistSnapshot { return s.Hists[name] }
+
 // Diff returns s - prev per counter: the activity of the interval
-// between two snapshots. Counters absent from prev diff against zero;
+// between two snapshots (histograms are not diffed — they describe a
+// run, not an interval). Counters absent from prev diff against zero;
 // counters absent from s are dropped (they no longer exist).
 func (s Snapshot) Diff(prev Snapshot) Snapshot {
 	d := Snapshot{Counters: make(map[string]uint64, len(s.Counters))}
@@ -122,14 +152,24 @@ func (s Snapshot) Diff(prev Snapshot) Snapshot {
 	return d
 }
 
-// Merge sums snapshots counter-wise. Addition is commutative, so the
-// merge of a parallel sweep's per-cell snapshots is independent of
-// completion order — the property the -j determinism tests pin down.
+// Merge sums snapshots counter-wise and histogram-bucket-wise.
+// Addition is commutative, so the merge of a parallel sweep's per-cell
+// snapshots is independent of completion order — the property the -j
+// determinism tests pin down. Merged percentiles are re-derived from
+// the summed buckets, never combined from per-cell percentiles.
 func Merge(snaps ...Snapshot) Snapshot {
 	m := Snapshot{Counters: make(map[string]uint64)}
 	for _, s := range snaps {
 		for name, v := range s.Counters {
 			m.Counters[name] += v
+		}
+		for name, h := range s.Hists {
+			if m.Hists == nil {
+				m.Hists = make(map[string]HistSnapshot)
+			}
+			cur := m.Hists[name]
+			cur.merge(h)
+			m.Hists[name] = cur
 		}
 	}
 	return m
@@ -174,8 +214,14 @@ func (s Snapshot) WriteText(w io.Writer) error {
 // thread an optional collector without guarding every call site. The
 // zero value is ready to use.
 type Collector struct {
-	mu  sync.Mutex
-	sum map[string]uint64
+	mu    sync.Mutex
+	sum   map[string]uint64
+	hists map[string]*HistSnapshot
+	// volatile holds host-time distributions (per-cell wall time) that
+	// are real measurements but not deterministic: they are served on
+	// the live /metrics surface and never enter Snapshot(), whose JSON
+	// export is byte-compared across -j values and resumed runs.
+	volatile map[string]*Histogram
 }
 
 // NewCollector creates an empty collector.
@@ -196,6 +242,17 @@ func (c *Collector) Add(s Snapshot) {
 	for name, v := range s.Counters {
 		c.sum[name] += v
 	}
+	for name, h := range s.Hists {
+		if c.hists == nil {
+			c.hists = make(map[string]*HistSnapshot)
+		}
+		cur, ok := c.hists[name]
+		if !ok {
+			cur = &HistSnapshot{}
+			c.hists[name] = cur
+		}
+		cur.merge(h)
+	}
 }
 
 // Inc adds n to a harness-level counter (e.g. runner.cells.done).
@@ -211,7 +268,30 @@ func (c *Collector) Inc(name string, n uint64) {
 	c.mu.Unlock()
 }
 
-// Snapshot returns the merged totals collected so far.
+// Observe records one value into a volatile host-side histogram (e.g.
+// runner.cell.wall.us). Volatile distributions appear only in
+// VolatileSnapshot — the live /metrics surface — never in Snapshot,
+// whose export must stay deterministic.
+func (c *Collector) Observe(name string, v uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.volatile == nil {
+		c.volatile = make(map[string]*Histogram)
+	}
+	h, ok := c.volatile[name]
+	if !ok {
+		h = &Histogram{}
+		c.volatile[name] = h
+	}
+	h.Observe(v)
+	c.mu.Unlock()
+}
+
+// Snapshot returns the merged deterministic totals collected so far:
+// counters and the bucket-wise merged histograms, with percentiles
+// re-derived from the merged buckets.
 func (c *Collector) Snapshot() Snapshot {
 	if c == nil {
 		return Snapshot{Counters: map[string]uint64{}}
@@ -221,6 +301,31 @@ func (c *Collector) Snapshot() Snapshot {
 	s := Snapshot{Counters: make(map[string]uint64, len(c.sum))}
 	for name, v := range c.sum {
 		s.Counters[name] = v
+	}
+	if len(c.hists) > 0 {
+		s.Hists = make(map[string]HistSnapshot, len(c.hists))
+		for name, h := range c.hists {
+			s.Hists[name] = *h
+		}
+	}
+	return s
+}
+
+// VolatileSnapshot returns the host-time distributions recorded via
+// Observe. They are measurements of this process, not of the simulated
+// machine, and are therefore kept out of the deterministic export.
+func (c *Collector) VolatileSnapshot() Snapshot {
+	if c == nil {
+		return Snapshot{Counters: map[string]uint64{}}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{Counters: map[string]uint64{}}
+	if len(c.volatile) > 0 {
+		s.Hists = make(map[string]HistSnapshot, len(c.volatile))
+		for name, h := range c.volatile {
+			s.Hists[name] = h.Snapshot()
+		}
 	}
 	return s
 }

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanRecorderSequentialCollapsesToLaneZero(t *testing.T) {
+	r := NewSpanRecorder()
+	for i := 0; i < 3; i++ {
+		sp := r.Begin("phase")
+		sp.End()
+	}
+	spans := r.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	for i, s := range spans {
+		if s.Worker != 0 {
+			t.Errorf("sequential span %d on lane %d, want 0", i, s.Worker)
+		}
+		if s.End < s.Start {
+			t.Errorf("span %d ends before it starts: %+v", i, s)
+		}
+	}
+}
+
+func TestSpanRecorderOverlappingSpansGetDistinctLanes(t *testing.T) {
+	r := NewSpanRecorder()
+	a := r.Begin("outer")
+	b := r.Begin("inner")
+	c := r.Begin("third")
+	c.End()
+	b.End()
+	// Lane 1 and 2 are free again; the next span reuses the lowest.
+	d := r.Begin("reuse")
+	d.End()
+	a.End()
+	byName := map[string]Span{}
+	for _, s := range r.Spans() {
+		byName[s.Name] = s
+	}
+	if byName["outer"].Worker != 0 || byName["inner"].Worker != 1 || byName["third"].Worker != 2 {
+		t.Errorf("concurrent spans not on lanes 0/1/2: %+v", byName)
+	}
+	if byName["reuse"].Worker != 1 {
+		t.Errorf("freed lane not reused lowest-first: reuse on %d, want 1", byName["reuse"].Worker)
+	}
+}
+
+func TestSpanRecorderNilSafe(t *testing.T) {
+	var r *SpanRecorder
+	sp := r.Begin("ignored") // must not panic
+	sp.End()
+	r.Add(Span{Name: "x"})
+	if r.Spans() != nil || r.Dropped() != 0 {
+		t.Fatal("nil recorder recorded something")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil WriteChromeTrace: %v", err)
+	}
+	// A nil ActiveSpan from any source no-ops too.
+	var a *ActiveSpan
+	a.End()
+}
+
+func TestSpanRecorderCapDropsAndCounts(t *testing.T) {
+	r := NewSpanRecorder()
+	r.max = 2
+	for i := 0; i < 5; i++ {
+		r.Add(Span{Name: "s", Worker: 0, Start: time.Duration(i), End: time.Duration(i + 1)})
+	}
+	if got := len(r.Spans()); got != 2 {
+		t.Errorf("retained %d spans, want 2", got)
+	}
+	if got := r.Dropped(); got != 3 {
+		t.Errorf("Dropped() = %d, want 3", got)
+	}
+}
+
+// TestWriteChromeTraceGolden pins the -spans export format against a
+// committed sample: Chrome trace-event JSON with complete ("X") events,
+// microsecond timestamps, pid 1 and tid = worker lane, sorted by start
+// time so the bytes depend only on the recorded set. The same bytes
+// must round-trip through a JSON decode (what ui.perfetto.dev does on
+// load).
+func TestWriteChromeTraceGolden(t *testing.T) {
+	r := NewSpanRecorder()
+	// Fixed spans modeled on a tiny two-worker cell: prepare, page-table
+	// build, two overlapping trace generators, then replay.
+	r.Add(Span{Name: "prepare:PageRank/Wiki", Worker: 0, Start: 0, End: 1500 * time.Microsecond})
+	r.Add(Span{Name: "ptbuild:conv4k", Worker: 0, Start: 1500 * time.Microsecond, End: 2300 * time.Microsecond})
+	r.Add(Span{Name: "tracegen:pe0", Worker: 0, Start: 2300 * time.Microsecond, End: 4100 * time.Microsecond})
+	r.Add(Span{Name: "tracegen:pe1", Worker: 1, Start: 2350 * time.Microsecond, End: 3900 * time.Microsecond})
+	r.Add(Span{Name: "replay:scatter", Worker: 0, Start: 4100 * time.Microsecond, End: 5000 * time.Microsecond})
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "spans.golden.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate by writing the got output to %s)", err, golden)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Chrome trace export drifted from golden file %s:\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+
+	// Round-trip: the exported bytes decode back into the same events.
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("exported trace does not parse: %v", err)
+	}
+	if len(tr.TraceEvents) != 5 || tr.DisplayUnit != "ms" {
+		t.Fatalf("round-trip = %d events, unit %q; want 5, ms", len(tr.TraceEvents), tr.DisplayUnit)
+	}
+	first := tr.TraceEvents[0]
+	if first.Name != "prepare:PageRank/Wiki" || first.Ph != "X" || first.Pid != 1 ||
+		first.Ts != 0 || first.Dur != 1500 {
+		t.Errorf("first event = %+v", first)
+	}
+	for _, ev := range tr.TraceEvents {
+		if ev.Cat != "dvm" || ev.Ph != "X" {
+			t.Errorf("event %q not a complete dvm event: %+v", ev.Name, ev)
+		}
+	}
+}
+
+// TestSpanRecorderConcurrent hammers Begin/End from many goroutines
+// (run under -race in CI). Every span must land on a valid lane, no
+// two overlapping spans may share one, and the exported trace must be
+// identical no matter which goroutine finished first.
+func TestSpanRecorderConcurrent(t *testing.T) {
+	const workers, perWorker = 8, 50
+	r := NewSpanRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := r.Begin("work")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	spans := r.Spans()
+	if len(spans) != workers*perWorker {
+		t.Fatalf("recorded %d spans, want %d", len(spans), workers*perWorker)
+	}
+	for _, s := range spans {
+		if s.Worker < 0 || s.Worker >= workers {
+			t.Fatalf("span on lane %d with only %d workers", s.Worker, workers)
+		}
+	}
+	// No two spans on the same lane may overlap (half-open intervals).
+	byLane := map[int][]Span{}
+	for _, s := range spans {
+		byLane[s.Worker] = append(byLane[s.Worker], s)
+	}
+	for lane, ls := range byLane {
+		for i := 0; i < len(ls); i++ {
+			for j := i + 1; j < len(ls); j++ {
+				a, b := ls[i], ls[j]
+				if a.Start < b.End && b.Start < a.End {
+					t.Fatalf("lane %d spans overlap: %+v and %+v", lane, a, b)
+				}
+			}
+		}
+	}
+}

@@ -252,6 +252,32 @@ func (t *Tracer) Total() uint64 {
 	return t.total
 }
 
+// Dropped returns how many emitted events the ring has overwritten
+// (total emitted minus retained). Ring contents interleave
+// nondeterministically under -j, but the drop *count* depends only on
+// total emissions versus capacity, so it is safe to export as a
+// registry counter.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - uint64(len(t.buf))
+}
+
+// Register publishes the tracer's drop counter as trace.dropped. A
+// tracer is shared by every cell of a sweep, so per-run registries
+// must not read it mid-sweep (the reading would depend on cell
+// completion order); the commands instead fold the final count into
+// the export collector when the trace is flushed.
+func (t *Tracer) Register(reg *Registry) {
+	if t == nil {
+		return
+	}
+	reg.RegisterFunc("trace.dropped", t.Dropped)
+}
+
 // Events returns the retained events, oldest first.
 func (t *Tracer) Events() []Event {
 	if t == nil {
@@ -269,12 +295,15 @@ func (t *Tracer) Events() []Event {
 //
 //	{"seq":12,"comp":"avc","kind":"fill","va":"0x7f0012000","pa":"0x7f0012000","aux":0}
 //
-// The header line records totals so a truncated ring is detectable:
+// The header line records totals so a truncated ring is
+// self-describing: dropped = emitted - events is how many oldest
+// events the ring overwrote.
 //
-//	{"trace":"dvm","events":900,"emitted":12345}
+//	{"trace":"dvm","events":900,"emitted":12345,"dropped":11445}
 func (t *Tracer) WriteJSONL(w io.Writer) error {
 	events := t.Events()
-	if _, err := fmt.Fprintf(w, "{\"trace\":\"dvm\",\"events\":%d,\"emitted\":%d}\n", len(events), t.Total()); err != nil {
+	if _, err := fmt.Fprintf(w, "{\"trace\":\"dvm\",\"events\":%d,\"emitted\":%d,\"dropped\":%d}\n",
+		len(events), t.Total(), t.Dropped()); err != nil {
 		return err
 	}
 	for _, ev := range events {

@@ -96,7 +96,7 @@ func TestTracerWriteJSONL(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("got %d lines, want header + 2 events:\n%s", len(lines), buf.String())
 	}
-	if lines[0] != `{"trace":"dvm","events":2,"emitted":2}` {
+	if lines[0] != `{"trace":"dvm","events":2,"emitted":2,"dropped":0}` {
 		t.Errorf("header = %s", lines[0])
 	}
 	if lines[1] != `{"seq":1,"comp":"iommu","kind":"dav.check","va":"0x1000","pa":"0x0","aux":1}` {
@@ -104,5 +104,33 @@ func TestTracerWriteJSONL(t *testing.T) {
 	}
 	if lines[2] != `{"seq":2,"comp":"iommu","kind":"dav.identity","va":"0x1000","pa":"0x1000","aux":0}` {
 		t.Errorf("event 2 = %s", lines[2])
+	}
+}
+
+func TestTracerDropped(t *testing.T) {
+	tr := NewTracer(2, MaskAll)
+	for i := 0; i < 5; i++ {
+		tr.Emit(CompIOMMU, EvDAVCheck, 0x1000, 0, uint64(i))
+	}
+	if got := tr.Dropped(); got != 3 {
+		t.Fatalf("Dropped() = %d, want 3 (5 emitted, ring of 2)", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(buf.String(), "\n", 2)[0]
+	if header != `{"trace":"dvm","events":2,"emitted":5,"dropped":3}` {
+		t.Errorf("header = %s", header)
+	}
+	// A registry reading trace.dropped sees the same count.
+	reg := NewRegistry()
+	tr.Register(reg)
+	if got := reg.Snapshot().Get("trace.dropped"); got != 3 {
+		t.Errorf("trace.dropped metric = %d, want 3", got)
+	}
+	var nilTr *Tracer
+	if nilTr.Dropped() != 0 {
+		t.Error("nil tracer Dropped() != 0")
 	}
 }

@@ -94,6 +94,17 @@ type Options struct {
 	// core.SystemConfig.Chaos). Nil or rate 0 is the clean path,
 	// bit-for-bit.
 	Chaos *chaos.Config
+	// Spans, when non-nil, records wall-clock phase spans (workload
+	// preparation, page-table builds, cell execution, trace generation,
+	// timing replay) for Chrome-trace/Perfetto export. Spans are a
+	// debugging artifact: wall time is nondeterministic, so they never
+	// feed tables or metrics.
+	Spans *obs.SpanRecorder
+	// Board, when non-nil, publishes each artifact's live Progress so a
+	// concurrent reader (the /progress HTTP endpoint) can serve the
+	// current sweep state. Setting it forces progress accounting on even
+	// when Progress (the line sink) is nil.
+	Board *runner.ProgressBoard
 	// Modes, when non-nil, selects which registered modes the mode-matrix
 	// artifacts (Figure 8/9) run and render as columns, in the given
 	// order; the list must include core.ModeIdeal (the normalization
@@ -138,8 +149,12 @@ func checkpointed[T any](o Options, key string, compute func() (T, error)) (T, e
 
 // prepare resolves a workload through the shared cache when one is
 // configured (a nil cache degrades to plain core.Prepare), lending the
-// shared worker pool to the deterministic parts of generation.
+// shared worker pool to the deterministic parts of generation. The
+// span covers graph generation and CSR construction; cache hits show
+// up as near-zero spans.
 func (o Options) prepare(w core.Workload) (*core.Prepared, error) {
+	sp := o.Spans.Begin("prepare:" + w.Algorithm + "/" + w.Dataset.Name)
+	defer sp.End()
 	return o.Prepared.PrepareB(w, o.Workers)
 }
 
@@ -147,7 +162,14 @@ func (o Options) prepare(w core.Workload) (*core.Prepared, error) {
 // adding the live count/percent/ETA prefix; the returned Progress is
 // goroutine-safe and non-nil only when reporting is enabled.
 func (o Options) progressFor(total int) Progress {
-	p := runner.NewProgress(total, runner.Logf(o.Progress))
+	logf := runner.Logf(o.Progress)
+	if logf == nil && o.Board != nil {
+		// The /progress endpoint needs live accounting even with line
+		// reporting off; a no-op sink keeps NewProgress's nil contract.
+		logf = func(string, ...interface{}) {}
+	}
+	p := runner.NewProgress(total, logf)
+	o.Board.Set(p)
 	if p == nil {
 		return nil
 	}
@@ -161,6 +183,7 @@ func (o Options) system(prof core.Profile) core.SystemConfig {
 	cfg.Tracer = o.Tracer
 	cfg.Workers = o.Workers
 	cfg.Chaos = o.Chaos
+	cfg.Spans = o.Spans
 	return cfg
 }
 
@@ -173,6 +196,10 @@ func (o Options) collect(r core.RunResult) error {
 		return err
 	}
 	o.Metrics.Add(r.Metrics)
+	// Host wall time per cell is nondeterministic, so it goes into the
+	// collector's volatile side — served by the live /metrics endpoint,
+	// never part of the exported deterministic snapshot.
+	o.Metrics.Observe("runner.cell.wall.us", uint64(r.Wall.Microseconds()))
 	return nil
 }
 

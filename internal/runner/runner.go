@@ -14,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/dvm-sim/dvm/internal/obs"
 )
 
 // DefaultJobs resolves a jobs knob: values <= 0 mean "one worker per
@@ -162,19 +164,32 @@ func Synchronized(fn Logf) Logf {
 	}
 }
 
+// progressWindow is the sliding-window width of the ETA estimate: the
+// extrapolation uses the rate of the last progressWindow completions
+// only. Sweeps mixing cheap and expensive cells (tiny modes after a
+// 1G build, small datasets before LJ) would whipsaw a global-mean ETA;
+// the recent-rate estimate tracks the cost of the cells actually
+// remaining.
+const progressWindow = 32
+
 // Progress is a live progress sink over a fixed number of cells: each
 // Done call renders one "[done/total pct% eta]" prefixed line through
 // the underlying Logf. It is goroutine-safe (workers report completion
 // concurrently) and nil-safe, so callers with reporting disabled need
-// no guards. The ETA extrapolates the mean completed-cell time over
-// the remaining cells; it goes only to the human-facing sink and never
-// into machine-readable output.
+// no guards. The ETA extrapolates the mean per-cell time of the last
+// progressWindow completions over the remaining cells (the global mean
+// until that many cells have finished); it goes only to the
+// human-facing sink and never into machine-readable output.
 type Progress struct {
 	mu    sync.Mutex
 	logf  Logf
 	total int
 	done  int
 	start time.Time
+	// window is a ring of the most recent completion timestamps: slot
+	// (k-1) % progressWindow holds the time of completion #k, for the
+	// last progressWindow completions.
+	window [progressWindow]time.Time
 }
 
 // NewProgress creates a progress sink for total cells; a nil logf
@@ -186,20 +201,38 @@ func NewProgress(total int, logf Logf) *Progress {
 	return &Progress{logf: logf, total: total, start: time.Now()}
 }
 
+// eta extrapolates the remaining time at `now` from the completion
+// rate of the sliding window. The reference point is the start time
+// (treated as completion #0) until the ring fills, then the oldest
+// retained completion; either way the divisor is the number of
+// completion intervals the reference spans. The caller holds p.mu and
+// guarantees done > 0 and left > 0.
+func (p *Progress) eta(now time.Time, left int) time.Duration {
+	ref := p.start
+	intervals := p.done
+	if p.done >= progressWindow {
+		oldest := p.done - (progressWindow - 1)
+		ref = p.window[(oldest-1)%progressWindow]
+		intervals = progressWindow - 1
+	}
+	return time.Duration(int64(now.Sub(ref)) / int64(intervals) * int64(left))
+}
+
 // Done reports one completed cell with a formatted description.
 func (p *Progress) Done(format string, args ...interface{}) {
 	if p == nil {
 		return
 	}
+	now := time.Now()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.done++
+	p.window[(p.done-1)%progressWindow] = now
 	prefix := fmt.Sprintf("[%d/%d", p.done, p.total)
 	if p.total > 0 {
 		prefix += fmt.Sprintf(" %2d%%", 100*p.done/p.total)
 		if left := p.total - p.done; left > 0 {
-			eta := time.Duration(int64(time.Since(p.start)) / int64(p.done) * int64(left))
-			prefix += fmt.Sprintf(" eta %v", eta.Round(100*time.Millisecond))
+			prefix += fmt.Sprintf(" eta %v", p.eta(now, left).Round(100*time.Millisecond))
 		}
 	}
 	// The prefix contains literal '%' signs, so it must travel as an
@@ -215,4 +248,79 @@ func (p *Progress) Count() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.done
+}
+
+// ProgressState is a point-in-time view of a sweep's progress — what
+// the /progress HTTP endpoint serves. Eta is zero when unknown (no
+// cells done yet, or nothing left).
+type ProgressState struct {
+	Done    int
+	Total   int
+	Elapsed time.Duration
+	Eta     time.Duration
+}
+
+// State returns the live progress view.
+func (p *Progress) State() ProgressState {
+	if p == nil {
+		return ProgressState{}
+	}
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := ProgressState{Done: p.done, Total: p.total, Elapsed: now.Sub(p.start)}
+	if left := p.total - p.done; left > 0 && p.done > 0 {
+		st.Eta = p.eta(now, left)
+	}
+	return st
+}
+
+// ProgressBoard publishes the current sweep's Progress so a concurrent
+// reader (the /progress endpoint) can observe whichever artifact is
+// running right now. All methods are goroutine-safe and nil-safe.
+type ProgressBoard struct {
+	mu  sync.Mutex
+	cur *Progress
+}
+
+// Set installs the progress of the artifact starting now (nil clears).
+func (b *ProgressBoard) Set(p *Progress) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.cur = p
+	b.mu.Unlock()
+}
+
+// Current returns the most recently installed progress (may be nil).
+func (b *ProgressBoard) Current() *Progress {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cur
+}
+
+// Probe adapts the board to the obs HTTP surface: the returned function
+// reports the current sweep's live state, or ok=false between sweeps.
+func (b *ProgressBoard) Probe() func() (obs.ProgressState, bool) {
+	return func() (obs.ProgressState, bool) {
+		p := b.Current()
+		if p == nil {
+			return obs.ProgressState{}, false
+		}
+		st := p.State()
+		out := obs.ProgressState{
+			Done:           st.Done,
+			Total:          st.Total,
+			ElapsedSeconds: st.Elapsed.Seconds(),
+			EtaSeconds:     st.Eta.Seconds(),
+		}
+		if st.Total > 0 {
+			out.Percent = 100 * float64(st.Done) / float64(st.Total)
+		}
+		return out, true
+	}
 }
