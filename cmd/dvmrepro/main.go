@@ -78,6 +78,7 @@ func main() {
 	resume := flag.Bool("resume", false, "with -checkpoint: skip cells a previous interrupted run completed")
 	chaosRate := flag.Float64("chaos-rate", 0, "fault-injection probability per injection site (0 disables; results are not paper artifacts)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection PRNG seed (fixed seed = deterministic fault schedule)")
+	shareName := flag.String("share-traces", "auto", "trace sharing across a workload's mode cells: auto (one functional trace per replay group) or off (every cell regenerates; A/B verification) — outputs are byte-identical either way")
 	flag.Parse()
 
 	lg := obs.NewLogger(os.Stderr, "dvmrepro", *quiet)
@@ -141,6 +142,17 @@ func main() {
 		ckProfile += "+modes(extended)"
 	default:
 		lg.Exitf(2, "unknown -modes %q (paper|extended)", *modesName)
+	}
+	switch *shareName {
+	case "auto":
+		// opts.Share zero value: replay groups on, no checkpoint suffix
+		// (the shared and unshared cells are byte-identical, but auto is
+		// the canonical namespace).
+	case "off":
+		opts.Share = core.ShareOff
+		ckProfile += "+share(off)"
+	default:
+		lg.Exitf(2, "unknown -share-traces %q (auto|off)", *shareName)
 	}
 	if *chaosRate > 0 {
 		opts.Chaos = &chaos.Config{Seed: *chaosSeed, Rate: *chaosRate}

@@ -57,6 +57,7 @@ func main() {
 	spansPath := flag.String("spans", "", "write phase spans as Chrome trace-event JSON to this file (load in ui.perfetto.dev)")
 	chaosRate := flag.Float64("chaos-rate", 0, "fault-injection probability per injection site (0 disables; results are not paper artifacts)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection PRNG seed (fixed seed = deterministic fault schedule)")
+	shareName := flag.String("share-traces", "auto", "trace sharing across mode cells: auto (one functional trace for the sweep) or off (every mode regenerates; A/B verification) — the table and -metrics are byte-identical either way")
 	flag.Parse()
 
 	lg := obs.NewLogger(os.Stderr, "dvmsim", *quiet)
@@ -102,6 +103,18 @@ func main() {
 
 	cfg := prof.SystemConfig()
 	cfg.Workers = workers
+	// Share accounting (accel.trace.*) is scheduling-dependent, so it goes
+	// to the volatile side of the collector: visible on /metrics, excluded
+	// from the deterministic -metrics export.
+	cfg.Volatile = coll
+	switch *shareName {
+	case "auto":
+		// cfg.ShareTraces zero value: replay groups on.
+	case "off":
+		cfg.ShareTraces = core.ShareOff
+	default:
+		lg.Exitf(2, "unknown -share-traces %q (auto|off)", *shareName)
+	}
 	if *chaosRate > 0 {
 		cfg.Chaos = &chaos.Config{Seed: *chaosSeed, Rate: *chaosRate}
 		lg.Statusf("chaos armed: seed %d rate %g (outputs are not paper artifacts)", *chaosSeed, *chaosRate)
@@ -126,21 +139,25 @@ func main() {
 	defer stop()
 	progress := runner.NewProgress(len(modes), runner.Logf(lg.Statusf))
 	board.Set(progress)
-	rows, err := runner.MapB(ctx, workers, *jobs, len(modes), func(_ context.Context, i int) (core.RunResult, error) {
-		r, err := p.Run(modes[i], cfg)
-		if err != nil {
-			return r, err
+	// RunModesShared groups the sweep into replay groups (one functional
+	// trace feeding every mode) unless -share-traces=off or chaos forces
+	// independent runs; results are byte-identical either way and at any
+	// -j. The per-mode bookkeeping runs after the sweep in mode order so
+	// the merged metrics snapshot is deterministic.
+	byMode, err := p.RunModesShared(ctx, modes, cfg, *jobs)
+	if err == nil {
+		for _, m := range modes {
+			r := byMode[m]
+			if err = core.CrossCheck(r); err != nil {
+				break
+			}
+			coll.Add(r.Metrics)
+			// Host wall time is nondeterministic: volatile side only,
+			// served by /metrics, never part of the -metrics export.
+			coll.Observe("runner.cell.wall.us", uint64(r.Wall.Microseconds()))
+			progress.Done("%v: %d cycles in %v", m, r.Stats.Cycles, r.Wall.Round(time.Millisecond))
 		}
-		if err := core.CrossCheck(r); err != nil {
-			return r, err
-		}
-		coll.Add(r.Metrics)
-		// Host wall time is nondeterministic: volatile side only, served
-		// by /metrics, never part of the -metrics export.
-		coll.Observe("runner.cell.wall.us", uint64(r.Wall.Microseconds()))
-		progress.Done("%v: %d cycles in %v", modes[i], r.Stats.Cycles, r.Wall.Round(time.Millisecond))
-		return r, nil
-	})
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			if tracer != nil {
@@ -162,8 +179,8 @@ func main() {
 		lg.Exitf(1, "%v", err)
 	}
 	t := results.NewTable("", "Mode", "Cycles", "TLB miss", "Struct hit", "Walk refs", "Squashes", "MMU energy (pJ)")
-	for i, m := range modes {
-		r := rows[i]
+	for _, m := range modes {
+		r := byMode[m]
 		t.MustAddRow(m.String(),
 			fmt.Sprintf("%d", r.Stats.Cycles),
 			results.Pct(r.TLBMissRate),

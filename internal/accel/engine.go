@@ -93,6 +93,26 @@ type Engine struct {
 	genApplyBuf   []applyGen
 	chunkFree     [][]traceEntry
 
+	// gen is the generators' view of the engine's functional state. Its
+	// props/temps slices alias the engine's own arrays (sized once, never
+	// reallocated); the frontier slice is refreshed at each scatter phase
+	// because the frontier buffer ping-pongs.
+	gen genState
+
+	// Phase-stepped run state (see Step): the iteration counter, which
+	// half of the iteration runs next (0 = scatter, 1 = apply), and
+	// whether the run has completed.
+	iter    int
+	half    int
+	runDone bool
+
+	// share, when non-nil, is this engine's cursor into a ShareGroup: the
+	// phase streams come from the group's canonical trace instead of the
+	// direct generators, until the replay's own issue order diverges from
+	// the canonical one and the engine detaches (sharedtrace.go).
+	share    *ShareCursor
+	shareErr error
+
 	stats RunStats
 	plan  mmu.Plan
 	now   uint64 // global barrier time
@@ -136,6 +156,7 @@ func NewEngine(cfg Config, g *graph.Graph, prog Program, lay Layout, iommu *mmu.
 		e.temps[v] = prog.ReduceIdentity
 	}
 	e.frontier = prog.InitialFrontier(g)
+	e.gen = genState{g: g, prog: prog, lay: lay, props: e.props, temps: e.temps}
 	return e, nil
 }
 
@@ -152,6 +173,15 @@ func (e *Engine) SetWorkers(b *runner.Budget) { e.workers = b }
 // SetSpans attaches a phase-span recorder; nil (the default) disables
 // span recording at the cost of one nil check per phase.
 func (e *Engine) SetSpans(sp *obs.SpanRecorder) { e.spans = sp }
+
+// SetShare attaches a replay-group cursor obtained from
+// ShareGroup.Subscribe. Must be called before the first Step/Run. While
+// attached, the engine's phase streams come from the group's canonical
+// trace (with the in-trace effects applied to this engine's private
+// state at fetch); the engine detaches permanently the moment its own
+// issue order diverges from the canonical one, so results are
+// byte-identical to an unshared run either way.
+func (e *Engine) SetShare(c *ShareCursor) { e.share = c }
 
 // Stats returns the statistics accumulated so far.
 func (e *Engine) Stats() RunStats { return e.stats }
@@ -186,29 +216,55 @@ type stream interface {
 // Run executes the program to completion (frontier empty or MaxIters) and
 // returns the statistics.
 func (e *Engine) Run() (RunStats, error) {
-	iter := 0
-	for len(e.frontier) > 0 {
-		if e.prog.MaxIters > 0 && iter >= e.prog.MaxIters {
-			break
-		}
-		e.runIteration(iter)
-		iter++
-		if e.prog.AllActive {
-			if e.prog.MaxIters > 0 && iter >= e.prog.MaxIters {
-				break
-			}
-			continue
-		}
+	for e.Step() {
 	}
-	e.stats.Iterations = iter
-	e.stats.Cycles = e.now
+	if e.shareErr != nil {
+		return e.stats, e.shareErr
+	}
 	return e.stats, nil
 }
 
-// runIteration executes one scatter (process/reduce) phase followed by one
-// apply phase, each as a set of concurrently timed PE streams separated by
-// a barrier. All phase scratch comes from the engine's pools.
-func (e *Engine) runIteration(iter int) {
+// Step advances the run by exactly one phase — a scatter or an apply —
+// and reports whether more phases remain. Run is `for e.Step() {}`; the
+// stepped form exists so a replay group's inline driver can interleave
+// the phases of several engines (one per mode) over one goroutine while
+// they consume the same canonical trace (sharedtrace.go). The loop
+// conditions are evaluated exactly where the monolithic loop evaluated
+// them, so the stepped and monolithic runs are bit-identical.
+func (e *Engine) Step() bool {
+	if e.runDone {
+		return false
+	}
+	if e.half == 0 {
+		if e.shareErr != nil || len(e.frontier) == 0 || (e.prog.MaxIters > 0 && e.iter >= e.prog.MaxIters) {
+			e.finishRun()
+			return false
+		}
+		e.stepScatter()
+		e.half = 1
+		return true
+	}
+	e.stepApply()
+	e.half = 0
+	e.iter++
+	return true
+}
+
+// finishRun seals the statistics and releases any replay-group
+// subscription (a finished consumer must stop pinning chunks).
+func (e *Engine) finishRun() {
+	e.stats.Iterations = e.iter
+	e.stats.Cycles = e.now
+	e.runDone = true
+	if e.share != nil {
+		e.share.unsubscribe()
+		e.share = nil
+	}
+}
+
+// phasePools sizes the per-phase scratch pools and returns the stream
+// slice.
+func (e *Engine) phasePools() []stream {
 	npe := e.cfg.PEs
 	if cap(e.streamBuf) < npe {
 		e.streamBuf = make([]stream, npe)
@@ -216,19 +272,59 @@ func (e *Engine) runIteration(iter int) {
 		e.applyBuf = make([]applyStream, npe)
 		e.results = make([][]int32, npe)
 	}
-	streams := e.streamBuf[:npe]
+	return e.streamBuf[:npe]
+}
 
-	// Scatter: the frontier is interleaved across PEs, Graphicionado's
-	// vertex-id-interleaved partitioning. PEs that win a worker token
-	// generate their trace concurrently (twophase.go); the rest run the
-	// direct stream inline — any mix is byte-identical.
+// stepScatter runs one scatter (process/reduce) phase as a set of
+// concurrently timed PE streams ending in a barrier. All phase scratch
+// comes from the engine's pools.
+func (e *Engine) stepScatter() {
+	npe := e.cfg.PEs
+	streams := e.phasePools()
 	e.touched = e.touched[:0]
+
+	if e.share != nil {
+		// Shared scatter: the chunks were generated once for the whole
+		// group from the canonical frontier, which — while attached —
+		// is this engine's frontier. Reduce effects travel in the trace
+		// and are applied to this engine's private temps/touched at
+		// fetch, in this engine's own issue order.
+		ok := e.share.beginScatter(e, streams)
+		if !ok {
+			e.shareFail()
+			return
+		}
+		scatterSpan := e.spans.Begin("replay:scatter")
+		e.runStreams(streams)
+		scatterSpan.End()
+		if err := e.share.err(); err != nil {
+			e.shareFail()
+			return
+		}
+		// Divergence check: the apply phase's canonical chunks are only
+		// valid if this replay touched destinations in the canonical
+		// order (the apply list and activation addresses depend on it).
+		// PageRank applies over all vertices and never detaches; the
+		// frontier-driven programs detach the first time MLP saturation
+		// reorders a first touch.
+		if !e.share.scatterMatches(e.touched) {
+			e.share.detach()
+			e.share = nil
+		}
+		return
+	}
+
+	// Direct scatter: the frontier is interleaved across PEs,
+	// Graphicionado's vertex-id-interleaved partitioning. PEs that win a
+	// worker token generate their trace concurrently (twophase.go); the
+	// rest run the direct stream inline — any mix is byte-identical.
+	e.gen.frontier = e.frontier
 	async := e.asyncWorkers(e.scatterEstimate())
 	scatter := e.scatterBuf[:npe]
 	for pe := 0; pe < npe; pe++ {
 		if pe < async {
 			g := &e.genScatterBuf[pe]
-			*g = scatterGen{e: e, stride: npe, vi: pe}
+			*g = scatterGen{e: &e.gen, stride: npe, vi: pe}
 			streams[pe] = e.startProducer(&e.tstreams[pe], g, e.genLabels[pe])
 		} else {
 			scatter[pe] = scatterStream{e: e, pe: pe, stride: npe, vi: pe}
@@ -239,6 +335,39 @@ func (e *Engine) runIteration(iter int) {
 	e.runStreams(streams)
 	e.reclaimChunks(async)
 	scatterSpan.End()
+}
+
+// stepApply runs one apply phase and completes the iteration (temps
+// reset, frontier ping-pong).
+func (e *Engine) stepApply() {
+	npe := e.cfg.PEs
+	streams := e.phasePools()
+	results := e.results[:npe]
+
+	if e.share != nil {
+		// Shared apply: scatterMatches established that the canonical
+		// apply list is this engine's apply list. The entries carry the
+		// Apply results; props writes, applied counts and activation
+		// appends happen at fetch, per PE, in trace order — the same
+		// points the direct applyStream would.
+		for pe := 0; pe < npe; pe++ {
+			results[pe] = results[pe][:0]
+		}
+		ok := e.share.beginApply(e, streams, results)
+		if !ok {
+			e.shareFail()
+			return
+		}
+		applySpan := e.spans.Begin("replay:apply")
+		e.runStreams(streams)
+		applySpan.End()
+		if err := e.share.err(); err != nil {
+			e.shareFail()
+			return
+		}
+		e.finishApply(results)
+		return
+	}
 
 	// Apply: over all vertices (AllActive programs that request it via
 	// ApplyAll semantics — PageRank) or over the touched destinations.
@@ -251,9 +380,8 @@ func (e *Engine) runIteration(iter int) {
 	} else {
 		applyList = e.touched
 	}
-	async = e.asyncWorkers(2 * len(applyList))
+	async := e.asyncWorkers(2 * len(applyList))
 	apply := e.applyBuf[:npe]
-	results := e.results[:npe]
 	chunk := (len(applyList) + npe - 1) / npe
 	for pe := 0; pe < npe; pe++ {
 		lo := pe * chunk
@@ -267,7 +395,7 @@ func (e *Engine) runIteration(iter int) {
 		results[pe] = results[pe][:0]
 		if pe < async {
 			g := &e.genApplyBuf[pe]
-			*g = applyGen{e: e, verts: applyList[lo:hi], collect: !e.prog.AllActive, activated: &results[pe]}
+			*g = applyGen{e: &e.gen, verts: applyList[lo:hi], collect: !e.prog.AllActive, activated: &results[pe]}
 			streams[pe] = e.startProducer(&e.tstreams[pe], g, e.genLabels[pe])
 		} else {
 			apply[pe] = applyStream{e: e, verts: applyList[lo:hi], collect: !e.prog.AllActive, activated: &results[pe]}
@@ -278,7 +406,12 @@ func (e *Engine) runIteration(iter int) {
 	e.runStreams(streams)
 	e.reclaimChunks(async)
 	applySpan.End()
-	// Reset temporaries of touched vertices and clear marks.
+	e.finishApply(results)
+}
+
+// finishApply is the tail of an iteration: reset temporaries of touched
+// vertices, clear marks, and build the next frontier.
+func (e *Engine) finishApply(results [][]int32) {
 	for _, v := range e.touched {
 		e.temps[v] = e.prog.ReduceIdentity
 		e.touchedMark[v] = false
@@ -295,6 +428,18 @@ func (e *Engine) runIteration(iter int) {
 	// iteration's scratch buffer.
 	e.nextBuf = e.frontier[:0]
 	e.frontier = next
+}
+
+// shareFail records the replay group's failure and aborts the run: the
+// partially priced state is meaningless, and Run surfaces the error.
+func (e *Engine) shareFail() {
+	e.shareErr = e.share.err()
+	if e.shareErr == nil {
+		e.shareErr = errShareCancelled
+	}
+	e.share.detach()
+	e.share = nil
+	e.finishRun()
 }
 
 // peState is one PE's scheduler state within a phase.
@@ -400,6 +545,51 @@ func (e *Engine) runStreams(streams []stream) {
 	}
 	endTime := e.now
 	for len(e.heap) > 0 {
+		if len(e.heap) == 1 {
+			// Single-ready fast path: streams only leave the heap within
+			// a phase, so once one PE remains it stays alone — drain it
+			// without the push/pop/sift pair per access. The loop body is
+			// the general case minus heap maintenance, so the issue
+			// schedule (and every counter) is bit-identical; pinned by
+			// BenchmarkSingleReadyDrain.
+			best := e.heap[0]
+			p := &pes[best]
+			for {
+				bestT := p.ready
+				occ := uint64(0)
+				for _, c := range p.ring {
+					if c > bestT {
+						occ++
+					}
+				}
+				e.mlpHist.Observe(occ)
+				if e.observer != nil {
+					e.observer.Record(TraceRecord{PE: uint8(best), Kind: p.pending.kind, VA: p.pending.va})
+				}
+				completion := e.priceAccess(p.pending, bestT)
+				p.ring[p.ringIdx] = completion
+				p.ringIdx++
+				if p.ringIdx == mlp {
+					p.ringIdx = 0
+				}
+				p.clock = bestT + 1
+				if completion > endTime {
+					endTime = completion
+				}
+				a, ok := p.s.next()
+				if !ok {
+					e.heap = e.heap[:0]
+					break
+				}
+				p.pending = a
+				t := p.clock
+				if slot := p.ring[p.ringIdx]; slot > t {
+					t = slot
+				}
+				p.ready = t
+			}
+			break
+		}
 		best := e.heap[0]
 		p := &pes[best]
 		bestT := p.ready

@@ -16,6 +16,13 @@ import (
 // TLB proportionally, the scaled-hardware methodology of DESIGN.md §6).
 func buildEngineTLB(t *testing.T, mode mmu.Mode, g *graph.Graph, prog Program, tlbEntries int) *Engine {
 	t.Helper()
+	return buildEngineCfg(t, mode, g, prog, tlbEntries, Config{})
+}
+
+// buildEngineCfg is buildEngineTLB with an explicit accelerator config
+// (PE/MLP overrides for the scheduler benchmarks).
+func buildEngineCfg(t testing.TB, mode mmu.Mode, g *graph.Graph, prog Program, tlbEntries int, acfg Config) *Engine {
+	t.Helper()
 	sys := osmodel.MustNewSystem(1 << 30)
 	proc := sys.NewProcess(osmodel.Policy{IdentityMapHeap: true, Seed: 1})
 	lay, err := BuildLayout(proc, g, prog.PropBytes)
@@ -49,7 +56,7 @@ func buildEngineTLB(t *testing.T, mode mmu.Mode, g *graph.Graph, prog Program, t
 		u = mmu.MustNew(cfg, table, nil)
 	}
 	mem := memsys.MustNewController(memsys.Config{})
-	e, err := NewEngine(Config{}, g, prog, lay, u, mem)
+	e, err := NewEngine(acfg, g, prog, lay, u, mem)
 	if err != nil {
 		t.Fatal(err)
 	}

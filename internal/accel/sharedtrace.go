@@ -1,0 +1,959 @@
+package accel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"github.com/dvm-sim/dvm/internal/addr"
+	"github.com/dvm-sim/dvm/internal/graph"
+	"github.com/dvm-sim/dvm/internal/obs"
+)
+
+// This file implements shared-trace replay groups: one canonical
+// functional pass per (algorithm, dataset) whose trace chunks are
+// broadcast to N per-mode timing replays.
+//
+// The two-phase engine (twophase.go) already established that a phase's
+// per-PE trace is a pure function of the phase-start snapshot, and that
+// the cross-PE functional side effects can travel *in* the trace and be
+// applied by each replay at fetch time. A ShareGroup exploits the next
+// structural fact: the phase-start snapshot itself is mode-invariant as
+// long as the replay's issue order keeps matching the canonical one. The
+// group therefore runs one canonical functional evolution — the same
+// generators an engine uses, over the group's private genState — and
+// memoizes the resulting chunks; each subscribed engine consumes them
+// through its own cursor, applying the in-trace effects to its *private*
+// props/temps/touched in its *own* issue order, so its counters, cycle
+// counts and hit patterns are byte-identical to an unshared run.
+//
+// Canonical order and divergence. The canonical evolution folds scatter
+// reductions at chunk granularity, in publication order (round-robin
+// across still-producing PEs, a chunk at a time) — the fold happens
+// inline during generation, while the chunk buffer is still hot and the
+// group lock is already held. That order determines the canonical
+// `touched` list, and with it the apply-phase addresses, the activation
+// lists and the next frontier. A replay's own touched order comes from
+// its timing-interleaved fetches, so whenever those addresses matter —
+// any program that is not all-active non-bipartite — each cursor
+// compares its touched order against the canonical list at the end of
+// every scatter phase and *detaches* on the first mismatch, falling
+// back to the engine's direct streams with its private state already
+// complete and exact. In practice a timed replay's interleave never
+// matches the chunk-granular canonical order once a phase spans
+// multiple chunks, so frontier-driven programs (BFS/SSSP/CF) detach at
+// their first compared phase in every mode and share only the opening
+// scatter generation; the all-active, non-bipartite class (PageRank)
+// never needs the comparison and stays attached for the whole run —
+// which is where sharing actually pays.
+//
+// Float bits. Min-reduce programs (BFS/SSSP) are order-independent, so
+// attached consumers' props are bit-identical to unshared runs. For
+// sum-reduce programs the apply entries carry results folded in the
+// canonical order, so an attached consumer's props can differ from an
+// unshared run in low-order float bits — a difference with no observable
+// consequence: every address, counter, cycle count and divergence check
+// is value-independent (the equivalence tests pin stats and metrics
+// bit-exactly and props within fold-order tolerance).
+//
+// Memory. Chunks are generated lazily — the first cursor to need a chunk
+// generates it while holding the group lock — and are refcounted: each
+// chunk is published with one reference per subscribed cursor and
+// returns to the group pool when the last cursor releases it. At most
+// Window chunks live in memory; beyond that, newly generated chunks are
+// spilled to an anonymous temp file (24-byte little-endian records) and
+// re-read into per-cursor scratch buffers on demand, so oversized phases
+// stream through bounded memory instead of blocking generation — a
+// blocking window would deadlock: per-PE consumption skew is unbounded,
+// so the set of chunks a lagging replay still pins can exceed any fixed
+// window while every replay waits on an ungenerated chunk.
+
+// DefaultShareWindow is the floor on the in-memory shared-chunk window.
+// A ShareOptions.Window of 0 sizes the window from the graph so one full
+// scatter phase stays resident (clamped to [DefaultShareWindow,
+// MaxShareWindow]): spilling a phase that fits in memory costs far more
+// in pwrite/pread round trips than the chunks cost to keep (measured
+// ~20% of a medium seven-mode sweep), so spill is reserved for phases
+// that genuinely exceed the cap.
+const DefaultShareWindow = 64
+
+// MaxShareWindow caps the auto-sized window: 2048 chunks × 16Ki entries
+// × 24 B ≈ 768 MiB of pinned trace, enough for the medium profile's
+// largest phase (measured high-water 1204 chunks) with slack. Graphs
+// whose phases exceed it stream through the spill file.
+const MaxShareWindow = 2048
+
+// spillRecordBytes is the on-disk size of one spilled trace entry:
+// va(8) valbits(8) dst(4) kind(1) op(1) pad(2).
+const spillRecordBytes = 24
+
+// errShareCancelled reports a replay group torn down while a consumer
+// was still attached (context cancellation, a failed sibling).
+var errShareCancelled = errors.New("accel: share group cancelled")
+
+// ShareOptions shapes a replay group's memory behaviour.
+type ShareOptions struct {
+	// Window bounds the in-memory chunk count. 0 auto-sizes from the
+	// graph so one full phase stays resident, clamped to
+	// [DefaultShareWindow, MaxShareWindow].
+	Window int
+	// SpillDir is where oversized phases spill ("" = os.TempDir()). The
+	// spill file is unlinked at creation, so it disappears with the
+	// process no matter how the group ends.
+	SpillDir string
+	// NoSpill disables spilling: the window becomes an advisory
+	// high-water mark and memory grows with the largest in-flight phase
+	// (tests; callers that know their phases are small).
+	NoSpill bool
+}
+
+// ShareStats summarizes a group's life for the volatile observability
+// surface (scheduling-dependent, so never part of deterministic
+// snapshots).
+type ShareStats struct {
+	// Subscribed is how many cursors joined the group.
+	Subscribed int
+	// Detached is how many cursors left before finishing (issue-order
+	// divergence; a cursor that consumed the whole trace does not count).
+	Detached int
+	// SharedEntries is the total trace entries consumers fetched from
+	// the canonical trace instead of regenerating.
+	SharedEntries uint64
+	// GeneratedEntries is the canonical pass's output (the work paid
+	// once instead of once per mode).
+	GeneratedEntries uint64
+	// Chunks and SpilledChunks count published chunks and the subset
+	// that went through the spill file.
+	Chunks        uint64
+	SpilledChunks uint64
+	// HighWater is the peak number of live in-memory chunks.
+	HighWater int
+}
+
+// shareChunk is one published chunk. mem is nil for spilled chunks,
+// which are re-read from the spill file at off and carry no references
+// (there is nothing to free).
+type shareChunk struct {
+	mem  []traceEntry
+	n    int
+	off  int64
+	refs int32
+}
+
+// sharePhase is the chunk log of one generated phase.
+type sharePhase struct {
+	perPE  [][]*shareChunk
+	donePE []bool
+	done   bool
+}
+
+// canonList is a refcounted snapshot of one iteration's canonical
+// touched order, released by each cursor after its divergence check.
+type canonList struct {
+	list []int32
+	refs int32
+}
+
+// ShareGroup is the hub of one replay group. All consumer-facing
+// methods are goroutine-safe; generation is serialized under mu and
+// performed by whichever cursor first needs the next chunk, so the
+// group needs no producer goroutine and no extra budget token.
+type ShareGroup struct {
+	cfg Config
+	gs  genState
+
+	// Canonical functional state beyond genState: the touched set, the
+	// activation lists and the frontier ping-pong buffer.
+	touchedMark []bool
+	touched     []int32
+	allVerts    []int32
+	results     [][]int32
+	nextBuf     []int32
+
+	// needCompare: the apply list depends on the touched order, so
+	// cursors must verify it (everything except AllActive non-bipartite).
+	needCompare bool
+
+	mu   sync.Mutex
+	err  error
+	subs int
+
+	// Generation front: the canonical loop's iteration/half, the phase
+	// log, and the in-progress phase's generators.
+	iter    int
+	half    int
+	genDone bool
+	phases  []*sharePhase
+	scatter []scatterGen
+	apply   []applyGen
+	rr      int
+
+	canon []*canonList
+
+	window     int
+	live       int
+	noSpill    bool
+	spillDir   string
+	spill      *os.File
+	spillOff   int64
+	spillBuf   []byte
+	freeChunks [][]traceEntry
+
+	spans     *obs.SpanRecorder
+	phaseSpan *obs.ActiveSpan
+
+	stats ShareStats
+}
+
+// NewShareGroup builds the hub for one (graph, program, layout). The
+// canonical state is initialized exactly as NewEngine initializes an
+// engine's, so chunk content matches what every subscribed engine would
+// have generated at phase start.
+func NewShareGroup(cfg Config, g *graph.Graph, prog Program, lay Layout, opt ShareOptions) (*ShareGroup, error) {
+	cfg = cfg.withDefaults()
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if lay.PropBytes != prog.PropBytes {
+		return nil, fmt.Errorf("accel: share layout PropBytes %d != program PropBytes %d", lay.PropBytes, prog.PropBytes)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("accel: share group needs a graph")
+	}
+	h := &ShareGroup{cfg: cfg, window: opt.Window, noSpill: opt.NoSpill, spillDir: opt.SpillDir}
+	if h.window <= 0 {
+		// Auto-size: one full scatter phase — three entries per frontier
+		// vertex plus three per edge (see scatterGen.fill) — plus a
+		// partial chunk per PE, clamped.
+		need := 3*(g.E()+g.V)/traceChunkEntries + cfg.PEs + 1
+		h.window = need
+		if h.window < DefaultShareWindow {
+			h.window = DefaultShareWindow
+		}
+		if h.window > MaxShareWindow {
+			h.window = MaxShareWindow
+		}
+	}
+	h.gs = genState{g: g, prog: prog, lay: lay,
+		props: make([]float64, g.V), temps: make([]float64, g.V)}
+	for v := 0; v < g.V; v++ {
+		h.gs.props[v] = prog.InitProp(v, g)
+		h.gs.temps[v] = prog.ReduceIdentity
+	}
+	h.gs.frontier = prog.InitialFrontier(g)
+	h.touchedMark = make([]bool, g.V)
+	h.needCompare = !(prog.AllActive && !g.Bipartite)
+	npe := cfg.PEs
+	h.scatter = make([]scatterGen, npe)
+	h.apply = make([]applyGen, npe)
+	h.results = make([][]int32, npe)
+	return h, nil
+}
+
+// SetSpans attaches a span recorder; canonical generation phases appear
+// as sharegen:scatter / sharegen:apply lanes.
+func (h *ShareGroup) SetSpans(sp *obs.SpanRecorder) { h.spans = sp }
+
+// Subscribe adds one consumer. All cursors must be created before the
+// first chunk is generated — references are counted at publication.
+func (h *ShareGroup) Subscribe() (*ShareCursor, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.phases) > 0 || h.genDone {
+		return nil, fmt.Errorf("accel: share: Subscribe after generation started")
+	}
+	h.subs++
+	h.stats.Subscribed++
+	npe := h.cfg.PEs
+	return &ShareCursor{h: h, curPhase: -1, pePos: make([]cursorPE, npe), streams: make([]shareStream, npe)}, nil
+}
+
+// Fail cancels the group: pending and future chunk pulls return err and
+// every attached engine's Run surfaces it. The first error wins.
+func (h *ShareGroup) Fail(err error) {
+	if err == nil {
+		err = errShareCancelled
+	}
+	h.mu.Lock()
+	if h.err == nil {
+		h.err = err
+	}
+	h.mu.Unlock()
+}
+
+// Close tears the group down: every remaining chunk is force-freed and
+// the spill file is closed (it was unlinked at creation, so no cleanup
+// can leak). Call after all consumers have finished or failed.
+func (h *ShareGroup) Close() {
+	h.mu.Lock()
+	for _, ph := range h.phases {
+		for _, chunks := range ph.perPE {
+			for _, c := range chunks {
+				if c.mem != nil {
+					c.mem, c.refs = nil, 0
+					h.live--
+				}
+			}
+		}
+	}
+	h.freeChunks = nil
+	if h.phaseSpan != nil {
+		h.phaseSpan.End()
+		h.phaseSpan = nil
+	}
+	sp := h.spill
+	h.spill = nil
+	h.mu.Unlock()
+	if sp != nil {
+		sp.Close()
+	}
+}
+
+// Stats returns the group's accounting so far.
+func (h *ShareGroup) Stats() ShareStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// LiveChunks reports the in-memory chunks not yet released by every
+// subscriber — zero after a clean group completes (the leak check).
+func (h *ShareGroup) LiveChunks() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.live
+}
+
+func (h *ShareGroup) errNow() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.err
+}
+
+// chunk returns the idx-th chunk of (phase p, pe), generating the
+// canonical trace forward on the calling goroutine if needed. nil with
+// no error means the PE's stream in that phase is exhausted.
+func (h *ShareGroup) chunk(p, pe, idx int) (*shareChunk, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if h.err != nil {
+			return nil, h.err
+		}
+		if p < len(h.phases) {
+			ph := h.phases[p]
+			if idx < len(ph.perPE[pe]) {
+				return ph.perPE[pe][idx], nil
+			}
+			if ph.donePE[pe] {
+				return nil, nil
+			}
+		}
+		if h.genDone {
+			return nil, fmt.Errorf("accel: share: chunk request (phase %d, pe %d, #%d) beyond canonical run", p, pe, idx)
+		}
+		if err := h.genStepLocked(); err != nil {
+			if h.err == nil {
+				h.err = err
+			}
+			return nil, err
+		}
+	}
+}
+
+// release returns one reference of a published in-memory chunk.
+func (h *ShareGroup) release(c *shareChunk) {
+	h.mu.Lock()
+	c.refs--
+	if c.refs == 0 && c.mem != nil {
+		h.freeChunks = append(h.freeChunks, c.mem[:cap(c.mem)])
+		c.mem = nil
+		h.live--
+	}
+	h.mu.Unlock()
+}
+
+// canonFor returns iteration it's canonical touched list. The caller
+// compares and then must call releaseCanon.
+func (h *ShareGroup) canonFor(it int) (*canonList, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.err != nil {
+		return nil, h.err
+	}
+	if it >= len(h.canon) || h.canon[it] == nil {
+		return nil, fmt.Errorf("accel: share: canonical touched list for iteration %d not generated", it)
+	}
+	return h.canon[it], nil
+}
+
+func (h *ShareGroup) releaseCanon(cl *canonList) {
+	h.mu.Lock()
+	cl.refs--
+	if cl.refs == 0 {
+		cl.list = nil
+	}
+	h.mu.Unlock()
+}
+
+// takeChunkLocked pops a pooled chunk buffer (or grows the pool).
+func (h *ShareGroup) takeChunkLocked() []traceEntry {
+	if n := len(h.freeChunks); n > 0 {
+		c := h.freeChunks[n-1]
+		h.freeChunks[n-1] = nil
+		h.freeChunks = h.freeChunks[:n-1]
+		return c
+	}
+	return make([]traceEntry, traceChunkEntries)
+}
+
+// genStepLocked advances canonical generation by one step: publish one
+// chunk, finish a PE's stream, or transition a phase. Called with mu
+// held; the work runs on the pulling cursor's goroutine.
+func (h *ShareGroup) genStepLocked() error {
+	npe := h.cfg.PEs
+	if len(h.phases) == 0 || h.phases[len(h.phases)-1].done {
+		// Start the next phase (or finish the run).
+		if h.half == 0 {
+			if len(h.gs.frontier) == 0 || (h.gs.prog.MaxIters > 0 && h.iter >= h.gs.prog.MaxIters) {
+				h.genDone = true
+				return nil
+			}
+			h.beginScatterPhaseLocked(npe)
+		} else {
+			h.beginApplyPhaseLocked(npe)
+		}
+		return nil
+	}
+
+	ph := h.phases[len(h.phases)-1]
+	// Round-robin chunk generation across the PEs still producing.
+	for i := 0; i < npe; i++ {
+		pe := h.rr
+		h.rr = (h.rr + 1) % npe
+		if ph.donePE[pe] {
+			continue
+		}
+		buf := h.takeChunkLocked()
+		var n int
+		var done bool
+		scatterPhase := (len(h.phases)-1)%2 == 0
+		if scatterPhase {
+			n, done = h.scatter[pe].fill(buf[:cap(buf)])
+		} else {
+			n, done = h.apply[pe].fill(buf[:cap(buf)])
+		}
+		if n > 0 {
+			h.publishLocked(ph, pe, buf, n)
+			if scatterPhase {
+				// Fold the chunk's reductions into the canonical state
+				// immediately: generation never reads temps/touched, so
+				// chunk-granular fold order is as canonical as any other,
+				// and folding the buffer while it is still hot (and still
+				// pinned under mu, even when the chunk spilled) costs one
+				// tight pass instead of a queued second one.
+				h.foldChunkLocked(buf, n)
+			}
+		} else {
+			h.freeChunks = append(h.freeChunks, buf)
+		}
+		if done {
+			ph.donePE[pe] = true
+			if h.phaseGenDoneLocked(ph) {
+				h.finishPhaseLocked(ph, npe)
+			}
+		}
+		return nil
+	}
+	// All PEs done but the phase was not yet finished (defensive; the
+	// finish runs when the last PE completes).
+	h.finishPhaseLocked(ph, npe)
+	return nil
+}
+
+func (h *ShareGroup) phaseGenDoneLocked(ph *sharePhase) bool {
+	for _, d := range ph.donePE {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+func (h *ShareGroup) beginScatterPhaseLocked(npe int) {
+	h.touched = h.touched[:0]
+	for pe := 0; pe < npe; pe++ {
+		h.scatter[pe] = scatterGen{e: &h.gs, stride: npe, vi: pe}
+	}
+	h.phases = append(h.phases, &sharePhase{
+		perPE:  make([][]*shareChunk, npe),
+		donePE: make([]bool, npe),
+	})
+	h.rr = 0
+	h.phaseSpan = h.spans.Begin("sharegen:scatter")
+}
+
+func (h *ShareGroup) beginApplyPhaseLocked(npe int) {
+	var applyList []int32
+	if h.gs.prog.AllActive && !h.gs.g.Bipartite {
+		if h.allVerts == nil {
+			h.allVerts = allVertices(h.gs.g)
+		}
+		applyList = h.allVerts
+	} else {
+		applyList = h.touched
+	}
+	chunk := (len(applyList) + npe - 1) / npe
+	for pe := 0; pe < npe; pe++ {
+		lo := pe * chunk
+		hi := lo + chunk
+		if lo > len(applyList) {
+			lo = len(applyList)
+		}
+		if hi > len(applyList) {
+			hi = len(applyList)
+		}
+		h.results[pe] = h.results[pe][:0]
+		h.apply[pe] = applyGen{e: &h.gs, verts: applyList[lo:hi], collect: !h.gs.prog.AllActive, activated: &h.results[pe]}
+	}
+	h.phases = append(h.phases, &sharePhase{
+		perPE:  make([][]*shareChunk, npe),
+		donePE: make([]bool, npe),
+	})
+	h.rr = 0
+	h.phaseSpan = h.spans.Begin("sharegen:apply")
+}
+
+// publishLocked registers a filled chunk, spilling it when the
+// in-memory window is full.
+func (h *ShareGroup) publishLocked(ph *sharePhase, pe int, buf []traceEntry, n int) {
+	h.stats.Chunks++
+	h.stats.GeneratedEntries += uint64(n)
+	var c *shareChunk
+	if h.live >= h.window && !h.noSpill {
+		off, err := h.spillWriteLocked(buf[:n])
+		if err != nil {
+			// Spill failure degrades to in-memory: correctness first,
+			// the window bound second.
+			c = &shareChunk{mem: buf, n: n, refs: int32(h.subs)}
+			h.live++
+		} else {
+			c = &shareChunk{n: n, off: off}
+			h.stats.SpilledChunks++
+			h.freeChunks = append(h.freeChunks, buf[:cap(buf)])
+		}
+	} else {
+		c = &shareChunk{mem: buf, n: n, refs: int32(h.subs)}
+		h.live++
+	}
+	if h.live > h.stats.HighWater {
+		h.stats.HighWater = h.live
+	}
+	ph.perPE[pe] = append(ph.perPE[pe], c)
+}
+
+// foldChunkLocked applies one scatter chunk's reductions to the
+// canonical state. The canonical fold order is therefore the chunk
+// publication order — round-robin across still-producing PEs at chunk
+// granularity. Any fixed order is equally canonical: min-reductions are
+// order-insensitive, sum-reductions land within float tolerance of any
+// other order (the stats, cycles and metrics consumers derive are
+// value-independent either way), and a consumer whose own issue order
+// diverges from the canonical touched order is caught by its divergence
+// check and detaches.
+func (h *ShareGroup) foldChunkLocked(buf []traceEntry, n int) {
+	for i := 0; i < n; i++ {
+		t := &buf[i]
+		if t.op != opReduce {
+			continue
+		}
+		h.gs.temps[t.dst] = h.gs.prog.Reduce(h.gs.temps[t.dst], t.val)
+		if !h.touchedMark[t.dst] {
+			h.touchedMark[t.dst] = true
+			h.touched = append(h.touched, t.dst)
+		}
+	}
+}
+
+// finishPhaseLocked seals a fully generated phase: scatter phases drain
+// the fold and snapshot the canonical touched order; apply phases apply
+// the iteration tail (temps reset, frontier ping-pong) and advance the
+// canonical iteration counter.
+func (h *ShareGroup) finishPhaseLocked(ph *sharePhase, npe int) {
+	if ph.done {
+		return
+	}
+	scatterPhase := (len(h.phases)-1)%2 == 0
+	if scatterPhase {
+		if h.needCompare {
+			h.canon = append(h.canon, &canonList{
+				list: append([]int32(nil), h.touched...),
+				refs: int32(h.subs),
+			})
+		}
+		h.half = 1
+	} else {
+		for _, v := range h.touched {
+			h.gs.temps[v] = h.gs.prog.ReduceIdentity
+			h.touchedMark[v] = false
+		}
+		if !h.gs.prog.AllActive {
+			next := h.nextBuf[:0]
+			for _, r := range h.results {
+				next = append(next, r...)
+			}
+			h.nextBuf = h.gs.frontier[:0]
+			h.gs.frontier = next
+		}
+		h.half = 0
+		h.iter++
+	}
+	ph.done = true
+	if h.phaseSpan != nil {
+		h.phaseSpan.End()
+		h.phaseSpan = nil
+	}
+}
+
+// spillWriteLocked appends one chunk to the spill file, creating it
+// lazily. The file is unlinked immediately after creation so it can
+// never outlive the process.
+func (h *ShareGroup) spillWriteLocked(entries []traceEntry) (int64, error) {
+	if h.spill == nil {
+		dir := h.spillDir
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		f, err := os.CreateTemp(dir, "dvm-share-*.trace")
+		if err != nil {
+			return 0, err
+		}
+		os.Remove(f.Name())
+		h.spill = f
+	}
+	need := len(entries) * spillRecordBytes
+	if cap(h.spillBuf) < need {
+		h.spillBuf = make([]byte, need)
+	}
+	b := h.spillBuf[:need]
+	for i := range entries {
+		t := &entries[i]
+		o := i * spillRecordBytes
+		binary.LittleEndian.PutUint64(b[o:], uint64(t.va))
+		binary.LittleEndian.PutUint64(b[o+8:], math.Float64bits(t.val))
+		binary.LittleEndian.PutUint32(b[o+16:], uint32(t.dst))
+		b[o+20] = byte(t.kind)
+		b[o+21] = byte(t.op)
+		b[o+22], b[o+23] = 0, 0
+	}
+	off := h.spillOff
+	if _, err := h.spill.WriteAt(b, off); err != nil {
+		return 0, err
+	}
+	h.spillOff += int64(need)
+	return off, nil
+}
+
+// readSpill decodes a spilled chunk into dst (len >= c.n). Safe to call
+// concurrently: the file is append-only and read with ReadAt.
+func (h *ShareGroup) readSpill(c *shareChunk, dst []traceEntry, scratch *[]byte) error {
+	need := c.n * spillRecordBytes
+	if cap(*scratch) < need {
+		*scratch = make([]byte, need)
+	}
+	b := (*scratch)[:need]
+	h.mu.Lock()
+	f := h.spill
+	h.mu.Unlock()
+	if f == nil {
+		return fmt.Errorf("accel: share: spilled chunk but no spill file")
+	}
+	if _, err := f.ReadAt(b, c.off); err != nil {
+		return err
+	}
+	for i := 0; i < c.n; i++ {
+		o := i * spillRecordBytes
+		dst[i] = traceEntry{
+			va:   addr.VA(binary.LittleEndian.Uint64(b[o:])),
+			val:  math.Float64frombits(binary.LittleEndian.Uint64(b[o+8:])),
+			dst:  int32(binary.LittleEndian.Uint32(b[o+16:])),
+			kind: addr.AccessKind(b[o+20]),
+			op:   traceOp(b[o+21]),
+		}
+	}
+	return nil
+}
+
+// addConsumed folds a finished cursor's fetch count into the stats.
+func (h *ShareGroup) addConsumed(n uint64) {
+	h.mu.Lock()
+	h.stats.SharedEntries += n
+	h.mu.Unlock()
+}
+
+// cursorPE is a cursor's position within the current phase for one PE.
+type cursorPE struct {
+	idx int          // next chunk index to pull
+	cur *shareChunk  // in-memory chunk currently drained (holds a ref)
+	buf []traceEntry // entries being drained (chunk mem or scratch)
+	i   int
+}
+
+// ShareCursor is one consumer's view of a ShareGroup. A cursor belongs
+// to one engine and is single-goroutine like the engine itself; only
+// its pulls into the hub synchronize.
+type ShareCursor struct {
+	h        *ShareGroup
+	curPhase int // phase currently (or last) consumed
+	phase    int // next phase to begin
+	canonUp  int // canonical lists consumed so far
+	pePos    []cursorPE
+	streams  []shareStream
+	scratch  [][]traceEntry // per-PE decode buffers for spilled chunks
+	sbuf     [][]byte
+	consumed uint64
+	done     bool
+	failed   error
+}
+
+// err reports the cursor's (or hub's) failure, if any.
+func (c *ShareCursor) err() error {
+	if c.failed != nil {
+		return c.failed
+	}
+	return c.h.errNow()
+}
+
+func (c *ShareCursor) fail(err error) {
+	if c.failed == nil {
+		c.failed = err
+	}
+}
+
+// beginScatter wires the cursor's streams for the next scatter phase.
+func (c *ShareCursor) beginScatter(e *Engine, streams []stream) bool {
+	if err := c.err(); err != nil {
+		return false
+	}
+	if len(streams) != len(c.pePos) {
+		c.fail(fmt.Errorf("accel: share: engine has %d PEs, group has %d", len(streams), len(c.pePos)))
+		return false
+	}
+	c.curPhase = c.phase
+	c.phase++
+	for pe := range c.pePos {
+		c.pePos[pe] = cursorPE{}
+		c.streams[pe] = shareStream{c: c, e: e, pe: pe}
+		streams[pe] = &c.streams[pe]
+	}
+	return true
+}
+
+// beginApply wires the cursor's streams for the apply phase; activation
+// appends go to the engine's per-PE results.
+func (c *ShareCursor) beginApply(e *Engine, streams []stream, results [][]int32) bool {
+	if err := c.err(); err != nil {
+		return false
+	}
+	collect := !e.prog.AllActive
+	c.curPhase = c.phase
+	c.phase++
+	for pe := range c.pePos {
+		c.pePos[pe] = cursorPE{}
+		c.streams[pe] = shareStream{c: c, e: e, pe: pe, collect: collect, activated: &results[pe]}
+		streams[pe] = &c.streams[pe]
+	}
+	return true
+}
+
+// scatterMatches checks the replay's touched order against the
+// canonical one after a shared scatter phase. True means the canonical
+// apply chunks are valid for this replay; false means it must detach.
+func (c *ShareCursor) scatterMatches(touched []int32) bool {
+	if !c.h.needCompare {
+		return true
+	}
+	it := c.curPhase / 2
+	cl, err := c.h.canonFor(it)
+	if err != nil {
+		c.fail(err)
+		return false
+	}
+	equal := len(cl.list) == len(touched)
+	if equal {
+		for i, v := range cl.list {
+			if touched[i] != v {
+				equal = false
+				break
+			}
+		}
+	}
+	c.canonUp = it + 1
+	c.h.releaseCanon(cl)
+	return equal
+}
+
+// advancePE releases the PE's drained chunk and pulls the next one,
+// reporting false at end-of-stream or on error (c.failed is set).
+func (c *ShareCursor) advancePE(pe int) bool {
+	cp := &c.pePos[pe]
+	if cp.cur != nil {
+		c.h.release(cp.cur)
+		cp.cur = nil
+	}
+	cp.buf = nil
+	cp.i = 0
+	ch, err := c.h.chunk(c.curPhase, pe, cp.idx)
+	if err != nil {
+		c.fail(err)
+		return false
+	}
+	if ch == nil {
+		return false
+	}
+	cp.idx++
+	if ch.mem != nil {
+		cp.cur = ch
+		cp.buf = ch.mem[:ch.n]
+	} else {
+		if c.scratch == nil {
+			c.scratch = make([][]traceEntry, len(c.pePos))
+			c.sbuf = make([][]byte, len(c.pePos))
+		}
+		if cap(c.scratch[pe]) < ch.n {
+			c.scratch[pe] = make([]traceEntry, traceChunkEntries)
+		}
+		if err := c.h.readSpill(ch, c.scratch[pe][:ch.n], &c.sbuf[pe]); err != nil {
+			c.fail(err)
+			return false
+		}
+		cp.buf = c.scratch[pe][:ch.n]
+	}
+	cp.i = 0
+	// Consumption is accounted per chunk here, not per entry in the
+	// replay hot loop; release() subtracts the undrained tail of any
+	// chunk a detaching cursor abandons mid-way.
+	c.consumed += uint64(len(cp.buf))
+	return true
+}
+
+// detach releases every chunk and canonical list this cursor has not
+// yet consumed and unsubscribes it: future chunks are published without
+// its reference. Idempotent.
+func (c *ShareCursor) detach() {
+	c.release(true)
+}
+
+// unsubscribe is detach for a cursor that finished the whole trace (not
+// counted as a divergence).
+func (c *ShareCursor) unsubscribe() {
+	c.release(false)
+}
+
+func (c *ShareCursor) release(detached bool) {
+	if c.done {
+		return
+	}
+	c.done = true
+	h := c.h
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	relChunk := func(ch *shareChunk) {
+		if ch.mem == nil {
+			return
+		}
+		ch.refs--
+		if ch.refs == 0 {
+			h.freeChunks = append(h.freeChunks, ch.mem[:cap(ch.mem)])
+			ch.mem = nil
+			h.live--
+		}
+	}
+	// The in-progress phase: the held chunk plus everything not pulled.
+	if c.curPhase >= 0 && c.curPhase < len(h.phases) {
+		ph := h.phases[c.curPhase]
+		for pe := range c.pePos {
+			cp := &c.pePos[pe]
+			c.consumed -= uint64(len(cp.buf) - cp.i)
+			if cp.cur != nil {
+				relChunk(cp.cur)
+				cp.cur = nil
+			}
+			for idx := cp.idx; idx < len(ph.perPE[pe]); idx++ {
+				relChunk(ph.perPE[pe][idx])
+			}
+		}
+	}
+	// Later phases generated past this cursor.
+	for p := c.curPhase + 1; p < len(h.phases); p++ {
+		for _, chunks := range h.phases[p].perPE {
+			for _, ch := range chunks {
+				relChunk(ch)
+			}
+		}
+	}
+	// Canonical lists not yet consumed.
+	for i := c.canonUp; i < len(h.canon); i++ {
+		cl := h.canon[i]
+		if cl == nil {
+			continue
+		}
+		cl.refs--
+		if cl.refs == 0 {
+			cl.list = nil
+		}
+	}
+	h.subs--
+	if detached {
+		h.stats.Detached++
+	}
+	h.stats.SharedEntries += c.consumed
+	c.consumed = 0
+}
+
+// shareStream adapts a cursor's per-PE chunk sequence to the
+// scheduler's stream interface, applying the in-trace effects to the
+// consuming engine's private state at fetch — the same points, in the
+// same per-PE order, as the engine's own streams.
+type shareStream struct {
+	c         *ShareCursor
+	e         *Engine
+	pe        int
+	collect   bool
+	activated *[]int32
+}
+
+func (s *shareStream) next() (access, bool) {
+	cp := &s.c.pePos[s.pe]
+	for cp.i >= len(cp.buf) {
+		if !s.c.advancePE(s.pe) {
+			return access{}, false
+		}
+	}
+	t := &cp.buf[cp.i]
+	cp.i++
+	e := s.e
+	switch t.op {
+	case opReduce:
+		d := t.dst
+		e.temps[d] = e.prog.Reduce(e.temps[d], t.val)
+		if !e.touchedMark[d] {
+			e.touchedMark[d] = true
+			e.touched = append(e.touched, d)
+		}
+		e.stats.EdgesProcessed++
+	case opApply:
+		e.props[t.dst] = t.val
+		e.stats.VerticesApplied++
+	case opApplyChg:
+		e.props[t.dst] = t.val
+		e.stats.VerticesApplied++
+		if s.collect {
+			*s.activated = append(*s.activated, t.dst)
+		}
+	}
+	return access{va: t.va, kind: t.kind}, true
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/dvm-sim/dvm/internal/addr"
+	"github.com/dvm-sim/dvm/internal/graph"
 )
 
 // This file implements the two-phase engine: per-PE trace generation in
@@ -66,8 +67,15 @@ const (
 	// opReduce: scatter temp-write; fold val into temps[dst] and record
 	// first touch, exactly as the direct scatterStream does at fetch.
 	opReduce
-	// opApply: apply prop-write; count one applied vertex.
+	// opApply: apply prop-write of an unchanged vertex; count one applied
+	// vertex. The entry carries (dst, new property) so a shared-trace
+	// consumer (sharedtrace.go) can install the result into its private
+	// props at fetch; the engine's own traceStream only counts.
 	opApply
+	// opApplyChg: opApply for a vertex Apply reported as changed. The
+	// distinction lets a shared-trace consumer grow its own activation
+	// list at the exact fetch points the direct applyStream would.
+	opApplyChg
 )
 
 // traceEntry is one pregenerated access plus its deferred side effect.
@@ -86,12 +94,29 @@ type traceGen interface {
 	fill(buf []traceEntry) (n int, done bool)
 }
 
+// genState is the phase-start snapshot a trace generator reads: the
+// graph, program and layout plus the functional arrays (props, temps,
+// frontier). An Engine embeds one aliasing its own arrays (refreshing
+// the frontier slice each iteration, since the frontier ping-pongs);
+// a ShareGroup owns a private one it evolves canonically. Keeping the
+// generators off *Engine is what lets one functional pass feed many
+// timing replays (sharedtrace.go).
+type genState struct {
+	g    *graph.Graph
+	prog Program
+	lay  Layout
+
+	props    []float64
+	temps    []float64
+	frontier []int32
+}
+
 // scatterGen generates one PE's scatter-phase trace: the same state
 // machine as scatterStream, but emitting entries instead of touching
 // shared engine state. The temp-write entries carry (dst, ProcessEdge
 // result) so the replay can reduce in issue-schedule order.
 type scatterGen struct {
-	e      *Engine
+	e      *genState
 	stride int
 	vi     int
 
@@ -165,7 +190,7 @@ func (g *scatterGen) fill(buf []traceEntry) (int, bool) {
 // the replay thread counts VerticesApplied at the same fetch points as
 // the direct applyStream.
 type applyGen struct {
-	e         *Engine
+	e         *genState
 	verts     []int32
 	collect   bool
 	activated *[]int32
@@ -191,6 +216,10 @@ func (g *applyGen) fill(buf []traceEntry) (int, bool) {
 		case 1:
 			newProp, chg := e.prog.Apply(e.props[g.v], e.temps[g.v], int(g.v), e.g)
 			e.props[g.v] = newProp
+			op := opApply
+			if chg {
+				op = opApplyChg
+			}
 			if chg && g.collect {
 				*g.activated = append(*g.activated, g.v)
 				g.st = 2
@@ -198,7 +227,9 @@ func (g *applyGen) fill(buf []traceEntry) (int, bool) {
 				g.vi++
 				g.st = 0
 			}
-			buf[n] = traceEntry{va: e.lay.VertexPropAddr(g.v), kind: addr.Write, op: opApply}
+			// The entry carries the Apply result so shared-trace
+			// consumers can install it into their own props at fetch.
+			buf[n] = traceEntry{va: e.lay.VertexPropAddr(g.v), kind: addr.Write, op: op, dst: g.v, val: newProp}
 			n++
 		default:
 			idx := len(*g.activated) - 1
@@ -250,7 +281,7 @@ func (s *traceStream) next() (access, bool) {
 			e.touched = append(e.touched, d)
 		}
 		e.stats.EdgesProcessed++
-	case opApply:
+	case opApply, opApplyChg:
 		e.stats.VerticesApplied++
 	}
 	return access{va: t.va, kind: t.kind}, true

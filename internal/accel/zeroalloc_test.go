@@ -17,14 +17,14 @@ func TestRunIterationZeroAllocSteadyState(t *testing.T) {
 	// PageRank is AllActive: the frontier repeats, so every iteration is
 	// shaped identically — the steady state the pools are built for.
 	e := buildEngine(t, mmu.ModeDVMPE, g, PageRank(50))
-	e.runIteration(0) // warm-up: pools grow to steady capacity
-	iter := 1
+	e.Step() // warm-up iteration: pools grow to steady capacity
+	e.Step()
 	allocs := testing.AllocsPerRun(10, func() {
-		e.runIteration(iter)
-		iter++
+		e.Step() // scatter
+		e.Step() // apply
 	})
 	if allocs != 0 {
-		t.Errorf("runIteration allocates %.1f objects/op in steady state, want 0", allocs)
+		t.Errorf("steady-state iteration allocates %.1f objects/op, want 0", allocs)
 	}
 }
 
@@ -33,13 +33,13 @@ func TestRunIterationZeroAllocSteadyState(t *testing.T) {
 func TestRunIterationZeroAllocConv4K(t *testing.T) {
 	g := testGraph(t)
 	e := buildEngine(t, mmu.ModeConv4K, g, PageRank(50))
-	e.runIteration(0)
-	iter := 1
+	e.Step()
+	e.Step()
 	allocs := testing.AllocsPerRun(10, func() {
-		e.runIteration(iter)
-		iter++
+		e.Step()
+		e.Step()
 	})
 	if allocs != 0 {
-		t.Errorf("runIteration allocates %.1f objects/op in steady state, want 0", allocs)
+		t.Errorf("steady-state iteration allocates %.1f objects/op, want 0", allocs)
 	}
 }

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/dvm-sim/dvm/internal/chaos"
+	"github.com/dvm-sim/dvm/internal/graph"
+	"github.com/dvm-sim/dvm/internal/obs"
+	"github.com/dvm-sim/dvm/internal/runner"
+)
+
+// These tests hold the replay-group layer (RunModesShared) to its
+// contract: sharing the functional trace across a workload's mode cells
+// is a wall-clock optimization only — every RunResult, counter for
+// counter, must be byte-identical to the independent per-mode sweep at
+// any concurrency, for every registered backend (SPARTA and VBI
+// included: their block tables and shard state are built by the real
+// descriptor machinery here, which the accel-level tests cannot
+// construct).
+
+// shareWorkloads spans both graph shapes (general and bipartite) and
+// both reduce families (min: BFS/SSSP, exact float bits; sum:
+// PageRank/CF, canonical fold order) across a few seeds.
+func shareWorkloads(t *testing.T) []Workload {
+	t.Helper()
+	fr, err := graph.DatasetByName("FR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wiki, err := graph.DatasetByName("Wiki")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, err := graph.DatasetByName("NF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Workload{
+		{Algorithm: "BFS", Dataset: fr, Scale: ProfileTiny.Scale, Seed: 1},
+		{Algorithm: "SSSP", Dataset: wiki, Scale: ProfileTiny.Scale, Seed: 7},
+		{Algorithm: "PageRank", Dataset: wiki, Scale: ProfileTiny.Scale, PageRankIters: 2, Seed: 42},
+		{Algorithm: "CF", Dataset: nf, Scale: ProfileTiny.Scale, Seed: 3},
+	}
+}
+
+// requireSame asserts two per-mode result maps are identical except for
+// the documented nondeterministic Wall field.
+func requireSame(t *testing.T, label string, modes []Mode, want, got map[Mode]RunResult) {
+	t.Helper()
+	zeroWall(want)
+	zeroWall(got)
+	for _, m := range modes {
+		if !reflect.DeepEqual(want[m], got[m]) {
+			t.Errorf("%s: mode %v: shared sweep result differs from independent run\nwant: %+v\ngot:  %+v",
+				label, m, want[m], got[m])
+		}
+	}
+}
+
+// groupCount reads how many replay groups a sweep formed from the
+// volatile accounting (one accel.trace.group.modes observation per
+// group).
+func groupCount(coll *obs.Collector) uint64 {
+	return coll.VolatileSnapshot().Hists["accel.trace.group.modes"].Count
+}
+
+// TestSharedSweepMatchesIndependent: grouped replay over every
+// registered mode — lockstep (-j 1) and concurrent (-j 8) — against the
+// independent sweep, for all four algorithm families. The all-active
+// non-bipartite class (PageRank) must actually form groups under the
+// default policy; frontier-driven programs must take the fallback
+// (their replays would detach at the first compared phase, so auto
+// routes them independently) — the test then forces them through the
+// hub anyway, which must detach every mode and still match bit-exactly.
+func TestSharedSweepMatchesIndependent(t *testing.T) {
+	ctx := context.Background()
+	modes := RegisteredModes()
+	for _, w := range shareWorkloads(t) {
+		p, err := Prepare(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shareable := p.Prog.AllActive && !p.G.Bipartite
+		cfg := ProfileTiny.SystemConfig()
+		indep, err := p.RunModesCtx(ctx, modes, cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, jobs := range []int{1, 8} {
+			for _, force := range []bool{false, true} {
+				if force && shareable {
+					continue // forcing only changes frontier-driven programs
+				}
+				shareDetachFallback = !force
+				coll := &obs.Collector{}
+				c := cfg
+				c.Workers = runner.BudgetFor(jobs)
+				c.Volatile = coll
+				shared, err := p.RunModesShared(ctx, modes, c, jobs)
+				shareDetachFallback = true
+				if err != nil {
+					t.Fatalf("%s/%s -j %d: %v", w.Algorithm, p.G.Name, jobs, err)
+				}
+				label := fmt.Sprintf("%s/-j%d/force=%v", p.Workload.Algorithm, jobs, force)
+				requireSame(t, label, modes, indep, shared)
+				v := coll.VolatileSnapshot().Hists
+				groups := v["accel.trace.group.modes"].Count
+				switch {
+				case shareable && groups == 0:
+					t.Errorf("%s: no replay groups formed (sweep ran independently?)", label)
+				case !shareable && !force && groups != 0:
+					t.Errorf("%s: frontier-driven program formed %d groups; auto should fall back", label, groups)
+				case force && groups == 0:
+					t.Errorf("%s: forced grouping formed no groups", label)
+				case force && v["accel.trace.detached"].Sum != uint64(len(modes)):
+					t.Errorf("%s: forced grouping detached %d of %d modes", label, v["accel.trace.detached"].Sum, len(modes))
+				}
+			}
+		}
+	}
+}
+
+// TestSharedSweepChaosNeverGroups: a chaos-armed sweep must bypass the
+// replay-group layer entirely — injected machines are private by design
+// — and stay bit-identical to the independent chaos sweep.
+func TestSharedSweepChaosNeverGroups(t *testing.T) {
+	ctx := context.Background()
+	p, err := Prepare(wikiTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ProfileTiny.SystemConfig()
+	cfg.Chaos = &chaos.Config{Seed: 11, Rate: 0.001}
+	indep, err := p.RunModesCtx(ctx, AllModes, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := &obs.Collector{}
+	cfg.Volatile = coll
+	shared, err := p.RunModesShared(ctx, AllModes, cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSame(t, "chaos", AllModes, indep, shared)
+	if n := groupCount(coll); n != 0 {
+		t.Errorf("chaos sweep formed %d replay groups; want 0", n)
+	}
+}
+
+// TestSharedSweepShareOff: the -share-traces=off escape hatch runs the
+// independent path (zero groups) with identical results.
+func TestSharedSweepShareOff(t *testing.T) {
+	ctx := context.Background()
+	p, err := Prepare(wikiTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ProfileTiny.SystemConfig()
+	indep, err := p.RunModesCtx(ctx, AllModes, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := &obs.Collector{}
+	off := cfg
+	off.ShareTraces = ShareOff
+	off.Volatile = coll
+	got, err := p.RunModesShared(ctx, AllModes, off, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSame(t, "share-off", AllModes, indep, got)
+	if n := groupCount(coll); n != 0 {
+		t.Errorf("ShareOff sweep formed %d replay groups; want 0", n)
+	}
+}
+
+// TestSharedSweepSpill forces the hub's in-memory window down to one
+// chunk so every sweep spills constantly, and requires the results to
+// stay identical — the spill path is a transparent transport, not a
+// semantic mode.
+func TestSharedSweepSpill(t *testing.T) {
+	old := shareWindow
+	shareWindow = 1
+	defer func() { shareWindow = old }()
+
+	ctx := context.Background()
+	p, err := Prepare(wikiTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ProfileTiny.SystemConfig()
+	indep, err := p.RunModesCtx(ctx, RegisteredModes(), cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := &obs.Collector{}
+	cfg.Workers = runner.BudgetFor(8)
+	cfg.Volatile = coll
+	shared, err := p.RunModesShared(ctx, RegisteredModes(), cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSame(t, "spill", RegisteredModes(), indep, shared)
+	spilled := coll.VolatileSnapshot().Hists["accel.trace.spilled.chunks"]
+	if spilled.Sum == 0 {
+		t.Error("window=1 sweep spilled no chunks; spill path untested")
+	}
+}
+
+// TestSharedSweepCancelled: a pre-cancelled context fails the sweep
+// cleanly (no hang, no partial map).
+func TestSharedSweepCancelled(t *testing.T) {
+	p, err := Prepare(wikiTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.RunModesShared(ctx, AllModes, ProfileTiny.SystemConfig(), 2); err == nil {
+		t.Error("cancelled sweep returned nil error")
+	}
+}
+
+// TestSharedSweepHammer re-runs concurrent grouped sweeps back to back
+// — under -race this shakes out ordering bugs in the pull-through hub;
+// under the plain runner it pins repeat-run determinism of the shared
+// path itself.
+func TestSharedSweepHammer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hammer skipped in -short")
+	}
+	ctx := context.Background()
+	p, err := Prepare(wikiTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ProfileTiny.SystemConfig()
+	cfg.Workers = runner.BudgetFor(8)
+	var first map[Mode]RunResult
+	for i := 0; i < 4; i++ {
+		got, err := p.RunModesShared(ctx, RegisteredModes(), cfg, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zeroWall(got)
+		if first == nil {
+			first = got
+			continue
+		}
+		if !reflect.DeepEqual(first, got) {
+			t.Fatalf("iteration %d: grouped sweep not repeatable", i)
+		}
+	}
+}

@@ -113,6 +113,15 @@ type Options struct {
 	// against one checkpoint directory must namespace it per set (the
 	// commands fold the set into the checkpoint profile).
 	Modes []core.Mode
+	// Share selects trace sharing for mode-matrix artifacts (see
+	// core.SystemConfig.ShareTraces): ShareAuto (the zero value) lets a
+	// workload's mode cells replay one canonical functional trace,
+	// ShareOff runs every cell independently. Tables, goldens and the
+	// deterministic metrics snapshot are byte-identical either way
+	// (pinned by the CI A/B cmp step); only wall-clock changes. Callers
+	// mixing the two against one checkpoint directory must namespace it
+	// (the commands fold "+share(off)" into the checkpoint profile).
+	Share core.ShareMode
 }
 
 // ctx returns the sweep context (Background when unset).
@@ -184,6 +193,11 @@ func (o Options) system(prof core.Profile) core.SystemConfig {
 	cfg.Workers = o.Workers
 	cfg.Chaos = o.Chaos
 	cfg.Spans = o.Spans
+	cfg.ShareTraces = o.Share
+	// Replay-group accounting is scheduling-dependent, so it reports
+	// through the collector's volatile side (live /metrics only), never
+	// the deterministic snapshot.
+	cfg.Volatile = o.Metrics
 	return cfg
 }
 
