@@ -9,6 +9,16 @@
 //	dvmbench [-profile tiny] -o BENCH_tiny.json            # measure, write
 //	dvmbench [-profile tiny] -o BENCH_tiny.json -as-baseline
 //	dvmbench [-profile tiny] -against BENCH_tiny.json      # CI regression gate
+//	dvmbench -profile large -only fig8 -graph-cache /tmp/g -o BENCH_large.json
+//
+// Every artifact is measured for wall time AND peak resident set (the
+// kernel's VmHWM watermark, reset per artifact via /proc/self/clear_refs
+// where supported); the heaviest artifact's watermark is the sweep's
+// peak_rss_bytes, gated by -against at the same 20% tolerance as the
+// alloc counts. -only restricts the sweep to a comma-separated artifact
+// subset and skips the micro-benchmarks (footprint runs); -graph-cache
+// mmaps on-disk CSR graphs instead of holding private copies, and is
+// recorded in the measurement so footprints gate like against like.
 //
 // The output file holds two sections: "baseline" (the numbers recorded
 // before the PR-3 hot-path pass, frozen) and "current" (refreshed by -o).
@@ -73,8 +83,23 @@ type Measurement struct {
 	NumCPU     int    `json:"num_cpu"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	Jobs       int    `json:"jobs"`
+	// GraphCache records whether the artifact sweep ran with the on-disk
+	// mmap'd graph cache (-graph-cache); footprint numbers are only
+	// comparable between runs with the same backing.
+	GraphCache bool `json:"graph_cache,omitempty"`
 	// ArtifactsSeconds is the wall per artifact at -j Jobs.
 	ArtifactsSeconds map[string]float64 `json:"artifacts_seconds"`
+	// ArtifactsPeakRSSBytes is the kernel peak-RSS watermark (VmHWM) per
+	// artifact, reset via /proc/self/clear_refs before each one. On
+	// kernels without watermark reset the values are the monotone
+	// process-lifetime peak (over-reporting, never under).
+	ArtifactsPeakRSSBytes map[string]uint64 `json:"artifacts_peak_rss_bytes,omitempty"`
+	// PeakRSSBytes is the heaviest artifact's watermark — the sweep's
+	// resident-footprint headline.
+	PeakRSSBytes uint64 `json:"peak_rss_bytes,omitempty"`
+	// HeapHighWaterBytes is runtime HeapSys after the artifact sweep:
+	// the Go heap's high-water mark as obtained from the OS.
+	HeapHighWaterBytes uint64 `json:"heap_high_water_bytes,omitempty"`
 	// EndToEndSeconds is the wall of regenerating every artifact, the
 	// headline "full dvmrepro regeneration" number.
 	EndToEndSeconds float64 `json:"end_to_end_seconds"`
@@ -112,12 +137,14 @@ type Speedup struct {
 }
 
 func main() {
-	profileName := flag.String("profile", "tiny", "experiment profile to measure (tiny|small|medium|paper)")
+	profileName := flag.String("profile", "tiny", "experiment profile to measure ("+strings.Join(core.ProfileNames(), "|")+")")
 	out := flag.String("o", "", "write/refresh this trajectory file's current section")
 	asBaseline := flag.Bool("as-baseline", false, "with -o: write the baseline section instead of current")
 	against := flag.String("against", "", "measure and gate against this file's current section (CI)")
 	jobs := flag.Int("j", 1, "worker processes for artifact timings (default 1: sequential, comparable across files)")
 	label := flag.String("label", "", "label recorded with the measurement")
+	only := flag.String("only", "", "comma-separated artifact subset to measure (skips the micro-benchmarks; for footprint-focused files like BENCH_large.json)")
+	graphCache := flag.String("graph-cache", "", "directory for the on-disk CSR graph cache (mmap'd graphs; recorded in the measurement)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	httpAddr := flag.String("http", "", "serve the live observability surface (/metrics, /progress, /debug/pprof/) on this address")
 	flag.StringVar(httpAddr, "pprof", "", "deprecated alias of -http")
@@ -144,13 +171,54 @@ func main() {
 		lg.Exitf(2, "%v", err)
 	}
 
+	var wanted map[string]bool
+	if *only != "" {
+		wanted = map[string]bool{}
+		keys := artifactKeys(prof)
+		known := map[string]bool{}
+		for _, k := range keys {
+			known[k] = true
+		}
+		var unknown []string
+		for _, k := range strings.Split(*only, ",") {
+			k = strings.TrimSpace(k)
+			if k == "" {
+				continue
+			}
+			if !known[k] {
+				unknown = append(unknown, k)
+				continue
+			}
+			wanted[k] = true
+		}
+		if len(unknown) > 0 {
+			sort.Strings(unknown)
+			lg.Exitf(2, "unknown artifact key(s) %s; valid keys: %s",
+				strings.Join(unknown, ", "), strings.Join(keys, ", "))
+		}
+		if len(wanted) == 0 {
+			lg.Exitf(2, "-only selected nothing; valid keys: %s", strings.Join(keys, ", "))
+		}
+	}
+	prepared := core.NewPreparedCache()
+	if *graphCache != "" {
+		if err := os.MkdirAll(*graphCache, 0o777); err != nil {
+			lg.Exitf(2, "-graph-cache: %v", err)
+		}
+		prepared = core.NewPreparedCacheDir(*graphCache)
+	}
+	defer prepared.Close()
+
 	// Ctrl-C cancels the measurement sweep; nothing is written (a
 	// partial trajectory would poison later comparisons), so the
 	// committed file is only ever replaced atomically and completely.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	m, err := measure(ctx, prof, *label, *jobs, lg, coll, board)
+	m, err := measure(ctx, prof, *label, *jobs, wanted, prepared, lg, coll, board)
+	if m != nil {
+		m.GraphCache = *graphCache != ""
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			lg.Statusf("interrupted; no file written")
@@ -200,6 +268,15 @@ func main() {
 	lg.Statusf("wrote %s", *out)
 }
 
+// artifactKeys is the -only vocabulary, in rendering order.
+func artifactKeys(prof core.Profile) []string {
+	var keys []string
+	for _, a := range artifacts(prof, report.Options{}) {
+		keys = append(keys, a.key)
+	}
+	return keys
+}
+
 // artifacts maps artifact keys to their generators, in dvmrepro's
 // rendering order. Table 5 is static text and is not timed.
 func artifacts(prof core.Profile, opts report.Options) []struct {
@@ -223,8 +300,10 @@ func artifacts(prof core.Profile, opts report.Options) []struct {
 
 // measure runs the suite: every artifact end-to-end at -j jobs (default
 // 1: stable, comparable across runs and against committed files), then
-// the micro-benchmarks (always sequential).
-func measure(ctx context.Context, prof core.Profile, label string, jobs int, lg *obs.Logger, coll *obs.Collector, board *runner.ProgressBoard) (*Measurement, error) {
+// the micro-benchmarks (always sequential). A non-nil wanted set
+// restricts the artifacts and skips the micro-benchmarks entirely (a
+// footprint run, not a full trajectory).
+func measure(ctx context.Context, prof core.Profile, label string, jobs int, wanted map[string]bool, prepared *core.PreparedCache, lg *obs.Logger, coll *obs.Collector, board *runner.ProgressBoard) (*Measurement, error) {
 	jobs = runner.DefaultJobs(jobs)
 	m := &Measurement{
 		Label:            label,
@@ -241,9 +320,17 @@ func measure(ctx context.Context, prof core.Profile, label string, jobs int, lg 
 		Workers:  runner.BudgetFor(jobs),
 		Metrics:  coll,
 		Board:    board,
-		Prepared: core.NewPreparedCache(),
+		Prepared: prepared,
+	}
+	canReset := resetPeakRSS()
+	if !canReset {
+		lg.Statusf("peak-RSS watermark reset unsupported; per-artifact RSS is the process-lifetime peak")
 	}
 	for _, a := range artifacts(prof, opts) {
+		if wanted != nil && !wanted[a.key] {
+			continue
+		}
+		resetPeakRSS()
 		start := time.Now()
 		if err := a.fn(io.Discard); err != nil {
 			return nil, fmt.Errorf("dvmbench: %s: %w", a.key, err)
@@ -251,7 +338,23 @@ func measure(ctx context.Context, prof core.Profile, label string, jobs int, lg 
 		wall := time.Since(start).Seconds()
 		m.ArtifactsSeconds[a.key] = wall
 		m.EndToEndSeconds += wall
-		lg.Statusf("artifact %s: %.2fs", a.key, wall)
+		rss := peakRSSBytes()
+		if rss > 0 {
+			if m.ArtifactsPeakRSSBytes == nil {
+				m.ArtifactsPeakRSSBytes = map[string]uint64{}
+			}
+			m.ArtifactsPeakRSSBytes[a.key] = rss
+			if rss > m.PeakRSSBytes {
+				m.PeakRSSBytes = rss
+			}
+		}
+		lg.Statusf("artifact %s: %.2fs peak RSS %d MiB", a.key, wall, rss>>20)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.HeapHighWaterBytes = ms.HeapSys
+	if wanted != nil {
+		return m, nil
 	}
 	for _, b := range microBenches(prof) {
 		r := testing.Benchmark(b.fn)
@@ -398,6 +501,16 @@ func gate(committed, fresh *Measurement) []error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	// Footprint gate: the artifact sweep is deterministic at a profile,
+	// so peak RSS compares across machines (unlike wall time); a >20%
+	// growth in the heaviest artifact's resident set fails. Only applies
+	// when both runs measured RSS with the same graph backing.
+	if committed.PeakRSSBytes > 0 && fresh.PeakRSSBytes > 0 && committed.GraphCache == fresh.GraphCache {
+		if limit := committed.PeakRSSBytes + committed.PeakRSSBytes/5; fresh.PeakRSSBytes > limit {
+			errs = append(errs, fmt.Errorf("peak RSS: %d MiB, committed %d MiB (limit %d MiB)",
+				fresh.PeakRSSBytes>>20, committed.PeakRSSBytes>>20, limit>>20))
+		}
+	}
 	for _, name := range names {
 		base := committed.Benchmarks[name]
 		cur, ok := fresh.Benchmarks[name]

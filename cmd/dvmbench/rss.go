@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// peakRSSBytes returns the process's peak resident set size (the kernel's
+// VmHWM watermark) in bytes, or 0 when /proc is unavailable.
+func peakRSSBytes() uint64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) >= 2 {
+			if kb, err := strconv.ParseUint(f[1], 10, 64); err == nil {
+				return kb << 10
+			}
+		}
+	}
+	return 0
+}
+
+// resetPeakRSS drops the kernel's peak-RSS watermark to the current RSS
+// (writing "5" to /proc/self/clear_refs, Linux >= 4.0), so a following
+// peakRSSBytes reflects only the work in between. Best-effort: on kernels
+// without watermark reset the monotone lifetime peak is reported instead,
+// which only ever over-reports a phase's footprint.
+func resetPeakRSS() bool {
+	return os.WriteFile("/proc/self/clear_refs", []byte("5"), 0) == nil
+}

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/dvm-sim/dvm/internal/accel"
 	"github.com/dvm-sim/dvm/internal/core"
@@ -21,8 +22,8 @@ import (
 
 func main() {
 	alg := flag.String("alg", "PageRank", "algorithm: BFS|PageRank|SSSP|CF")
-	dataset := flag.String("dataset", "FR", "dataset: FR|Wiki|LJ|S24|NF|Bip1|Bip2")
-	profileName := flag.String("profile", "tiny", "experiment profile: tiny|small|medium|paper")
+	dataset := flag.String("dataset", "FR", "dataset: "+strings.Join(graph.DatasetNames(), "|"))
+	profileName := flag.String("profile", "tiny", "experiment profile: "+strings.Join(core.ProfileNames(), "|"))
 	peOnly := flag.Bool("pe-only", false, "dump only the Permission Entry table")
 	quiet := flag.Bool("q", false, "suppress status output")
 	flag.Parse()
@@ -30,11 +31,11 @@ func main() {
 	lg := obs.NewLogger(os.Stderr, "dvminspect", *quiet)
 	prof, err := core.ProfileByName(*profileName)
 	if err != nil {
-		lg.Exitf(1, "%v", err)
+		lg.Exitf(2, "%v", err)
 	}
 	d, err := graph.DatasetByName(*dataset)
 	if err != nil {
-		lg.Exitf(1, "%v", err)
+		lg.Exitf(2, "%v", err)
 	}
 	p, err := core.Prepare(core.Workload{
 		Algorithm: *alg, Dataset: d, Scale: prof.Scale,

@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	dvmrepro [-profile tiny|small|medium|paper] [-j N] [-modes paper|extended]
+//	dvmrepro [-profile tiny|small|medium|large|paper] [-j N] [-modes paper|extended]
 //	         [-only fig2,table1,table3,fig8,fig9,table4,fig10,table5,ablations,virt]
-//	         [-checkpoint file [-resume]] [-chaos-rate p -chaos-seed N]
+//	         [-checkpoint file [-resume]] [-shard k/n] [-graph-cache dir]
+//	         [-chaos-rate p -chaos-seed N]
 //	         [-metrics file] [-trace file] [-trace-mask comps]
 //	         [-http addr] [-spans file] [-q]
+//	dvmrepro -merge-shards out.ckpt shard0.ckpt shard1.ckpt ...
 //
 // With no -only flag every artifact is regenerated in paper order. Output
 // goes to stdout; progress lines go to stderr unless -q is set. The
@@ -21,7 +23,19 @@
 // JSONL file; Ctrl-C (or SIGTERM) cancels the sweep cleanly, flushes the
 // checkpoint plus a partial -metrics snapshot, and exits 130. Rerunning
 // with -resume skips the finished cells and renders final tables
-// byte-identical to an uninterrupted run. -chaos-rate arms deterministic
+// byte-identical to an uninterrupted run.
+//
+// Distribution: -shard k/n runs only the experiment cells whose global
+// index i satisfies i%n == k, writing them to a -checkpoint namespaced
+// with the shard (tables are suppressed — a shard's rows are partial).
+// N shard checkpoints merge with -merge-shards into one plain checkpoint;
+// rendering it with -checkpoint merged -resume produces tables and
+// -metrics byte-identical to a single-box run. -graph-cache dir builds
+// each (dataset, scale, seed) graph once as an on-disk CSR file and
+// mmaps it read-only, so a fleet of shards (or a second run) shares
+// page-cache pages instead of regenerating and holding private copies.
+//
+// Chaos: -chaos-rate arms deterministic
 // seeded fault injection (allocation failures, corrupted PTEs, truncated
 // walks, bad PE permissions, memory latency spikes) in every simulation;
 // -chaos-seed fixes the fault schedule, so two runs with the same seed
@@ -43,6 +57,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
@@ -61,7 +76,7 @@ import (
 var artifactKeys = []string{"table3", "fig2", "table1", "fig8", "fig9", "table4", "fig10", "table5", "ablations", "virt"}
 
 func main() {
-	profileName := flag.String("profile", "small", "experiment profile: tiny|small|medium|paper (see DESIGN.md §6)")
+	profileName := flag.String("profile", "small", "experiment profile: "+strings.Join(core.ProfileNames(), "|")+" (see DESIGN.md §6)")
 	only := flag.String("only", "", "comma-separated subset: "+strings.Join(artifactKeys, ","))
 	modesName := flag.String("modes", "paper", "mode set for the fig8/fig9 matrix: paper (the seven paper columns, the byte-stable artifact) or extended (paper + SPARTA + VBI columns)")
 	jobs := flag.Int("j", 0, "max concurrent experiment cells (0 = one per CPU, 1 = sequential)")
@@ -79,9 +94,33 @@ func main() {
 	chaosRate := flag.Float64("chaos-rate", 0, "fault-injection probability per injection site (0 disables; results are not paper artifacts)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection PRNG seed (fixed seed = deterministic fault schedule)")
 	shareName := flag.String("share-traces", "auto", "trace sharing across a workload's mode cells: auto (one functional trace per replay group) or off (every cell regenerates; A/B verification) — outputs are byte-identical either way")
+	shardSpec := flag.String("shard", "", "run only cells i with i%n == k, given as k/n (requires -checkpoint; tables are suppressed — merge and render with -merge-shards then -resume)")
+	mergeOut := flag.String("merge-shards", "", "merge the shard checkpoint files given as arguments into this plain checkpoint, then exit")
+	graphCache := flag.String("graph-cache", "", "directory for the on-disk CSR graph cache: each (dataset, scale, seed) graph is built once and mmap'd read-only thereafter")
 	flag.Parse()
 
 	lg := obs.NewLogger(os.Stderr, "dvmrepro", *quiet)
+
+	// -merge-shards is a standalone mode: fold shard checkpoints into one
+	// plain checkpoint and exit. Rendering happens in a second invocation
+	// (-checkpoint merged -resume), which replays the merged cells.
+	if *mergeOut != "" {
+		srcs := flag.Args()
+		if len(srcs) == 0 {
+			lg.Exitf(2, "-merge-shards requires the shard checkpoint files as arguments")
+		}
+		base, cells, missing, err := core.MergeCheckpoints(*mergeOut, srcs)
+		if err != nil {
+			lg.Exitf(1, "%v", err)
+		}
+		for _, k := range missing {
+			fmt.Fprintf(os.Stderr, "dvmrepro: warning: shard %d is missing; rendering with -resume will rerun its cells\n", k)
+		}
+		fmt.Fprintf(os.Stderr, "dvmrepro: merged %d cells from %d shard(s) into %s (profile %s)\n", cells, len(srcs), *mergeOut, base)
+		fmt.Fprintf(os.Stderr, "dvmrepro: render with -checkpoint %s -resume plus the flags that produced profile %q\n", *mergeOut, base)
+		return
+	}
+
 	coll := &obs.Collector{}
 	board := &runner.ProgressBoard{}
 	if *httpAddr != "" {
@@ -100,13 +139,37 @@ func main() {
 		lg.Exitf(2, "%v", err)
 	}
 
+	var shard report.Shard
+	if *shardSpec != "" {
+		k, n := 0, 0
+		if _, err := fmt.Sscanf(*shardSpec, "%d/%d", &k, &n); err != nil ||
+			fmt.Sprintf("%d/%d", k, n) != *shardSpec || n < 1 || k < 0 || k >= n {
+			lg.Exitf(2, "bad -shard %q (want k/n with 0 <= k < n)", *shardSpec)
+		}
+		if *ckPath == "" {
+			lg.Exitf(2, "-shard requires -checkpoint (a shard's only durable output is its checkpoint)")
+		}
+		if *metricsPath != "" {
+			lg.Exitf(2, "-shard and -metrics are incompatible: merge the shard checkpoints and render with -resume to get the complete snapshot")
+		}
+		shard = report.Shard{Index: k, Count: n}
+	}
+
 	// Ctrl-C / SIGTERM cancels the sweep through the context: workers
 	// stop claiming cells, completed cells are already checkpointed, and
 	// the partial metrics snapshot is flushed before exiting 130.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	opts := report.Options{Ctx: ctx, Jobs: *jobs, Metrics: coll, Prepared: core.NewPreparedCache(), Workers: runner.BudgetFor(*jobs)}
+	prepared := core.NewPreparedCache()
+	if *graphCache != "" {
+		if err := os.MkdirAll(*graphCache, 0o777); err != nil {
+			lg.Exitf(2, "-graph-cache: %v", err)
+		}
+		prepared = core.NewPreparedCacheDir(*graphCache)
+	}
+	defer prepared.Close()
+	opts := report.Options{Ctx: ctx, Jobs: *jobs, Metrics: coll, Prepared: prepared, Workers: runner.BudgetFor(*jobs), Shard: shard}
 	if !lg.Quiet() {
 		opts.Progress = lg.Statusf
 	}
@@ -156,8 +219,13 @@ func main() {
 	}
 	if *chaosRate > 0 {
 		opts.Chaos = &chaos.Config{Seed: *chaosSeed, Rate: *chaosRate}
-		ckProfile = fmt.Sprintf("%s+chaos(seed=%d,rate=%g)", prof.Name, *chaosSeed, *chaosRate)
+		ckProfile = fmt.Sprintf("%s+chaos(seed=%d,rate=%g)", ckProfile, *chaosSeed, *chaosRate)
 		lg.Statusf("chaos armed: seed %d rate %g (outputs are not paper artifacts)", *chaosSeed, *chaosRate)
+	}
+	// The shard suffix goes last so MergeCheckpoints can strip exactly it
+	// and recover the full base namespace (modes/share/chaos included).
+	if shard.Count > 0 {
+		ckProfile = core.ShardProfile(ckProfile, shard.Index, shard.Count)
 	}
 	if *resume && *ckPath == "" {
 		lg.Exitf(2, "-resume requires -checkpoint")
@@ -258,11 +326,20 @@ func main() {
 			}
 			lg.Exitf(1, "%s: %v", name, err)
 		}
-		fmt.Println()
+		if shard.Count == 0 {
+			fmt.Println()
+		}
 		lg.Statusf("== %s done in %v", name, time.Since(start).Round(time.Millisecond))
 	}
 
-	out := os.Stdout
+	out := io.Writer(os.Stdout)
+	if shard.Count > 0 {
+		// A shard's table rows are partial (unowned cells render as
+		// zeros), so the rendered text is suppressed; the checkpoint is
+		// the shard's durable output.
+		out = io.Discard
+		lg.Statusf("shard %d/%d: tables suppressed; completed cells go to %s", shard.Index, shard.Count, *ckPath)
+	}
 	run("table3", func() error { return report.Table3(prof, out, opts) })
 	run("fig2", func() error { return report.Figure2(prof, out, opts) })
 	run("table1", func() error { return report.Table1(prof, out, opts) })
@@ -285,6 +362,10 @@ func main() {
 
 	if err := ck.Close(); err != nil {
 		lg.Exitf(1, "checkpoint: %v", err)
+	}
+	if shard.Count > 0 {
+		fmt.Fprintf(os.Stderr, "dvmrepro: shard %d/%d complete: %d cells in %s; combine with -merge-shards\n",
+			shard.Index, shard.Count, ck.Len(), *ckPath)
 	}
 	if tracer != nil {
 		// Fold the final drop count in at flush time (see interrupted).

@@ -42,9 +42,9 @@ import (
 
 func main() {
 	alg := flag.String("alg", "PageRank", "algorithm: BFS|PageRank|SSSP|CF")
-	dataset := flag.String("dataset", "Wiki", "dataset: FR|Wiki|LJ|S24|NF|Bip1|Bip2")
+	dataset := flag.String("dataset", "Wiki", "dataset: "+strings.Join(graph.DatasetNames(), "|"))
 	modeName := flag.String("mode", "", "comma-separated mode list (default: the seven paper modes); names/aliases are case-insensitive (e.g. 4K|DVM-BM|pe+|SPARTA|VBI), plus 'all' (paper set) and 'extended' (paper + SPARTA + VBI)")
-	profileName := flag.String("profile", "small", "experiment profile: tiny|small|medium|paper")
+	profileName := flag.String("profile", "small", "experiment profile: "+strings.Join(core.ProfileNames(), "|"))
 	seed := flag.Int64("seed", 42, "graph generation seed")
 	jobs := flag.Int("j", 0, "max concurrent mode runs (0 = one per CPU, 1 = sequential)")
 	quiet := flag.Bool("q", false, "suppress status output")
@@ -76,11 +76,11 @@ func main() {
 
 	prof, err := core.ProfileByName(*profileName)
 	if err != nil {
-		lg.Exitf(1, "%v", err)
+		lg.Exitf(2, "%v", err)
 	}
 	d, err := graph.DatasetByName(*dataset)
 	if err != nil {
-		lg.Exitf(1, "%v", err)
+		lg.Exitf(2, "%v", err)
 	}
 	w := core.Workload{
 		Algorithm:     *alg,

@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"os"
+	"strings"
 
 	"github.com/dvm-sim/dvm/internal/core"
 	"github.com/dvm-sim/dvm/internal/obs"
@@ -17,7 +18,7 @@ import (
 )
 
 func main() {
-	profileName := flag.String("profile", "small", "experiment profile: tiny|small|medium|paper")
+	profileName := flag.String("profile", "small", "experiment profile: "+strings.Join(core.ProfileNames(), "|"))
 	jobs := flag.Int("j", 0, "max concurrent experiment cells (0 = one per CPU, 1 = sequential)")
 	quiet := flag.Bool("q", false, "suppress status output")
 	flag.Parse()

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"github.com/dvm-sim/dvm/internal/core"
 	"github.com/dvm-sim/dvm/internal/graph"
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	profileName := flag.String("profile", "small", "experiment profile: tiny|small|medium|paper")
+	profileName := flag.String("profile", "small", "experiment profile: "+strings.Join(core.ProfileNames(), "|"))
 	sweep := flag.Bool("sweep", false, "sweep TLB sizes for one workload instead of printing Figure 2")
 	alg := flag.String("alg", "PageRank", "algorithm for -sweep")
 	dataset := flag.String("dataset", "Wiki", "dataset for -sweep")
@@ -55,7 +56,7 @@ func main() {
 
 	prof, err := core.ProfileByName(*profileName)
 	if err != nil {
-		lg.Exitf(1, "%v", err)
+		lg.Exitf(2, "%v", err)
 	}
 	if !*sweep {
 		opts := report.Options{Jobs: *jobs, Metrics: coll, Workers: runner.BudgetFor(*jobs)}
@@ -73,7 +74,7 @@ func main() {
 	}
 	d, err := graph.DatasetByName(*dataset)
 	if err != nil {
-		lg.Exitf(1, "%v", err)
+		lg.Exitf(2, "%v", err)
 	}
 	p, err := core.Prepare(core.Workload{
 		Algorithm: *alg, Dataset: d, Scale: prof.Scale,

@@ -1,0 +1,70 @@
+package accel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBitsetMatchesBoolSlice drives a bitset and a []bool through the
+// same randomized set/clear sequence (the touched-mark access pattern)
+// and checks they never disagree.
+func TestBitsetMatchesBoolSlice(t *testing.T) {
+	const n = 1000
+	b := newBitset(n)
+	defer b.release()
+	ref := make([]bool, n)
+	rng := rand.New(rand.NewSource(5))
+	for step := 0; step < 20000; step++ {
+		i := int32(rng.Intn(n))
+		switch rng.Intn(3) {
+		case 0:
+			b.set(i)
+			ref[i] = true
+		case 1:
+			b.clear(i)
+			ref[i] = false
+		default:
+			if b.get(i) != ref[i] {
+				t.Fatalf("step %d: bit %d = %v, want %v", step, i, b.get(i), ref[i])
+			}
+		}
+	}
+	for i := int32(0); i < n; i++ {
+		if b.get(i) != ref[i] {
+			t.Fatalf("final: bit %d = %v, want %v", i, b.get(i), ref[i])
+		}
+	}
+}
+
+// TestBitsetFootprint pins the compression: V bits live in V/64 words.
+func TestBitsetFootprint(t *testing.T) {
+	b := newBitset(1 << 20)
+	defer b.release()
+	if len(b) != 1<<14 {
+		t.Fatalf("bitset for 2^20 bits holds %d words, want %d", len(b), 1<<14)
+	}
+}
+
+// TestPoolRecycles checks get/put round-trips reuse storage and that
+// non-pool-born capacities are dropped rather than mis-classed.
+func TestPoolRecycles(t *testing.T) {
+	var p slicePool[int32]
+	s := p.get(100)
+	if len(s) != 100 || cap(s) != 128 {
+		t.Fatalf("get(100) = len %d cap %d", len(s), cap(s))
+	}
+	p.put(s)
+	s2 := p.get(70)
+	if &s[0] != &s2[0] {
+		t.Errorf("pool did not recycle the class-7 buffer")
+	}
+	p.put(make([]int32, 100)) // cap 100: not pool-born, must be dropped
+	s3 := p.get(100)
+	if cap(s3) != 128 {
+		t.Errorf("pool served a non-power-of-two buffer (cap %d)", cap(s3))
+	}
+	if p.get(0) != nil {
+		t.Errorf("get(0) != nil")
+	}
+	p.put(nil)
+}

@@ -66,7 +66,7 @@ type Engine struct {
 
 	frontier    []int32
 	touched     []int32
-	touchedMark []bool
+	touchedMark bitset
 
 	// Scheduler and per-iteration scratch, pooled so the steady-state
 	// run loop allocates nothing: per-PE scheduler state and MLP rings,
@@ -148,9 +148,12 @@ func NewEngine(cfg Config, g *graph.Graph, prog Program, lay Layout, iommu *mmu.
 		return nil, fmt.Errorf("accel: engine needs graph, IOMMU and memory controller")
 	}
 	e := &Engine{cfg: cfg, g: g, prog: prog, lay: lay, iommu: iommu, mem: mem}
+	// props escape through Props() (the functional result) and stay
+	// engine-owned; the run-scoped scratch — temps and the touched-mark
+	// bitset — is pooled and released by finishRun.
 	e.props = make([]float64, g.V)
-	e.temps = make([]float64, g.V)
-	e.touchedMark = make([]bool, g.V)
+	e.temps = poolF64.get(g.V)
+	e.touchedMark = newBitset(g.V)
 	for v := 0; v < g.V; v++ {
 		e.props[v] = prog.InitProp(v, g)
 		e.temps[v] = prog.ReduceIdentity
@@ -250,8 +253,10 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// finishRun seals the statistics and releases any replay-group
-// subscription (a finished consumer must stop pinning chunks).
+// finishRun seals the statistics, releases any replay-group
+// subscription (a finished consumer must stop pinning chunks), and
+// returns the engine's V-proportional run scratch to the buffer pools —
+// props (the functional result) stay.
 func (e *Engine) finishRun() {
 	e.stats.Iterations = e.iter
 	e.stats.Cycles = e.now
@@ -260,6 +265,12 @@ func (e *Engine) finishRun() {
 		e.share.unsubscribe()
 		e.share = nil
 	}
+	poolF64.put(e.temps)
+	e.temps, e.gen.temps = nil, nil
+	e.touchedMark.release()
+	e.touchedMark = nil
+	poolI32.put(e.allVerts)
+	e.allVerts = nil
 }
 
 // phasePools sizes the per-phase scratch pools and returns the stream
@@ -374,7 +385,10 @@ func (e *Engine) stepApply() {
 	var applyList []int32
 	if e.prog.AllActive && !e.g.Bipartite {
 		if e.allVerts == nil {
-			e.allVerts = allVertices(e.g)
+			e.allVerts = poolI32.get(e.g.V)
+			for i := range e.allVerts {
+				e.allVerts[i] = int32(i)
+			}
 		}
 		applyList = e.allVerts
 	} else {
@@ -414,7 +428,7 @@ func (e *Engine) stepApply() {
 func (e *Engine) finishApply(results [][]int32) {
 	for _, v := range e.touched {
 		e.temps[v] = e.prog.ReduceIdentity
-		e.touchedMark[v] = false
+		e.touchedMark.clear(v)
 	}
 	if e.prog.AllActive {
 		// Frontier repeats (PageRank: all vertices; CF: the users).
@@ -731,11 +745,14 @@ func (s *scatterStream) next() (access, bool) {
 				return access{e.lay.TempPropAddr(dst), addr.Read}, true
 			default:
 				dst := int32(e.g.Col[s.eIdx])
-				w := e.g.Weight[s.eIdx]
+				var w float32
+				if e.g.Weight != nil {
+					w = e.g.Weight[s.eIdx]
+				}
 				res := e.prog.ProcessEdge(w, s.srcProp)
 				e.temps[dst] = e.prog.Reduce(e.temps[dst], res)
-				if !e.touchedMark[dst] {
-					e.touchedMark[dst] = true
+				if !e.touchedMark.get(dst) {
+					e.touchedMark.set(dst)
 					e.touched = append(e.touched, dst)
 				}
 				e.stats.EdgesProcessed++

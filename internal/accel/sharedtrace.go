@@ -167,7 +167,7 @@ type ShareGroup struct {
 
 	// Canonical functional state beyond genState: the touched set, the
 	// activation lists and the frontier ping-pong buffer.
-	touchedMark []bool
+	touchedMark bitset
 	touched     []int32
 	allVerts    []int32
 	results     [][]int32
@@ -237,14 +237,16 @@ func NewShareGroup(cfg Config, g *graph.Graph, prog Program, lay Layout, opt Sha
 			h.window = MaxShareWindow
 		}
 	}
+	// The hub's canonical functional state is private scratch released
+	// at Close, so it draws from the engine buffer pools.
 	h.gs = genState{g: g, prog: prog, lay: lay,
-		props: make([]float64, g.V), temps: make([]float64, g.V)}
+		props: poolF64.get(g.V), temps: poolF64.get(g.V)}
 	for v := 0; v < g.V; v++ {
 		h.gs.props[v] = prog.InitProp(v, g)
 		h.gs.temps[v] = prog.ReduceIdentity
 	}
 	h.gs.frontier = prog.InitialFrontier(g)
-	h.touchedMark = make([]bool, g.V)
+	h.touchedMark = newBitset(g.V)
 	h.needCompare = !(prog.AllActive && !g.Bipartite)
 	npe := cfg.PEs
 	h.scatter = make([]scatterGen, npe)
@@ -304,6 +306,14 @@ func (h *ShareGroup) Close() {
 		h.phaseSpan.End()
 		h.phaseSpan = nil
 	}
+	// Return the canonical functional scratch to the buffer pools.
+	poolF64.put(h.gs.props)
+	poolF64.put(h.gs.temps)
+	h.gs.props, h.gs.temps = nil, nil
+	h.touchedMark.release()
+	h.touchedMark = nil
+	poolI32.put(h.allVerts)
+	h.allVerts = nil
 	sp := h.spill
 	h.spill = nil
 	h.mu.Unlock()
@@ -500,7 +510,10 @@ func (h *ShareGroup) beginApplyPhaseLocked(npe int) {
 	var applyList []int32
 	if h.gs.prog.AllActive && !h.gs.g.Bipartite {
 		if h.allVerts == nil {
-			h.allVerts = allVertices(h.gs.g)
+			h.allVerts = poolI32.get(h.gs.g.V)
+			for i := range h.allVerts {
+				h.allVerts[i] = int32(i)
+			}
 		}
 		applyList = h.allVerts
 	} else {
@@ -571,8 +584,8 @@ func (h *ShareGroup) foldChunkLocked(buf []traceEntry, n int) {
 			continue
 		}
 		h.gs.temps[t.dst] = h.gs.prog.Reduce(h.gs.temps[t.dst], t.val)
-		if !h.touchedMark[t.dst] {
-			h.touchedMark[t.dst] = true
+		if !h.touchedMark.get(t.dst) {
+			h.touchedMark.set(t.dst)
 			h.touched = append(h.touched, t.dst)
 		}
 	}
@@ -598,7 +611,7 @@ func (h *ShareGroup) finishPhaseLocked(ph *sharePhase, npe int) {
 	} else {
 		for _, v := range h.touched {
 			h.gs.temps[v] = h.gs.prog.ReduceIdentity
-			h.touchedMark[v] = false
+			h.touchedMark.clear(v)
 		}
 		if !h.gs.prog.AllActive {
 			next := h.nextBuf[:0]
@@ -940,8 +953,8 @@ func (s *shareStream) next() (access, bool) {
 	case opReduce:
 		d := t.dst
 		e.temps[d] = e.prog.Reduce(e.temps[d], t.val)
-		if !e.touchedMark[d] {
-			e.touchedMark[d] = true
+		if !e.touchedMark.get(d) {
+			e.touchedMark.set(d)
 			e.touched = append(e.touched, d)
 		}
 		e.stats.EdgesProcessed++

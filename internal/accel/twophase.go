@@ -170,10 +170,14 @@ func (g *scatterGen) fill(buf []traceEntry) (int, bool) {
 				n++
 			default:
 				dst := int32(e.g.Col[g.eIdx])
+				var w float32
+				if e.g.Weight != nil {
+					w = e.g.Weight[g.eIdx]
+				}
 				buf[n] = traceEntry{
 					va: e.lay.TempPropAddr(dst), kind: addr.Write,
 					op: opReduce, dst: dst,
-					val: e.prog.ProcessEdge(e.g.Weight[g.eIdx], g.srcProp),
+					val: e.prog.ProcessEdge(w, g.srcProp),
 				}
 				n++
 				g.eIdx++
@@ -276,8 +280,8 @@ func (s *traceStream) next() (access, bool) {
 	case opReduce:
 		d := t.dst
 		e.temps[d] = e.prog.Reduce(e.temps[d], t.val)
-		if !e.touchedMark[d] {
-			e.touchedMark[d] = true
+		if !e.touchedMark.get(d) {
+			e.touchedMark.set(d)
 			e.touched = append(e.touched, d)
 		}
 		e.stats.EdgesProcessed++

@@ -103,12 +103,50 @@ func (c *Checkpoint) writeHeader() error {
 }
 
 func (c *Checkpoint) load(path string) error {
-	f, err := os.Open(path)
+	sc, err := scanCheckpoint(path)
 	if os.IsNotExist(err) {
 		return nil // nothing to resume from; start fresh
 	}
 	if err != nil {
 		return err
+	}
+	if sc.profile == "" && sc.validLen == 0 {
+		return nil // empty file: start fresh
+	}
+	if sc.profile != c.profile {
+		return fmt.Errorf("core: checkpoint %s was written by profile %q, cannot resume profile %q", path, sc.profile, c.profile)
+	}
+	c.headerLoaded = true
+	c.validLen = sc.validLen
+	for _, r := range sc.recs {
+		c.done[r.Key] = r.Value
+	}
+	return nil
+}
+
+// ckptRec is one stored cell as scanned from disk.
+type ckptRec struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// ckptScan is the result of scanning a checkpoint file: the header
+// profile, the intact records in file order, and the byte offset after
+// the last intact line (a torn trailing fragment sits past it).
+type ckptScan struct {
+	profile  string
+	recs     []ckptRec
+	validLen int64
+}
+
+// scanCheckpoint reads a checkpoint file with the resume tolerance
+// rules: exactly one torn/malformed FINAL line is discarded (an
+// interrupted append); anywhere else it is corruption.
+func scanCheckpoint(path string) (ckptScan, error) {
+	var sc ckptScan
+	f, err := os.Open(path)
+	if err != nil {
+		return sc, err
 	}
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<20)
@@ -121,7 +159,7 @@ func (c *Checkpoint) load(path string) error {
 				break
 			}
 			if rerr != nil {
-				return rerr
+				return sc, rerr
 			}
 			continue
 		}
@@ -132,7 +170,7 @@ func (c *Checkpoint) load(path string) error {
 		lineNo++
 		if pendingErr != nil {
 			// The torn/malformed line was not the last one: corruption.
-			return pendingErr
+			return sc, pendingErr
 		}
 		switch {
 		case len(line) == 0:
@@ -143,23 +181,17 @@ func (c *Checkpoint) load(path string) error {
 				Profile    string `json:"profile"`
 			}
 			if err := json.Unmarshal(line, &hdr); err != nil || hdr.Checkpoint == "" {
-				return fmt.Errorf("core: %s is not a checkpoint file", path)
+				return sc, fmt.Errorf("core: %s is not a checkpoint file", path)
 			}
 			if hdr.Checkpoint != checkpointMagic {
-				return fmt.Errorf("core: checkpoint %s has format %q, want %q", path, hdr.Checkpoint, checkpointMagic)
-			}
-			if hdr.Profile != c.profile {
-				return fmt.Errorf("core: checkpoint %s was written by profile %q, cannot resume profile %q", path, hdr.Profile, c.profile)
+				return sc, fmt.Errorf("core: checkpoint %s has format %q, want %q", path, hdr.Checkpoint, checkpointMagic)
 			}
 			if !intact {
-				return fmt.Errorf("core: %s is not a checkpoint file", path)
+				return sc, fmt.Errorf("core: %s is not a checkpoint file", path)
 			}
-			c.headerLoaded = true
+			sc.profile = hdr.Profile
 		default:
-			var rec struct {
-				Key   string          `json:"key"`
-				Value json.RawMessage `json:"value"`
-			}
+			var rec ckptRec
 			if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" || !intact {
 				// A torn final append from an interrupted run is
 				// tolerated (and truncated away) when nothing follows;
@@ -167,19 +199,19 @@ func (c *Checkpoint) load(path string) error {
 				pendingErr = fmt.Errorf("core: checkpoint %s line %d is corrupt", path, lineNo)
 				continue
 			}
-			c.done[rec.Key] = rec.Value
+			sc.recs = append(sc.recs, rec)
 		}
-		c.validLen += int64(len(raw))
+		sc.validLen += int64(len(raw))
 		if rerr == io.EOF {
 			break
 		}
 		if rerr != nil {
-			return rerr
+			return sc, rerr
 		}
 	}
 	// pendingErr still set here means the torn line was the final one —
-	// an interrupted append; it sits past validLen and gets truncated.
-	return nil
+	// an interrupted append; it sits past validLen and gets discarded.
+	return sc, nil
 }
 
 // Lookup reports whether the cell named key already completed, decoding

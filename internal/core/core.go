@@ -341,24 +341,55 @@ func Prepare(w Workload) (*Prepared, error) {
 // from b, while the RNG edge streams stay sequential — the Prepared is
 // bit-identical at every budget population.
 func PrepareB(w Workload, b *runner.Budget) (*Prepared, error) {
-	if w.Scale == 0 {
-		w.Scale = 1
-	}
-	prog, err := w.ProgramFor()
+	w = w.normalized()
+	prog, err := w.check()
 	if err != nil {
 		return nil, err
-	}
-	if w.Algorithm == "CF" && !w.Dataset.Bipartite {
-		return nil, fmt.Errorf("core: CF needs a bipartite dataset, got %s", w.Dataset.Name)
-	}
-	if w.Algorithm != "CF" && w.Dataset.Bipartite {
-		return nil, fmt.Errorf("core: %s cannot run on bipartite dataset %s", w.Algorithm, w.Dataset.Name)
 	}
 	g, err := w.Dataset.GenerateB(w.Scale, w.Seed, b)
 	if err != nil {
 		return nil, err
 	}
 	return &Prepared{Workload: w, G: g, Prog: prog}, nil
+}
+
+// PrepareWithGraph is Prepare with the dataset already materialized —
+// the out-of-core path, where a PreparedCache shares one (possibly
+// mmap'd) graph across every algorithm that reads the same (dataset,
+// scale, seed). The graph must be the dataset generated at w's scale
+// and seed; indexing RowPtr/Col/Weight is byte-identical regardless of
+// backing, so results match PrepareB's exactly.
+func PrepareWithGraph(w Workload, g *graph.Graph) (*Prepared, error) {
+	w = w.normalized()
+	prog, err := w.check()
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{Workload: w, G: g, Prog: prog}, nil
+}
+
+// normalized applies workload defaulting (Scale 0 means paper scale).
+func (w Workload) normalized() Workload {
+	if w.Scale == 0 {
+		w.Scale = 1
+	}
+	return w
+}
+
+// check resolves the workload's program and validates the
+// algorithm/dataset pairing.
+func (w Workload) check() (accel.Program, error) {
+	prog, err := w.ProgramFor()
+	if err != nil {
+		return prog, err
+	}
+	if w.Algorithm == "CF" && !w.Dataset.Bipartite {
+		return prog, fmt.Errorf("core: CF needs a bipartite dataset, got %s", w.Dataset.Name)
+	}
+	if w.Algorithm != "CF" && w.Dataset.Bipartite {
+		return prog, fmt.Errorf("core: %s cannot run on bipartite dataset %s", w.Algorithm, w.Dataset.Name)
+	}
+	return prog, nil
 }
 
 // RunResult is the outcome of one (workload, mode) cell.
@@ -411,7 +442,13 @@ func (p *Prepared) Run(mode Mode, cfg SystemConfig) (RunResult, error) {
 		c.abort()
 		return c.res, err
 	}
-	return c.finish(stats), nil
+	res := c.finish(stats)
+	// Out-of-core discipline: evict the mapped CSR's resident pages so
+	// peak RSS tracks the active dataset, not every dataset ever run.
+	// Concurrent cells on the same graph just soft-fault pages back in
+	// from the page cache. No-op for in-memory graphs.
+	p.G.DropResident()
+	return res, nil
 }
 
 // cellRun is one (workload, mode) cell assembled and ready to execute:
@@ -712,6 +749,17 @@ func (p *Prepared) RunModesCtx(ctx context.Context, modes []Mode, cfg SystemConf
 // tests can force constant spilling.
 var shareWindow = 0
 
+// outOfCoreShareWindow replaces the auto-sized window when the graph is
+// mmap-backed: an out-of-core run has asked for bounded residency, and
+// at the scales where that matters phases overflow MaxShareWindow and
+// spill regardless — so pinning the full 2048-chunk (~768 MiB) window
+// buys little locality while dominating peak RSS. 512 chunks (~192 MiB)
+// keeps the hot tail of each phase resident; the window is pure memory
+// management, so results stay byte-identical at any size (pinned by the
+// share-vs-independent equivalence tests, which force constant
+// spilling).
+const outOfCoreShareWindow = 512
+
 // shareDetachFallback routes frontier-driven programs straight to the
 // independent path (see RunModesShared); a variable so the equivalence
 // tests can force such programs through the hub and cover the detach
@@ -763,6 +811,7 @@ func (p *Prepared) RunModesShared(ctx context.Context, modes []Mode, cfg SystemC
 			out[m] = results[i]
 		}
 	}
+	p.G.DropResident()
 	return out, nil
 }
 
@@ -787,8 +836,12 @@ func (p *Prepared) runShareWave(ctx context.Context, wave []Mode, cfg SystemConf
 			return nil, err
 		}
 	}
+	win := shareWindow
+	if win == 0 && p.G.Backing() == graph.MMap {
+		win = outOfCoreShareWindow
+	}
 	h, err := accel.NewShareGroup(accel.Config{PEs: cfg.PEs, MLP: cfg.MLP}, p.G, p.Prog, st.lay,
-		accel.ShareOptions{Window: shareWindow})
+		accel.ShareOptions{Window: win})
 	if err != nil {
 		return nil, err
 	}

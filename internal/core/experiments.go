@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"github.com/dvm-sim/dvm/internal/accel"
 	"github.com/dvm-sim/dvm/internal/graph"
@@ -38,19 +39,41 @@ var (
 	ProfileSmall = Profile{Name: "small", Scale: 1.0 / 64, TLBEntries: 8, PageRankIters: 3}
 	// ProfileMedium trades minutes for fidelity.
 	ProfileMedium = Profile{Name: "medium", Scale: 1.0 / 16, TLBEntries: 16, PageRankIters: 3}
+	// ProfileLarge sits between medium and paper: GB-class inputs meant
+	// to run out-of-core (mmap'd graph cache, sharded sweeps) on
+	// modest-RAM machines. TLB reach follows the existing scaling ladder
+	// (×2 entries per ×4 scale from medium).
+	ProfileLarge = Profile{Name: "large", Scale: 1.0 / 4, TLBEntries: 32, PageRankIters: 3}
 	// ProfilePaper is the paper's full configuration (hours; needs GBs
 	// of host memory).
 	ProfilePaper = Profile{Name: "paper", Scale: 1, TLBEntries: 128, PageRankIters: 3}
 )
 
+// Profiles is the registry of predefined profiles, smallest first. CLI
+// vocab (help strings, validation) derives from it so new profiles
+// cannot drift out of the tools.
+func Profiles() []Profile {
+	return []Profile{ProfileTiny, ProfileSmall, ProfileMedium, ProfileLarge, ProfilePaper}
+}
+
+// ProfileNames returns the registered profile labels in registry order.
+func ProfileNames() []string {
+	ps := Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
 // ProfileByName resolves a profile label.
 func ProfileByName(name string) (Profile, error) {
-	for _, p := range []Profile{ProfileTiny, ProfileSmall, ProfileMedium, ProfilePaper} {
+	for _, p := range Profiles() {
 		if p.Name == name {
 			return p, nil
 		}
 	}
-	return Profile{}, fmt.Errorf("core: unknown profile %q (tiny|small|medium|paper)", name)
+	return Profile{}, fmt.Errorf("core: unknown profile %q (registered: %s)", name, strings.Join(ProfileNames(), "|"))
 }
 
 // SystemConfig returns the machine configuration for the profile.

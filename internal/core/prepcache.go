@@ -1,8 +1,12 @@
 package core
 
 import (
+	"fmt"
+	"path/filepath"
+	"runtime/debug"
 	"sync"
 
+	"github.com/dvm-sim/dvm/internal/graph"
 	"github.com/dvm-sim/dvm/internal/runner"
 )
 
@@ -16,9 +20,20 @@ import (
 // Workload is a comparable value (the dataset spec is all scalars), so it
 // keys the map directly. Entries are never evicted: the cache's lifetime
 // is one report run, and the tiny/full matrices are small and bounded.
+//
+// A cache built with NewPreparedCacheDir additionally shares graphs
+// out-of-core: each (dataset, scale, seed) is generated once, serialized
+// to dir as an on-disk CSR, and memory-mapped read-only — so the three
+// algorithms reading S24 share one physical copy (Workload keys include
+// Algorithm, so the in-memory path generates three), and separate
+// processes (shards, repeat runs) share it through the page cache.
 type PreparedCache struct {
 	mu sync.Mutex
 	m  map[Workload]*prepEntry
+
+	// dir, when non-empty, enables the on-disk graph cache.
+	dir    string
+	graphs map[graphKey]*graphEntry
 }
 
 type prepEntry struct {
@@ -27,9 +42,36 @@ type prepEntry struct {
 	err  error
 }
 
-// NewPreparedCache returns an empty cache.
+// graphKey identifies one generated dataset instance: the registry spec
+// is fixed per name, so (name, scale, seed) pins the exact bit pattern.
+type graphKey struct {
+	dataset string
+	scale   float64
+	seed    int64
+}
+
+type graphEntry struct {
+	once sync.Once
+	g    *graph.Graph
+	err  error
+}
+
+// NewPreparedCache returns an empty cache (in-memory graphs, the
+// default path).
 func NewPreparedCache() *PreparedCache {
 	return &PreparedCache{m: make(map[Workload]*prepEntry)}
+}
+
+// NewPreparedCacheDir returns a cache that backs graphs with on-disk
+// CSR files under dir, built once per (dataset, scale, seed) and
+// memory-mapped read-only (graph.OpenMMap). An unwritable or damaged
+// cache degrades to in-memory generation; results are byte-identical
+// either way.
+func NewPreparedCacheDir(dir string) *PreparedCache {
+	c := NewPreparedCache()
+	c.dir = dir
+	c.graphs = make(map[graphKey]*graphEntry)
+	return c
 }
 
 // Prepare is a single-flight core.Prepare: concurrent callers with the
@@ -54,6 +96,88 @@ func (c *PreparedCache) PrepareB(w Workload, b *runner.Budget) (*Prepared, error
 		c.m[w] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.p, e.err = PrepareB(w, b) })
+	e.once.Do(func() {
+		if c.dir == "" {
+			e.p, e.err = PrepareB(w, b)
+			return
+		}
+		nw := w.normalized()
+		if _, err := nw.check(); err != nil {
+			e.err = err
+			return
+		}
+		g, err := c.graphFor(nw, b)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.p, e.err = PrepareWithGraph(nw, g)
+	})
 	return e.p, e.err
+}
+
+// graphFor resolves the shared graph for w's (dataset, scale, seed),
+// single-flight across algorithms and workers.
+func (c *PreparedCache) graphFor(w Workload, b *runner.Budget) (*graph.Graph, error) {
+	key := graphKey{dataset: w.Dataset.Name, scale: w.Scale, seed: w.Seed}
+	c.mu.Lock()
+	e, ok := c.graphs[key]
+	if !ok {
+		e = &graphEntry{}
+		c.graphs[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.g, e.err = c.loadGraph(w, b) })
+	return e.g, e.err
+}
+
+// loadGraph opens the dataset's cached on-disk CSR, generating and
+// serializing it first on a cache miss. Cache failures (unwritable dir,
+// damaged file that also fails to rewrite) fall back to the generated
+// in-memory graph so a broken cache can slow a run but never change or
+// fail it.
+func (c *PreparedCache) loadGraph(w Workload, b *runner.Budget) (*graph.Graph, error) {
+	path := filepath.Join(c.dir, fmt.Sprintf("%s_s%g_seed%d.dvmcsr", w.Dataset.Name, w.Scale, w.Seed))
+	if g, err := graph.OpenMMap(path); err == nil {
+		return g, nil
+	}
+	built, err := w.Dataset.GenerateB(w.Scale, w.Seed, b)
+	if err != nil {
+		return nil, err
+	}
+	if err := graph.WriteFile(built, path); err != nil {
+		return built, nil
+	}
+	g, err := graph.OpenMMap(path)
+	if err != nil {
+		return built, nil
+	}
+	// The in-memory build just became garbage; hand its pages back to
+	// the OS now rather than letting them sit in RSS until the
+	// background scavenger gets around to it. One forced GC per
+	// (dataset, scale, seed) build is noise next to the build itself,
+	// and it keeps the out-of-core footprint story honest: after this
+	// point the dataset's only copy is the mapping.
+	built = nil
+	debug.FreeOSMemory()
+	return g, nil
+}
+
+// Close releases any memory-mapped graphs the cache holds. Prepared
+// workloads obtained from the cache must not be used afterwards.
+func (c *PreparedCache) Close() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for _, e := range c.graphs {
+		if e.g != nil {
+			if err := e.g.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
 }

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/dvm-sim/dvm/internal/graph"
+)
+
+// TestPreparedCacheDirMatchesInMemory runs the same workloads through
+// the default (in-memory) cache and a dir-backed (mmap'd on-disk CSR)
+// cache and requires identical run results: the backing changes where
+// graph bytes live, never what any mode computes.
+func TestPreparedCacheDirMatchesInMemory(t *testing.T) {
+	dir := t.TempDir()
+	mem := NewPreparedCache()
+	disk := NewPreparedCacheDir(dir)
+	defer disk.Close()
+
+	datasets := []string{"FR", "NF"}
+	for _, name := range datasets {
+		d, err := graph.DatasetByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg := "BFS"
+		if d.Bipartite {
+			alg = "CF"
+		}
+		wl := Workload{Algorithm: alg, Dataset: d, Scale: ProfileTiny.Scale, Seed: 42}
+		cfg := ProfileTiny.SystemConfig()
+		for _, mode := range []Mode{ModeConv4K, ModeDVMPE} {
+			pm, err := mem.Prepare(wl)
+			if err != nil {
+				t.Fatalf("%s in-memory prepare: %v", name, err)
+			}
+			pd, err := disk.Prepare(wl)
+			if err != nil {
+				t.Fatalf("%s dir-backed prepare: %v", name, err)
+			}
+			rm, err := pm.Run(mode, cfg)
+			if err != nil {
+				t.Fatalf("%s/%v in-memory run: %v", name, mode, err)
+			}
+			rd, err := pd.Run(mode, cfg)
+			if err != nil {
+				t.Fatalf("%s/%v dir-backed run: %v", name, mode, err)
+			}
+			// Wall is host wall-clock, the one legitimately
+			// nondeterministic field.
+			rm.Wall, rd.Wall = 0, 0
+			if !reflect.DeepEqual(rm, rd) {
+				t.Errorf("%s/%v: dir-backed result differs from in-memory\nmem:  %+v\ndisk: %+v", name, mode, rm, rd)
+			}
+		}
+	}
+
+	// The cache wrote one .dvmcsr per dataset and mapped it.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".dvmcsr") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) != len(datasets) {
+		t.Errorf("cache dir holds %d .dvmcsr files (%v), want %d", len(files), files, len(datasets))
+	}
+}
+
+// TestPreparedCacheDirSharesGraphAcrossAlgorithms pins the footprint
+// mechanism: with the dir-backed cache, BFS and PageRank preparations of
+// the same dataset share one mmap'd *graph.Graph; the in-memory cache
+// builds a private copy per algorithm (Workload keys include Algorithm).
+func TestPreparedCacheDirSharesGraphAcrossAlgorithms(t *testing.T) {
+	d, err := graph.DatasetByName("FR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := NewPreparedCacheDir(t.TempDir())
+	defer disk.Close()
+	var got [2]*Prepared
+	for i, alg := range []string{"BFS", "PageRank"} {
+		p, err := disk.Prepare(Workload{Algorithm: alg, Dataset: d, Scale: ProfileTiny.Scale, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[i] = p
+	}
+	if got[0].G != got[1].G {
+		t.Errorf("dir-backed cache built separate graphs for BFS and PageRank")
+	}
+	if b := got[0].G.Backing(); b != graph.MMap {
+		t.Errorf("dir-backed graph backing = %v, want MMap", b)
+	}
+
+	mem := NewPreparedCache()
+	var memGot [2]*Prepared
+	for i, alg := range []string{"BFS", "PageRank"} {
+		p, err := mem.Prepare(Workload{Algorithm: alg, Dataset: d, Scale: ProfileTiny.Scale, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		memGot[i] = p
+	}
+	if memGot[0].G == memGot[1].G {
+		t.Errorf("in-memory cache unexpectedly shares graphs across algorithms (update this test and the footprint docs)")
+	}
+}
+
+// TestPreparedCacheDirFallback: an unwritable cache directory degrades
+// to in-memory graphs instead of failing preparation. A merely missing
+// directory is created on demand (WriteFile MkdirAlls), so the test
+// routes the cache path through a regular file — unwritable even for
+// root.
+func TestPreparedCacheDirFallback(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocker, []byte("x"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	disk := NewPreparedCacheDir(filepath.Join(blocker, "nested"))
+	defer disk.Close()
+	d, err := graph.DatasetByName("FR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := disk.Prepare(Workload{Algorithm: "BFS", Dataset: d, Scale: ProfileTiny.Scale, Seed: 42})
+	if err != nil {
+		t.Fatalf("prepare with unwritable cache dir: %v", err)
+	}
+	if b := p.G.Backing(); b != graph.InMemory {
+		t.Errorf("fallback backing = %v, want InMemory", b)
+	}
+}

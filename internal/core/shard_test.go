@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestShardProfileRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		base string
+		k, n int
+	}{
+		{"small", 0, 2},
+		{"large+modes(conv4k,ideal)", 3, 8},
+		{"tiny+chaos(0.5,7)", 1, 2},
+	} {
+		p := ShardProfile(tc.base, tc.k, tc.n)
+		base, k, n, ok := ParseShardProfile(p)
+		if !ok || base != tc.base || k != tc.k || n != tc.n {
+			t.Errorf("round trip %q → %q, %d, %d, %v", p, base, k, n, ok)
+		}
+	}
+	for _, bad := range []string{"small", "small+shard(2/2)", "small+shard(-1/2)", "small+shard(1/0)", "small+shard(x/y)"} {
+		if _, _, _, ok := ParseShardProfile(bad); ok {
+			t.Errorf("ParseShardProfile accepted %q", bad)
+		}
+	}
+}
+
+// writeShard creates a shard checkpoint with the given cells.
+func writeShard(t *testing.T, dir, base string, k, n int, cells map[string]any) string {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("shard%d_of_%d.jsonl", k, n))
+	ck, err := OpenCheckpoint(path, ShardProfile(base, k, n), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, v := range cells {
+		if err := ck.Record(key, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMergeCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	s0 := writeShard(t, dir, "small", 0, 2, map[string]any{"fig8/BFS/FR": 1.5, "fig8/SSSP/LJ": 2.0})
+	s1 := writeShard(t, dir, "small", 1, 2, map[string]any{"fig8/BFS/Wiki": 7.0})
+	out := filepath.Join(dir, "merged.jsonl")
+
+	base, cells, missing, err := MergeCheckpoints(out, []string{s0, s1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != "small" || cells != 3 || len(missing) != 0 {
+		t.Fatalf("merge = %q, %d cells, missing %v", base, cells, missing)
+	}
+
+	// The merged file resumes as the plain (unsharded) profile and
+	// serves every shard's cells.
+	ck, err := OpenCheckpoint(out, "small", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	if ck.Len() != 3 {
+		t.Fatalf("merged checkpoint has %d cells, want 3", ck.Len())
+	}
+	var v float64
+	for key, want := range map[string]float64{"fig8/BFS/FR": 1.5, "fig8/BFS/Wiki": 7, "fig8/SSSP/LJ": 2} {
+		ok, err := ck.Lookup(key, &v)
+		if err != nil || !ok || v != want {
+			t.Fatalf("Lookup(%q) = %v, %v, err %v (want %v)", key, v, ok, err, want)
+		}
+	}
+
+	// Merging is deterministic: same inputs, byte-identical output.
+	out2 := filepath.Join(dir, "merged2.jsonl")
+	if _, _, _, err := MergeCheckpoints(out2, []string{s1, s0}); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(out)
+	b, _ := os.ReadFile(out2)
+	if string(a) != string(b) {
+		t.Fatalf("merge output depends on input order:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestMergeCheckpointsValidation(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "merged.jsonl")
+	s0 := writeShard(t, dir, "small", 0, 2, map[string]any{"a": 1})
+
+	// Unsharded input.
+	plain := filepath.Join(dir, "plain.jsonl")
+	ck, err := OpenCheckpoint(plain, "small", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+	if _, _, _, err := MergeCheckpoints(out, []string{plain}); err == nil || !strings.Contains(err.Error(), "not a shard checkpoint") {
+		t.Fatalf("unsharded input: err = %v", err)
+	}
+
+	// Base profile mismatch.
+	other := writeShard(t, dir, "medium", 1, 2, map[string]any{"b": 2})
+	if _, _, _, err := MergeCheckpoints(out, []string{s0, other}); err == nil || !strings.Contains(err.Error(), "cannot merge") {
+		t.Fatalf("profile mismatch: err = %v", err)
+	}
+
+	// Duplicate shard index.
+	dup := writeShard(t, filepath.Join(dir, "dup"), "small", 0, 2, map[string]any{"c": 3})
+	if _, _, _, err := MergeCheckpoints(out, []string{s0, dup}); err == nil || !strings.Contains(err.Error(), "appears in both") {
+		t.Fatalf("dup shard: err = %v", err)
+	}
+
+	// Conflicting cell bytes across shards.
+	confA := writeShard(t, filepath.Join(dir, "ca"), "small", 0, 2, map[string]any{"x": 1})
+	confB := writeShard(t, filepath.Join(dir, "cb"), "small", 1, 2, map[string]any{"x": 2})
+	if _, _, _, err := MergeCheckpoints(out, []string{confA, confB}); err == nil || !strings.Contains(err.Error(), "differs between shards") {
+		t.Fatalf("conflict: err = %v", err)
+	}
+
+	// Missing shard is reported but not fatal.
+	_, cells, missing, err := MergeCheckpoints(out, []string{s0})
+	if err != nil || cells != 1 || len(missing) != 1 || missing[0] != 1 {
+		t.Fatalf("partial merge = %d cells, missing %v, err %v", cells, missing, err)
+	}
+}

@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"github.com/dvm-sim/dvm/internal/runner"
 )
@@ -40,7 +41,17 @@ func DatasetByName(name string) (DatasetSpec, error) {
 			return d, nil
 		}
 	}
-	return DatasetSpec{}, fmt.Errorf("graph: unknown dataset %q", name)
+	return DatasetSpec{}, fmt.Errorf("graph: unknown dataset %q (registered: %s)", name, strings.Join(DatasetNames(), "|"))
+}
+
+// DatasetNames returns the registered dataset abbreviations in registry
+// order, for CLI help strings and validation.
+func DatasetNames() []string {
+	names := make([]string, len(Datasets))
+	for i, d := range Datasets {
+		names[i] = d.Name
+	}
+	return names
 }
 
 // GraphDatasets returns the non-bipartite inputs (used by BFS/PR/SSSP).

@@ -40,6 +40,10 @@ type Graph struct {
 	Bipartite bool
 	// Users and Items partition V when Bipartite.
 	Users, Items int
+
+	// mapped, when non-nil, is the read-only file mapping the CSR
+	// slices alias (see OpenMMap); released by Close.
+	mapped []byte
 }
 
 // E returns the edge count.
@@ -51,11 +55,16 @@ func (g *Graph) OutDegree(v int) int {
 }
 
 // Edges calls fn for every edge (src, dst, weight); fn returning false
-// stops the iteration.
+// stops the iteration. Weightless graphs (nil Weight) report weight 0
+// for every edge.
 func (g *Graph) Edges(fn func(src, dst int, w float32) bool) {
 	for v := 0; v < g.V; v++ {
 		for i := g.RowPtr[v]; i < g.RowPtr[v+1]; i++ {
-			if !fn(v, int(g.Col[i]), g.Weight[i]) {
+			var w float32
+			if g.Weight != nil {
+				w = g.Weight[i]
+			}
+			if !fn(v, int(g.Col[i]), w) {
 				return
 			}
 		}
@@ -75,7 +84,7 @@ func (g *Graph) Validate() error {
 			return fmt.Errorf("graph: RowPtr not monotone at %d", v)
 		}
 	}
-	if len(g.Weight) != len(g.Col) {
+	if g.Weight != nil && len(g.Weight) != len(g.Col) {
 		return fmt.Errorf("graph: Weight length %d != Col length %d", len(g.Weight), len(g.Col))
 	}
 	for i, c := range g.Col {

@@ -1,0 +1,223 @@
+package graph
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+)
+
+// roundTrip writes g and reopens it mmap'd, failing on any error.
+func roundTrip(t *testing.T, g *Graph) *Graph {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.dvmcsr")
+	if err := WriteFile(g, path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	m, err := OpenMMap(path)
+	if err != nil {
+		t.Fatalf("OpenMMap: %v", err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+// requireSame asserts the two graphs are bit-identical, field by field
+// (RowPtr/Col/Weight compared whole-slice).
+func requireSame(t *testing.T, want, got *Graph) {
+	t.Helper()
+	if got.Name != want.Name || got.V != want.V || got.Bipartite != want.Bipartite ||
+		got.Users != want.Users || got.Items != want.Items {
+		t.Fatalf("shape mismatch: got %+v want %+v", got, want)
+	}
+	if !slices.Equal(got.RowPtr, want.RowPtr) {
+		t.Fatalf("RowPtr differs")
+	}
+	if !slices.Equal(got.Col, want.Col) {
+		t.Fatalf("Col differs")
+	}
+	if (got.Weight == nil) != (want.Weight == nil) || !slices.Equal(got.Weight, want.Weight) {
+		t.Fatalf("Weight differs")
+	}
+}
+
+// TestOnDiskRoundTripProperty: for randomized RMAT and bipartite graphs,
+// the mmap-backed reopen is bit-identical to the in-memory original.
+func TestOnDiskRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 8; trial++ {
+		seed := rng.Int63()
+		var g *Graph
+		var err error
+		if trial%2 == 0 {
+			cfg := DefaultRMAT(4+rng.Intn(6), seed)
+			cfg.EdgeFactor = 1 + rng.Intn(16)
+			g, err = GenerateRMAT(cfg)
+		} else {
+			g, err = GenerateBipartite(BipartiteConfig{
+				Users: 50 + rng.Intn(400),
+				Items: 10 + rng.Intn(100),
+				Edges: 500 + rng.Intn(4000),
+				Skew:  DefaultRMAT(9, seed),
+			})
+		}
+		if err != nil {
+			t.Fatalf("trial %d: generate: %v", trial, err)
+		}
+		m := roundTrip(t, g)
+		if m.Backing() != MMap {
+			t.Fatalf("trial %d: reopened backing = %v, want MMap", trial, m.Backing())
+		}
+		if g.Backing() != InMemory {
+			t.Fatalf("trial %d: generated backing = %v, want InMemory", trial, g.Backing())
+		}
+		requireSame(t, g, m)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d: reopened graph invalid: %v", trial, err)
+		}
+	}
+}
+
+// TestOnDiskWeightless: the Weight section is omitted for nil-Weight
+// graphs and reopens as nil, and weightless graphs iterate/validate
+// without panicking (regression: Edges/Validate used to index Weight
+// unconditionally).
+func TestOnDiskWeightless(t *testing.T) {
+	g, err := GenerateRMAT(DefaultRMAT(6, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Weight = nil
+	if err := g.Validate(); err != nil {
+		t.Fatalf("weightless Validate: %v", err)
+	}
+	edges := 0
+	g.Edges(func(src, dst int, w float32) bool {
+		if w != 0 {
+			t.Fatalf("weightless edge %d→%d reported weight %v", src, dst, w)
+		}
+		edges++
+		return true
+	})
+	if edges != g.E() {
+		t.Fatalf("Edges visited %d of %d", edges, g.E())
+	}
+
+	m := roundTrip(t, g)
+	requireSame(t, g, m)
+	if m.Weight != nil {
+		t.Fatalf("weightless graph reopened with Weight len %d", len(m.Weight))
+	}
+
+	weighted, err := GenerateRMAT(DefaultRMAT(6, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := os.Stat(writeTo(t, g)); st != nil {
+		if wst, _ := os.Stat(writeTo(t, weighted)); wst != nil && st.Size() >= wst.Size() {
+			t.Fatalf("weightless file (%d bytes) not smaller than weighted (%d bytes)", st.Size(), wst.Size())
+		}
+	}
+}
+
+func writeTo(t *testing.T, g *Graph) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.dvmcsr")
+	if err := WriteFile(g, path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestOnDiskCorruption: damaged files fail loudly at open instead of
+// mis-mapping.
+func TestOnDiskCorruption(t *testing.T) {
+	g, err := GenerateRMAT(DefaultRMAT(6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := writeTo(t, g)
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		corrupt func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"short", func(b []byte) []byte { return b[:100] }},
+		{"truncated-mid", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"truncated-trailer", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"garbage-magic", func(b []byte) []byte {
+			c := slices.Clone(b)
+			copy(c, "NOTACSR!")
+			return c
+		}},
+		{"bad-version", func(b []byte) []byte {
+			c := slices.Clone(b)
+			c[hdrVersion] = 0xff
+			return c
+		}},
+		{"section-out-of-range", func(b []byte) []byte {
+			c := slices.Clone(b)
+			// Point the Col section past the end of the file.
+			c[hdrColOff+6] = 0xff
+			return c
+		}},
+		{"garbage-trailer", func(b []byte) []byte {
+			c := slices.Clone(b)
+			copy(c[len(c)-8:], "????????")
+			return c
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "bad.dvmcsr")
+			if err := os.WriteFile(path, tc.corrupt(raw), 0o666); err != nil {
+				t.Fatal(err)
+			}
+			m, err := OpenMMap(path)
+			if err == nil {
+				m.Close()
+				t.Fatalf("OpenMMap accepted %s file", tc.name)
+			}
+		})
+	}
+
+	// And the pristine file still opens.
+	m, err := OpenMMap(good)
+	if err != nil {
+		t.Fatalf("pristine reopen: %v", err)
+	}
+	defer m.Close()
+	requireSame(t, g, m)
+}
+
+// TestOnDiskCloseIdempotent: Close twice is safe, and InMemory Close is
+// a no-op.
+func TestOnDiskCloseIdempotent(t *testing.T) {
+	g, err := GenerateRMAT(DefaultRMAT(5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatalf("InMemory Close: %v", err)
+	}
+	path := writeTo(t, g)
+	m, err := OpenMMap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if m.Backing() != InMemory {
+		t.Fatalf("closed graph still reports %v", m.Backing())
+	}
+}
