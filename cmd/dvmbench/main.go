@@ -153,8 +153,10 @@ func main() {
 	lg := obs.NewLogger(os.Stderr, "dvmbench", *quiet)
 	coll := &obs.Collector{}
 	board := &runner.ProgressBoard{}
+	var httpSrv *obs.Server
 	if *httpAddr != "" {
-		_, err := obs.StartHTTP(*httpAddr, lg, obs.HTTPOptions{
+		var err error
+		httpSrv, err = obs.StartHTTP(*httpAddr, lg, obs.HTTPOptions{
 			Metrics:  coll.Snapshot,
 			Volatile: coll.VolatileSnapshot,
 			Progress: board.Probe(),
@@ -163,6 +165,10 @@ func main() {
 			lg.Exitf(2, "%v", err)
 		}
 	}
+	// Drain the -http listener on every return path so an in-flight
+	// scrape finishes instead of seeing a connection reset. Exitf paths
+	// bypass this deliberately: they are error aborts, not shutdowns.
+	defer httpSrv.Shutdown(2 * time.Second)
 	if (*out == "") == (*against == "") {
 		lg.Exitf(2, "exactly one of -o or -against is required")
 	}
@@ -222,6 +228,7 @@ func main() {
 	if err != nil {
 		if ctx.Err() != nil {
 			lg.Statusf("interrupted; no file written")
+			httpSrv.Shutdown(2 * time.Second) // os.Exit skips the deferred drain
 			os.Exit(130)
 		}
 		lg.Exitf(1, "%v", err)

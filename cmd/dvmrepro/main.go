@@ -73,7 +73,7 @@ import (
 )
 
 // artifactKeys is the -only vocabulary, in paper rendering order.
-var artifactKeys = []string{"table3", "fig2", "table1", "fig8", "fig9", "table4", "fig10", "table5", "ablations", "virt"}
+var artifactKeys = report.ArtifactKeys
 
 func main() {
 	profileName := flag.String("profile", "small", "experiment profile: "+strings.Join(core.ProfileNames(), "|")+" (see DESIGN.md §6)")
@@ -123,8 +123,10 @@ func main() {
 
 	coll := &obs.Collector{}
 	board := &runner.ProgressBoard{}
+	var httpSrv *obs.Server
 	if *httpAddr != "" {
-		_, err := obs.StartHTTP(*httpAddr, lg, obs.HTTPOptions{
+		var err error
+		httpSrv, err = obs.StartHTTP(*httpAddr, lg, obs.HTTPOptions{
 			Metrics:  coll.Snapshot,
 			Volatile: coll.VolatileSnapshot,
 			Progress: board.Probe(),
@@ -311,25 +313,10 @@ func main() {
 		if *ckPath != "" {
 			lg.Statusf("%d completed cells checkpointed; rerun with -checkpoint %s -resume to continue", ck.Len(), *ckPath)
 		}
+		// Drain the -http listener so an in-flight /metrics scrape sees a
+		// complete response instead of a connection reset.
+		httpSrv.Shutdown(2 * time.Second)
 		os.Exit(130)
-	}
-
-	run := func(name string, fn func() error) {
-		if !wanted[name] {
-			return
-		}
-		start := time.Now()
-		lg.Statusf("== %s (profile %s)", name, prof.Name)
-		if err := fn(); err != nil {
-			if ctx.Err() != nil {
-				interrupted(name)
-			}
-			lg.Exitf(1, "%s: %v", name, err)
-		}
-		if shard.Count == 0 {
-			fmt.Println()
-		}
-		lg.Statusf("== %s done in %v", name, time.Since(start).Round(time.Millisecond))
 	}
 
 	out := io.Writer(os.Stdout)
@@ -340,25 +327,22 @@ func main() {
 		out = io.Discard
 		lg.Statusf("shard %d/%d: tables suppressed; completed cells go to %s", shard.Index, shard.Count, *ckPath)
 	}
-	run("table3", func() error { return report.Table3(prof, out, opts) })
-	run("fig2", func() error { return report.Figure2(prof, out, opts) })
-	run("table1", func() error { return report.Table1(prof, out, opts) })
-	// fig8 and fig9 come from the same runs; requesting either (or both)
-	// renders both tables once.
-	if wanted["fig8"] || wanted["fig9"] {
-		run8 := func() error { return report.Figure8And9(prof, out, opts) }
-		name := "fig8"
-		if !wanted["fig8"] {
-			name = "fig9"
+	// report.Sweep is the rendering path shared with dvmserved; the
+	// observe hook adds this command's per-artifact status lines.
+	if err := report.Sweep(prof, out, opts, wanted, func(key string, render func() error) error {
+		start := time.Now()
+		lg.Statusf("== %s (profile %s)", key, prof.Name)
+		if err := render(); err != nil {
+			return err
 		}
-		wanted[name] = true
-		run(name, run8)
+		lg.Statusf("== %s done in %v", key, time.Since(start).Round(time.Millisecond))
+		return nil
+	}); err != nil {
+		if ctx.Err() != nil {
+			interrupted(report.ArtifactKeyOf(err))
+		}
+		lg.Exitf(1, "%v", err)
 	}
-	run("table4", func() error { return report.Table4(out, opts) })
-	run("fig10", func() error { return report.Figure10(out, opts) })
-	run("table5", func() error { return report.Table5(out) })
-	run("ablations", func() error { return report.Ablations(prof, out, opts) })
-	run("virt", func() error { return report.Virtualization(out, opts) })
 
 	if err := ck.Close(); err != nil {
 		lg.Exitf(1, "checkpoint: %v", err)
@@ -391,6 +375,7 @@ func main() {
 		lg.Statusf("spans written to %s (%d recorded, %d dropped); load in ui.perfetto.dev",
 			*spansPath, len(spans.Spans()), spans.Dropped())
 	}
+	httpSrv.Shutdown(2 * time.Second)
 }
 
 func writeMetrics(path string, coll *obs.Collector) error {

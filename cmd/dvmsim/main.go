@@ -63,8 +63,10 @@ func main() {
 	lg := obs.NewLogger(os.Stderr, "dvmsim", *quiet)
 	coll := &obs.Collector{}
 	board := &runner.ProgressBoard{}
+	var httpSrv *obs.Server
 	if *httpAddr != "" {
-		_, err := obs.StartHTTP(*httpAddr, lg, obs.HTTPOptions{
+		var err error
+		httpSrv, err = obs.StartHTTP(*httpAddr, lg, obs.HTTPOptions{
 			Metrics:  coll.Snapshot,
 			Volatile: coll.VolatileSnapshot,
 			Progress: board.Probe(),
@@ -174,6 +176,9 @@ func main() {
 				}
 			}
 			lg.Statusf("interrupted")
+			// Drain the -http listener so an in-flight scrape finishes
+			// instead of seeing a connection reset.
+			httpSrv.Shutdown(2 * time.Second)
 			os.Exit(130)
 		}
 		lg.Exitf(1, "%v", err)
@@ -226,6 +231,7 @@ func main() {
 		lg.Statusf("spans written to %s (%d recorded, %d dropped); load in ui.perfetto.dev",
 			*spansPath, len(spans.Spans()), spans.Dropped())
 	}
+	httpSrv.Shutdown(2 * time.Second)
 }
 
 // parseModes resolves the -mode flag through the backend registry: a

@@ -19,6 +19,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/dvm-sim/dvm/internal/core"
 	"github.com/dvm-sim/dvm/internal/graph"
@@ -43,8 +44,10 @@ func main() {
 	lg := obs.NewLogger(os.Stderr, "tlbstats", *quiet)
 	coll := &obs.Collector{}
 	board := &runner.ProgressBoard{}
+	var httpSrv *obs.Server
 	if *httpAddr != "" {
-		_, err := obs.StartHTTP(*httpAddr, lg, obs.HTTPOptions{
+		var err error
+		httpSrv, err = obs.StartHTTP(*httpAddr, lg, obs.HTTPOptions{
 			Metrics:  coll.Snapshot,
 			Volatile: coll.VolatileSnapshot,
 			Progress: board.Probe(),
@@ -53,6 +56,9 @@ func main() {
 			lg.Exitf(2, "%v", err)
 		}
 	}
+	// Drain the -http listener on the way out so an in-flight scrape
+	// finishes instead of seeing a connection reset.
+	defer httpSrv.Shutdown(2 * time.Second)
 
 	prof, err := core.ProfileByName(*profileName)
 	if err != nil {

@@ -41,27 +41,12 @@ func TestGoldenTinyProfile(t *testing.T) {
 	// match the sequential (-j 1) golden file exactly.
 	opts := report.Options{Jobs: 0, Metrics: &obs.Collector{}, Prepared: core.NewPreparedCache()}
 	var out bytes.Buffer
-	// The artifact sequence and the blank line after each one mirror
-	// cmd/dvmrepro's main loop.
-	steps := []struct {
-		name string
-		fn   func() error
-	}{
-		{"table3", func() error { return report.Table3(prof, &out, opts) }},
-		{"fig2", func() error { return report.Figure2(prof, &out, opts) }},
-		{"table1", func() error { return report.Table1(prof, &out, opts) }},
-		{"fig8+9", func() error { return report.Figure8And9(prof, &out, opts) }},
-		{"table4", func() error { return report.Table4(&out, opts) }},
-		{"fig10", func() error { return report.Figure10(&out, opts) }},
-		{"table5", func() error { return report.Table5(&out) }},
-		{"ablations", func() error { return report.Ablations(prof, &out, opts) }},
-		{"virt", func() error { return report.Virtualization(&out, opts) }},
-	}
-	for _, s := range steps {
-		if err := s.fn(); err != nil {
-			t.Fatalf("%s: %v", s.name, err)
-		}
-		fmt.Fprintln(&out)
+	// report.Sweep is the single rendering path cmd/dvmrepro and the
+	// dvmserved job executor share: artifact order and the blank line
+	// after each table are its contract, so the golden file pins both
+	// front ends at once.
+	if err := report.Sweep(prof, &out, opts, nil, nil); err != nil {
+		t.Fatalf("sweep: %v", err)
 	}
 	if !bytes.Equal(out.Bytes(), want) {
 		t.Fatalf("tiny-profile output diverged from testdata/golden_tiny.txt (got %d bytes, want %d); "+

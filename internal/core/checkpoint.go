@@ -15,6 +15,14 @@ import (
 // of silently dropping cells.
 const checkpointMagic = "dvm/1"
 
+// defaultSyncEvery is the Record auto-fsync cadence: every N appended
+// records the file is synced to stable storage, so a MACHINE crash (not
+// just a process crash, which loses nothing past the OS page cache)
+// loses at most the last N cells plus the in-flight append. N trades
+// durability against fsync stalls on sweeps of thousands of cheap
+// cells; the service tier tightens it per job store.
+const defaultSyncEvery = 32
+
 // Checkpoint persists completed sweep cells as JSONL so an interrupted
 // run can resume skipping them. The format is one JSON object per line:
 // a header line
@@ -47,6 +55,14 @@ type Checkpoint struct {
 	// trailing fragment beyond it is truncated away on resume so the
 	// next append starts on a clean line.
 	validLen int64
+	// syncEvery is the auto-fsync cadence (records per Sync); sinceSync
+	// counts appends since the last one.
+	syncEvery int
+	sinceSync int
+	// syncFn performs the fsync. It defaults to f.Sync and exists as a
+	// seam so durability tests can count exactly when the checkpoint
+	// reaches stable storage.
+	syncFn func() error
 }
 
 // OpenCheckpoint opens (or creates) the checkpoint at path for the
@@ -73,6 +89,8 @@ func OpenCheckpoint(path, profile string, resume bool) (*Checkpoint, error) {
 		return nil, err
 	}
 	c.f = f
+	c.syncEvery = defaultSyncEvery
+	c.syncFn = f.Sync
 	if c.headerLoaded {
 		// Drop any torn trailing fragment so O_APPEND writes start on
 		// a clean line.
@@ -237,14 +255,21 @@ func (c *Checkpoint) Lookup(key string, v any) (bool, error) {
 // Record persists one completed cell. The line is flushed to the OS
 // before Record returns, so a SIGKILL immediately after loses at most
 // the in-flight append (which load tolerates), never a completed one.
+// Every syncEvery-th append additionally fsyncs, bounding what a
+// machine crash (power loss, kernel panic) can lose to that many cells.
 func (c *Checkpoint) Record(key string, v any) error {
 	if c == nil {
 		return nil
 	}
-	b, err := json.Marshal(struct {
-		Key   string `json:"key"`
-		Value any    `json:"value"`
-	}{key, v})
+	// The value is marshalled on its own so the in-memory index holds
+	// exactly what load() restores from disk — the bare value, not the
+	// whole record line — keeping Lookup-after-Record coherent within
+	// one process.
+	vb, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(ckptRec{Key: key, Value: vb})
 	if err != nil {
 		return err
 	}
@@ -256,8 +281,44 @@ func (c *Checkpoint) Record(key string, v any) error {
 	if _, err := c.f.Write(append(b, '\n')); err != nil {
 		return err
 	}
-	c.done[key] = b
+	c.done[key] = vb
+	c.sinceSync++
+	if c.sinceSync >= c.syncEvery {
+		c.sinceSync = 0
+		return c.syncFn()
+	}
 	return nil
+}
+
+// SetSyncEvery retargets the Record auto-fsync cadence: every n
+// appended records the file is synced to stable storage (n <= 0
+// restores the default). A service-tier job store uses n = 1 so a
+// machine crash loses at most the in-flight cell.
+func (c *Checkpoint) SetSyncEvery(n int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n <= 0 {
+		n = defaultSyncEvery
+	}
+	c.syncEvery = n
+}
+
+// Sync forces the appended records to stable storage now — the drain
+// path's durability point before reporting a job resumable.
+func (c *Checkpoint) Sync() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	c.sinceSync = 0
+	return c.syncFn()
 }
 
 // Len reports how many completed cells the checkpoint holds.
@@ -280,7 +341,7 @@ func (c *Checkpoint) Close() error {
 	if c.f == nil {
 		return nil
 	}
-	err := c.f.Sync()
+	err := c.syncFn()
 	if cerr := c.f.Close(); err == nil {
 		err = cerr
 	}

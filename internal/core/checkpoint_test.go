@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -186,5 +188,134 @@ func TestChaosCheckpointDuplicateRecordDropped(t *testing.T) {
 	}
 	if n := strings.Count(string(b), "\"key\":\"a\""); n != 1 {
 		t.Fatalf("cell recorded %d times across resume, want 1", n)
+	}
+}
+
+// A machine crash (not just a process crash) must lose bounded work:
+// Record fsyncs every syncEvery appends and Close always fsyncs. The
+// spy wraps the real file Sync so the cadence is counted exactly.
+func TestChaosCheckpointSyncCadence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	ck, err := OpenCheckpoint(path, "tiny", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncs := 0
+	real := ck.syncFn
+	ck.syncFn = func() error {
+		syncs++
+		return real()
+	}
+	ck.SetSyncEvery(3)
+	for i := 0; i < 7; i++ {
+		if err := ck.Record(fmt.Sprintf("cell/%d", i), ckCell{Name: "c", Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if syncs != 2 {
+		t.Fatalf("7 records at cadence 3 fsynced %d times, want 2", syncs)
+	}
+	// Duplicate re-records (a resumed run) must not count toward the
+	// cadence: nothing new reached the file.
+	for i := 0; i < 3; i++ {
+		if err := ck.Record(fmt.Sprintf("cell/%d", i), ckCell{Name: "c", Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if syncs != 2 {
+		t.Fatalf("duplicate records advanced the sync cadence (%d syncs)", syncs)
+	}
+	if err := ck.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if syncs != 3 {
+		t.Fatalf("explicit Sync did not fsync (%d syncs)", syncs)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if syncs != 4 {
+		t.Fatalf("Close did not fsync (%d syncs)", syncs)
+	}
+	// SetSyncEvery(0) restores the default cadence.
+	ck2, err := OpenCheckpoint(path, "tiny", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck2.SetSyncEvery(0)
+	if ck2.syncEvery != defaultSyncEvery {
+		t.Fatalf("SetSyncEvery(0) left cadence %d, want default %d", ck2.syncEvery, defaultSyncEvery)
+	}
+	if err := ck2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Record and Lookup race from many goroutines in a -j sweep; the file
+// and the in-memory index must stay coherent under -race, and every
+// recorded cell must be durable and resumable.
+func TestChaosCheckpointConcurrentRecordLookup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	ck, err := OpenCheckpoint(path, "tiny", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.SetSyncEvery(5)
+	const workers, cells = 8, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*cells)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < cells; i++ {
+				// Workers collide on the same key space deliberately:
+				// the duplicate-drop path must be as race-free as the
+				// append path.
+				key := fmt.Sprintf("cell/%d", i)
+				var got ckCell
+				if _, err := ck.Lookup(key, &got); err != nil {
+					errs <- err
+					return
+				}
+				if err := ck.Record(key, ckCell{Name: key, Value: float64(i)}); err != nil {
+					errs <- err
+					return
+				}
+				if ok, err := ck.Lookup(key, &got); err != nil || !ok {
+					errs <- fmt.Errorf("lookup after record: ok=%v err=%v", ok, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := ck.Len(); got != cells {
+		t.Fatalf("checkpoint holds %d cells, want %d", got, cells)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := OpenCheckpoint(path, "tiny", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if got := resumed.Len(); got != cells {
+		t.Fatalf("resume restored %d cells, want %d", got, cells)
+	}
+	for i := 0; i < cells; i++ {
+		var got ckCell
+		ok, err := resumed.Lookup(fmt.Sprintf("cell/%d", i), &got)
+		if err != nil || !ok {
+			t.Fatalf("cell/%d not restored: ok=%v err=%v", i, ok, err)
+		}
+		if got.Value != float64(i) {
+			t.Fatalf("cell/%d restored value %v, want %d", i, got.Value, i)
+		}
 	}
 }

@@ -137,3 +137,65 @@ func TestMergeCheckpointsValidation(t *testing.T) {
 		t.Fatalf("partial merge = %d cells, missing %v, err %v", cells, missing, err)
 	}
 }
+
+// A shard checkpoint whose writer was SIGKILLed mid-append carries a
+// torn final line. MergeCheckpoints must apply the same tolerance the
+// single-file resume path does — discard exactly the torn tail, keep
+// every intact cell — while interior corruption still aborts the merge.
+func TestMergeCheckpointsTornShardTail(t *testing.T) {
+	dir := t.TempDir()
+	s0 := writeShard(t, dir, "small", 0, 2, map[string]any{"fig8/BFS/FR": 1.5, "fig8/SSSP/LJ": 2.0})
+	s1 := writeShard(t, dir, "small", 1, 2, map[string]any{"fig8/BFS/Wiki": 7.0})
+	// Tear shard 1: an interrupted append leaves a newline-less JSON
+	// fragment at the tail.
+	torn := []byte(`{"key":"fig8/PageRank/S24","value":3.1`)
+	f, err := os.OpenFile(s1, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "merged-torn.jsonl")
+	base, cells, missing, err := MergeCheckpoints(out, []string{s0, s1})
+	if err != nil {
+		t.Fatalf("merge with torn shard tail: %v", err)
+	}
+	if base != "small" || cells != 3 || len(missing) != 0 {
+		t.Fatalf("merge = (%q, %d, %v), want (small, 3, none): the torn cell must be dropped, the intact ones kept", base, cells, missing)
+	}
+	merged, err := OpenCheckpoint(out, "small", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer merged.Close()
+	var v float64
+	if ok, _ := merged.Lookup("fig8/PageRank/S24", &v); ok {
+		t.Fatal("torn cell leaked into the merged checkpoint")
+	}
+	for _, key := range []string{"fig8/BFS/FR", "fig8/SSSP/LJ", "fig8/BFS/Wiki"} {
+		if ok, err := merged.Lookup(key, &v); err != nil || !ok {
+			t.Fatalf("intact cell %q missing from merge: ok=%v err=%v", key, ok, err)
+		}
+	}
+
+	// Interior corruption (a torn line with records after it) is not an
+	// interrupted append; the merge must refuse it.
+	s2 := writeShard(t, dir, "small", 0, 2, map[string]any{"fig8/BFS/FR": 1.5})
+	raw, err := os.ReadFile(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append(append([]byte{}, raw...), []byte("{\"key\":\"half\n")...)
+	bad = append(bad, []byte(`{"key":"fig8/CF/NF","value":1.0}`+"\n")...)
+	corrupt := filepath.Join(dir, "corrupt.jsonl")
+	if err := os.WriteFile(corrupt, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := MergeCheckpoints(filepath.Join(dir, "never.jsonl"), []string{corrupt}); err == nil {
+		t.Fatal("merge accepted a shard with interior corruption")
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"net/http/pprof"
 	"sort"
 	"strings"
+	"time"
 )
 
 // ProgressState is the live sweep progress served at /progress,
@@ -37,19 +39,13 @@ type HTTPOptions struct {
 	Progress func() (ProgressState, bool)
 }
 
-// StartHTTP serves the live observability surface on addr in the
-// background and returns the bound address: net/http/pprof under
-// /debug/pprof/, the merged metrics registry in Prometheus text
-// exposition format at /metrics, and the live sweep progress as JSON
-// at /progress. The listener runs for the life of the process. It
-// generalizes the original -pprof flag; StartPprof remains as the
-// compatibility wrapper.
-func StartHTTP(addr string, lg *Logger, opts HTTPOptions) (string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", fmt.Errorf("obs: http listen %s: %w", addr, err)
-	}
-	mux := http.NewServeMux()
+// AddRoutes registers the live observability surface on an existing
+// mux: net/http/pprof under /debug/pprof/, the merged metrics registry
+// in Prometheus text exposition format at /metrics, and the live sweep
+// progress as JSON at /progress. StartHTTP uses it for the harness
+// commands' -http flag; dvmserved mounts the same surface on its own
+// job-API mux.
+func AddRoutes(mux *http.ServeMux, opts HTTPOptions, lg *Logger) {
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -83,6 +79,52 @@ func StartHTTP(addr string, lg *Logger, opts HTTPOptions) (string, error) {
 			lg.Errorf("progress endpoint: %v", err)
 		}
 	})
+}
+
+// Server is a running observability HTTP listener. It exists so
+// commands can drain it on the way out: Shutdown lets an in-flight
+// /metrics scrape finish instead of seeing its connection reset when
+// the process exits mid-response.
+type Server struct {
+	addr string
+	srv  *http.Server
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.addr
+}
+
+// Shutdown gracefully drains the server: no new connections are
+// accepted and in-flight requests get up to timeout to complete. It is
+// nil-safe, so commands call it unconditionally on every exit path
+// whether or not -http was set.
+func (s *Server) Shutdown(timeout time.Duration) {
+	if s == nil || s.srv == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	_ = s.srv.Shutdown(ctx)
+}
+
+// StartHTTP serves the live observability surface on addr in the
+// background and returns the running server: net/http/pprof under
+// /debug/pprof/, the merged metrics registry in Prometheus text
+// exposition format at /metrics, and the live sweep progress as JSON
+// at /progress. The listener runs until the process exits or the
+// returned server is Shutdown. It generalizes the original -pprof
+// flag; StartPprof remains as the compatibility wrapper.
+func StartHTTP(addr string, lg *Logger, opts HTTPOptions) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: http listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	AddRoutes(mux, opts, lg)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -90,8 +132,9 @@ func StartHTTP(addr string, lg *Logger, opts HTTPOptions) (string, error) {
 		}
 		fmt.Fprint(w, "dvm observability surface\n\n/metrics\n/progress\n/debug/pprof/\n")
 	})
+	srv := &http.Server{Handler: mux}
 	go func() {
-		if err := http.Serve(ln, mux); err != nil && lg != nil {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed && lg != nil {
 			lg.Errorf("http server: %v", err)
 		}
 	}()
@@ -99,7 +142,7 @@ func StartHTTP(addr string, lg *Logger, opts HTTPOptions) (string, error) {
 	if lg != nil {
 		lg.Statusf("observability surface on http://%s/ (/metrics, /progress, /debug/pprof/)", bound)
 	}
-	return bound, nil
+	return &Server{addr: bound, srv: srv}, nil
 }
 
 // promName sanitizes a registry name into a Prometheus metric name:

@@ -65,5 +65,6 @@ func (l *Logger) write(format string, args ...interface{}) {
 // -pprof entry point, now a thin wrapper over StartHTTP with no
 // metrics/progress sources wired.
 func StartPprof(addr string, lg *Logger) (string, error) {
-	return StartHTTP(addr, lg, HTTPOptions{})
+	s, err := StartHTTP(addr, lg, HTTPOptions{})
+	return s.Addr(), err
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"github.com/dvm-sim/dvm/internal/chaos"
 	"github.com/dvm-sim/dvm/internal/core"
@@ -125,6 +126,19 @@ type Options struct {
 	// replay the same collection path, so tables and -metrics come out
 	// byte-identical to a single-box run.
 	Shard Shard
+	// CellTimeout, when positive, puts every experiment cell under a
+	// watchdog: a cell running longer is abandoned and surfaces as a
+	// *runner.CellError wrapping context.DeadlineExceeded. Zero (the
+	// historical default) lets cells run unbounded. The service tier
+	// sets it so one wedged simulation cannot hang a daemon job forever.
+	CellTimeout time.Duration
+	// Retry re-runs cells whose error the policy classifies transient
+	// (runner.IsTransient by default), with capped exponential backoff
+	// and optional seeded jitter. The zero value (the historical
+	// default) disables retry. Retry is safe here because a cell's side
+	// effects (metrics fold, progress, checkpoint record) all run after
+	// the compute returns success — a failed attempt leaves no residue.
+	Retry runner.RetryPolicy
 	// Share selects trace sharing for mode-matrix artifacts (see
 	// core.SystemConfig.ShareTraces): ShareAuto (the zero value) lets a
 	// workload's mode cells replay one canonical functional trace,
@@ -167,6 +181,20 @@ func (o Options) ctx() context.Context {
 		return o.Ctx
 	}
 	return context.Background()
+}
+
+// mapCells fans an artifact's cells out on the worker pool under the
+// options' full resilience policy (budget, watchdog, retry). With
+// CellTimeout and Retry at their zero values it is exactly the
+// historical runner.MapB path, so tables stay byte-identical at every
+// Jobs value.
+func mapCells[T any](o Options, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return runner.MapOpts(o.ctx(), runner.Options{
+		Jobs:        o.Jobs,
+		Budget:      o.Workers,
+		CellTimeout: o.CellTimeout,
+		Retry:       o.Retry,
+	}, n, fn)
 }
 
 // checkpointed serves one cell from the checkpoint when a previous run
@@ -266,7 +294,7 @@ func Figure2(prof core.Profile, w io.Writer, opts Options) error {
 		"Workload", "Input", "4K miss", "2M miss", "4K lookups", "2M lookups")
 	wls := prof.Workloads()
 	progress := opts.progressFor(opts.ownedCount(len(wls)))
-	rows, err := runner.MapB(opts.ctx(), opts.Workers, opts.Jobs, len(wls), func(_ context.Context, i int) (core.Figure2Row, error) {
+	rows, err := mapCells(opts, len(wls), func(_ context.Context, i int) (core.Figure2Row, error) {
 		if !opts.owns(i) {
 			return core.Figure2Row{}, nil
 		}
@@ -322,7 +350,7 @@ func Table1(prof core.Profile, w io.Writer, opts Options) error {
 		}
 	}
 	progress := opts.progressFor(opts.ownedCount(len(wls)))
-	rows, err := runner.MapB(opts.ctx(), opts.Workers, opts.Jobs, len(wls), func(_ context.Context, i int) (core.Table1Row, error) {
+	rows, err := mapCells(opts, len(wls), func(_ context.Context, i int) (core.Table1Row, error) {
 		if !opts.owns(i) {
 			return core.Table1Row{}, nil
 		}
@@ -358,7 +386,7 @@ func Table3(prof core.Profile, w io.Writer, opts Options) error {
 	progress := opts.progressFor(opts.ownedCount(len(graph.Datasets)))
 	// Exported fields so the cell round-trips through checkpoint JSON.
 	type scaled struct{ V, E int }
-	rows, err := runner.MapB(opts.ctx(), opts.Workers, opts.Jobs, len(graph.Datasets), func(_ context.Context, i int) (scaled, error) {
+	rows, err := mapCells(opts, len(graph.Datasets), func(_ context.Context, i int) (scaled, error) {
 		if !opts.owns(i) {
 			return scaled{}, nil
 		}
@@ -418,7 +446,7 @@ func Figure8And9(prof core.Profile, w io.Writer, opts Options) error {
 	}
 	// Parallelism is across cells; each cell runs its modes sequentially
 	// so a full sweep never has more than Jobs runs in flight.
-	cells, err := runner.MapB(opts.ctx(), opts.Workers, opts.Jobs, len(wls), func(ctx context.Context, i int) (pair, error) {
+	cells, err := mapCells(opts, len(wls), func(ctx context.Context, i int) (pair, error) {
 		if !opts.owns(i) {
 			return pair{}, nil
 		}
@@ -507,7 +535,7 @@ func Table4(w io.Writer, opts Options) error {
 		}
 	}
 	progress := opts.progressFor(opts.ownedCount(len(cellsIn)))
-	pcts, err := runner.MapB(opts.ctx(), opts.Workers, opts.Jobs, len(cellsIn), func(_ context.Context, i int) (float64, error) {
+	pcts, err := mapCells(opts, len(cellsIn), func(_ context.Context, i int) (float64, error) {
 		if !opts.owns(i) {
 			return 0, nil
 		}
@@ -552,7 +580,7 @@ func Figure10(w io.Writer, opts Options) error {
 		"Figure 10: CPU VM overheads vs ideal (paper avgs: 4K 29%, THP 13%, cDVM ~5%; xsbench 4K 84%)",
 		"Workload", "4K", "THP", "cDVM")
 	progress := opts.progressFor(opts.ownedCount(len(cpu.Workloads)))
-	rows, err := runner.MapB(opts.ctx(), opts.Workers, opts.Jobs, len(cpu.Workloads), func(_ context.Context, i int) (cpu.Result, error) {
+	rows, err := mapCells(opts, len(cpu.Workloads), func(_ context.Context, i int) (cpu.Result, error) {
 		if !opts.owns(i) {
 			return cpu.Result{}, nil
 		}
@@ -631,20 +659,11 @@ func Ablations(prof core.Profile, w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
-	// The three sweeps' configurations, declared up front so the progress
-	// sink knows the cell total (plus one reference Ideal run).
-	fanouts := []int{4, 8, 16, 32, 64}
-	capacities := []int{64, 128, 256, 1024, 4096}
-	toggles := []struct {
-		mode     core.Mode
-		minLevel int
-		label    string
-	}{
-		{core.ModeConv4K, 2, "excluded (stock PWC)"},
-		{core.ModeConv4K, 1, "cached (polluted PWC)"},
-		{core.ModeDVMPE, 2, "excluded (PWC-style)"},
-		{core.ModeDVMPE, 1, "cached (AVC)"},
-	}
+	// The three sweeps' configurations are package-level so CellCount
+	// can report the cell total before any cell runs.
+	fanouts := ablationFanouts
+	capacities := ablationCapacities
+	toggles := ablationToggles
 	// Ablation cells get global indexes for sharding: ideal is cell 0,
 	// fan-outs 1..len(fanouts), capacities and toggles follow in order.
 	progress := opts.progressFor(opts.ownedCount(1 + len(fanouts) + len(capacities) + len(toggles)))
@@ -674,7 +693,7 @@ func Ablations(prof core.Profile, w io.Writer, opts Options) error {
 	tf := results.NewTable(
 		fmt.Sprintf("Ablation A: PE fan-out (PageRank/Wiki, profile %s, DVM-PE)", prof.Name),
 		"PE fields", "Normalized time", "AVC hit rate", "Page table")
-	fanRows, err := runner.MapB(opts.ctx(), opts.Workers, opts.Jobs, len(fanouts), func(_ context.Context, i int) (core.RunResult, error) {
+	fanRows, err := mapCells(opts, len(fanouts), func(_ context.Context, i int) (core.RunResult, error) {
 		if !opts.owns(1 + i) {
 			return core.RunResult{}, nil
 		}
@@ -716,7 +735,7 @@ func Ablations(prof core.Profile, w io.Writer, opts Options) error {
 	ts := results.NewTable(
 		fmt.Sprintf("Ablation B: AVC capacity (PageRank/Wiki, profile %s, DVM-PE, direct-mapped below 256 B)", prof.Name),
 		"AVC bytes", "Normalized time", "AVC hit rate")
-	capRows, err := runner.MapB(opts.ctx(), opts.Workers, opts.Jobs, len(capacities), func(_ context.Context, i int) (core.RunResult, error) {
+	capRows, err := mapCells(opts, len(capacities), func(_ context.Context, i int) (core.RunResult, error) {
 		if !opts.owns(1 + len(fanouts) + i) {
 			return core.RunResult{}, nil
 		}
@@ -763,7 +782,7 @@ func Ablations(prof core.Profile, w io.Writer, opts Options) error {
 	tl := results.NewTable(
 		fmt.Sprintf("Ablation C: caching leaf PTE lines in the 1 KB walker cache (PageRank/Wiki, profile %s)", prof.Name),
 		"Mode", "Leaf lines", "Normalized time", "Walker-cache hit rate")
-	togRows, err := runner.MapB(opts.ctx(), opts.Workers, opts.Jobs, len(toggles), func(_ context.Context, i int) (core.RunResult, error) {
+	togRows, err := mapCells(opts, len(toggles), func(_ context.Context, i int) (core.RunResult, error) {
 		if !opts.owns(1 + len(fanouts) + len(capacities) + i) {
 			return core.RunResult{}, nil
 		}
@@ -798,6 +817,36 @@ func Ablations(prof core.Profile, w io.Writer, opts Options) error {
 	return tl.WriteASCII(w)
 }
 
+// ablationFanouts, ablationCapacities and ablationToggles declare the
+// Ablations cell matrix at package level (plus one reference Ideal run)
+// so CellCount can size a sweep without running it.
+var (
+	ablationFanouts    = []int{4, 8, 16, 32, 64}
+	ablationCapacities = []int{64, 128, 256, 1024, 4096}
+	ablationToggles    = []struct {
+		mode     core.Mode
+		minLevel int
+		label    string
+	}{
+		{core.ModeConv4K, 2, "excluded (stock PWC)"},
+		{core.ModeConv4K, 1, "cached (polluted PWC)"},
+		{core.ModeDVMPE, 2, "excluded (PWC-style)"},
+		{core.ModeDVMPE, 1, "cached (AVC)"},
+	}
+)
+
+// virtSchemes declares the Virtualization cell matrix at package level
+// for the same reason.
+var virtSchemes = []struct {
+	scheme      virt.Scheme
+	guest, host string
+}{
+	{virt.SchemeNested2D, "4K paging", "4K paging"},
+	{virt.SchemeGuestDVM, "DVM (gVA==gPA)", "4K paging"},
+	{virt.SchemeHostDVM, "4K paging", "DVM (gPA==sPA)"},
+	{virt.SchemeFullDVM, "DVM", "none (gVA==sPA)"},
+}
+
 // Virtualization renders the Section 5 extension: per-scheme translation
 // costs under nested virtualization, from conventional two-dimensional
 // walks down to full DVM (gVA==gPA==sPA).
@@ -805,17 +854,9 @@ func Virtualization(w io.Writer, opts Options) error {
 	t := results.NewTable(
 		"Extension (paper §5): virtualized DVM — nested translation cost per access (64 MB guest heap, uniform random)",
 		"Scheme", "Guest dim", "Nested dim", "Cold walk refs", "Avg refs/access", "Avg cycles/access", "TLB miss")
-	rows := []struct {
-		scheme      virt.Scheme
-		guest, host string
-	}{
-		{virt.SchemeNested2D, "4K paging", "4K paging"},
-		{virt.SchemeGuestDVM, "DVM (gVA==gPA)", "4K paging"},
-		{virt.SchemeHostDVM, "4K paging", "DVM (gPA==sPA)"},
-		{virt.SchemeFullDVM, "DVM", "none (gVA==sPA)"},
-	}
+	rows := virtSchemes
 	progress := opts.progressFor(opts.ownedCount(len(rows)))
-	res, err := runner.MapB(opts.ctx(), opts.Workers, opts.Jobs, len(rows), func(_ context.Context, i int) (virt.Result, error) {
+	res, err := mapCells(opts, len(rows), func(_ context.Context, i int) (virt.Result, error) {
 		if !opts.owns(i) {
 			return virt.Result{}, nil
 		}

@@ -78,6 +78,19 @@ type RetryPolicy struct {
 	// IsTransient. Panics and watchdog timeouts are never retried —
 	// a cell that crashed or hung once has forfeited determinism.
 	Classify func(error) bool
+	// Seed arms deterministic backoff jitter: when nonzero, every delay
+	// is scaled into [1/2, 1) of its nominal value by a splitmix64 hash
+	// of (Seed, cell index, attempt) — the same discipline as
+	// internal/chaos. A fleet of workers retrying the same transient
+	// fault therefore de-synchronizes instead of thundering back in
+	// lockstep, while a fixed seed keeps every delay (and so every test)
+	// reproducible. Zero preserves the exact exponential schedule.
+	Seed uint64
+	// OnRetry, when non-nil, observes every retry the policy grants:
+	// the cell index, the attempt that just failed (1-based), its error
+	// and the jittered delay about to be slept. It runs on the worker
+	// goroutine, so sinks must be goroutine-safe (a metrics counter).
+	OnRetry func(cell, attempt int, err error, delay time.Duration)
 }
 
 // Options configures MapOpts beyond the plain MapB knobs.
@@ -185,8 +198,15 @@ func runCell[T any](ctx context.Context, opts Options, i int, fn func(ctx contex
 		if !classify(err) {
 			return r, err
 		}
+		delay := backoff
+		if opts.Retry.Seed != 0 {
+			delay = jitter(opts.Retry.Seed, i, attempt, backoff)
+		}
+		if opts.Retry.OnRetry != nil {
+			opts.Retry.OnRetry(i, attempt, err, delay)
+		}
 		select {
-		case <-time.After(backoff):
+		case <-time.After(delay):
 		case <-ctx.Done():
 			return r, err
 		}
@@ -194,6 +214,27 @@ func runCell[T any](ctx context.Context, opts Options, i int, fn func(ctx contex
 			backoff = maxBackoff
 		}
 	}
+}
+
+// jitter maps (seed, cell, attempt) to a delay in [d/2, d): full
+// determinism for a fixed seed, full decorrelation across cells and
+// attempts. The mixer is SplitMix64 (the internal/chaos discipline):
+// two dependent rounds diffuse the low-entropy inputs.
+func jitter(seed uint64, cell, attempt int, d time.Duration) time.Duration {
+	x := splitmix64(seed ^ uint64(cell)*0x9e3779b97f4a7c15)
+	x = splitmix64(x ^ uint64(attempt))
+	half := d / 2
+	// 53 high bits -> uniform fraction in [0, 1).
+	frac := float64(x>>11) / (1 << 53)
+	return half + time.Duration(float64(half)*frac)
+}
+
+// splitmix64 is the SplitMix64 mixer: tiny state, excellent diffusion.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // MapOpts is MapB with the full resilience policy: per-cell panic

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -223,5 +224,80 @@ func TestChaosNestedMapBudgetOnPanic(t *testing.T) {
 	}
 	if got := b.Free(); got != tokens {
 		t.Fatalf("budget leaked across nesting: %d/%d free", got, tokens)
+	}
+}
+
+func TestChaosRetryJitterDeterministic(t *testing.T) {
+	const base = 100 * time.Millisecond
+	for _, cell := range []int{0, 1, 17} {
+		for attempt := 1; attempt <= 4; attempt++ {
+			a := jitter(42, cell, attempt, base)
+			b := jitter(42, cell, attempt, base)
+			if a != b {
+				t.Fatalf("jitter(42, %d, %d) not deterministic: %v vs %v", cell, attempt, a, b)
+			}
+			if a < base/2 || a >= base {
+				t.Fatalf("jitter(42, %d, %d) = %v, want in [%v, %v)", cell, attempt, a, base/2, base)
+			}
+		}
+	}
+	// Different cells (the fleet case) must de-synchronize: across a
+	// spread of cells the delays cannot all collapse to one value.
+	seen := map[time.Duration]bool{}
+	for cell := 0; cell < 16; cell++ {
+		seen[jitter(7, cell, 1, base)] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("jitter over 16 cells produced only %d distinct delays", len(seen))
+	}
+	// And a different seed reschedules everything.
+	if jitter(1, 3, 1, base) == jitter(2, 3, 1, base) {
+		t.Fatal("jitter ignores the seed")
+	}
+}
+
+func TestChaosRetryOnRetryHook(t *testing.T) {
+	var mu sync.Mutex
+	type evt struct {
+		cell, attempt int
+		delay         time.Duration
+	}
+	var events []evt
+	var calls atomic.Int64
+	_, err := MapOpts(context.Background(), Options{
+		Jobs: 2,
+		Retry: RetryPolicy{
+			MaxAttempts: 3,
+			Backoff:     time.Millisecond,
+			Seed:        99,
+			OnRetry: func(cell, attempt int, err error, delay time.Duration) {
+				calls.Add(1)
+				mu.Lock()
+				events = append(events, evt{cell, attempt, delay})
+				mu.Unlock()
+			},
+		},
+	}, 3, func(_ context.Context, i int) (int, error) {
+		if i == 1 && calls.Load() < 2 {
+			return 0, MarkTransient(errors.New("flaky"))
+		}
+		return i, nil
+	})
+	if err != nil {
+		t.Fatalf("MapOpts: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) == 0 {
+		t.Fatal("OnRetry never fired for a retried transient failure")
+	}
+	for _, e := range events {
+		if e.cell != 1 {
+			t.Fatalf("OnRetry fired for cell %d, only cell 1 failed", e.cell)
+		}
+		nominal := time.Millisecond << (e.attempt - 1)
+		if e.delay < nominal/2 || e.delay >= nominal {
+			t.Fatalf("attempt %d delay %v outside jitter window [%v, %v)", e.attempt, e.delay, nominal/2, nominal)
+		}
 	}
 }

@@ -218,14 +218,18 @@ func (p *Progress) eta(now time.Time, left int) time.Duration {
 	return time.Duration(int64(now.Sub(ref)) / int64(intervals) * int64(left))
 }
 
-// Done reports one completed cell with a formatted description.
+// Done reports one completed cell with a formatted description. The
+// sink runs outside the progress lock, so a slow (or blocked) sink can
+// never stall a concurrent State probe — the daemon's status endpoint
+// must stay live even when a log consumer wedges. The price is that
+// two parallel completions may emit their lines out of order; wrap the
+// sink with Synchronized when strict interleaving matters.
 func (p *Progress) Done(format string, args ...interface{}) {
 	if p == nil {
 		return
 	}
 	now := time.Now()
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.done++
 	p.window[(p.done-1)%progressWindow] = now
 	prefix := fmt.Sprintf("[%d/%d", p.done, p.total)
@@ -235,6 +239,7 @@ func (p *Progress) Done(format string, args ...interface{}) {
 			prefix += fmt.Sprintf(" eta %v", p.eta(now, left).Round(100*time.Millisecond))
 		}
 	}
+	p.mu.Unlock()
 	// The prefix contains literal '%' signs, so it must travel as an
 	// argument, never as part of the format string.
 	p.logf("%s] %s", prefix, fmt.Sprintf(format, args...))

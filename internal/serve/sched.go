@@ -1,0 +1,609 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/dvm-sim/dvm/internal/chaos"
+	"github.com/dvm-sim/dvm/internal/core"
+	"github.com/dvm-sim/dvm/internal/obs"
+	"github.com/dvm-sim/dvm/internal/report"
+	"github.com/dvm-sim/dvm/internal/runner"
+)
+
+// ErrDraining rejects submissions while the daemon is shutting down.
+var ErrDraining = errors.New("serve: daemon is draining; resubmit after restart")
+
+// ErrNotFound reports an unknown job ID.
+var ErrNotFound = errors.New("serve: no such job")
+
+// Config tunes the scheduler. The zero value is usable: one worker per
+// CPU, cell watchdog off, three attempts per transient failure,
+// fsync-per-cell durability.
+type Config struct {
+	// Jobs bounds the daemon's total concurrent experiment cells, the
+	// service analog of dvmrepro -j (0: one per CPU). All jobs share
+	// one runner.Budget sized from it; per-client sub-pools are carved
+	// out of that budget, never added to it.
+	Jobs int
+	// CellTimeout puts every cell under a watchdog (0: none). A wedged
+	// simulation fails its job instead of hanging the daemon forever.
+	CellTimeout time.Duration
+	// RetryAttempts is the total tries per transient-failing cell
+	// (<= 1: no retry). Panics and watchdog timeouts never retry.
+	RetryAttempts int
+	// RetryBackoff is the first retry delay (default 10ms), doubling
+	// per attempt and capped at 1s, jittered by RetrySeed.
+	RetryBackoff time.Duration
+	// RetrySeed arms deterministic backoff jitter (0: a fixed default
+	// seed — the service always jitters so a fleet of retrying cells
+	// de-synchronizes).
+	RetrySeed uint64
+	// SyncEvery is the checkpoint fsync cadence in cells (0: every
+	// cell — the service tier defaults to maximum durability; raise it
+	// for sweeps of thousands of cheap cells).
+	SyncEvery int
+	// Metrics, when non-nil, receives the daemon's serve.* counters
+	// (jobs submitted/done/failed/resumed, cell retries).
+	Metrics *obs.Collector
+	// Logf, when non-nil, receives daemon status lines.
+	Logf func(format string, args ...interface{})
+}
+
+// Scheduler owns the job lifecycle: admission, the persistent worker
+// fleet, fair-share token carving, durable state transitions, and
+// drain. One Scheduler runs per daemon process.
+type Scheduler struct {
+	store    *Store
+	cfg      Config
+	budget   *runner.Budget
+	tokens   int
+	prepared *core.PreparedCache
+	retry    runner.RetryPolicy
+
+	mu       sync.Mutex
+	jobs     map[string]*jobRun
+	tenants  map[string]*tenant
+	draining bool
+	wg       sync.WaitGroup
+
+	// testCellSink, when non-nil (tests only), observes every completed
+	// cell; it may block on ctx to hold workers at a cell boundary, which
+	// is how the drain and crash-resume tests freeze a job mid-sweep.
+	testCellSink func(id string, ctx context.Context)
+}
+
+// tenant is one client's scheduling state: a sub-pool carved from the
+// global budget, capped at the client's current fair share.
+type tenant struct {
+	pool   *runner.Budget
+	active int
+}
+
+// jobRun is one live (non-terminal) job's in-memory state.
+type jobRun struct {
+	mu     sync.Mutex
+	job    *Job
+	ck     *core.Checkpoint
+	board  *runner.ProgressBoard
+	cancel context.CancelFunc
+	// cancelled marks a DELETE (vs a drain) so run() can tell the two
+	// context cancellations apart.
+	cancelled bool
+	done      chan struct{}
+}
+
+// NewScheduler builds the scheduler over a store and resumes every
+// incomplete job the scan finds: jobs interrupted mid-run (state
+// running or draining — a crash or a previous drain) re-queue with
+// their checkpoints intact, so the daemon picks up within one cell of
+// where it died.
+func NewScheduler(store *Store, cfg Config) (*Scheduler, error) {
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 10 * time.Millisecond
+	}
+	if cfg.RetrySeed == 0 {
+		cfg.RetrySeed = 0xd5a11a5 // the service always jitters
+	}
+	if cfg.SyncEvery <= 0 {
+		cfg.SyncEvery = 1
+	}
+	b := runner.BudgetFor(cfg.Jobs)
+	s := &Scheduler{
+		store:    store,
+		cfg:      cfg,
+		budget:   b,
+		tokens:   b.Free(),
+		prepared: core.NewPreparedCache(),
+		jobs:     map[string]*jobRun{},
+		tenants:  map[string]*tenant{},
+	}
+	s.retry = runner.RetryPolicy{
+		MaxAttempts: cfg.RetryAttempts,
+		Backoff:     cfg.RetryBackoff,
+		Seed:        cfg.RetrySeed,
+		OnRetry: func(cell, attempt int, err error, delay time.Duration) {
+			s.cfg.Metrics.Inc("serve.cells.retried", 1)
+			s.logf("cell %d attempt %d failed transiently (%v); retrying in %v", cell, attempt, err, delay)
+		},
+	}
+	jobs, damaged, err := store.Scan()
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range damaged {
+		s.logf("job dir %s is damaged (missing or corrupt job.json); skipping", d)
+	}
+	for _, j := range jobs {
+		if j.State.terminal() {
+			continue
+		}
+		if j.State == StateRunning || j.State == StateDraining {
+			j.Resumes++
+			s.cfg.Metrics.Inc("serve.jobs.resumed", 1)
+			s.logf("job %s interrupted in state %s; resuming (%d/%d cells durable)", j.ID, j.State, j.CellsDone, j.TotalCells)
+		}
+		j.State = StateQueued
+		if err := store.Put(j); err != nil {
+			return nil, err
+		}
+		s.start(j)
+	}
+	return s, nil
+}
+
+func (s *Scheduler) logf(format string, args ...interface{}) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Close releases the scheduler's shared resources after all jobs have
+// stopped (callers Drain first).
+func (s *Scheduler) Close() {
+	s.wg.Wait()
+	s.prepared.Close()
+}
+
+// Submit validates, persists and starts a new job. The job is durable
+// (job.json on disk) before its ID is returned, so an accepted
+// submission survives an immediate crash.
+func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+	prof, err := spec.Validate()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.mu.Unlock()
+	var mopts report.Options
+	if spec.Modes == "extended" {
+		mopts.Modes = core.RegisteredModes()
+	}
+	j := &Job{
+		ID:          s.store.NextID(),
+		Spec:        spec,
+		State:       StateQueued,
+		TotalCells:  report.CellCount(prof, mopts, spec.wanted()),
+		CreatedUnix: time.Now().Unix(),
+	}
+	if err := s.store.Put(j); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		// Lost the race with Drain: withdraw the record so the client's
+		// error and the store agree that nothing was admitted.
+		s.mu.Unlock()
+		os.RemoveAll(s.store.JobDir(j.ID))
+		return nil, ErrDraining
+	}
+	s.cfg.Metrics.Inc("serve.jobs.submitted", 1)
+	// Snapshot the admission-time record before the run goroutine exists:
+	// once startLocked fires, j's state fields belong to the run (guarded
+	// by its lock), and handing the live pointer back would let the HTTP
+	// layer marshal it unsynchronized.
+	out := *j
+	s.startLocked(j)
+	s.mu.Unlock()
+	return &out, nil
+}
+
+// start registers and launches a job's runner goroutine.
+func (s *Scheduler) start(j *Job) {
+	s.mu.Lock()
+	s.startLocked(j)
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) startLocked(j *Job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &jobRun{job: j, board: &runner.ProgressBoard{}, cancel: cancel, done: make(chan struct{})}
+	s.jobs[j.ID] = r
+	s.wg.Add(1)
+	go s.run(ctx, r)
+}
+
+// acquireTenant returns (creating if needed) the client's sub-pool and
+// recomputes every active tenant's fair share.
+func (s *Scheduler) acquireTenant(client string) *runner.Budget {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenants[client]
+	if t == nil {
+		t = &tenant{pool: s.budget.Carve(0)}
+		s.tenants[client] = t
+	}
+	t.active++
+	s.recomputeSharesLocked()
+	return t.pool
+}
+
+// releaseTenant drops one active job from the client and recomputes
+// shares; an idle tenant's pool is retired.
+func (s *Scheduler) releaseTenant(client string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenants[client]
+	if t == nil {
+		return
+	}
+	if t.active--; t.active <= 0 {
+		t.pool.SetCap(0)
+		delete(s.tenants, client)
+	}
+	s.recomputeSharesLocked()
+}
+
+// recomputeSharesLocked splits the global token count evenly across
+// active tenants (remainder to the lexicographically first clients, so
+// the split is deterministic). A tenant over its shrunken cap simply
+// stops acquiring until enough of its tokens come home — SetCap never
+// revokes in-flight work. With more tenants than tokens some shares
+// are zero: those jobs still progress, because a sweep's calling
+// goroutine is always a worker; tokens only add extra ones.
+func (s *Scheduler) recomputeSharesLocked() {
+	if len(s.tenants) == 0 {
+		return
+	}
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	share, extra := s.tokens/len(names), s.tokens%len(names)
+	for i, name := range names {
+		cap := share
+		if i < extra {
+			cap++
+		}
+		s.tenants[name].pool.SetCap(cap)
+	}
+}
+
+// persist writes the run's job record (with the durable cell count
+// refreshed) through the store.
+func (r *jobRun) persist(s *Store) error {
+	r.mu.Lock()
+	r.job.CellsDone = r.ck.Len()
+	j := *r.job
+	r.mu.Unlock()
+	return s.Put(&j)
+}
+
+// setState transitions the run's state under its lock.
+func (r *jobRun) setState(st State) {
+	r.mu.Lock()
+	r.job.State = st
+	r.mu.Unlock()
+}
+
+// run executes one job to a terminal state (or to queued, when a drain
+// interrupts it). Every transition is persisted before it matters.
+func (s *Scheduler) run(ctx context.Context, r *jobRun) {
+	defer s.wg.Done()
+	defer close(r.done)
+	j := r.job
+	prof, err := j.Spec.Validate()
+	if err != nil { // a restart with a now-invalid spec (registry drift)
+		s.finish(r, StateFailed, "", err)
+		return
+	}
+	ck, err := core.OpenCheckpoint(s.store.CheckpointPath(j.ID), j.Spec.checkpointProfile(prof), true)
+	if err != nil {
+		s.finish(r, StateFailed, "", fmt.Errorf("serve: job %s checkpoint: %w", j.ID, err))
+		return
+	}
+	ck.SetSyncEvery(s.cfg.SyncEvery)
+	r.mu.Lock()
+	r.ck = ck
+	r.mu.Unlock()
+	defer ck.Close()
+
+	r.setState(StateRunning)
+	if err := r.persist(s.store); err != nil {
+		s.finish(r, StateFailed, "", err)
+		return
+	}
+	if n := ck.Len(); n > 0 {
+		s.logf("job %s: resumed %d completed cells from checkpoint", j.ID, n)
+	}
+
+	if j.Spec.DeadlineSeconds > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(j.Spec.DeadlineSeconds)*time.Second)
+		defer cancel()
+	}
+	pool := s.acquireTenant(j.Spec.Client)
+	defer s.releaseTenant(j.Spec.Client)
+
+	coll := &obs.Collector{}
+	retry := s.retry
+	if n, ok := idSeq(j.ID); ok {
+		// Decorrelate retry schedules across jobs, deterministically.
+		retry.Seed ^= uint64(n) * 0x9e3779b97f4a7c15
+	}
+	opts := report.Options{
+		Jobs:        s.cfg.Jobs,
+		Workers:     pool,
+		Ctx:         ctx,
+		Metrics:     coll,
+		Prepared:    s.prepared,
+		Checkpoint:  ck,
+		Board:       r.board,
+		CellTimeout: s.cfg.CellTimeout,
+		Retry:       retry,
+	}
+	if j.Spec.Modes == "extended" {
+		opts.Modes = core.RegisteredModes()
+	}
+	if j.Spec.ChaosRate > 0 {
+		opts.Chaos = &chaos.Config{Seed: j.Spec.ChaosSeed, Rate: j.Spec.ChaosRate}
+	}
+	if s.testCellSink != nil {
+		opts.Progress = func(string, ...interface{}) { s.testCellSink(j.ID, ctx) }
+	}
+
+	var tables bytes.Buffer
+	err = report.Sweep(prof, &tables, opts, j.Spec.wanted(), func(key string, render func() error) error {
+		s.logf("job %s: == %s (profile %s)", j.ID, key, prof.Name)
+		return render()
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			s.interrupted(r, ctx, err)
+			return
+		}
+		s.finish(r, StateFailed, report.ArtifactKeyOf(err), err)
+		return
+	}
+	var metrics bytes.Buffer
+	if err := coll.Snapshot().WriteJSON(&metrics); err != nil {
+		s.finish(r, StateFailed, "", err)
+		return
+	}
+	// Results land on disk before the done transition: State == done
+	// always implies complete result.txt and metrics.json.
+	if err := s.store.WriteResult(j.ID, tables.Bytes(), metrics.Bytes()); err != nil {
+		s.finish(r, StateFailed, "", err)
+		return
+	}
+	s.finish(r, StateDone, "", nil)
+}
+
+// interrupted handles a context-cancelled sweep: a DELETE becomes
+// cancelled, a deadline becomes failed, a drain flushes the checkpoint
+// and re-queues the job as the daemon's durable resume state.
+func (s *Scheduler) interrupted(r *jobRun, ctx context.Context, err error) {
+	r.mu.Lock()
+	cancelled := r.cancelled
+	r.mu.Unlock()
+	switch {
+	case cancelled:
+		s.finish(r, StateCancelled, "", nil)
+	case errors.Is(ctx.Err(), context.DeadlineExceeded):
+		s.finish(r, StateFailed, report.ArtifactKeyOf(err),
+			fmt.Errorf("deadline of %ds exceeded: %w", r.job.Spec.DeadlineSeconds, ctx.Err()))
+	default: // drain
+		if serr := r.ck.Sync(); serr != nil {
+			s.logf("job %s: drain checkpoint sync: %v", r.job.ID, serr)
+		}
+		r.setState(StateQueued)
+		if perr := r.persist(s.store); perr != nil {
+			s.logf("job %s: drain persist: %v", r.job.ID, perr)
+		}
+		s.logf("job %s: drained with %d/%d cells durable; will resume on restart",
+			r.job.ID, r.ck.Len(), r.job.TotalCells)
+		s.unregister(r.job.ID)
+	}
+}
+
+// finish drives a job to a terminal state and persists it.
+func (s *Scheduler) finish(r *jobRun, st State, artifact string, err error) {
+	r.mu.Lock()
+	r.job.State = st
+	r.job.FinishedUnix = time.Now().Unix()
+	r.job.Artifact = artifact
+	if err != nil {
+		r.job.Error = err.Error()
+	}
+	r.mu.Unlock()
+	if perr := r.persist(s.store); perr != nil {
+		s.logf("job %s: persisting %s: %v", r.job.ID, st, perr)
+	}
+	switch st {
+	case StateDone:
+		s.cfg.Metrics.Inc("serve.jobs.done", 1)
+		s.logf("job %s: done (%d cells)", r.job.ID, r.job.CellsDone)
+	case StateFailed:
+		s.cfg.Metrics.Inc("serve.jobs.failed", 1)
+		s.logf("job %s: failed: %v", r.job.ID, err)
+	case StateCancelled:
+		s.cfg.Metrics.Inc("serve.jobs.cancelled", 1)
+		s.logf("job %s: cancelled", r.job.ID)
+	}
+	s.unregister(r.job.ID)
+}
+
+// unregister drops a run from the live table (its durable record
+// remains the source of truth).
+func (s *Scheduler) unregister(id string) {
+	s.mu.Lock()
+	delete(s.jobs, id)
+	s.mu.Unlock()
+}
+
+// Cancel aborts a queued or running job (DELETE /jobs/{id}). Terminal
+// jobs return an error; the cancellation is asynchronous — workers
+// finish (and checkpoint) their in-flight cells first.
+func (s *Scheduler) Cancel(id string) error {
+	s.mu.Lock()
+	r := s.jobs[id]
+	s.mu.Unlock()
+	if r == nil {
+		j, err := s.load(id)
+		if err != nil {
+			return err
+		}
+		return fmt.Errorf("serve: job %s already %s", id, j.State)
+	}
+	r.mu.Lock()
+	r.cancelled = true
+	r.mu.Unlock()
+	r.cancel()
+	return nil
+}
+
+// Drain stops admission and gracefully interrupts every running job:
+// workers finish their in-flight cells, checkpoints are fsynced, and
+// each job is re-queued durably so the next daemon start resumes it.
+// It returns the IDs of the jobs left resumable.
+func (s *Scheduler) Drain() []string {
+	s.mu.Lock()
+	s.draining = true
+	live := make([]*jobRun, 0, len(s.jobs))
+	for _, r := range s.jobs {
+		live = append(live, r)
+	}
+	s.mu.Unlock()
+	var ids []string
+	for _, r := range live {
+		r.setState(StateDraining)
+		if err := r.persist(s.store); err != nil {
+			s.logf("job %s: persisting draining: %v", r.job.ID, err)
+		}
+		ids = append(ids, r.job.ID)
+		r.cancel()
+	}
+	s.wg.Wait()
+	sort.Strings(ids)
+	return ids
+}
+
+// load reads a job's durable record.
+func (s *Scheduler) load(id string) (*Job, error) {
+	jobs, _, err := s.store.Scan()
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range jobs {
+		if j.ID == id {
+			return j, nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// Status reports one job: the durable record plus live progress.
+func (s *Scheduler) Status(id string) (Status, error) {
+	s.mu.Lock()
+	r := s.jobs[id]
+	s.mu.Unlock()
+	var st Status
+	if r != nil {
+		r.mu.Lock()
+		st.Job = *r.job
+		if r.ck != nil {
+			st.DoneCells = r.ck.Len()
+		}
+		r.mu.Unlock()
+		if ps, ok := r.board.Probe()(); ok {
+			st.EtaSeconds = ps.EtaSeconds
+		}
+	} else {
+		j, err := s.load(id)
+		if err != nil {
+			return st, err
+		}
+		st.Job = *j
+		st.DoneCells = j.CellsDone
+	}
+	if st.TotalCells > 0 {
+		st.Percent = 100 * float64(st.DoneCells) / float64(st.TotalCells)
+	}
+	return st, nil
+}
+
+// Progress aggregates live jobs for the daemon's /progress endpoint:
+// durable cells done and totals summed across every non-terminal job,
+// the longest per-job ETA standing in for the fleet's. ok is false
+// when the daemon is idle.
+func (s *Scheduler) Progress() (obs.ProgressState, bool) {
+	s.mu.Lock()
+	runs := make([]*jobRun, 0, len(s.jobs))
+	for _, r := range s.jobs {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+	if len(runs) == 0 {
+		return obs.ProgressState{}, false
+	}
+	var out obs.ProgressState
+	for _, r := range runs {
+		r.mu.Lock()
+		out.Total += r.job.TotalCells
+		if r.ck != nil {
+			out.Done += r.ck.Len()
+		}
+		r.mu.Unlock()
+		if ps, ok := r.board.Probe()(); ok {
+			if ps.EtaSeconds > out.EtaSeconds {
+				out.EtaSeconds = ps.EtaSeconds
+			}
+			if ps.ElapsedSeconds > out.ElapsedSeconds {
+				out.ElapsedSeconds = ps.ElapsedSeconds
+			}
+		}
+	}
+	if out.Total > 0 {
+		out.Percent = 100 * float64(out.Done) / float64(out.Total)
+	}
+	return out, true
+}
+
+// List reports every job in the store (durable records; live jobs get
+// their current cell counts).
+func (s *Scheduler) List() ([]Status, error) {
+	jobs, _, err := s.store.Scan()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		st, err := s.Status(j.ID)
+		if err != nil {
+			continue
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+
+	"github.com/dvm-sim/dvm/internal/obs"
+)
+
+// API is the daemon's HTTP surface: the job endpoints plus the shared
+// observability routes (/metrics, /progress, /debug/pprof/) on one mux.
+//
+//	POST   /jobs              submit a JobSpec; 202 + the Job record
+//	GET    /jobs              list all jobs (durable records + progress)
+//	GET    /jobs/{id}         one job's Status
+//	GET    /jobs/{id}/result  the rendered tables (done jobs only)
+//	GET    /jobs/{id}/metrics the deterministic metrics snapshot
+//	DELETE /jobs/{id}         cancel a queued/running job
+type API struct {
+	sched *Scheduler
+	mux   *http.ServeMux
+}
+
+// NewAPI builds the daemon mux over a scheduler. obsOpts wires the
+// observability surface (pass the daemon collector and a progress
+// probe); lg receives endpoint errors.
+func NewAPI(sched *Scheduler, obsOpts obs.HTTPOptions, lg *obs.Logger) *API {
+	a := &API{sched: sched, mux: http.NewServeMux()}
+	a.mux.HandleFunc("POST /jobs", a.submit)
+	a.mux.HandleFunc("GET /jobs", a.list)
+	a.mux.HandleFunc("GET /jobs/{id}", a.status)
+	a.mux.HandleFunc("GET /jobs/{id}/result", a.result)
+	a.mux.HandleFunc("GET /jobs/{id}/metrics", a.metrics)
+	a.mux.HandleFunc("DELETE /jobs/{id}", a.cancel)
+	obs.AddRoutes(a.mux, obsOpts, lg)
+	a.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "dvmserved\n\nPOST /jobs\nGET /jobs\nGET /jobs/{id}\nGET /jobs/{id}/result\nGET /jobs/{id}/metrics\nDELETE /jobs/{id}\n/metrics\n/progress\n/debug/pprof/\n")
+	})
+	return a
+}
+
+// Handler exposes the mux (the daemon serves it; tests drive it
+// through httptest).
+func (a *API) Handler() http.Handler { return a.mux }
+
+// writeJSON writes one JSON response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeErr maps scheduler errors onto HTTP codes.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (a *API) submit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, fmt.Errorf("serve: bad job spec: %w", err))
+		return
+	}
+	j, err := a.sched.Submit(spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j)
+}
+
+func (a *API) list(w http.ResponseWriter, _ *http.Request) {
+	sts, err := a.sched.List()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sts)
+}
+
+func (a *API) status(w http.ResponseWriter, r *http.Request) {
+	st, err := a.sched.Status(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// artifact serves one of a done job's output files.
+func (a *API) artifact(w http.ResponseWriter, r *http.Request, path, contentType string) {
+	st, err := a.sched.Status(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if st.State != StateDone {
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"error": fmt.Sprintf("serve: job %s is %s; results exist only for done jobs %s", st.ID, st.State, st.progressLine()),
+		})
+		return
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Write(b)
+}
+
+func (a *API) result(w http.ResponseWriter, r *http.Request) {
+	a.artifact(w, r, a.sched.store.ResultPath(r.PathValue("id")), "text/plain; charset=utf-8")
+}
+
+func (a *API) metrics(w http.ResponseWriter, r *http.Request) {
+	a.artifact(w, r, a.sched.store.MetricsPath(r.PathValue("id")), "application/json")
+}
+
+func (a *API) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := a.sched.Cancel(id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": string(StateCancelled)})
+}
